@@ -1,0 +1,102 @@
+(* Command-line driver: build an OO7 database under a chosen
+   persistence scheme and run benchmark operations, printing the
+   simulated response time, I/O counts and cost breakdown. *)
+
+module Params = Oo7.Params
+module Sys_ = Harness.System
+module Measure = Harness.Measure
+module Qs_config = Quickstore.Qs_config
+module Clock = Simclock.Clock
+
+let params_of_size = function
+  | "tiny" -> Params.tiny
+  | "small" -> Params.small
+  | "medium" -> Params.medium
+  | s -> invalid_arg (Printf.sprintf "unknown size %S (tiny|small|medium)" s)
+
+let make_system name params seed reloc =
+  let reloc_cfg frac mode =
+    match mode with
+    | `CR -> { Qs_config.default with Qs_config.reloc = Qs_config.Continual frac }
+    | `OR -> { Qs_config.default with Qs_config.reloc = Qs_config.One_time frac }
+  in
+  match String.lowercase_ascii name with
+  | "qs" when reloc = 0.0 -> Sys_.make_qs params ~seed
+  | "qs" -> Sys_.make_qs ~config:(reloc_cfg reloc `CR) params ~seed
+  | "qs-or" -> Sys_.make_qs ~config:(reloc_cfg reloc `OR) params ~seed
+  | "qs-b" ->
+    Sys_.make_qs ~config:{ Qs_config.default with Qs_config.mode = Qs_config.Big_objects } params ~seed
+  | "qs-w" ->
+    Sys_.make_qs
+      ~config:{ Qs_config.default with Qs_config.ptr_format = Qs_config.Page_offsets }
+      params ~seed
+  | "e" -> Sys_.make_e params ~seed
+  | s -> invalid_arg (Printf.sprintf "unknown system %S (qs|qs-b|qs-w|qs-or|e)" s)
+
+let print_measure label (m : Measure.t) =
+  Printf.printf "  %-8s %10.1f ms   reads=%d (data=%d map=%d index=%d) writes=%d result=%d\n" label
+    m.Measure.ms m.Measure.client_reads m.Measure.reads_data m.Measure.reads_map
+    m.Measure.reads_index m.Measure.client_writes m.Measure.result
+
+let print_breakdown (m : Measure.t) =
+  Format.printf "  breakdown:@.%a@." Clock.pp_snapshot m.Measure.snapshot
+
+let run system size ops seed hot_reps reloc verbose save =
+  let params = params_of_size size in
+  Printf.printf "building %s database for %s...\n%!" params.Params.name system;
+  let t0 = Unix.gettimeofday () in
+  let sys = make_system system params seed reloc in
+  Printf.printf "built in %.1fs (wall); database size %.1f MB\n%!" (Unix.gettimeofday () -. t0)
+    (sys.Sys_.db_size_mb ());
+  (match save with
+   | Some path ->
+     Esm.Disk.save_to_file (Esm.Server.disk sys.Sys_.server) path;
+     Printf.printf "volume image saved to %s (inspect with qs_dump)\n%!" path
+   | None -> ());
+  List.iter
+    (fun op ->
+      Printf.printf "%s on %s (%s):\n%!" op sys.Sys_.name params.Params.name;
+      let t1 = Unix.gettimeofday () in
+      let r = sys.Sys_.run ~op ~seed ~hot_reps in
+      print_measure "cold" r.Sys_.cold;
+      (match r.Sys_.hot with Some h -> print_measure "hot" h | None -> ());
+      (match r.Sys_.commit with Some c -> print_measure "commit" c | None -> ());
+      if verbose then print_breakdown r.Sys_.cold;
+      Printf.printf "  (wall %.1fs; cold faults %d)\n%!" (Unix.gettimeofday () -. t1)
+        (sys.Sys_.fault_count ()))
+    ops
+
+open Cmdliner
+
+let system_arg =
+  Arg.(value & opt string "qs" & info [ "s"; "system" ] ~docv:"SYSTEM" ~doc:"qs, qs-b, qs-w, qs-or or e")
+
+let size_arg =
+  Arg.(value & opt string "small" & info [ "d"; "size" ] ~docv:"SIZE" ~doc:"tiny, small or medium")
+
+let ops_arg =
+  Arg.(
+    value
+    & opt (list string) [ "T1" ]
+    & info [ "o"; "ops" ] ~docv:"OPS" ~doc:"comma-separated operations (T1,T2A,...,Q5)")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"random seed")
+let hot_arg = Arg.(value & opt int 3 & info [ "hot-reps" ] ~doc:"hot repetitions (0 = cold only)")
+
+let reloc_arg =
+  Arg.(value & opt float 0.0 & info [ "relocate" ] ~doc:"fraction of pages relocated (QuickStore)")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print the cost breakdown")
+
+let save_arg =
+  Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc:"save the volume image after building")
+
+let cmd =
+  let doc = "run OO7 benchmark operations on the QuickStore reproduction" in
+  Cmd.v
+    (Cmd.info "oo7_run" ~doc)
+    Term.(
+      const run $ system_arg $ size_arg $ ops_arg $ seed_arg $ hot_arg $ reloc_arg $ verbose_arg
+      $ save_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,167 @@
+(* Volume inspector: page census, schema, root directory, QuickStore
+   meta-data (mapping objects, bitmaps) and a consistency check
+   (every pointer on every QS data page must agree with the page's
+   mapping object, and every pointer word must be marked in the
+   bitmap). Operates on a volume image saved by oo7_run --save. *)
+
+module Page = Esm.Page
+module Disk = Esm.Disk
+module Oid = Esm.Oid
+module Codec = Qs_util.Codec
+module Meta = Quickstore.Qs_meta
+
+let page_census disk =
+  let counts = Hashtbl.create 8 in
+  let bump k = Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)) in
+  let buf = Bytes.create Page.page_size in
+  for id = 1 to Disk.page_count disk do
+    if Disk.is_allocated disk id then begin
+      Disk.read disk id buf;
+      match Page.attach buf with
+      | p ->
+        bump
+          (match Page.kind p with
+           | Page.Small_obj ->
+             (* A QuickStore data page reserves slot 0 for its
+                meta-object; internal pages (mapping/bitmap chains) do
+                not. *)
+             if Page.slot_is_live p 0 && snd (Page.slot_span p 0) = Meta.meta_object_size then
+               "data (QS-mapped)"
+             else "small-object"
+           | Page.Large_part -> "large-object"
+           | Page.Btree_node -> "btree"
+           | Page.Meta -> "meta")
+      | exception Invalid_argument _ -> bump "unformatted"
+    end
+  done;
+  counts
+
+let dump_census disk =
+  Printf.printf "volume: %d pages, %.2f MB\n" (Disk.page_count disk)
+    (float_of_int (Disk.size_bytes disk) /. 1024.0 /. 1024.0);
+  Hashtbl.iter (fun k v -> Printf.printf "  %-18s %6d pages\n" k v) (page_census disk)
+
+let dump_roots client meta_page =
+  print_endline "root directory:";
+  List.iter
+    (fun name ->
+      match Esm.Root_dir.get client ~meta_page name with
+      | Some v -> Printf.printf "  %-24s %d bytes\n" name (Bytes.length v)
+      | None -> ())
+    (Esm.Root_dir.names client ~meta_page)
+
+let dump_schema client meta_page =
+  match Esm.Root_dir.get_oid client ~meta_page "qs_schema" with
+  | None -> print_endline "no QuickStore schema object"
+  | Some oid ->
+    let schema = Schema.deserialize (Esm.Client.read_object client oid) in
+    Printf.printf "schema (%s pointers):\n"
+      (match Schema.repr schema with Schema.Vm_ptr -> "4-byte VM" | Schema.Oid_ptr -> "16-byte OID");
+    List.iter
+      (fun cls ->
+        let l = Schema.find schema cls in
+        Printf.printf "  %-16s %4d bytes, pointer offsets: %s\n" cls l.Schema.l_size
+          (String.concat ","
+             (Array.to_list (Array.map string_of_int (Schema.ptr_offsets l)))))
+      (Schema.classes schema)
+
+(* Consistency check: for every QS data page, decode its mapping chain
+   and bitmap, then verify that every non-null pointer word (a) is
+   covered by a mapping entry and (b) is marked in the bitmap. *)
+let fsck disk =
+  let buf = Bytes.create Page.page_size in
+  let data_pages = ref 0 and bad_pages = ref 0 and ptrs = ref 0 in
+  let read_obj (oid : Oid.t) =
+    let b = Bytes.create Page.page_size in
+    Disk.read disk oid.Oid.page b;
+    Page.read_slot (Page.attach b) oid.Oid.slot
+  in
+  let rec read_chain oid acc =
+    if Oid.is_null oid then List.concat (List.rev acc)
+    else begin
+      let b = read_obj oid in
+      read_chain (Meta.mapping_next b) (Meta.decode_mapping b :: acc)
+    end
+  in
+  for id = 1 to Disk.page_count disk do
+    if Disk.is_allocated disk id then begin
+      Disk.read disk id buf;
+      match Page.attach buf with
+      | exception Invalid_argument _ -> ()
+      | p ->
+        if
+          Page.kind p = Page.Small_obj
+          && Page.slot_is_live p 0
+          && snd (Page.slot_span p 0) = Meta.meta_object_size
+        then begin
+          incr data_pages;
+          let map_oid, bm_oid = Meta.decode_meta (Page.read_slot p 0) in
+          if Oid.is_null map_oid then ()  (* page-offset format: pointers carry their own page ids *)
+          else begin
+          let entries = read_chain map_oid [] in
+          let bitmap = Meta.decode_bitmap (read_obj bm_oid) in
+          let covered vframe =
+            List.exists
+              (fun e ->
+                let base = Meta.entry_vframe e in
+                vframe >= base && vframe < base + Meta.entry_nframes e)
+              entries
+          in
+          let page_ok = ref true in
+          Qs_util.Bitset.iter_set
+            (fun word ->
+              let v = Codec.get_u32 buf (word * 4) in
+              if v <> 0 then begin
+                incr ptrs;
+                if not (covered (v lsr 13)) then begin
+                  if !page_ok then
+                    Printf.printf "  page %d: pointer at word %d -> frame %d not in mapping object\n"
+                      id word (v lsr 13);
+                  page_ok := false
+                end
+              end)
+            bitmap;
+          if not !page_ok then incr bad_pages
+          end
+        end
+    end
+  done;
+  Printf.printf "fsck: %d QS data pages, %d pointers checked, %d inconsistent pages\n" !data_pages
+    !ptrs !bad_pages;
+  !bad_pages = 0
+
+open Cmdliner
+
+let run image what =
+  let disk = Disk.load_from_file image in
+  (* Census and fsck read the disk image directly; the root directory
+     and schema need object access, so attach a server and client. *)
+  let server =
+    Esm.Server.create_with_disk ~disk ~clock:(Simclock.Clock.create ())
+      ~cm:Simclock.Cost_model.default ()
+  in
+  let client = Esm.Client.create ~frames:64 server in
+  Esm.Client.begin_txn client;
+  (match what with
+   | "census" -> dump_census disk
+   | "roots" -> dump_roots client 1
+   | "schema" -> dump_schema client 1
+   | "fsck" -> if not (fsck disk) then exit 1
+   | "all" ->
+     dump_census disk;
+     dump_roots client 1;
+     dump_schema client 1;
+     ignore (fsck disk)
+   | s -> invalid_arg (Printf.sprintf "unknown section %S" s));
+  Esm.Client.commit client
+
+let image_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"IMAGE" ~doc:"volume image (oo7_run --save)")
+
+let what_arg =
+  Arg.(value & opt string "all" & info [ "w"; "what" ] ~doc:"census, roots, schema, fsck or all")
+
+let cmd =
+  Cmd.v (Cmd.info "qs_dump" ~doc:"inspect a QuickStore volume image") Term.(const run $ image_arg $ what_arg)
+
+let () = exit (Cmd.eval cmd)

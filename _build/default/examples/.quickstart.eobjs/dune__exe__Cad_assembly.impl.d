@@ -1,0 +1,1 @@
+examples/cad_assembly.ml: Elang Esm Oo7 Printf Quickstore Simclock

@@ -1,0 +1,1 @@
+examples/distributed_commit.ml: Bytes Esm Printf Qs_util Simclock

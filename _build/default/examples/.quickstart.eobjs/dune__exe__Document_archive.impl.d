@@ -1,0 +1,1 @@
+examples/document_archive.ml: Array Bytes Char Elang Esm Printf Quickstore Schema Simclock

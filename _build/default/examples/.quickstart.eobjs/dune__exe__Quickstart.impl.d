@@ -1,0 +1,1 @@
+examples/quickstart.ml: Esm Printf Quickstore Schema Simclock

@@ -1,0 +1,1 @@
+examples/relocation_tour.ml: Esm Printf Quickstore Schema Simclock

@@ -1,0 +1,1 @@
+examples/relocation_tour.mli:

@@ -1,0 +1,79 @@
+(* Distributed transactions over two volumes with two-phase commit —
+   the ESM capability the paper cites as separating QuickStore's
+   substrate from single-user systems like Texas (§2).
+
+   A parts volume and an orders volume are updated atomically; then a
+   participant crashes between the vote and the decision, restarts
+   in-doubt, and is settled by the recovery API.
+
+   Run with: dune exec examples/distributed_commit.exe *)
+
+module Server = Esm.Server
+module Client = Esm.Client
+module Dist = Esm.Dist_txn
+module Recovery = Esm.Recovery
+module Clock = Simclock.Clock
+
+let mk_server () = Server.create ~frames:64 ~clock:(Clock.create ()) ~cm:Simclock.Cost_model.default ()
+
+let read_int client oid = Qs_util.Codec.get_u32 (Client.read_object client oid) 0
+
+let write_int client oid v =
+  let b = Bytes.create 4 in
+  Qs_util.Codec.set_u32 b 0 v;
+  Client.update_object client oid ~off:0 b
+
+let () =
+  let parts_srv = mk_server () and orders_srv = mk_server () in
+  let parts = Client.create ~frames:16 parts_srv in
+  let orders = Client.create ~frames:16 orders_srv in
+
+  (* Stock level on one volume, order count on the other. *)
+  Client.begin_txn parts;
+  let stock = Client.create_object_new_page parts (Bytes.make 4 '\000') in
+  write_int parts stock 100;
+  Client.commit parts;
+  Client.begin_txn orders;
+  let placed = Client.create_object_new_page orders (Bytes.make 4 '\000') in
+  Client.commit orders;
+  print_endline "two volumes: parts (stock=100) and orders (placed=0)";
+
+  (* An order: decrement stock on one server, increment orders on the
+     other, atomically. *)
+  let d = Dist.begin_txn [ parts; orders ] in
+  write_int parts stock 99;
+  write_int orders placed 1;
+  Dist.commit d;
+  Client.begin_txn parts;
+  Client.begin_txn orders;
+  Printf.printf "after distributed commit: stock=%d placed=%d\n" (read_int parts stock)
+    (read_int orders placed);
+  Client.commit parts;
+  Client.commit orders;
+
+  (* Now the failure case: the orders server votes yes (prepare) and
+     crashes before the decision arrives. *)
+  Client.begin_txn parts;
+  Client.begin_txn orders;
+  write_int parts stock 98;
+  write_int orders placed 2;
+  Client.prepare parts;
+  Client.prepare orders;
+  Client.crash orders;
+  Server.crash orders_srv;
+  print_endline "orders server crashed after its yes-vote...";
+  let stats = Recovery.restart orders_srv in
+  (match stats.Recovery.in_doubt with
+   | [ txn ] ->
+     Printf.printf "restart found transaction %d in-doubt; delivering COMMIT\n" txn;
+     Recovery.resolve_in_doubt orders_srv txn `Commit
+   | _ -> failwith "expected exactly one in-doubt transaction");
+  Client.commit_prepared parts;
+  let orders2 = Client.create ~frames:16 orders_srv in
+  Client.begin_txn parts;
+  Client.begin_txn orders2;
+  Printf.printf "after recovery + resolution: stock=%d placed=%d -> %s\n" (read_int parts stock)
+    (read_int orders2 placed)
+    (if read_int parts stock = 98 && read_int orders2 placed = 2 then "consistent" else "INCONSISTENT");
+  Client.commit parts;
+  Client.commit orders2

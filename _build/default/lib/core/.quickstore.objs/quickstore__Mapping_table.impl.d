@@ -1,0 +1,1 @@
+lib/core/mapping_table.ml: Esm Hashtbl Option Qs_util Vmsim

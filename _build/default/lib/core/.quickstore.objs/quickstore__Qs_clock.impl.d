@@ -1,0 +1,1 @@
+lib/core/qs_clock.ml: Esm Vmsim

@@ -1,0 +1,1 @@
+lib/core/qs_clock.mli: Esm Vmsim

@@ -1,0 +1,1 @@
+lib/core/qs_meta.ml: Bytes Esm List Printf Qs_util

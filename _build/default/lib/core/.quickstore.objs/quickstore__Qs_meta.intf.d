@@ -1,0 +1,1 @@
+lib/core/qs_meta.mli: Esm Qs_util

@@ -1,0 +1,1 @@
+lib/core/rec_buffer.ml: Bytes Esm Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/rec_buffer.mli:

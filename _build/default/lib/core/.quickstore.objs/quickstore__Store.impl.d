@@ -1,0 +1,1 @@
+lib/core/store.ml: Array Bytes Char Esm Fun Hashtbl List Mapping_table Option Printf Qs_clock Qs_config Qs_meta Qs_util Rec_buffer Schema Simclock String Vmsim

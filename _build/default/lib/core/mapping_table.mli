@@ -1,0 +1,75 @@
+(** QuickStore's in-memory mapping table (§3.3).
+
+    One entry ("page descriptor", Figure 2) per page in the current
+    mapping: every page the application can dereference a pointer to.
+    Entries are indexed two ways, as in the paper: a height-balanced
+    binary tree over virtual address ranges, and a hash table from
+    physical disk address (page id or large-object OID) to descriptor
+    — the reverse mapping used during pointer swizzling. *)
+
+type phys =
+  | Small_page of int  (** disk page id *)
+  | Large_range of { oid : Esm.Oid.t; first : int; npages : int }
+      (** [npages] pages of the large object starting at page index
+          [first]; unaccessed ranges cover many pages and are split on
+          first access (Figure 3) *)
+
+type desc = {
+  mutable vframe : int;  (** first virtual frame of the range *)
+  mutable nframes : int;
+  phys : phys;
+  mutable buf_frame : int option;  (** client buffer frame when resident *)
+  mutable read_this_txn : bool;  (** set once swizzle-checked in this transaction *)
+  mutable write_enabled : bool;
+  mutable snapshot_taken : bool;  (** original values sit in the recovery buffer *)
+  mutable cr_swizzled : bool;
+      (** swizzled under continual relocation: the buffer copy diverges
+          from disk, so a reload must re-swizzle (QS-CR, §5.5) *)
+  mutable mem_format : bool;
+      (** Page_offsets format only: the buffer copy's pointers have
+          been swizzled to virtual addresses *)
+}
+
+type t
+
+val create : unit -> t
+val cardinal : t -> int
+
+(** Insert a descriptor; its virtual range must be free.
+    Raises [Invalid_argument] on overlap. *)
+val add : t -> desc -> unit
+
+val remove : t -> desc -> unit
+
+(** Descriptor whose virtual range contains the frame. *)
+val find_by_vframe : t -> int -> desc option
+
+(** Small-page descriptor by disk page id. *)
+val find_by_page : t -> int -> desc option
+
+(** Large-object descriptor covering page index [idx] of [oid]. *)
+val find_by_large : t -> Esm.Oid.t -> idx:int -> desc option
+
+(** Any descriptor for the large object (the hash holds the one
+    containing its first page, as in the paper). *)
+val find_large_head : t -> Esm.Oid.t -> desc option
+
+(** Is the virtual-frame range [vframe, vframe+n) free? *)
+val range_free : t -> vframe:int -> n:int -> bool
+
+(** Split a large descriptor so that page index [idx] gets its own
+    single-frame descriptor (Figure 3); returns it. The descriptor must
+    cover [idx]. *)
+val split_large : t -> desc -> idx:int -> desc
+
+(** Lowest free gap of [width] frames at or above [start], for
+    counter wraparound. *)
+val find_gap : ?start:int -> t -> width:int -> unit -> int option
+
+val iter : (desc -> unit) -> t -> unit
+
+(** Structural sanity (AVL invariants + hash/tree agreement). *)
+val invariants_hold : t -> bool
+
+(** Forget everything (client crash / store close). *)
+val clear : t -> unit

@@ -1,0 +1,93 @@
+(** QuickStore's buffer-replacement policies (§3.5).
+
+    A traditional clock needs a per-access reference bit, but a mapped
+    page is touched by raw dereferences the buffer manager never sees.
+
+    {!pick_victim} is the {e simplified clock} the paper shipped: the
+    sweep starts where it last stopped and takes the first frame whose
+    virtual frame has no access enabled. If a whole sweep finds
+    nothing, the {e entire} mapped address space is reprotected with a
+    single call (one mmap charge) and the sweep restarts — now
+    everything is a candidate.
+
+    {!pick_victim_protecting} is the scheme the paper {e rejected}: the
+    sweep access-protects each enabled frame it passes (one mmap charge
+    per frame, and a later page fault if the page is re-touched), so a
+    frame still protected when the hand comes around is the victim —
+    a faithful clock, paid for in protection flips and extra faults.
+    The ablation bench reproduces the paper's finding that this is
+    "prohibitively expensive". *)
+
+(** Pick a victim buffer frame. [vframe_of_frame] maps a buffer frame
+    to the virtual frame currently bound to it (None for pages that are
+    not memory-mapped: B-tree nodes, mapping-object pages — those are
+    always replaceable). Raises [Esm.Buf_pool.Buffer_full] if every
+    frame is pinned. *)
+let pick_victim ~pool ~vm ~vframe_of_frame =
+  let n = Esm.Buf_pool.capacity pool in
+  let evictable f =
+    Esm.Buf_pool.pin_count pool f = 0
+    &&
+    match Esm.Buf_pool.page_of_frame pool f with
+    | None -> true
+    | Some _ -> (
+      match vframe_of_frame f with
+      | None -> true
+      | Some vf -> (
+        match Vmsim.prot vm ~frame:vf with
+        | Vmsim.Prot_none -> true
+        | Vmsim.Prot_read | Vmsim.Prot_write -> false))
+  in
+  let sweep () =
+    let rec go steps =
+      if steps >= n then None
+      else begin
+        let f = Esm.Buf_pool.hand pool in
+        Esm.Buf_pool.set_hand pool (f + 1);
+        if evictable f then Some f else go (steps + 1)
+      end
+    in
+    go 0
+  in
+  match sweep () with
+  | Some f -> f
+  | None ->
+    (* Everything is access-enabled: revoke it all at once. *)
+    Vmsim.protect_all vm;
+    let rec first_unpinned steps =
+      if steps >= n then raise Esm.Buf_pool.Buffer_full
+      else begin
+        let f = Esm.Buf_pool.hand pool in
+        Esm.Buf_pool.set_hand pool (f + 1);
+        if evictable f then f else first_unpinned (steps + 1)
+      end
+    in
+    first_unpinned 0
+
+(* The rejected per-frame protecting clock (see module comment). *)
+let pick_victim_protecting ~pool ~vm ~vframe_of_frame =
+  let n = Esm.Buf_pool.capacity pool in
+  let rec go steps =
+    if steps >= 2 * n then raise Esm.Buf_pool.Buffer_full
+    else begin
+      let f = Esm.Buf_pool.hand pool in
+      Esm.Buf_pool.set_hand pool (f + 1);
+      if Esm.Buf_pool.pin_count pool f > 0 then go (steps + 1)
+      else begin
+        match Esm.Buf_pool.page_of_frame pool f with
+        | None -> f
+        | Some _ -> (
+          match vframe_of_frame f with
+          | None -> f
+          | Some vf -> (
+            match Vmsim.prot vm ~frame:vf with
+            | Vmsim.Prot_none -> f
+            | Vmsim.Prot_read | Vmsim.Prot_write ->
+              (* "Unset the reference bit": revoke access, one mmap
+                 call; a re-touch will fault and re-enable. *)
+              Vmsim.set_prot vm ~frame:vf Vmsim.Prot_none;
+              go (steps + 1)))
+      end
+    end
+  in
+  go 0

@@ -1,0 +1,25 @@
+(** QuickStore's buffer-replacement policies (§3.5).
+
+    Both policies pick a victim frame of the client buffer pool using
+    virtual-memory protection state instead of per-access reference
+    bits (a mapped page is touched by raw dereferences the buffer
+    manager never sees). *)
+
+(** The shipped {e simplified clock}: sweep from the stored hand and
+    take the first frame whose virtual frame has no access enabled; if
+    a full sweep finds none, revoke access on the entire mapped space
+    with a single (charged) mmap call and restart. [vframe_of_frame]
+    maps a buffer frame to its bound virtual frame ([None] for pages
+    that are not memory-mapped — B-tree nodes, mapping-object pages —
+    which are always replaceable). Raises [Esm.Buf_pool.Buffer_full]
+    if every frame is pinned. *)
+val pick_victim :
+  pool:Esm.Buf_pool.t -> vm:Vmsim.t -> vframe_of_frame:(int -> int option) -> int
+
+(** The {e protecting clock} the paper rejected as prohibitively
+    expensive: the sweep revokes access on each enabled frame it
+    passes (one charged mmap call each; a re-touch costs a page
+    fault), so a frame still protected when the hand returns is the
+    victim. Kept for the replacement-policy ablation. *)
+val pick_victim_protecting :
+  pool:Esm.Buf_pool.t -> vm:Vmsim.t -> vframe_of_frame:(int -> int option) -> int

@@ -1,0 +1,52 @@
+(** QuickStore configuration: the three systems of the paper plus the
+    Figure 17 relocation experiment. *)
+
+(** [Standard] is QS; [Big_objects] is QS-B — every object padded to
+    the size it has under E's 16-byte pointers, isolating faulting cost
+    from object-size effects (§4.5.2). *)
+type mode = Standard | Big_objects
+
+(** Figure 17: a fraction of pages is forcibly assigned to a fresh
+    virtual frame when faulted, so their pointers must be swizzled.
+    [Continual] (QS-CR) never writes the new mapping back; [One_time]
+    (QS-OR) commits it, turning read-only transactions into updates. *)
+type reloc = No_reloc | Continual of float | One_time of float
+
+(** §3.5: the shipped simplified clock vs the per-frame protecting
+    clock the paper rejected as prohibitively expensive (kept for the
+    ablation bench). *)
+type clock_policy = Simplified_clock | Protecting_clock
+
+(** How pointers are represented on disk (§2's design space):
+    [Vm_addresses] is QuickStore/ObjectStore — pointers are stored as
+    virtual addresses and swizzled only when a page cannot reclaim its
+    previous frame; [Page_offsets] is the Texas/Wilson alternative —
+    pointers are stored as (page, offset) pairs, every pointer is
+    swizzled at fault time and unswizzled when a dirty page ships. *)
+type ptr_format = Vm_addresses | Page_offsets
+
+type t = {
+  mode : mode;
+  reloc : reloc;
+  reloc_seed : int;
+  rec_buffer_bytes : int;  (** recovery-buffer capacity; the paper used a 4 MB area *)
+  client_frames : int;  (** ESM client pool; paper: 1536 frames (12 MB) *)
+  clock_policy : clock_policy;
+  ptr_format : ptr_format;
+  diff_gap : int;
+      (** coalescing threshold for commit-time diffing, in clean bytes
+          between modified regions (§3.6); the paper's rule compares
+          against the ~50-byte log-record header *)
+}
+
+let default =
+  { mode = Standard
+  ; reloc = No_reloc
+  ; reloc_seed = 0x5eed
+  ; rec_buffer_bytes = 4 * 1024 * 1024
+  ; client_frames = 1536
+  ; clock_policy = Simplified_clock
+  ; ptr_format = Vm_addresses
+  ; diff_gap = Esm.Wal.header_bytes / 2 }
+
+let reloc_fraction = function No_reloc -> 0.0 | Continual f | One_time f -> f

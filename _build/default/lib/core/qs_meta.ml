@@ -1,0 +1,79 @@
+module Codec = Qs_util.Codec
+
+let meta_slot = 0
+let meta_object_size = 2 * Esm.Oid.disk_size
+
+type entry =
+  | E_small of { vframe : int; page : int }
+  | E_large of { vframe : int; npages : int; oid : Esm.Oid.t }
+
+(* tag u8 + vframe u32 + npages u32 + 16 bytes of physical address *)
+let entry_size = 25
+
+let entry_vframe = function E_small { vframe; _ } | E_large { vframe; _ } -> vframe
+let entry_nframes = function E_small _ -> 1 | E_large { npages; _ } -> npages
+
+let encode_meta ~mapping ~bitmap =
+  let b = Bytes.create meta_object_size in
+  Esm.Oid.write b 0 mapping;
+  Esm.Oid.write b Esm.Oid.disk_size bitmap;
+  b
+
+let decode_meta b =
+  if Bytes.length b <> meta_object_size then invalid_arg "Qs_meta.decode_meta: bad size";
+  (Esm.Oid.read b 0, Esm.Oid.read b Esm.Oid.disk_size)
+
+(* Segment header: count u16, capacity u16, next-segment OID. Mapping
+   information for pages with many outbound references (base-assembly
+   pages reference hundreds of composite-part pages) chains across
+   several segments. *)
+let mapping_header = 4 + Esm.Oid.disk_size
+
+let mapping_object_size ~capacity = mapping_header + (capacity * entry_size)
+
+(* Largest segment that fits a page alongside its slot entry. *)
+let max_segment_capacity = (Esm.Page.page_size - Esm.Page.header_size - Esm.Page.slot_entry_size - mapping_header) / entry_size
+
+let encode_entry b off = function
+  | E_small { vframe; page } ->
+    Codec.set_u8 b off 0;
+    Codec.set_u32 b (off + 1) vframe;
+    Codec.set_u32 b (off + 5) 1;
+    Codec.set_u32 b (off + 9) page;
+    Bytes.fill b (off + 13) 12 '\000'
+  | E_large { vframe; npages; oid } ->
+    Codec.set_u8 b off 1;
+    Codec.set_u32 b (off + 1) vframe;
+    Codec.set_u32 b (off + 5) npages;
+    Esm.Oid.write b (off + 9) oid
+
+let decode_entry b off =
+  let vframe = Codec.get_u32 b (off + 1) in
+  let npages = Codec.get_u32 b (off + 5) in
+  match Codec.get_u8 b off with
+  | 0 -> E_small { vframe; page = Codec.get_u32 b (off + 9) }
+  | 1 -> E_large { vframe; npages; oid = Esm.Oid.read b (off + 9) }
+  | t -> invalid_arg (Printf.sprintf "Qs_meta.decode_entry: bad tag %d" t)
+
+let encode_mapping ?(next = Esm.Oid.null) ~capacity entries =
+  let n = List.length entries in
+  if capacity < n then invalid_arg "Qs_meta.encode_mapping: capacity below count";
+  if capacity > max_segment_capacity then invalid_arg "Qs_meta.encode_mapping: segment too large";
+  let b = Bytes.make (mapping_object_size ~capacity) '\000' in
+  Codec.set_u16 b 0 n;
+  Codec.set_u16 b 2 capacity;
+  Esm.Oid.write b 4 next;
+  List.iteri (fun i e -> encode_entry b (mapping_header + (i * entry_size)) e) entries;
+  b
+
+let decode_mapping b =
+  let n = Codec.get_u16 b 0 in
+  List.init n (fun i -> decode_entry b (mapping_header + (i * entry_size)))
+
+let mapping_next b = Esm.Oid.read b 4
+let mapping_capacity b = Codec.get_u16 b 2
+let bitmap_bits = Esm.Page.page_size / 4
+let bitmap_object_size = Qs_util.Bitset.byte_size bitmap_bits
+let encode_bitmap bs = Qs_util.Bitset.to_bytes bs
+let decode_bitmap b = Qs_util.Bitset.of_bytes bitmap_bits b
+let empty_bitmap () = Qs_util.Bitset.create bitmap_bits

@@ -1,0 +1,62 @@
+type t = {
+  capacity_bytes : int;
+  mutable used : int;
+  entries : (int, bytes) Hashtbl.t;
+}
+
+let create ~capacity_bytes = { capacity_bytes; used = 0; entries = Hashtbl.create 64 }
+let capacity_bytes t = t.capacity_bytes
+let used_bytes t = t.used
+let count t = Hashtbl.length t.entries
+let mem t page_id = Hashtbl.mem t.entries page_id
+let would_overflow t = t.used + Esm.Page.page_size > t.capacity_bytes
+
+let add t page_id bytes =
+  if mem t page_id then invalid_arg "Rec_buffer.add: page already snapshotted";
+  if would_overflow t then invalid_arg "Rec_buffer.add: over capacity";
+  Hashtbl.replace t.entries page_id (Bytes.copy bytes);
+  t.used <- t.used + Esm.Page.page_size
+
+let take t page_id =
+  match Hashtbl.find_opt t.entries page_id with
+  | None -> None
+  | Some b ->
+    Hashtbl.remove t.entries page_id;
+    t.used <- t.used - Esm.Page.page_size;
+    Some b
+
+let iter f t = Hashtbl.iter (fun page_id baseline -> f ~page_id ~baseline) t.entries
+
+let clear t =
+  Hashtbl.reset t.entries;
+  t.used <- 0
+
+let diff_regions ~old_bytes ~new_bytes ~gap =
+  let n = Bytes.length old_bytes in
+  if Bytes.length new_bytes <> n then invalid_arg "Rec_buffer.diff_regions: length mismatch";
+  let regions = ref [] in
+  (* Walk once, tracking the open region; a clean gap shorter than
+     [gap] does not close it (cheaper as one record than two). *)
+  let rec scan i current =
+    if i >= n then begin
+      match current with Some (s, e) -> regions := (s, e - s) :: !regions | None -> ()
+    end
+    else begin
+      let differs = Bytes.get old_bytes i <> Bytes.get new_bytes i in
+      match (current, differs) with
+      | None, false -> scan (i + 1) None
+      | None, true -> scan (i + 1) (Some (i, i + 1))
+      | Some (s, e), true -> scan (i + 1) (Some (s, max e (i + 1)))
+      | Some (s, e), false ->
+        if i - e >= gap then begin
+          regions := (s, e - s) :: !regions;
+          scan (i + 1) None
+        end
+        else scan (i + 1) (Some (s, e))
+    end
+  in
+  scan 0 None;
+  List.rev !regions
+
+let log_bytes_of_regions regions =
+  List.fold_left (fun acc (_, len) -> acc + Esm.Wal.header_bytes + (2 * len)) 0 regions

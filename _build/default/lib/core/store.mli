@@ -1,0 +1,137 @@
+(** QuickStore: the memory-mapped persistent object store.
+
+    Application programs hold {!ptr} values — 32-bit virtual addresses
+    — and read or write object fields through them. The first access to
+    a page raises a (simulated) protection fault; the handler reads the
+    page into the ESM client buffer pool, processes its mapping object,
+    assigns virtual frames to every page it references (swizzling
+    pointers only when a frame could not be reassigned), enables
+    access, and resumes. Updates fault once more per page, snapshotting
+    original values into the recovery buffer; commit diffs the
+    snapshots into minimal ESM log records and maintains the on-disk
+    mapping objects. This is §3 of the paper, end to end.
+
+    Three configurations reproduce the paper's systems: [Standard]
+    (QS), [Big_objects] (QS-B), and the relocation modes QS-CR / QS-OR
+    of §5.5. *)
+
+type t
+
+(** A persistent pointer: virtual frame in the high bits, page offset
+    in the low 13. Dereferencing is direct; there are no software
+    residency checks. *)
+type ptr = int
+
+type cluster
+type field
+
+val null : ptr
+val is_null : ptr -> bool
+val ptr_equal : ptr -> ptr -> bool
+val ptr_id : t -> ptr -> int
+
+(** {2 Lifecycle} *)
+
+(** Format a fresh database on the server's volume (root directory,
+    frame counter, schema object). *)
+val create_db : ?config:Qs_config.t -> Esm.Server.t -> t
+
+(** Attach to an existing database (loads the persisted schema and
+    frame counter). *)
+val open_db : ?config:Qs_config.t -> Esm.Server.t -> t
+
+val config : t -> Qs_config.t
+val client : t -> Esm.Client.t
+val clock : t -> Simclock.Clock.t
+val cost_model : t -> Simclock.Cost_model.t
+val system_name : t -> string
+
+(** Register a class; its layout (QS pointers; padded to the E size
+    under [Big_objects]) is persisted with the database schema. *)
+val register_class : t -> Schema.class_def -> unit
+
+val layout : t -> string -> Schema.layout
+
+(** Resolve a field handle for fast repeated access. *)
+val field : t -> cls:string -> name:string -> field
+
+(** {2 Transactions} *)
+
+val begin_txn : t -> unit
+val commit : t -> unit
+val abort : t -> unit
+val in_txn : t -> bool
+
+(** {2 Roots} *)
+
+val set_root : t -> string -> ptr -> unit
+
+(** Raises [Not_found] if the root is absent. *)
+val root : t -> string -> ptr
+
+(** {2 Object creation} *)
+
+(** A placement handle: objects created in one cluster fill pages
+    sequentially (OO7 clusters a composite part with its atomic parts
+    and connections). *)
+val new_cluster : t -> cluster
+
+val create : t -> cls:string -> cluster:cluster -> ptr
+
+(** {2 Field access} *)
+
+val get_int : t -> ptr -> field -> int
+val set_int : t -> ptr -> field -> int -> unit
+val get_ptr : t -> ptr -> field -> ptr
+val set_ptr : t -> ptr -> field -> ptr -> unit
+val get_chars : t -> ptr -> field -> string
+val set_chars : t -> ptr -> field -> string -> unit
+
+(** {2 Large (multi-page) objects} *)
+
+val create_large : t -> size:int -> ptr
+val large_size : t -> ptr -> int
+val large_byte : t -> ptr -> int -> char
+val large_write : t -> ptr -> off:int -> bytes -> unit
+
+(** {2 Indices} *)
+
+val index_create : t -> string -> klen:int -> unit
+val index_insert : t -> string -> key:bytes -> ptr -> unit
+val index_delete : t -> string -> key:bytes -> ptr -> unit
+val index_lookup : t -> string -> key:bytes -> ptr option
+val index_range : t -> string -> lo:bytes -> hi:bytes -> (ptr -> unit) -> unit
+
+(** {2 OID conversion (used by indices and roots)} *)
+
+val oid_of_ptr : t -> ptr -> Esm.Oid.t
+val ptr_of_oid : t -> Esm.Oid.t -> ptr
+
+(** {2 Cold-run protocol and statistics} *)
+
+(** Drop every client-side cache: buffer pools (client and server),
+    virtual-memory mappings, the mapping table, cached bitmaps and
+    large-object page tables. Requires no active transaction. *)
+val reset_caches : t -> unit
+
+type stats = {
+  mutable hard_faults : int;  (** faults that performed data I/O *)
+  mutable soft_faults : int;  (** faults satisfied from the buffer pool *)
+  mutable write_faults : int;
+  mutable pages_swizzled : int;  (** pages whose pointers were rewritten *)
+  mutable ptrs_rewritten : int;
+  mutable relocations : int;  (** descriptors denied their previous frame *)
+  mutable map_entries_processed : int;
+  mutable mapping_objects_updated : int;
+  mutable pages_diffed : int;
+  mutable diff_log_records : int;
+  mutable rec_buffer_overflows : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+(** Mapping-table invariant check (tests). *)
+val mapping_invariants_hold : t -> bool
+
+val mapping_table_size : t -> int

@@ -1,0 +1,1 @@
+lib/elang/store.ml: Array Bytes Esm Hashtbl List Printf Qs_util Schema Simclock String

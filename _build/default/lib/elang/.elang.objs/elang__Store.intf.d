@@ -1,0 +1,1 @@
+lib/elang/store.mli: Esm Schema Simclock

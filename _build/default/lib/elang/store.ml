@@ -1,0 +1,420 @@
+module Client = Esm.Client
+module Server = Esm.Server
+module Page = Esm.Page
+module Oid = Esm.Oid
+module Btree = Esm.Btree
+module Root_dir = Esm.Root_dir
+module Large_obj = Esm.Large_obj
+module Buf_pool = Esm.Buf_pool
+module Clock = Simclock.Clock
+module Category = Simclock.Category
+module CM = Simclock.Cost_model
+
+type ptr = Oid.t
+
+let null = Oid.null
+let is_null = Oid.is_null
+let ptr_equal = Oid.equal
+
+type cluster = { mutable fill : int option }
+type field = { fl_layout : Schema.layout; fl_off : int; fl_kind : Schema.field_kind }
+type config = { side_buffer_bytes : int; client_frames : int }
+
+let default_config = { side_buffer_bytes = 4 * 1024 * 1024; client_frames = 1536 }
+
+type stats = {
+  mutable interp_derefs : int;
+  mutable inline_derefs : int;
+  mutable object_faults : int;
+  mutable interp_updates : int;
+  mutable side_copies : int;
+  mutable chunks_logged : int;
+  mutable side_overflows : int;
+}
+
+let fresh_stats () =
+  { interp_derefs = 0
+  ; inline_derefs = 0
+  ; object_faults = 0
+  ; interp_updates = 0
+  ; side_copies = 0
+  ; chunks_logged = 0
+  ; side_overflows = 0 }
+
+type t = {
+  cfg : config;
+  client : Client.t;
+  mutable schema : Schema.t;
+  mutable schema_dirty : bool;
+  clock : Clock.t;
+  cm : CM.t;
+  meta_page : int;
+  side : (Oid.t, bytes) Hashtbl.t;  (* original values of updated objects *)
+  mutable side_used : int;
+  (* EPVM's swizzled local pointer: the object currently being worked
+     on; hits skip the interpreter. *)
+  mutable cached : (Oid.t * int) option;  (* oid, buffer frame *)
+  indices : (string, Btree.t) Hashtbl.t;
+  stats : stats;
+}
+
+let config t = t.cfg
+let client t = t.client
+let clock t = t.clock
+let cost_model t = t.cm
+let system_name _ = "E"
+let stats t = t.stats
+
+let reset_stats t =
+  let d = t.stats in
+  d.interp_derefs <- 0;
+  d.inline_derefs <- 0;
+  d.object_faults <- 0;
+  d.interp_updates <- 0;
+  d.side_copies <- 0;
+  d.chunks_logged <- 0;
+  d.side_overflows <- 0
+
+let ptr_id _t (p : ptr) = (p.Oid.page * 65536) + p.Oid.slot
+let charge t cat us = Clock.charge t.clock cat us
+let in_txn t = Client.in_txn t.client
+let schema_key = "e_schema"
+
+let mk ~cfg ~server ~meta_page ~schema ~wire =
+  let t =
+    { cfg
+    ; client = Client.create ~frames:cfg.client_frames server
+    ; schema
+    ; schema_dirty = false
+    ; clock = Server.clock server
+    ; cm = Server.cost_model server
+    ; meta_page
+    ; side = Hashtbl.create 256
+    ; side_used = 0
+    ; cached = None
+    ; indices = Hashtbl.create 8
+    ; stats = fresh_stats () }
+  in
+  wire t;
+  t
+
+let register_class t def =
+  ignore (Schema.add t.schema def);
+  t.schema_dirty <- true
+
+let layout t cls = Schema.find t.schema cls
+
+let field t ~cls ~name =
+  let l = layout t cls in
+  let i = Schema.field_index l name in
+  { fl_layout = l
+  ; fl_off = l.Schema.l_offsets.(i)
+  ; fl_kind = (List.nth l.Schema.l_class.Schema.c_fields i).Schema.f_kind }
+
+(* ------------------------------------------------------------------ *)
+(* The interpreter's dereference path.                                 *)
+
+exception Dangling = Client.Dangling_reference
+
+let checked_span t oid frame =
+  let p = Page.attach (Client.page_bytes t.client ~frame) in
+  match Page.slot_span p oid.Oid.slot with
+  | exception Not_found -> raise (Dangling oid)
+  | off, len ->
+    if Page.slot_unique p oid.Oid.slot <> oid.Oid.unique then raise (Dangling oid) else (off, len)
+
+(* Resolve an OID to (frame, offset, length). The one-slot cache stands
+   in for EPVM's swizzled local pointers; everything else goes through
+   the interpreter, possibly faulting the page in through ESM. *)
+let resolve t (oid : ptr) =
+  if is_null oid then invalid_arg "E: null pointer dereference";
+  let cache_hit =
+    match t.cached with
+    | Some (coid, frame)
+      when Oid.equal coid oid && Buf_pool.page_of_frame (Client.pool t.client) frame = Some oid.Oid.page
+      -> Some frame
+    | Some _ | None -> None
+  in
+  match cache_hit with
+  | Some frame ->
+    t.stats.inline_derefs <- t.stats.inline_derefs + 1;
+    charge t Category.Residency_check t.cm.CM.residency_check_us;
+    let off, len = checked_span t oid frame in
+    (frame, off, len)
+  | None ->
+    t.stats.interp_derefs <- t.stats.interp_derefs + 1;
+    charge t Category.Interp t.cm.CM.interp_call_us;
+    let was_resident = Client.frame_of_page t.client oid.Oid.page <> None in
+    let frame = Client.fix_page t.client ~kind:Server.Data oid.Oid.page in
+    Client.unfix_page t.client ~frame;
+    if not was_resident then begin
+      t.stats.object_faults <- t.stats.object_faults + 1;
+      charge t Category.Fault_misc t.cm.CM.e_fault_misc_us;
+      Client.lock_page t.client oid.Oid.page Esm.Lock_mgr.Shared
+    end;
+    t.cached <- Some (oid, frame);
+    let off, len = checked_span t oid frame in
+    (frame, off, len)
+
+(* ------------------------------------------------------------------ *)
+(* Updates: side-buffer copy once per object, whole-object chunk
+   logging at commit (or when the side buffer fills / pages steal). *)
+
+let chunk = 1024
+
+let log_object_chunks t oid original =
+  match Client.frame_of_page t.client oid.Oid.page with
+  | None -> ()  (* page stolen and already logged by the eviction hook *)
+  | Some frame ->
+    let base, len = checked_span t oid frame in
+    let current = Client.page_bytes t.client ~frame in
+    let n = Bytes.length original in
+    assert (n = len);
+    let rec go off =
+      if off < n then begin
+        let clen = min chunk (n - off) in
+        t.stats.chunks_logged <- t.stats.chunks_logged + 1;
+        Client.log_update t.client ~page_id:oid.Oid.page ~frame ~off:(base + off)
+          ~old_data:(Bytes.sub original off clen)
+          ~new_data:(Bytes.sub current (base + off) clen);
+        go (off + clen)
+      end
+    in
+    go 0
+
+let flush_side_buffer t =
+  Hashtbl.iter (fun oid original -> log_object_chunks t oid original) t.side;
+  Hashtbl.reset t.side;
+  t.side_used <- 0
+
+(* Log (and drop) side-buffer entries living on a page that is about to
+   be stolen, so the WAL rule holds. *)
+let on_evict t ~frame ~page_id =
+  ignore frame;
+  let doomed =
+    Hashtbl.fold (fun oid _ acc -> if oid.Oid.page = page_id then oid :: acc else acc) t.side []
+  in
+  List.iter
+    (fun oid ->
+      (match Hashtbl.find_opt t.side oid with
+       | Some original ->
+         log_object_chunks t oid original;
+         t.side_used <- t.side_used - Bytes.length original
+       | None -> ());
+      Hashtbl.remove t.side oid)
+    doomed
+
+let create_db ?(config = default_config) server =
+  let boot = Client.create ~frames:8 server in
+  Client.begin_txn boot;
+  let meta_page = Root_dir.format_db boot in
+  Client.commit boot;
+  let t =
+    mk ~cfg:config ~server ~meta_page
+      ~schema:(Schema.create ~repr:Schema.Oid_ptr)
+      ~wire:(fun t ->
+        Client.set_pre_evict_hook t.client (fun ~frame ~page_id -> on_evict t ~frame ~page_id))
+  in
+  Btree.install_undo_handler t.client;
+  t
+
+let open_db ?(config = default_config) server =
+  let boot = Client.create ~frames:8 server in
+  Client.begin_txn boot;
+  let meta_page = 1 in
+  let schema =
+    match Root_dir.get_oid boot ~meta_page schema_key with
+    | Some oid -> Schema.deserialize (Client.read_object boot oid)
+    | None -> Schema.create ~repr:Schema.Oid_ptr
+  in
+  Client.commit boot;
+  let t =
+    mk ~cfg:config ~server ~meta_page ~schema ~wire:(fun t ->
+        Client.set_pre_evict_hook t.client (fun ~frame ~page_id -> on_evict t ~frame ~page_id))
+  in
+  Btree.install_undo_handler t.client;
+  t
+
+let note_update t oid frame =
+  t.stats.interp_updates <- t.stats.interp_updates + 1;
+  charge t Category.Interp t.cm.CM.interp_update_us;
+  if not (Hashtbl.mem t.side oid) then begin
+    let base, len = checked_span t oid frame in
+    if t.side_used + len > t.cfg.side_buffer_bytes then begin
+      t.stats.side_overflows <- t.stats.side_overflows + 1;
+      flush_side_buffer t
+    end;
+    let original = Bytes.sub (Client.page_bytes t.client ~frame) base len in
+    Hashtbl.replace t.side oid original;
+    t.side_used <- t.side_used + len;
+    t.stats.side_copies <- t.stats.side_copies + 1;
+    charge t Category.Write_fault_copy (float_of_int len *. t.cm.CM.e_copy_object_byte_us)
+  end;
+  Client.lock_page t.client oid.Oid.page Esm.Lock_mgr.Exclusive;
+  Client.mark_dirty t.client ~frame
+
+(* ------------------------------------------------------------------ *)
+(* Transactions.                                                       *)
+
+let persist_schema t =
+  if t.schema_dirty then begin
+    (match Root_dir.get_oid t.client ~meta_page:t.meta_page schema_key with
+     | Some old -> Client.delete_object t.client old
+     | None -> ());
+    let oid = Client.create_object_new_page t.client (Schema.serialize t.schema) in
+    Root_dir.set_oid t.client ~meta_page:t.meta_page schema_key oid;
+    t.schema_dirty <- false
+  end
+
+let begin_txn t = Client.begin_txn t.client
+
+let commit t =
+  Client.commit t.client ~before_flush:(fun () ->
+      persist_schema t;
+      flush_side_buffer t);
+  t.cached <- None
+
+let abort t =
+  Hashtbl.reset t.side;
+  t.side_used <- 0;
+  Client.abort t.client;
+  t.cached <- None
+
+(* ------------------------------------------------------------------ *)
+(* Roots, creation, field access.                                      *)
+
+let set_root t name p =
+  let b = Bytes.create Oid.disk_size in
+  Oid.write b 0 p;
+  Root_dir.set t.client ~meta_page:t.meta_page ("root_" ^ name) b
+
+let root t name =
+  match Root_dir.get t.client ~meta_page:t.meta_page ("root_" ^ name) with
+  | Some b -> Oid.read b 0
+  | None -> raise Not_found
+
+let new_cluster _t = { fill = None }
+
+let create t ~cls ~cluster =
+  let l = layout t cls in
+  let data = Bytes.make l.Schema.l_size '\000' in
+  let rec place () =
+    match cluster.fill with
+    | Some page_id -> (
+      match Client.create_object t.client ~page_id data with
+      | Some oid -> oid
+      | None ->
+        cluster.fill <- None;
+        place ())
+    | None ->
+      let oid = Client.create_object_new_page t.client data in
+      cluster.fill <- Some oid.Oid.page;
+      oid
+  in
+  place ()
+
+let check_kind fl expected op =
+  let ok =
+    match (fl.fl_kind, expected) with
+    | Schema.F_int, `Int | Schema.F_ptr, `Ptr | Schema.F_chars _, `Chars -> true
+    | (Schema.F_int | Schema.F_ptr | Schema.F_chars _), _ -> false
+  in
+  if not ok then invalid_arg (Printf.sprintf "E.%s: field kind mismatch" op)
+
+let get_int t p fl =
+  check_kind fl `Int "get_int";
+  let frame, base, _ = resolve t p in
+  let v = Qs_util.Codec.get_u32 (Client.page_bytes t.client ~frame) (base + fl.fl_off) in
+  if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
+
+let set_int t p fl v =
+  check_kind fl `Int "set_int";
+  let frame, base, _ = resolve t p in
+  note_update t p frame;
+  Qs_util.Codec.set_u32 (Client.page_bytes t.client ~frame) (base + fl.fl_off) (v land 0xFFFFFFFF)
+
+let get_ptr t p fl =
+  check_kind fl `Ptr "get_ptr";
+  let frame, base, _ = resolve t p in
+  Oid.read (Client.page_bytes t.client ~frame) (base + fl.fl_off)
+
+let set_ptr t p fl v =
+  check_kind fl `Ptr "set_ptr";
+  let frame, base, _ = resolve t p in
+  note_update t p frame;
+  Oid.write (Client.page_bytes t.client ~frame) (base + fl.fl_off) v
+
+let chars_len fl = match fl.fl_kind with Schema.F_chars n -> n | Schema.F_int | Schema.F_ptr -> 0
+
+let get_chars t p fl =
+  check_kind fl `Chars "get_chars";
+  let frame, base, _ = resolve t p in
+  Bytes.sub_string (Client.page_bytes t.client ~frame) (base + fl.fl_off) (chars_len fl)
+
+let set_chars t p fl s =
+  check_kind fl `Chars "set_chars";
+  let frame, base, _ = resolve t p in
+  note_update t p frame;
+  let n = chars_len fl in
+  let b = Bytes.make n '\000' in
+  Bytes.blit_string s 0 b 0 (min n (String.length s));
+  Bytes.blit b 0 (Client.page_bytes t.client ~frame) (base + fl.fl_off) n
+
+(* ------------------------------------------------------------------ *)
+(* Large objects: every access goes through the interpreter (the
+   source of E's factor-of-30 disadvantage on T8). *)
+
+let create_large t ~size = Large_obj.create t.client ~size
+
+let large_size t p =
+  charge t Category.Interp t.cm.CM.interp_call_us;
+  Large_obj.size t.client p
+
+let large_byte t p off =
+  t.stats.interp_derefs <- t.stats.interp_derefs + 1;
+  charge t Category.Interp t.cm.CM.interp_large_access_us;
+  Large_obj.get_byte t.client p off
+
+let large_write t p ~off data =
+  Clock.charge_n t.clock Category.Interp (Bytes.length data) t.cm.CM.interp_large_access_us;
+  Large_obj.write t.client p ~off data
+
+(* ------------------------------------------------------------------ *)
+(* Indices.                                                            *)
+
+let index_handle t name =
+  match Hashtbl.find_opt t.indices name with
+  | Some bt -> bt
+  | None -> (
+    match
+      ( Root_dir.get_int t.client ~meta_page:t.meta_page ("idx_root_" ^ name)
+      , Root_dir.get_int t.client ~meta_page:t.meta_page ("idx_klen_" ^ name) )
+    with
+    | Some root_page, Some klen ->
+      let bt = Btree.open_tree t.client ~root:root_page ~klen in
+      Hashtbl.replace t.indices name bt;
+      bt
+    | _, _ -> invalid_arg (Printf.sprintf "E: unknown index %s" name))
+
+let index_create t name ~klen =
+  let bt = Btree.create t.client ~klen in
+  Root_dir.set_int t.client ~meta_page:t.meta_page ("idx_root_" ^ name) (Btree.root bt);
+  Root_dir.set_int t.client ~meta_page:t.meta_page ("idx_klen_" ^ name) klen;
+  Hashtbl.replace t.indices name bt
+
+let index_insert t name ~key p = Btree.insert (index_handle t name) ~key ~oid:p
+let index_delete t name ~key p = ignore (Btree.delete (index_handle t name) ~key ~oid:p)
+let index_lookup t name ~key = Btree.lookup (index_handle t name) ~key
+
+let index_range t name ~lo ~hi f =
+  let oids = ref [] in
+  Btree.range (index_handle t name) ~lo ~hi (fun _ oid -> oids := oid :: !oids);
+  List.iter f (List.rev !oids)
+
+let reset_caches t =
+  if in_txn t then invalid_arg "E.reset_caches: transaction active";
+  Client.reset_cache t.client;
+  Server.reset_cache (Client.server t.client);
+  t.cached <- None;
+  Hashtbl.reset t.indices
+

@@ -1,0 +1,109 @@
+(** The E language runtime (EPVM 3.0): the software pointer-swizzling
+    baseline.
+
+    E offers the same functionality as QuickStore but implements
+    persistence with an interpreter (§4.5.1): persistent pointers are
+    16-byte OIDs stored inside objects; dereferencing one calls an EPVM
+    function that hashes into the resident-page table (faulting the
+    page through ESM if needed); only pointers held in local variables
+    are swizzled — modeled here by a one-slot "current object" cache
+    whose hits cost an in-line residency check instead of an
+    interpreter call. Updates go through the interpreter: the original
+    object is copied to a side buffer once per transaction, and whole
+    objects are logged in 1 KB chunks at commit — no diffing.
+
+    The API mirrors {!Quickstore.Store} so the OO7 benchmark code is
+    written once against either. *)
+
+type t
+
+(** A persistent pointer: a full OID ("big pointer"). E supports object
+    identity fully — dereferencing a stale OID raises
+    {!Esm.Client.Dangling_reference}. *)
+type ptr = Esm.Oid.t
+
+type cluster
+type field
+
+(** Raised on dereference of a stale OID (alias of
+    {!Esm.Client.Dangling_reference}). *)
+exception Dangling of Esm.Oid.t
+
+val null : ptr
+val is_null : ptr -> bool
+val ptr_equal : ptr -> ptr -> bool
+val ptr_id : t -> ptr -> int
+
+(** {2 Lifecycle} *)
+
+type config = { side_buffer_bytes : int; client_frames : int }
+
+val default_config : config
+val create_db : ?config:config -> Esm.Server.t -> t
+val open_db : ?config:config -> Esm.Server.t -> t
+val config : t -> config
+val client : t -> Esm.Client.t
+val clock : t -> Simclock.Clock.t
+val cost_model : t -> Simclock.Cost_model.t
+val system_name : t -> string
+val register_class : t -> Schema.class_def -> unit
+val layout : t -> string -> Schema.layout
+val field : t -> cls:string -> name:string -> field
+
+(** {2 Transactions} *)
+
+val begin_txn : t -> unit
+val commit : t -> unit
+val abort : t -> unit
+val in_txn : t -> bool
+
+(** {2 Roots} *)
+
+val set_root : t -> string -> ptr -> unit
+val root : t -> string -> ptr
+
+(** {2 Object creation} *)
+
+val new_cluster : t -> cluster
+val create : t -> cls:string -> cluster:cluster -> ptr
+
+(** {2 Field access (each dereference may call the interpreter)} *)
+
+val get_int : t -> ptr -> field -> int
+val set_int : t -> ptr -> field -> int -> unit
+val get_ptr : t -> ptr -> field -> ptr
+val set_ptr : t -> ptr -> field -> ptr -> unit
+val get_chars : t -> ptr -> field -> string
+val set_chars : t -> ptr -> field -> string -> unit
+
+(** {2 Large objects (every access is an interpreter call)} *)
+
+val create_large : t -> size:int -> ptr
+val large_size : t -> ptr -> int
+val large_byte : t -> ptr -> int -> char
+val large_write : t -> ptr -> off:int -> bytes -> unit
+
+(** {2 Indices} *)
+
+val index_create : t -> string -> klen:int -> unit
+val index_insert : t -> string -> key:bytes -> ptr -> unit
+val index_delete : t -> string -> key:bytes -> ptr -> unit
+val index_lookup : t -> string -> key:bytes -> ptr option
+val index_range : t -> string -> lo:bytes -> hi:bytes -> (ptr -> unit) -> unit
+
+(** {2 Cold-run protocol and statistics} *)
+
+val reset_caches : t -> unit
+
+type stats = {
+  mutable interp_derefs : int;  (** EPVM dereference calls *)
+  mutable inline_derefs : int;  (** in-line hits on the swizzled object *)
+  mutable object_faults : int;  (** dereferences that caused page I/O *)
+  mutable interp_updates : int;
+  mutable side_copies : int;  (** objects copied to the side buffer *)
+  mutable chunks_logged : int;
+  mutable side_overflows : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

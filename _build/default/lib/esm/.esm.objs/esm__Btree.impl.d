@@ -1,0 +1,1 @@
+lib/esm/btree.ml: Array Bytes Client Fun Int64 List Oid Page Qs_util Server Simclock String Wal

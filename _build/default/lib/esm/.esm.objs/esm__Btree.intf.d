@@ -1,0 +1,1 @@
+lib/esm/btree.mli: Client Oid Wal

@@ -1,0 +1,1 @@
+lib/esm/buf_pool.ml: Array Bytes Hashtbl List Page

@@ -1,0 +1,1 @@
+lib/esm/buf_pool.mli:

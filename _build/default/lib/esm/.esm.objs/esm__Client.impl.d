@@ -1,0 +1,1 @@
+lib/esm/client.ml: Buf_pool Bytes Fun List Lock_mgr Oid Page Qs_util Server

@@ -1,0 +1,1 @@
+lib/esm/client.mli: Buf_pool Lock_mgr Oid Page Server Simclock

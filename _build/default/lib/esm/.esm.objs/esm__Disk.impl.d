@@ -1,0 +1,1 @@
+lib/esm/disk.ml: Array Bytes Fun Hashtbl List Page Printf

@@ -1,0 +1,1 @@
+lib/esm/disk.mli:

@@ -1,0 +1,1 @@
+lib/esm/dist_txn.ml: Client List Printf

@@ -1,0 +1,1 @@
+lib/esm/dist_txn.mli: Client

@@ -1,0 +1,1 @@
+lib/esm/large_obj.ml: Array Bytes Client Fun Lock_mgr Oid Page Printf Qs_util Server

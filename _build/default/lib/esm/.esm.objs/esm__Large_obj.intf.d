@@ -1,0 +1,1 @@
+lib/esm/large_obj.mli: Client Oid

@@ -1,0 +1,1 @@
+lib/esm/lock_mgr.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/esm/oid.ml: Format Hashtbl Int Qs_util

@@ -1,0 +1,1 @@
+lib/esm/page.ml: Bytes Printf Qs_util

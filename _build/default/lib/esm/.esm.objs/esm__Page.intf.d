@@ -1,0 +1,1 @@
+lib/esm/page.mli:

@@ -1,0 +1,1 @@
+lib/esm/recovery.ml: Btree Bytes Client Disk Hashtbl Int64 List Page Qs_util Server Wal

@@ -1,0 +1,1 @@
+lib/esm/root_dir.ml: Bytes Client Fun Int64 List Lock_mgr Oid Option Page Qs_util Server String

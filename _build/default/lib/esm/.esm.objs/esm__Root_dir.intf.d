@@ -1,0 +1,1 @@
+lib/esm/root_dir.mli: Client Oid

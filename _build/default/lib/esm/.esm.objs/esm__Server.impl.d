@@ -1,0 +1,1 @@
+lib/esm/server.ml: Buf_pool Bytes Disk Hashtbl List Lock_mgr Page Printf Simclock Wal

@@ -1,0 +1,1 @@
+lib/esm/server.mli: Disk Lock_mgr Simclock Wal

@@ -1,0 +1,1 @@
+lib/esm/wal.ml: Array Bytes Int64 Oid Page

@@ -1,0 +1,410 @@
+(* Node body layout, after the 32-byte common page header:
+   32 u8  is_leaf
+   34 u16 nkeys
+   36 u32 right sibling (leaves; 0 = none)
+   40 u32 leftmost child (internal nodes)
+   44 u16 klen (root only)
+   46 u16 capacity (root only)
+   48..  entries: leaf = key ++ oid(16); internal = key ++ child(4)
+   Duplicate keys are allowed; on splits equal keys may straddle the
+   separator, so descents always take the leftmost feasible child and
+   then follow the leaf chain. *)
+
+let body = 48
+
+type t = { client : Client.t; root : int; klen : int; cap : int }
+
+type node = {
+  page_id : int;
+  is_leaf : bool;
+  mutable right_sib : int;
+  mutable leftmost : int;
+  mutable keys : bytes array;
+  mutable vals : Oid.t array;  (* leaves *)
+  mutable children : int array;  (* internal nodes *)
+}
+
+let root t = t.root
+let klen t = t.klen
+
+let charge_node t =
+  let cm = Client.cost_model t.client in
+  Simclock.Clock.charge (Client.clock t.client) Simclock.Category.Index_op
+    cm.Simclock.Cost_model.index_cpu_us
+
+let default_cap ~klen ~leaf_entry =
+  ignore leaf_entry;
+  (Page.page_size - body) / (klen + Oid.disk_size)
+
+let with_page t page_id f =
+  let frame = Client.fix_page t.client ~kind:Server.Index page_id in
+  Fun.protect
+    ~finally:(fun () -> Client.unfix_page t.client ~frame)
+    (fun () -> f frame (Client.page_bytes t.client ~frame))
+
+let read_node t page_id =
+  charge_node t;
+  with_page t page_id (fun _frame b ->
+      let is_leaf = Qs_util.Codec.get_u8 b 32 = 1 in
+      let nkeys = Qs_util.Codec.get_u16 b 34 in
+      let right_sib = Qs_util.Codec.get_u32 b 36 in
+      let leftmost = Qs_util.Codec.get_u32 b 40 in
+      let esize = t.klen + if is_leaf then Oid.disk_size else 4 in
+      let keys = Array.init nkeys (fun i -> Bytes.sub b (body + (i * esize)) t.klen) in
+      let vals =
+        if is_leaf then Array.init nkeys (fun i -> Oid.read b (body + (i * esize) + t.klen))
+        else [||]
+      in
+      let children =
+        if is_leaf then [||]
+        else Array.init nkeys (fun i -> Qs_util.Codec.get_u32 b (body + (i * esize) + t.klen))
+      in
+      { page_id; is_leaf; right_sib; leftmost; keys; vals; children })
+
+let write_node t n =
+  with_page t n.page_id (fun frame b ->
+      Qs_util.Codec.set_u8 b 32 (if n.is_leaf then 1 else 0);
+      Qs_util.Codec.set_u16 b 34 (Array.length n.keys);
+      Qs_util.Codec.set_u32 b 36 n.right_sib;
+      Qs_util.Codec.set_u32 b 40 n.leftmost;
+      let esize = t.klen + if n.is_leaf then Oid.disk_size else 4 in
+      Array.iteri
+        (fun i k ->
+          Bytes.blit k 0 b (body + (i * esize)) t.klen;
+          if n.is_leaf then Oid.write b (body + (i * esize) + t.klen) n.vals.(i)
+          else Qs_util.Codec.set_u32 b (body + (i * esize) + t.klen) n.children.(i))
+        n.keys;
+      Client.mark_dirty t.client ~frame)
+
+let write_root_meta t =
+  with_page t t.root (fun frame b ->
+      Qs_util.Codec.set_u16 b 44 t.klen;
+      Qs_util.Codec.set_u16 b 46 t.cap;
+      Client.mark_dirty t.client ~frame)
+
+let create ?cap client ~klen =
+  if klen < 1 || klen > 64 then invalid_arg "Btree.create: bad klen";
+  let full = default_cap ~klen ~leaf_entry:true in
+  let cap = match cap with None -> full | Some c -> min (max c 3) full in
+  let page_id, frame = Client.new_page client ~kind:Page.Btree_node in
+  Client.unfix_page client ~frame;
+  let t = { client; root = page_id; klen; cap } in
+  write_node t
+    { page_id; is_leaf = true; right_sib = 0; leftmost = 0; keys = [||]; vals = [||]; children = [||] };
+  write_root_meta t;
+  t
+
+let open_tree client ~root ~klen =
+  let t0 = { client; root; klen; cap = 3 } in
+  with_page t0 root (fun _frame b ->
+      let stored_klen = Qs_util.Codec.get_u16 b 44 in
+      let cap = Qs_util.Codec.get_u16 b 46 in
+      if stored_klen <> klen then invalid_arg "Btree.open_tree: klen mismatch";
+      { client; root; klen; cap })
+
+(* Index of the first key strictly greater than [key]. *)
+let upper_bound keys key =
+  let n = Array.length keys in
+  let rec go lo hi = if lo >= hi then lo else
+      let mid = (lo + hi) / 2 in
+      if Bytes.compare keys.(mid) key <= 0 then go (mid + 1) hi else go lo mid
+  in
+  go 0 n
+
+(* Index of the first key >= [key]. *)
+let lower_bound keys key =
+  let n = Array.length keys in
+  let rec go lo hi = if lo >= hi then lo else
+      let mid = (lo + hi) / 2 in
+      if Bytes.compare keys.(mid) key < 0 then go (mid + 1) hi else go lo mid
+  in
+  go 0 n
+
+(* Leftmost child whose subtree can contain [key] (see duplicates note
+   above). *)
+let descend_child n key =
+  let p = lower_bound n.keys key in
+  if p = 0 then n.leftmost else n.children.(p - 1)
+
+let array_insert a i x =
+  let n = Array.length a in
+  Array.init (n + 1) (fun j -> if j < i then a.(j) else if j = i then x else a.(j - 1))
+
+let array_remove a i =
+  let n = Array.length a in
+  Array.init (n - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+let sub_array a lo hi = Array.sub a lo (hi - lo)
+
+let alloc_node t ~is_leaf =
+  let page_id, frame = Client.new_page t.client ~kind:Page.Btree_node in
+  Client.unfix_page t.client ~frame;
+  { page_id; is_leaf; right_sib = 0; leftmost = 0; keys = [||]; vals = [||]; children = [||] }
+
+let split_leaf t n =
+  let len = Array.length n.keys in
+  let h = len / 2 in
+  let right = alloc_node t ~is_leaf:true in
+  right.keys <- sub_array n.keys h len;
+  right.vals <- sub_array n.vals h len;
+  right.right_sib <- n.right_sib;
+  n.keys <- sub_array n.keys 0 h;
+  n.vals <- sub_array n.vals 0 h;
+  n.right_sib <- right.page_id;
+  write_node t n;
+  write_node t right;
+  Some (Bytes.copy right.keys.(0), right.page_id)
+
+let split_internal t n =
+  let len = Array.length n.keys in
+  let h = len / 2 in
+  let right = alloc_node t ~is_leaf:false in
+  let sep = Bytes.copy n.keys.(h) in
+  right.leftmost <- n.children.(h);
+  right.keys <- sub_array n.keys (h + 1) len;
+  right.children <- sub_array n.children (h + 1) len;
+  n.keys <- sub_array n.keys 0 h;
+  n.children <- sub_array n.children 0 h;
+  write_node t n;
+  write_node t right;
+  Some (sep, right.page_id)
+
+let leaf_contains n key oid =
+  let rec go i =
+    if i >= Array.length n.keys || Bytes.compare n.keys.(i) key > 0 then false
+    else if Bytes.equal n.keys.(i) key && Oid.equal n.vals.(i) oid then true
+    else go (i + 1)
+  in
+  go (lower_bound n.keys key)
+
+let rec ins t page_id key oid =
+  let n = read_node t page_id in
+  if n.is_leaf then begin
+    if leaf_contains n key oid then None
+    else begin
+      let i = upper_bound n.keys key in
+      n.keys <- array_insert n.keys i (Bytes.copy key);
+      n.vals <- array_insert n.vals i oid;
+      if Array.length n.keys <= t.cap then begin
+        write_node t n;
+        None
+      end
+      else split_leaf t n
+    end
+  end
+  else begin
+    match ins t (descend_child n key) key oid with
+    | None -> None
+    | Some (sep, right_id) ->
+      let i = upper_bound n.keys sep in
+      n.keys <- array_insert n.keys i sep;
+      n.children <- array_insert n.children i right_id;
+      if Array.length n.keys <= t.cap then begin
+        write_node t n;
+        None
+      end
+      else split_internal t n
+  end
+
+(* The root page id must stay stable, so on a root split the (already
+   halved) root content moves to a fresh page and the root becomes an
+   internal node over the two halves. *)
+let grow_root t (sep, right_id) =
+  let old_root = read_node t t.root in
+  let moved = alloc_node t ~is_leaf:old_root.is_leaf in
+  moved.right_sib <- old_root.right_sib;
+  moved.leftmost <- old_root.leftmost;
+  moved.keys <- old_root.keys;
+  moved.vals <- old_root.vals;
+  moved.children <- old_root.children;
+  write_node t moved;
+  write_node t
+    { page_id = t.root
+    ; is_leaf = false
+    ; right_sib = 0
+    ; leftmost = moved.page_id
+    ; keys = [| sep |]
+    ; vals = [||]
+    ; children = [| right_id |] };
+  write_root_meta t
+
+(* Whether the exact (key, oid) pair is already stored. The equal-key
+   run can span several leaves, so this follows the sibling chain
+   rather than trusting a single leaf (which is all [ins] sees). *)
+let rec contains_pair t page_id key oid =
+  let n = read_node t page_id in
+  if not n.is_leaf then contains_pair t (descend_child n key) key oid
+  else begin
+    let rec scan n =
+      if leaf_contains n key oid then true
+      else if
+        n.right_sib <> 0
+        && (Array.length n.keys = 0 || Bytes.compare n.keys.(Array.length n.keys - 1) key <= 0)
+      then scan (read_node t n.right_sib)
+      else false
+    in
+    scan n
+  end
+
+let insert_nolog t ~key ~oid =
+  if Bytes.length key <> t.klen then invalid_arg "Btree.insert: wrong key length";
+  if not (contains_pair t t.root key oid) then begin
+    match ins t t.root key oid with None -> () | Some promo -> grow_root t promo
+  end
+
+let insert t ~key ~oid =
+  insert_nolog t ~key ~oid;
+  ignore
+    (Server.log_index (Client.server t.client) ~txn:(Client.txn_id t.client)
+       (Wal.Index_insert { txn = Client.txn_id t.client; root = t.root; key = Bytes.copy key; oid }))
+
+(* Leftmost leaf that can contain [key]. *)
+let rec find_leaf t page_id key =
+  let n = read_node t page_id in
+  if n.is_leaf then n else find_leaf t (descend_child n key) key
+
+let delete_nolog t ~key ~oid =
+  if Bytes.length key <> t.klen then invalid_arg "Btree.delete: wrong key length";
+  let rec scan n =
+    let rec in_leaf i =
+      if i >= Array.length n.keys then `Chain
+      else
+        let c = Bytes.compare n.keys.(i) key in
+        if c > 0 then `Stop
+        else if c = 0 && Oid.equal n.vals.(i) oid then `Found i
+        else in_leaf (i + 1)
+    in
+    match in_leaf (lower_bound n.keys key) with
+    | `Found i ->
+      n.keys <- array_remove n.keys i;
+      n.vals <- array_remove n.vals i;
+      write_node t n;
+      true
+    | `Stop -> false
+    | `Chain -> if n.right_sib = 0 then false else scan (read_node t n.right_sib)
+  in
+  scan (find_leaf t t.root key)
+
+let delete t ~key ~oid =
+  let present = delete_nolog t ~key ~oid in
+  if present then
+    ignore
+      (Server.log_index (Client.server t.client) ~txn:(Client.txn_id t.client)
+         (Wal.Index_delete { txn = Client.txn_id t.client; root = t.root; key = Bytes.copy key; oid }));
+  present
+
+let iter_from t key ~f =
+  (* [f key oid] returns [false] to stop the scan. *)
+  let rec walk n i =
+    if i >= Array.length n.keys then begin
+      if n.right_sib <> 0 then walk (read_node t n.right_sib) 0
+    end
+    else if f n.keys.(i) n.vals.(i) then walk n (i + 1)
+  in
+  let n = find_leaf t t.root key in
+  walk n (lower_bound n.keys key)
+
+let lookup t ~key =
+  let result = ref None in
+  iter_from t key ~f:(fun k oid ->
+      if Bytes.equal k key then begin
+        result := Some oid;
+        false
+      end
+      else false);
+  !result
+
+let lookup_all t ~key =
+  let acc = ref [] in
+  iter_from t key ~f:(fun k oid ->
+      if Bytes.equal k key then begin
+        acc := oid :: !acc;
+        true
+      end
+      else false);
+  List.rev !acc
+
+let range t ~lo ~hi f =
+  iter_from t lo ~f:(fun k oid ->
+      if Bytes.compare k hi > 0 then false
+      else begin
+        if Bytes.compare k lo >= 0 then f k oid;
+        true
+      end)
+
+let cardinal t =
+  let n = ref 0 in
+  iter_from t (Bytes.make t.klen '\000') ~f:(fun _ _ ->
+      incr n;
+      true);
+  !n
+
+let invariants_hold t =
+  let ok = ref true in
+  let check b = if not b then ok := false in
+  let rec depth_of page_id =
+    let n = read_node t page_id in
+    if n.is_leaf then 0 else 1 + depth_of n.leftmost
+  in
+  let depth = depth_of t.root in
+  let rec go page_id level lo hi =
+    let n = read_node t page_id in
+    check (n.is_leaf = (level = depth));
+    let nk = Array.length n.keys in
+    for i = 0 to nk - 2 do
+      check (Bytes.compare n.keys.(i) n.keys.(i + 1) <= 0)
+    done;
+    Array.iter
+      (fun k ->
+        (match lo with Some l -> check (Bytes.compare k l >= 0) | None -> ());
+        match hi with Some h -> check (Bytes.compare k h <= 0) | None -> ())
+      n.keys;
+    if not n.is_leaf then begin
+      check (nk >= 1);
+      go n.leftmost (level + 1) lo (if nk > 0 then Some n.keys.(0) else hi);
+      for i = 0 to nk - 1 do
+        let child_hi = if i + 1 < nk then Some n.keys.(i + 1) else hi in
+        go n.children.(i) (level + 1) (Some n.keys.(i)) child_hi
+      done
+    end
+  in
+  go t.root 0 None None;
+  (* Leaf chain must be globally sorted. *)
+  let prev = ref None in
+  iter_from t (Bytes.make t.klen '\000') ~f:(fun k _ ->
+      (match !prev with Some p -> check (Bytes.compare p k <= 0) | None -> ());
+      prev := Some (Bytes.copy k);
+      true);
+  !ok
+
+let key_of_int ~klen v =
+  if klen < 8 then invalid_arg "Btree.key_of_int: klen < 8";
+  let b = Bytes.make klen '\000' in
+  Bytes.set_int64_be b (klen - 8) (Int64.of_int v);
+  b
+
+let key_of_int2 ~klen a bv =
+  if klen < 16 then invalid_arg "Btree.key_of_int2: klen < 16";
+  let b = Bytes.make klen '\000' in
+  Bytes.set_int64_be b (klen - 16) (Int64.of_int a);
+  Bytes.set_int64_be b (klen - 8) (Int64.of_int bv);
+  b
+
+let key_of_string ~klen s =
+  let b = Bytes.make klen '\000' in
+  Bytes.blit_string s 0 b 0 (min klen (String.length s));
+  b
+
+let apply_logical client record =
+  match record with
+  | Wal.Index_insert { root; key; oid; _ } ->
+    let t = open_tree client ~root ~klen:(Bytes.length key) in
+    insert_nolog t ~key ~oid
+  | Wal.Index_delete { root; key; oid; _ } ->
+    let t = open_tree client ~root ~klen:(Bytes.length key) in
+    ignore (delete_nolog t ~key ~oid)
+  | Wal.Begin _ | Wal.Update _ | Wal.Prepare _ | Wal.Commit _ | Wal.Abort _ ->
+    invalid_arg "Btree.apply_logical: not an index record"
+
+let install_undo_handler client =
+  Server.set_index_undo (Client.server client) (fun record -> apply_logical client record)

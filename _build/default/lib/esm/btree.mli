@@ -1,0 +1,63 @@
+(** Disk-resident B-trees over client pages.
+
+    ESM "provides files of untyped objects of arbitrary size and B-tree
+    indices"; OO7 keeps three of them (atomic-part id, atomic-part
+    buildDate, document title). Keys are fixed-length byte strings
+    compared lexicographically — encode integers big-endian so numeric
+    and byte order coincide. Values are OIDs.
+
+    Index updates are logged *logically* (idempotent insert/delete
+    records) under the paper's non-2PL index protocol: node pages take
+    short latches (charged, not held), never transaction locks. *)
+
+type t
+
+(** Allocate an empty tree; the root page id is stable across splits.
+    [cap] caps node fanout (tests use tiny fanouts to force splits). *)
+val create : ?cap:int -> Client.t -> klen:int -> t
+
+val open_tree : Client.t -> root:int -> klen:int -> t
+val root : t -> int
+val klen : t -> int
+
+(** [insert t ~key ~oid] adds the pair; duplicate keys are allowed,
+    the exact (key, oid) pair is stored at most once (idempotent). *)
+val insert : t -> key:bytes -> oid:Oid.t -> unit
+
+(** [delete t ~key ~oid] removes the exact pair if present (idempotent,
+    lazy: leaves may underflow). Returns whether it was present. *)
+val delete : t -> key:bytes -> oid:Oid.t -> bool
+
+(** First OID stored under [key]. *)
+val lookup : t -> key:bytes -> Oid.t option
+
+(** All OIDs under [key]. *)
+val lookup_all : t -> key:bytes -> Oid.t list
+
+(** [range t ~lo ~hi f] applies [f] to every (key, oid) with
+    [lo <= key <= hi], ascending. *)
+val range : t -> lo:bytes -> hi:bytes -> (bytes -> Oid.t -> unit) -> unit
+
+(** Number of stored pairs (full scan; for tests). *)
+val cardinal : t -> int
+
+(** Tree invariants: sorted nodes, key separation, leaf chain order;
+    for the property tests. *)
+val invariants_hold : t -> bool
+
+(** Big-endian fixed-width encodings, so byte order = numeric order. *)
+val key_of_int : klen:int -> int -> bytes
+
+val key_of_int2 : klen:int -> int -> int -> bytes
+
+(** Left-justified, zero-padded string key. *)
+val key_of_string : klen:int -> string -> bytes
+
+(** Apply a logical index record to the tree it names (key length and
+    fanout are read from the root page); used by abort and restart
+    recovery. *)
+val apply_logical : Client.t -> Wal.record -> unit
+
+(** Route {!Server.abort}'s inverse index records back into tree
+    operations through the given client. *)
+val install_undo_handler : Client.t -> unit

@@ -1,0 +1,113 @@
+type t = {
+  buffers : bytes array;
+  pages : int array;  (* -1 = empty *)
+  pins : int array;
+  dirty : bool array;
+  refs : bool array;
+  map : (int, int) Hashtbl.t;  (* page_id -> frame *)
+  mutable hand : int;
+  mutable occupied : int;
+}
+
+exception Buffer_full
+
+let create ~frames =
+  if frames <= 0 then invalid_arg "Buf_pool.create";
+  { buffers = Array.init frames (fun _ -> Bytes.make Page.page_size '\000')
+  ; pages = Array.make frames (-1)
+  ; pins = Array.make frames 0
+  ; dirty = Array.make frames false
+  ; refs = Array.make frames false
+  ; map = Hashtbl.create (2 * frames)
+  ; hand = 0
+  ; occupied = 0 }
+
+let capacity t = Array.length t.buffers
+let occupied t = t.occupied
+let frame_bytes t f = t.buffers.(f)
+let lookup t page_id = Hashtbl.find_opt t.map page_id
+let page_of_frame t f = if t.pages.(f) = -1 then None else Some t.pages.(f)
+
+let free_frame t =
+  if t.occupied = capacity t then None
+  else begin
+    let n = capacity t in
+    let rec go i = if i >= n then None else if t.pages.(i) = -1 then Some i else go (i + 1) in
+    go 0
+  end
+
+let install t ~frame ~page_id =
+  if t.pages.(frame) <> -1 then invalid_arg "Buf_pool.install: frame occupied";
+  if Hashtbl.mem t.map page_id then invalid_arg "Buf_pool.install: page already resident";
+  t.pages.(frame) <- page_id;
+  t.pins.(frame) <- 0;
+  t.dirty.(frame) <- false;
+  t.refs.(frame) <- true;
+  Hashtbl.replace t.map page_id frame;
+  t.occupied <- t.occupied + 1
+
+let evict t frame =
+  if t.pages.(frame) = -1 then invalid_arg "Buf_pool.evict: empty frame";
+  if t.pins.(frame) > 0 then invalid_arg "Buf_pool.evict: pinned frame";
+  if t.dirty.(frame) then invalid_arg "Buf_pool.evict: dirty frame";
+  Hashtbl.remove t.map t.pages.(frame);
+  t.pages.(frame) <- -1;
+  t.refs.(frame) <- false;
+  t.occupied <- t.occupied - 1
+
+let pin t f = t.pins.(f) <- t.pins.(f) + 1
+
+let unpin t f =
+  if t.pins.(f) <= 0 then invalid_arg "Buf_pool.unpin: not pinned";
+  t.pins.(f) <- t.pins.(f) - 1
+
+let pin_count t f = t.pins.(f)
+let is_dirty t f = t.dirty.(f)
+let mark_dirty t f = t.dirty.(f) <- true
+let clear_dirty t f = t.dirty.(f) <- false
+let ref_bit t f = t.refs.(f)
+let set_ref_bit t f v = t.refs.(f) <- v
+
+let clock_victim t =
+  let n = capacity t in
+  (* Two full sweeps suffice: the first clears reference bits, the
+     second must find a victim unless everything is pinned. *)
+  let rec go steps =
+    if steps > 2 * n then raise Buffer_full
+    else begin
+      let f = t.hand in
+      t.hand <- (t.hand + 1) mod n;
+      if t.pages.(f) = -1 || t.pins.(f) > 0 then go (steps + 1)
+      else if t.refs.(f) then begin
+        t.refs.(f) <- false;
+        go (steps + 1)
+      end
+      else f
+    end
+  in
+  go 0
+
+let iter_frames f t =
+  Array.iteri (fun frame page_id -> if page_id <> -1 then f ~frame ~page_id) t.pages
+
+let dirty_pages t =
+  let acc = ref [] in
+  iter_frames (fun ~frame ~page_id -> if t.dirty.(frame) then acc := (page_id, frame) :: !acc) t;
+  List.rev !acc
+
+let clear ?(force = false) t =
+  iter_frames
+    (fun ~frame ~page_id:_ ->
+      if t.pins.(frame) > 0 && not force then invalid_arg "Buf_pool.clear: pinned frame";
+      if t.dirty.(frame) && not force then invalid_arg "Buf_pool.clear: dirty frame";
+      t.pins.(frame) <- 0;
+      t.dirty.(frame) <- false;
+      Hashtbl.remove t.map t.pages.(frame);
+      t.pages.(frame) <- -1;
+      t.refs.(frame) <- false;
+      t.occupied <- t.occupied - 1)
+    t;
+  t.hand <- 0
+
+let hand t = t.hand
+let set_hand t h = t.hand <- h mod capacity t

@@ -1,0 +1,308 @@
+type t = {
+  server : Server.t;
+  mutable pool : Buf_pool.t;
+  frames : int;
+  mutable policy : victim_policy;
+  mutable pre_evict : (frame:int -> page_id:int -> unit) option;
+  mutable pre_ship : (page_id:int -> bytes -> bytes) option;
+  mutable txn : int option;
+}
+
+and victim_policy = Traditional | External of (t -> int)
+
+exception No_transaction
+exception Dangling_reference of Oid.t
+
+let create ?(frames = 1536) server =
+  { server
+  ; pool = Buf_pool.create ~frames
+  ; frames
+  ; policy = Traditional
+  ; pre_evict = None
+  ; pre_ship = None
+  ; txn = None }
+
+let set_victim_policy t p = t.policy <- p
+let server t = t.server
+let pool t = t.pool
+let clock t = Server.clock t.server
+let cost_model t = Server.cost_model t.server
+let set_pre_evict_hook t f = t.pre_evict <- Some f
+let set_pre_ship_hook t f = t.pre_ship <- Some f
+
+let ship_bytes t page_id b =
+  match t.pre_ship with Some f -> f ~page_id b | None -> b
+let in_txn t = t.txn <> None
+
+let txn_id t = match t.txn with Some id -> id | None -> raise No_transaction
+
+let begin_txn t =
+  if in_txn t then invalid_arg "Client.begin_txn: transaction already active";
+  t.txn <- Some (Server.begin_txn t.server)
+
+let page_bytes t ~frame = Buf_pool.frame_bytes t.pool frame
+let frame_of_page t page_id = Buf_pool.lookup t.pool page_id
+let mark_dirty t ~frame = Buf_pool.mark_dirty t.pool frame
+
+(* Ship a dirty frame back to the server mid-transaction (steal). *)
+let write_back t ~at_commit frame =
+  match Buf_pool.page_of_frame t.pool frame with
+  | None -> ()
+  | Some page_id ->
+    if Buf_pool.is_dirty t.pool frame then begin
+      Server.write_page t.server ~txn:(txn_id t) ~at_commit page_id
+        (ship_bytes t page_id (Buf_pool.frame_bytes t.pool frame));
+      Buf_pool.clear_dirty t.pool frame
+    end
+
+let evict_frame t frame =
+  (match (t.pre_evict, Buf_pool.page_of_frame t.pool frame) with
+   | Some hook, Some page_id -> hook ~frame ~page_id
+   | _, _ -> ());
+  write_back t ~at_commit:false frame;
+  Buf_pool.evict t.pool frame
+
+let take_frame t =
+  match Buf_pool.free_frame t.pool with
+  | Some f -> f
+  | None ->
+    let f =
+      match t.policy with Traditional -> Buf_pool.clock_victim t.pool | External pick -> pick t
+    in
+    if Buf_pool.pin_count t.pool f > 0 then invalid_arg "Client: victim policy returned pinned frame";
+    evict_frame t f;
+    f
+
+let fix_page t ~kind page_id =
+  let txn = txn_id t in
+  match Buf_pool.lookup t.pool page_id with
+  | Some f ->
+    Buf_pool.pin t.pool f;
+    Buf_pool.set_ref_bit t.pool f true;
+    f
+  | None ->
+    let f = take_frame t in
+    Server.read_page t.server ~txn ~kind page_id (Buf_pool.frame_bytes t.pool f);
+    Buf_pool.install t.pool ~frame:f ~page_id;
+    Buf_pool.pin t.pool f;
+    f
+
+let unfix_page t ~frame = Buf_pool.unpin t.pool frame
+
+let new_page t ~kind =
+  let txn = txn_id t in
+  let page_id = Server.alloc_page t.server in
+  let f = take_frame t in
+  let b = Buf_pool.frame_bytes t.pool f in
+  ignore (Page.init b ~kind ~page_id);
+  Buf_pool.install t.pool ~frame:f ~page_id;
+  Buf_pool.pin t.pool f;
+  Buf_pool.mark_dirty t.pool f;
+  (* Log the header initialization so redo can rebuild the page
+     structure from a zeroed disk image. *)
+  let lsn =
+    Server.log_update t.server ~txn ~page:page_id ~off:0
+      ~old_data:(Bytes.make Page.header_size '\000')
+      ~new_data:(Bytes.sub b 0 Page.header_size)
+  in
+  Page.set_lsn (Page.attach b) lsn;
+  (page_id, f)
+
+let evict_page t ~frame =
+  if Buf_pool.pin_count t.pool frame > 0 then invalid_arg "Client.evict_page: pinned";
+  evict_frame t frame
+
+let lock_page t page_id mode = Server.lock t.server ~txn:(txn_id t) (Lock_mgr.Page_lock page_id) mode
+let lock_file t file_id mode = Server.lock t.server ~txn:(txn_id t) (Lock_mgr.File_lock file_id) mode
+
+let log_update t ~page_id ~frame ~off ~old_data ~new_data =
+  let lsn = Server.log_update t.server ~txn:(txn_id t) ~page:page_id ~off ~old_data ~new_data in
+  Page.set_lsn (Page.attach (Buf_pool.frame_bytes t.pool frame)) lsn
+
+(* Two-phase commit, participant side. [prepare] ships the dirty
+   pages and records the durable yes-vote; [commit_prepared] delivers
+   the coordinator's commit decision. *)
+let prepare ?(before_flush = fun () -> ()) t =
+  let txn = txn_id t in
+  before_flush ();
+  List.iter
+    (fun (page_id, frame) ->
+      Server.write_page t.server ~txn ~at_commit:true page_id
+        (ship_bytes t page_id (Buf_pool.frame_bytes t.pool frame));
+      Buf_pool.clear_dirty t.pool frame)
+    (Buf_pool.dirty_pages t.pool);
+  Server.prepare t.server ~txn
+
+let commit_prepared t =
+  let txn = txn_id t in
+  Server.commit t.server ~txn;
+  t.txn <- None
+
+let commit ?(before_flush = fun () -> ()) t =
+  let txn = txn_id t in
+  before_flush ();
+  List.iter
+    (fun (page_id, frame) ->
+      Server.write_page t.server ~txn ~at_commit:true page_id
+        (ship_bytes t page_id (Buf_pool.frame_bytes t.pool frame));
+      Buf_pool.clear_dirty t.pool frame)
+    (Buf_pool.dirty_pages t.pool);
+  Server.commit t.server ~txn;
+  t.txn <- None
+
+let abort t =
+  let txn = txn_id t in
+  (* Dirty frames hold uncommitted bytes; drop them so later reads
+     refetch the undone versions from the server. *)
+  List.iter
+    (fun (page_id, frame) ->
+      (match (t.pre_evict, Some page_id) with
+       | Some hook, Some pid -> hook ~frame ~page_id:pid
+       | _, _ -> ());
+      Buf_pool.clear_dirty t.pool frame;
+      if Buf_pool.pin_count t.pool frame = 0 then Buf_pool.evict t.pool frame
+      else invalid_arg "Client.abort: dirty page still pinned")
+    (Buf_pool.dirty_pages t.pool);
+  Server.abort t.server ~txn;
+  t.txn <- None
+
+let with_txn t f =
+  begin_txn t;
+  match f () with
+  | v ->
+    commit t;
+    v
+  | exception e ->
+    if in_txn t then abort t;
+    raise e
+
+(* --- object layer --- *)
+
+let with_fixed t ~kind page_id f =
+  let frame = fix_page t ~kind page_id in
+  Fun.protect ~finally:(fun () -> unfix_page t ~frame) (fun () -> f frame)
+
+(* Log everything [Page.insert] changed: the object bytes, the header
+   counters (nslots / free_off / next_unique) and the slot-directory
+   entry, so that redo reconstructs the page structure exactly. *)
+let log_insert t ~page_id ~frame ~slot ~hdr_old ~dir_old =
+  let b = page_bytes t ~frame in
+  let p = Page.attach b in
+  let off, len = Page.slot_span p slot in
+  log_update t ~page_id ~frame ~off ~old_data:(Bytes.make len '\000')
+    ~new_data:(Bytes.sub b off len);
+  log_update t ~page_id ~frame ~off:16 ~old_data:hdr_old ~new_data:(Bytes.sub b 16 8);
+  let dir_off = Page.page_size - (Page.slot_entry_size * (slot + 1)) in
+  log_update t ~page_id ~frame ~off:dir_off ~old_data:dir_old
+    ~new_data:(Bytes.sub b dir_off Page.slot_entry_size);
+  mark_dirty t ~frame
+
+let dir_snapshot b slot nslots_before =
+  if slot < nslots_before then
+    Bytes.sub b (Page.page_size - (Page.slot_entry_size * (slot + 1))) Page.slot_entry_size
+  else Bytes.make Page.slot_entry_size '\000'
+
+let create_object t ~page_id data =
+  with_fixed t ~kind:Server.Data page_id (fun frame ->
+      let p = Page.attach (page_bytes t ~frame) in
+      if Bytes.length data > Page.free_space p then None
+      else begin
+        lock_page t page_id Lock_mgr.Exclusive;
+        let hdr_old = Bytes.sub (Page.raw p) 16 8 in
+        let nslots_before = Page.nslots p in
+        let slot = Page.insert p data in
+        let dir_old = dir_snapshot (Page.raw p) slot nslots_before in
+        (* dir_old captured after insert would be wrong for reused
+           slots; reconstruct the freed-entry image instead. *)
+        let dir_old =
+          if slot < nslots_before then begin
+            let d = dir_old in
+            Qs_util.Codec.set_u16 d 0 0;
+            Qs_util.Codec.set_u16 d 2 0;
+            d
+          end
+          else dir_old
+        in
+        log_insert t ~page_id ~frame ~slot ~hdr_old ~dir_old;
+        Some (Oid.make ~page:page_id ~slot ~unique:(Page.slot_unique p slot) ())
+      end)
+
+let create_object_new_page t data =
+  let page_id, frame = new_page t ~kind:Page.Small_obj in
+  Fun.protect
+    ~finally:(fun () -> unfix_page t ~frame)
+    (fun () ->
+      lock_page t page_id Lock_mgr.Exclusive;
+      let p = Page.attach (page_bytes t ~frame) in
+      let hdr_old = Bytes.sub (Page.raw p) 16 8 in
+      let nslots_before = Page.nslots p in
+      let slot = Page.insert p data in
+      let dir_old = dir_snapshot (Page.raw p) slot nslots_before in
+      log_insert t ~page_id ~frame ~slot ~hdr_old ~dir_old;
+      Oid.make ~page:page_id ~slot ~unique:(Page.slot_unique p slot) ())
+
+let checked_span t oid frame =
+  let p = Page.attach (page_bytes t ~frame) in
+  match Page.slot_span p oid.Oid.slot with
+  | exception Not_found -> raise (Dangling_reference oid)
+  | span -> if Page.slot_unique p oid.Oid.slot <> oid.Oid.unique then raise (Dangling_reference oid) else span
+
+let read_object t oid =
+  with_fixed t ~kind:Server.Data oid.Oid.page (fun frame ->
+      lock_page t oid.Oid.page Lock_mgr.Shared;
+      let off, len = checked_span t oid frame in
+      Bytes.sub (page_bytes t ~frame) off len)
+
+let object_size t oid =
+  with_fixed t ~kind:Server.Data oid.Oid.page (fun frame ->
+      let _, len = checked_span t oid frame in
+      len)
+
+let update_object t oid ~off data =
+  with_fixed t ~kind:Server.Data oid.Oid.page (fun frame ->
+      lock_page t oid.Oid.page Lock_mgr.Exclusive;
+      let base, len = checked_span t oid frame in
+      let n = Bytes.length data in
+      if off < 0 || off + n > len then invalid_arg "Client.update_object: out of bounds";
+      let b = page_bytes t ~frame in
+      let old_data = Bytes.sub b (base + off) n in
+      Bytes.blit data 0 b (base + off) n;
+      log_update t ~page_id:oid.Oid.page ~frame ~off:(base + off) ~old_data ~new_data:data;
+      mark_dirty t ~frame)
+
+let delete_object t oid =
+  with_fixed t ~kind:Server.Data oid.Oid.page (fun frame ->
+      lock_page t oid.Oid.page Lock_mgr.Exclusive;
+      let base, len = checked_span t oid frame in
+      let p = Page.attach (page_bytes t ~frame) in
+      let old_data = Bytes.sub (Page.raw p) base len in
+      Page.delete_slot p oid.Oid.slot;
+      (* Log the slot-directory change coarsely: before-image restores
+         the object bytes; the redo image zeroes them. The slot entry
+         itself lives in the directory, logged as a second record. *)
+      log_update t ~page_id:oid.Oid.page ~frame ~off:base ~old_data ~new_data:(Bytes.make len '\000');
+      let dir_off = Page.page_size - (Page.slot_entry_size * (oid.Oid.slot + 1)) in
+      let new_dir = Bytes.sub (Page.raw p) dir_off Page.slot_entry_size in
+      let old_dir = Bytes.copy new_dir in
+      Qs_util.Codec.set_u16 old_dir 0 base;
+      Qs_util.Codec.set_u16 old_dir 2 len;
+      Qs_util.Codec.set_u32 old_dir 4 oid.Oid.unique;
+      log_update t ~page_id:oid.Oid.page ~frame ~off:dir_off ~old_data:old_dir ~new_data:new_dir;
+      mark_dirty t ~frame)
+
+let discard_page t page_id =
+  match Buf_pool.lookup t.pool page_id with
+  | None -> ()
+  | Some frame ->
+    if Buf_pool.pin_count t.pool frame > 0 then invalid_arg "Client.discard_page: pinned";
+    (match t.pre_evict with Some hook -> hook ~frame ~page_id | None -> ());
+    Buf_pool.clear_dirty t.pool frame;
+    Buf_pool.evict t.pool frame
+
+let reset_cache t =
+  if in_txn t then invalid_arg "Client.reset_cache: transaction active";
+  Buf_pool.clear t.pool
+
+let crash t =
+  t.pool <- Buf_pool.create ~frames:t.frames;
+  t.txn <- None

@@ -1,0 +1,130 @@
+(** The ESM client: a page cache over the server plus the object API.
+
+    Both persistence schemes sit directly on this layer, as in the
+    paper: QuickStore maps virtual frames onto client buffer frames and
+    manipulates page bytes in place; E calls the object operations from
+    its interpreter. The victim policy is pluggable because QuickStore
+    replaces the traditional clock with its protection-driven sweep
+    (§3.5). *)
+
+type t
+
+(** [Traditional] is the reference-bit clock (used by E and the
+    default); [External f] delegates victim choice, receiving the
+    client and returning a frame whose page may be evicted ([f] must
+    not return a pinned frame). *)
+type victim_policy = Traditional | External of (t -> int)
+
+val create : ?frames:int (** paper default 1536 (12 MB) *) -> Server.t -> t
+val set_victim_policy : t -> victim_policy -> unit
+val server : t -> Server.t
+val pool : t -> Buf_pool.t
+val clock : t -> Simclock.Clock.t
+val cost_model : t -> Simclock.Cost_model.t
+
+(** Called just before a frame's page is evicted (QuickStore hooks this
+    to invalidate the page's virtual-frame mapping). *)
+val set_pre_evict_hook : t -> (frame:int -> page_id:int -> unit) -> unit
+
+(** Transform a dirty page's bytes as they are shipped to the server
+    (write-back and commit flush). The Texas/Wilson pointer format
+    unswizzles virtual addresses back to page offsets here; the buffer
+    copy itself is not modified. *)
+val set_pre_ship_hook : t -> (page_id:int -> bytes -> bytes) -> unit
+
+(** {2 Transactions} *)
+
+exception No_transaction
+
+val begin_txn : t -> unit
+val txn_id : t -> int
+
+(** Ship dirty pages (commit-flush charge), commit at the server,
+    release everything. [before_flush] runs while the transaction is
+    still active, after which the commit flush starts — QuickStore's
+    diffing/log generation and mapping-object maintenance happen
+    there. *)
+val commit : ?before_flush:(unit -> unit) -> t -> unit
+
+(** Drop dirty frames, undo at the server. *)
+val abort : t -> unit
+
+(** Two-phase commit, participant side: ship dirty pages and record
+    the durable yes-vote (locks stay held; the transaction stays
+    active). [before_flush] as in {!commit}. *)
+val prepare : ?before_flush:(unit -> unit) -> t -> unit
+
+(** Deliver the coordinator's commit decision after {!prepare}. *)
+val commit_prepared : t -> unit
+
+val in_txn : t -> bool
+val with_txn : t -> (unit -> 'a) -> 'a
+
+(** {2 Page access} *)
+
+(** [fix_page t ~kind page_id] ensures residency and pins; returns the
+    frame. Misses go to the server (charged). *)
+val fix_page : t -> kind:Server.io_kind -> int -> int
+
+val unfix_page : t -> frame:int -> unit
+
+(** Residency without faulting. *)
+val frame_of_page : t -> int -> int option
+
+val page_bytes : t -> frame:int -> bytes
+val mark_dirty : t -> frame:int -> unit
+
+(** Allocate a fresh page at the server, resident and pinned, with an
+    initialized header. Returns (page_id, frame). *)
+val new_page : t -> kind:Page.kind -> int * int
+
+(** Evict a specific (unpinned) page, shipping it to the server first
+    if dirty — QuickStore's clock calls this. *)
+val evict_page : t -> frame:int -> unit
+
+(** {2 Locks and logging} *)
+
+val lock_page : t -> int -> Lock_mgr.mode -> unit
+val lock_file : t -> int -> Lock_mgr.mode -> unit
+
+(** [log_update t ~page_id ~frame ~off ~old_data ~new_data] appends an
+    ESM log record and stamps the page LSN. The caller has already
+    applied the new bytes (or will). *)
+val log_update : t -> page_id:int -> frame:int -> off:int -> old_data:bytes -> new_data:bytes -> unit
+
+(** {2 Objects} *)
+
+exception Dangling_reference of Oid.t
+
+(** [create_object t ~page_id data] places an object on the given page
+    if it fits ([None] otherwise). The page is fixed, dirtied and
+    logged. *)
+val create_object : t -> page_id:int -> bytes -> Oid.t option
+
+(** Allocate a new page and place the object there. *)
+val create_object_new_page : t -> bytes -> Oid.t
+
+(** Checked read: verifies the uniqueness stamp, raising
+    {!Dangling_reference} on stale OIDs. Fixes and unfixes the page. *)
+val read_object : t -> Oid.t -> bytes
+
+val object_size : t -> Oid.t -> int
+
+(** In-place partial update with ESM logging of the changed range. *)
+val update_object : t -> Oid.t -> off:int -> bytes -> unit
+
+val delete_object : t -> Oid.t -> unit
+
+(** Drop a page's frame without write-back (page deletion). *)
+val discard_page : t -> int -> unit
+
+(** {2 Cache control} *)
+
+(** Drop all (clean) frames — cold-run protocol. Requires no active
+    transaction. *)
+val reset_cache : t -> unit
+
+(** Client crash: everything volatile is gone. The server keeps running
+    and will eventually abort the orphaned transaction; tests drive
+    that through {!Server.crash} / {!Recovery.restart}. *)
+val crash : t -> unit

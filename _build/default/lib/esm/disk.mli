@@ -1,0 +1,38 @@
+(** A simulated raw disk volume: a growable array of 8 KB pages.
+
+    The paper's server stored the database on a raw Sun1.3G partition;
+    here the volume lives in memory (with optional save/load to a real
+    file so the recovery examples can survive process restarts). I/O
+    *costs* are charged by the server, not here; the disk only counts
+    raw operations. *)
+
+type t
+
+val create : unit -> t
+
+(** Number of allocated pages (page ids are [1..n]; 0 is reserved as
+    the null page). *)
+val page_count : t -> int
+
+(** [alloc t] extends the volume by one zeroed page, or reuses a freed
+    page id, and returns the page id. *)
+val alloc : t -> int
+
+val free : t -> int -> unit
+val is_allocated : t -> int -> bool
+
+(** [read t id dst] copies the page into [dst] (8 KB). *)
+val read : t -> int -> bytes -> unit
+
+(** [write t id src] copies [src] (8 KB) onto the page. *)
+val write : t -> int -> bytes -> unit
+
+val reads : t -> int
+val writes : t -> int
+val reset_counters : t -> unit
+
+(** Total allocated bytes (for Table 2 database sizes). *)
+val size_bytes : t -> int
+
+val save_to_file : t -> string -> unit
+val load_from_file : string -> t

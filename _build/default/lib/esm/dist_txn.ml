@@ -1,0 +1,30 @@
+type t = { mutable clients : Client.t list }
+
+let begin_txn clients =
+  if clients = [] then invalid_arg "Dist_txn.begin_txn: no participants";
+  List.iter Client.begin_txn clients;
+  { clients }
+
+let participants t = t.clients
+
+let check_open t op = if t.clients = [] then invalid_arg (Printf.sprintf "Dist_txn.%s: finished" op)
+
+let abort t =
+  check_open t "abort";
+  List.iter (fun c -> if Client.in_txn c then Client.abort c) t.clients;
+  t.clients <- []
+
+let commit t =
+  check_open t "commit";
+  (* Phase 1: every participant ships its dirty pages and votes with a
+     durable Prepare record, keeping its locks. A failure anywhere
+     aborts everyone. *)
+  (try List.iter Client.prepare t.clients
+   with e ->
+     abort t;
+     raise e);
+  (* Phase 2: the decision is commit; deliver it everywhere. A
+     participant that crashes from here on restarts in-doubt and is
+     resolved by Recovery.resolve_in_doubt. *)
+  List.iter Client.commit_prepared t.clients;
+  t.clients <- []

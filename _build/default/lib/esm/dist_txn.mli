@@ -1,0 +1,31 @@
+(** Distributed transactions: a two-phase-commit coordinator.
+
+    The paper distinguishes QuickStore from single-user systems like
+    Texas partly by ESM's "full transaction support including ...
+    support for distributed transactions" (§2). This module provides
+    the coordinator: one logical transaction spanning clients of
+    several servers (volumes), committed atomically with the classic
+    prepare/commit protocol. Participants that crash after voting yes
+    come back {e in-doubt} and are settled by
+    {!Esm.Recovery.resolve_in_doubt} with the coordinator's decision.
+
+    Scope: the coordinator itself is volatile (as in primitive 2PC, a
+    coordinator crash between phases leaves participants in-doubt until
+    an operator resolves them — which is exactly what the recovery API
+    exposes). *)
+
+type t
+
+(** [begin_txn clients] starts one transaction on every client.
+    Clients must be idle. *)
+val begin_txn : Client.t list -> t
+
+val participants : t -> Client.t list
+
+(** Two-phase commit. Phase 1 asks every participant to prepare
+    (flush + durable yes-vote); if any vote fails, every participant
+    aborts and the exception is re-raised. Phase 2 commits all. *)
+val commit : t -> unit
+
+(** Abort everywhere. *)
+val abort : t -> unit

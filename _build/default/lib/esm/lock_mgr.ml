@@ -1,0 +1,74 @@
+type resource = Page_lock of int | File_lock of int
+type mode = Shared | Exclusive
+
+exception Conflict of { resource : resource; holder : int; requester : int }
+
+type t = {
+  table : (resource, (int, mode) Hashtbl.t) Hashtbl.t;  (* resource -> holders *)
+  by_txn : (int, resource list ref) Hashtbl.t;
+}
+
+let create () = { table = Hashtbl.create 1024; by_txn = Hashtbl.create 16 }
+
+let holders t resource =
+  match Hashtbl.find_opt t.table resource with
+  | Some h -> h
+  | None ->
+    let h = Hashtbl.create 4 in
+    Hashtbl.replace t.table resource h;
+    h
+
+let note_held t ~txn resource =
+  let l =
+    match Hashtbl.find_opt t.by_txn txn with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.replace t.by_txn txn l;
+      l
+  in
+  l := resource :: !l
+
+let acquire t ~txn resource mode =
+  let h = holders t resource in
+  let mine = Hashtbl.find_opt h txn in
+  let compatible () =
+    Hashtbl.iter
+      (fun other m ->
+        if other <> txn then begin
+          match (mode, m) with
+          | Shared, Shared -> ()
+          | Shared, Exclusive | Exclusive, Shared | Exclusive, Exclusive ->
+            raise (Conflict { resource; holder = other; requester = txn })
+        end)
+      h
+  in
+  match (mine, mode) with
+  | Some Exclusive, _ -> ()
+  | Some Shared, Shared -> ()
+  | Some Shared, Exclusive ->
+    compatible ();
+    Hashtbl.replace h txn Exclusive
+  | None, _ ->
+    compatible ();
+    Hashtbl.replace h txn mode;
+    note_held t ~txn resource
+
+let held t ~txn resource =
+  match Hashtbl.find_opt t.table resource with None -> None | Some h -> Hashtbl.find_opt h txn
+
+let release_all t ~txn =
+  match Hashtbl.find_opt t.by_txn txn with
+  | None -> ()
+  | Some l ->
+    List.iter
+      (fun resource ->
+        match Hashtbl.find_opt t.table resource with
+        | None -> ()
+        | Some h ->
+          Hashtbl.remove h txn;
+          if Hashtbl.length h = 0 then Hashtbl.remove t.table resource)
+      !l;
+    Hashtbl.remove t.by_txn txn
+
+let outstanding t = Hashtbl.fold (fun _ h acc -> acc + Hashtbl.length h) t.table 0

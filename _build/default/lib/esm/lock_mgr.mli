@@ -1,0 +1,29 @@
+(** Lock manager: strict two-phase locking on pages and files.
+
+    ESM "provides locking at the page and file levels with a special
+    non-2PL protocol for index pages"; index latches are therefore
+    short (acquired and released per node) while page/file locks are
+    held to transaction end. The benchmarks are single-client, so
+    conflicts abort immediately (no-wait) rather than block. *)
+
+type resource = Page_lock of int | File_lock of int
+type mode = Shared | Exclusive
+
+exception Conflict of { resource : resource; holder : int; requester : int }
+
+type t
+
+val create : unit -> t
+
+(** [acquire t ~txn resource mode] grants or upgrades; idempotent for
+    already-held locks. Raises {!Conflict} on incompatibility. *)
+val acquire : t -> txn:int -> resource -> mode -> unit
+
+(** [held t ~txn resource] is the mode currently held, if any. *)
+val held : t -> txn:int -> resource -> mode option
+
+(** Release everything the transaction holds (commit/abort). *)
+val release_all : t -> txn:int -> unit
+
+(** Number of distinct (txn, resource) grants outstanding. *)
+val outstanding : t -> int

@@ -1,0 +1,35 @@
+type t = { volume : int; page : int; slot : int; unique : int }
+
+let disk_size = 16
+let make ?(volume = 1) ~page ~slot ~unique () = { volume; page; slot; unique }
+let null = { volume = 0; page = 0; slot = 0; unique = 0 }
+let is_null t = t.volume = 0 && t.page = 0 && t.slot = 0 && t.unique = 0
+let equal a b = a.volume = b.volume && a.page = b.page && a.slot = b.slot && a.unique = b.unique
+
+let compare a b =
+  let c = Int.compare a.volume b.volume in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.page b.page in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.slot b.slot in
+      if c <> 0 then c else Int.compare a.unique b.unique
+
+let hash t = Hashtbl.hash (t.volume, t.page, t.slot, t.unique)
+
+let write b off t =
+  Qs_util.Codec.set_u32 b off t.volume;
+  Qs_util.Codec.set_u32 b (off + 4) t.page;
+  Qs_util.Codec.set_u16 b (off + 8) t.slot;
+  Qs_util.Codec.set_u32 b (off + 10) t.unique;
+  Qs_util.Codec.set_u16 b (off + 14) 0
+
+let read b off =
+  { volume = Qs_util.Codec.get_u32 b off
+  ; page = Qs_util.Codec.get_u32 b (off + 4)
+  ; slot = Qs_util.Codec.get_u16 b (off + 8)
+  ; unique = Qs_util.Codec.get_u32 b (off + 10) }
+
+let pp ppf t = Format.fprintf ppf "<%d:%d.%d#%d>" t.volume t.page t.slot t.unique
+let to_string t = Format.asprintf "%a" pp t

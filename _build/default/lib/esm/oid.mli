@@ -1,0 +1,23 @@
+(** Object identifiers.
+
+    ESM OIDs are physical: volume, page, slot, plus a uniqueness stamp
+    that detects dangling references when a slot is reused. The E
+    language stores these 16-byte OIDs *inside* persistent objects —
+    which is exactly why its database is ~1.6x the size of
+    QuickStore's (Table 2). *)
+
+type t = { volume : int; page : int; slot : int; unique : int }
+
+(** On-disk size in bytes (matches E's big pointers). *)
+val disk_size : int
+
+val make : ?volume:int -> page:int -> slot:int -> unique:int -> unit -> t
+val null : t
+val is_null : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val write : bytes -> int -> t -> unit
+val read : bytes -> int -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

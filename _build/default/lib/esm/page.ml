@@ -1,0 +1,164 @@
+type kind = Small_obj | Large_part | Btree_node | Meta
+
+let page_size = 8192
+let header_size = 32
+let slot_entry_size = 8
+let magic = 0xE50D
+
+(* Header layout (all little-endian):
+   0  u16 magic
+   2  u8  kind
+   3  u8  flags (unused)
+   4  u32 page_id
+   8  i64 lsn
+   16 u16 nslots
+   18 u16 free_off     -- first unallocated byte of object space
+   20 u32 next_unique  -- per-page uniqueness counter for slot stamps
+   24..31 reserved
+   The slot directory grows downward from the end of the page; entry i
+   occupies [page_size - 8*(i+1)] as (off u16, len u16, unique u32);
+   len = 0 marks a free slot. *)
+
+type t = bytes
+
+exception Page_full
+
+let kind_to_int = function Small_obj -> 0 | Large_part -> 1 | Btree_node -> 2 | Meta -> 3
+
+let kind_of_int = function
+  | 0 -> Small_obj
+  | 1 -> Large_part
+  | 2 -> Btree_node
+  | 3 -> Meta
+  | n -> invalid_arg (Printf.sprintf "Page.kind_of_int: %d" n)
+
+let attach b =
+  if Bytes.length b <> page_size then invalid_arg "Page.attach: wrong size";
+  if Qs_util.Codec.get_u16 b 0 <> magic then invalid_arg "Page.attach: bad magic";
+  b
+
+let init b ~kind ~page_id =
+  if Bytes.length b <> page_size then invalid_arg "Page.init: wrong size";
+  Bytes.fill b 0 page_size '\000';
+  Qs_util.Codec.set_u16 b 0 magic;
+  Qs_util.Codec.set_u8 b 2 (kind_to_int kind);
+  Qs_util.Codec.set_u32 b 4 page_id;
+  Qs_util.Codec.set_i64 b 8 0L;
+  Qs_util.Codec.set_u16 b 16 0;
+  Qs_util.Codec.set_u16 b 18 header_size;
+  Qs_util.Codec.set_u32 b 20 1;
+  b
+
+let raw t = t
+let kind t = kind_of_int (Qs_util.Codec.get_u8 t 2)
+let page_id t = Qs_util.Codec.get_u32 t 4
+let lsn t = Qs_util.Codec.get_i64 t 8
+let set_lsn t v = Qs_util.Codec.set_i64 t 8 v
+let nslots t = Qs_util.Codec.get_u16 t 16
+let free_off t = Qs_util.Codec.get_u16 t 18
+let set_nslots t v = Qs_util.Codec.set_u16 t 16 v
+let set_free_off t v = Qs_util.Codec.set_u16 t 18 v
+let slot_pos slot = page_size - (slot_entry_size * (slot + 1))
+
+let slot_entry t slot =
+  let p = slot_pos slot in
+  (Qs_util.Codec.get_u16 t p, Qs_util.Codec.get_u16 t (p + 2))
+
+let set_slot_entry t slot ~off ~len =
+  let p = slot_pos slot in
+  Qs_util.Codec.set_u16 t p off;
+  Qs_util.Codec.set_u16 t (p + 2) len
+
+let fresh_unique t =
+  let u = Qs_util.Codec.get_u32 t 20 in
+  Qs_util.Codec.set_u32 t 20 (u + 1);
+  u
+
+let set_slot_unique t slot u = Qs_util.Codec.set_u32 t (slot_pos slot + 4) u
+
+let slot_dir_start t = page_size - (slot_entry_size * nslots t)
+let free_space_raw t = slot_dir_start t - free_off t
+let free_space t = max 0 (free_space_raw t - slot_entry_size)
+
+let slot_is_live t slot =
+  slot >= 0
+  && slot < nslots t
+  &&
+  let _, len = slot_entry t slot in
+  len > 0
+
+let find_free_slot t =
+  let n = nslots t in
+  let rec go i = if i >= n then None else if not (slot_is_live t i) then Some i else go (i + 1) in
+  go 0
+
+let place t ~slot data =
+  let len = Bytes.length data in
+  let off = free_off t in
+  Bytes.blit data 0 t off len;
+  set_free_off t (off + len);
+  set_slot_entry t slot ~off ~len;
+  set_slot_unique t slot (fresh_unique t)
+
+let insert t data =
+  let len = Bytes.length data in
+  if len = 0 || len > page_size - header_size - slot_entry_size then
+    invalid_arg "Page.insert: bad object size";
+  match find_free_slot t with
+  | Some slot ->
+    if len > free_space_raw t then raise Page_full;
+    place t ~slot data;
+    slot
+  | None ->
+    if len + slot_entry_size > free_space_raw t then raise Page_full;
+    let slot = nslots t in
+    set_nslots t (slot + 1);
+    place t ~slot data;
+    slot
+
+let insert_at t ~slot data =
+  let len = Bytes.length data in
+  if len = 0 then invalid_arg "Page.insert_at: empty object";
+  if slot_is_live t slot then invalid_arg "Page.insert_at: slot taken";
+  let new_slots = max (nslots t) (slot + 1) in
+  let grow = (new_slots - nslots t) * slot_entry_size in
+  if len + grow > free_space_raw t then raise Page_full;
+  (* Mark any newly covered directory entries free before growing. *)
+  for s = nslots t to new_slots - 1 do
+    set_slot_entry t s ~off:0 ~len:0
+  done;
+  set_nslots t new_slots;
+  place t ~slot data
+
+let slot_span t slot =
+  if not (slot_is_live t slot) then raise Not_found;
+  slot_entry t slot
+
+let slot_unique t slot =
+  if not (slot_is_live t slot) then raise Not_found;
+  Qs_util.Codec.get_u32 t (slot_pos slot + 4)
+
+let read_slot t slot =
+  let off, len = slot_span t slot in
+  Bytes.sub t off len
+
+let write_slot t ~slot ~off data =
+  let base, len = slot_span t slot in
+  let n = Bytes.length data in
+  if off < 0 || off + n > len then invalid_arg "Page.write_slot: out of object bounds";
+  Bytes.blit data 0 t (base + off) n
+
+let delete_slot t slot =
+  let _ = slot_span t slot in
+  set_slot_entry t slot ~off:0 ~len:0
+
+let iter_slots f t =
+  for slot = 0 to nslots t - 1 do
+    let off, len = slot_entry t slot in
+    if len > 0 then f ~slot ~off ~len
+  done
+
+let live_bytes t =
+  let n = ref 0 in
+  iter_slots (fun ~slot:_ ~off:_ ~len -> n := !n + len) t;
+  !n

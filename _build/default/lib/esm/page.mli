@@ -1,0 +1,78 @@
+(** 8 KB slotted pages.
+
+    The unit of disk storage, buffering, and client-server transfer
+    (the paper's ESM V3.0 used 8 KB pages as the shipping unit).
+    Objects are placed at stable offsets and never move within a page —
+    a hard requirement of QuickStore's pointer format, where the low
+    13 bits of a pointer are an offset into the page's frame. *)
+
+type kind =
+  | Small_obj  (** sets of objects smaller than a page *)
+  | Large_part  (** one page of a multi-page object *)
+  | Btree_node
+  | Meta  (** volume header, schema, persistent counters *)
+
+val page_size : int
+val header_size : int
+val slot_entry_size : int
+
+(** A page is a view over exactly [page_size] bytes; operations mutate
+    the underlying buffer in place (frames of a buffer pool). *)
+type t
+
+(** [attach b] views existing page bytes. Raises if [b] has the wrong
+    length. *)
+val attach : bytes -> t
+
+(** [init b ~kind ~page_id] formats [b] as an empty page. *)
+val init : bytes -> kind:kind -> page_id:int -> t
+
+val raw : t -> bytes
+val kind : t -> kind
+val page_id : t -> int
+val lsn : t -> int64
+val set_lsn : t -> int64 -> unit
+val nslots : t -> int
+
+(** Contiguous free bytes available for one more object (accounts for
+    the slot-directory entry a fresh slot would need). *)
+val free_space : t -> int
+
+(** [insert t data] places an object, returning its slot. Reuses a free
+    slot index if one exists (the space of deleted objects is not
+    reclaimed: objects never move). Raises [Page_full] if it does not
+    fit. *)
+val insert : t -> bytes -> int
+
+exception Page_full
+
+(** [insert_at t ~slot data] inserts requiring a specific slot index;
+    used to keep slot 0 for QuickStore's per-page meta-object. Raises
+    [Invalid_argument] if the slot is taken. *)
+val insert_at : t -> slot:int -> bytes -> unit
+
+(** [slot_span t slot] is [(offset, length)] of a live object. Raises
+    [Not_found] for free or out-of-range slots. *)
+val slot_span : t -> int -> int * int
+
+(** Uniqueness stamp assigned when the slot was last filled; E verifies
+    it on every dereference ("checked references", §4.5.2). Raises
+    [Not_found] for free slots. *)
+val slot_unique : t -> int -> int
+
+val slot_is_live : t -> int -> bool
+
+(** Copy of the object's bytes. *)
+val read_slot : t -> int -> bytes
+
+(** [write_slot t slot ~off data] overwrites part of an object in
+    place; bounds-checked against the slot's span. *)
+val write_slot : t -> slot:int -> off:int -> bytes -> unit
+
+(** Frees the slot; the space is not reclaimed. *)
+val delete_slot : t -> int -> unit
+
+val iter_slots : (slot:int -> off:int -> len:int -> unit) -> t -> unit
+
+(** Total bytes occupied by live objects. *)
+val live_bytes : t -> int

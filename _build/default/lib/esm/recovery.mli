@@ -1,0 +1,36 @@
+(** Restart recovery from the forced log.
+
+    Call after {!Server.crash}. Three phases, ARIES-flavoured:
+
+    - {b analysis}: classify transactions into finished (Commit/Abort
+      record present) and losers;
+    - {b redo}: replay physical update records in LSN order against the
+      disk image, guarded by page LSNs; then replay logical index
+      records of finished transactions (idempotent);
+    - {b undo}: apply losers' before-images in reverse, logging
+      compensations, invert their logical index operations, and write
+      Abort records.
+
+    Known limitation (documented in DESIGN.md): a B-tree structural
+    change (split) is crash-atomic only at commit boundaries; a loser
+    transaction whose split pages reached disk through mid-transaction
+    steal can leave orphan index pages (never corrupt committed data).
+*)
+
+(** Run restart recovery; returns statistics. *)
+type stats = {
+  redo_applied : int;
+  redo_skipped : int;
+  logical_replayed : int;
+  losers_undone : int;
+  loser_updates_undone : int;
+  in_doubt : int list;
+      (** prepared two-phase-commit participants awaiting the
+          coordinator's decision; resolve with {!resolve_in_doubt} *)
+}
+
+val restart : Server.t -> stats
+
+(** Deliver the coordinator's decision for an in-doubt transaction
+    found by {!restart}. *)
+val resolve_in_doubt : Server.t -> int -> [ `Commit | `Abort ] -> unit

@@ -1,0 +1,92 @@
+(* Meta-page body: u16 count, then count entries of
+   (u8 name-length, name, u16 value-length, value). Rewritten wholesale
+   on each mutation — root updates are rare and tiny. *)
+
+let body = 32
+
+let format_db client =
+  let page_id, frame = Client.new_page client ~kind:Page.Meta in
+  Fun.protect
+    ~finally:(fun () -> Client.unfix_page client ~frame)
+    (fun () ->
+      let b = Client.page_bytes client ~frame in
+      Qs_util.Codec.set_u16 b body 0;
+      Client.lock_page client page_id Lock_mgr.Exclusive;
+      Client.log_update client ~page_id ~frame ~off:body ~old_data:(Bytes.make 2 '\000')
+        ~new_data:(Bytes.sub b body 2);
+      Client.mark_dirty client ~frame;
+      page_id)
+
+let with_meta client meta_page f =
+  let frame = Client.fix_page client ~kind:Server.Data meta_page in
+  Fun.protect
+    ~finally:(fun () -> Client.unfix_page client ~frame)
+    (fun () -> f frame (Client.page_bytes client ~frame))
+
+let read_entries b =
+  let count = Qs_util.Codec.get_u16 b body in
+  let pos = ref (body + 2) in
+  List.init count (fun _ ->
+      let nlen = Qs_util.Codec.get_u8 b !pos in
+      let name = Bytes.sub_string b (!pos + 1) nlen in
+      let vlen = Qs_util.Codec.get_u16 b (!pos + 1 + nlen) in
+      let value = Bytes.sub b (!pos + 3 + nlen) vlen in
+      pos := !pos + 3 + nlen + vlen;
+      (name, value))
+
+let encoded_size entries =
+  List.fold_left (fun acc (n, v) -> acc + 3 + String.length n + Bytes.length v) 2 entries
+
+let write_entries client meta_page frame b entries =
+  let size = encoded_size entries in
+  if body + size > Page.page_size then invalid_arg "Root_dir: directory full";
+  let old_len = max size (encoded_size (read_entries b)) in
+  let old_data = Bytes.sub b body old_len in
+  Qs_util.Codec.set_u16 b body (List.length entries);
+  let pos = ref (body + 2) in
+  List.iter
+    (fun (n, v) ->
+      Qs_util.Codec.set_u8 b !pos (String.length n);
+      Qs_util.Codec.set_string b (!pos + 1) n;
+      Qs_util.Codec.set_u16 b (!pos + 1 + String.length n) (Bytes.length v);
+      Bytes.blit v 0 b (!pos + 3 + String.length n) (Bytes.length v);
+      pos := !pos + 3 + String.length n + Bytes.length v)
+    entries;
+  Client.lock_page client meta_page Lock_mgr.Exclusive;
+  Client.log_update client ~page_id:meta_page ~frame ~off:body ~old_data
+    ~new_data:(Bytes.sub b body old_len);
+  Client.mark_dirty client ~frame
+
+let set client ~meta_page name value =
+  if String.length name > 255 then invalid_arg "Root_dir.set: name too long";
+  with_meta client meta_page (fun frame b ->
+      let entries = read_entries b in
+      let entries = List.remove_assoc name entries @ [ (name, value) ] in
+      write_entries client meta_page frame b entries)
+
+let get client ~meta_page name =
+  with_meta client meta_page (fun _frame b -> List.assoc_opt name (read_entries b))
+
+let remove client ~meta_page name =
+  with_meta client meta_page (fun frame b ->
+      let entries = read_entries b in
+      if List.mem_assoc name entries then
+        write_entries client meta_page frame b (List.remove_assoc name entries))
+
+let names client ~meta_page =
+  with_meta client meta_page (fun _frame b -> List.map fst (read_entries b))
+
+let set_oid client ~meta_page name oid =
+  let b = Bytes.create Oid.disk_size in
+  Oid.write b 0 oid;
+  set client ~meta_page name b
+
+let get_oid client ~meta_page name = Option.map (fun b -> Oid.read b 0) (get client ~meta_page name)
+
+let set_int client ~meta_page name v =
+  let b = Bytes.create 8 in
+  Qs_util.Codec.set_i64 b 0 (Int64.of_int v);
+  set client ~meta_page name b
+
+let get_int client ~meta_page name =
+  Option.map (fun b -> Int64.to_int (Qs_util.Codec.get_i64 b 0)) (get client ~meta_page name)

@@ -1,0 +1,24 @@
+(** Named persistent roots.
+
+    A database needs well-known entry points: OO7 module OIDs, index
+    root pages, QuickStore's persistent frame counter and schema
+    object. They live as a serialized association list on a dedicated
+    Meta page created by {!format_db} (page 1 of a fresh volume by
+    convention). Values are small byte strings; callers encode OIDs or
+    integers with {!Codec}/{!Oid}. *)
+
+(** Create the meta page inside the current transaction; returns its
+    page id. *)
+val format_db : Client.t -> int
+
+val set : Client.t -> meta_page:int -> string -> bytes -> unit
+val get : Client.t -> meta_page:int -> string -> bytes option
+val remove : Client.t -> meta_page:int -> string -> unit
+val names : Client.t -> meta_page:int -> string list
+
+(** Convenience encodings. *)
+val set_oid : Client.t -> meta_page:int -> string -> Oid.t -> unit
+
+val get_oid : Client.t -> meta_page:int -> string -> Oid.t option
+val set_int : Client.t -> meta_page:int -> string -> int -> unit
+val get_int : Client.t -> meta_page:int -> string -> int option

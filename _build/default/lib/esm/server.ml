@@ -1,0 +1,312 @@
+type io_kind = Data | Map | Index
+
+type counters = {
+  mutable client_reads : int;
+  mutable client_reads_data : int;
+  mutable client_reads_map : int;
+  mutable client_reads_index : int;
+  mutable client_writes : int;
+  mutable server_pool_hits : int;
+}
+
+exception Injected_crash
+
+type t = {
+  disk : Disk.t;
+  mutable wal : Wal.t;
+  mutable locks : Lock_mgr.t;
+  mutable pool : Buf_pool.t;
+  frames : int;
+  clock : Simclock.Clock.t;
+  cm : Simclock.Cost_model.t;
+  counters : counters;
+  mutable next_txn : int;
+  mutable active : (int, unit) Hashtbl.t;
+  mutable txn_updates : (int, Wal.record list ref) Hashtbl.t;  (* newest first *)
+  mutable txn_dirty : (int, (int, unit) Hashtbl.t) Hashtbl.t;  (* server-side pages to flush *)
+  mutable index_undo : Wal.record -> unit;
+  mutable fail_after_writes : int option;  (* fault injection: crash mid-flush *)
+}
+
+let create_with_disk ?(frames = 4608) ~disk ~clock ~cm () =
+  { disk
+  ; wal = Wal.create ()
+  ; locks = Lock_mgr.create ()
+  ; pool = Buf_pool.create ~frames
+  ; frames
+  ; clock
+  ; cm
+  ; counters =
+      { client_reads = 0
+      ; client_reads_data = 0
+      ; client_reads_map = 0
+      ; client_reads_index = 0
+      ; client_writes = 0
+      ; server_pool_hits = 0 }
+  ; next_txn = 1
+  ; active = Hashtbl.create 8
+  ; txn_updates = Hashtbl.create 8
+  ; txn_dirty = Hashtbl.create 8
+  ; index_undo = (fun _ -> ())
+  ; fail_after_writes = None }
+
+let create ?frames ~clock ~cm () = create_with_disk ?frames ~disk:(Disk.create ()) ~clock ~cm ()
+
+let disk t = t.disk
+let clock t = t.clock
+let cost_model t = t.cm
+let wal t = t.wal
+let counters t = t.counters
+
+let reset_counters t =
+  let c = t.counters in
+  c.client_reads <- 0;
+  c.client_reads_data <- 0;
+  c.client_reads_map <- 0;
+  c.client_reads_index <- 0;
+  c.client_writes <- 0;
+  c.server_pool_hits <- 0
+
+let begin_txn t =
+  let txn = t.next_txn in
+  t.next_txn <- txn + 1;
+  Hashtbl.replace t.active txn ();
+  Hashtbl.replace t.txn_updates txn (ref []);
+  Hashtbl.replace t.txn_dirty txn (Hashtbl.create 32);
+  ignore (Wal.append t.wal (Wal.Begin txn));
+  txn
+
+let is_active t txn = Hashtbl.mem t.active txn
+
+let check_active t txn op =
+  if not (is_active t txn) then invalid_arg (Printf.sprintf "Server.%s: txn %d not active" op txn)
+
+let category_of_kind = function
+  | Data | Index -> Simclock.Category.Data_io
+  | Map -> Simclock.Category.Map_io
+
+(* Write a dirty server frame to disk (server-pool eviction under
+   memory pressure); charged as part of serving the current request. *)
+let flush_frame ?(charged = true) t frame =
+  match Buf_pool.page_of_frame t.pool frame with
+  | None -> ()
+  | Some page_id ->
+    if Buf_pool.is_dirty t.pool frame then begin
+      Disk.write t.disk page_id (Buf_pool.frame_bytes t.pool frame);
+      if charged then
+        Simclock.Clock.charge t.clock Simclock.Category.Data_io t.cm.Simclock.Cost_model.server_disk_write_us;
+      Buf_pool.clear_dirty t.pool frame
+    end
+
+let take_frame ?charged t =
+  match Buf_pool.free_frame t.pool with
+  | Some f -> f
+  | None ->
+    let f = Buf_pool.clock_victim t.pool in
+    flush_frame ?charged t f;
+    Buf_pool.evict t.pool f;
+    f
+
+(* The page's server-resident bytes, loading from disk if needed.
+   [charge_miss] charges the disk read to [cat]. *)
+let resident_bytes t ~cat ~charge_miss page_id =
+  match Buf_pool.lookup t.pool page_id with
+  | Some f ->
+    Buf_pool.set_ref_bit t.pool f true;
+    (f, true)
+  | None ->
+    let f = take_frame t in
+    Disk.read t.disk page_id (Buf_pool.frame_bytes t.pool f);
+    if charge_miss then Simclock.Clock.charge t.clock cat t.cm.Simclock.Cost_model.server_disk_read_us;
+    Buf_pool.install t.pool ~frame:f ~page_id;
+    (f, false)
+
+let read_page t ~txn ~kind page_id dst =
+  check_active t txn "read_page";
+  let c = t.counters in
+  c.client_reads <- c.client_reads + 1;
+  (match kind with
+   | Data -> c.client_reads_data <- c.client_reads_data + 1
+   | Map -> c.client_reads_map <- c.client_reads_map + 1
+   | Index -> c.client_reads_index <- c.client_reads_index + 1);
+  let cat = category_of_kind kind in
+  let f, hit = resident_bytes t ~cat ~charge_miss:true page_id in
+  if hit then c.server_pool_hits <- c.server_pool_hits + 1;
+  Simclock.Clock.charge t.clock cat t.cm.Simclock.Cost_model.net_ship_us;
+  Bytes.blit (Buf_pool.frame_bytes t.pool f) 0 dst 0 Page.page_size
+
+let note_txn_dirty t txn page_id =
+  match Hashtbl.find_opt t.txn_dirty txn with
+  | Some h -> Hashtbl.replace h page_id ()
+  | None -> ()
+
+let write_page t ~txn ~at_commit page_id src =
+  check_active t txn "write_page";
+  (match t.fail_after_writes with
+   | Some 0 -> raise Injected_crash
+   | Some n -> t.fail_after_writes <- Some (n - 1)
+   | None -> ());
+  t.counters.client_writes <- t.counters.client_writes + 1;
+  let cm = t.cm in
+  if at_commit then
+    Simclock.Clock.charge t.clock Simclock.Category.Commit_flush cm.Simclock.Cost_model.commit_flush_page_us
+  else Simclock.Clock.charge t.clock Simclock.Category.Data_io cm.Simclock.Cost_model.net_ship_us;
+  let f =
+    match Buf_pool.lookup t.pool page_id with
+    | Some f -> f
+    | None ->
+      let f = take_frame t in
+      Buf_pool.install t.pool ~frame:f ~page_id;
+      f
+  in
+  Bytes.blit src 0 (Buf_pool.frame_bytes t.pool f) 0 Page.page_size;
+  Buf_pool.mark_dirty t.pool f;
+  Buf_pool.set_ref_bit t.pool f true;
+  note_txn_dirty t txn page_id
+
+let alloc_page t =
+  Simclock.Clock.charge t.clock Simclock.Category.Lock_acquire t.cm.Simclock.Cost_model.lock_us;
+  Disk.alloc t.disk
+
+let free_page t page_id =
+  (match Buf_pool.lookup t.pool page_id with
+   | Some f ->
+     Buf_pool.clear_dirty t.pool f;
+     Buf_pool.evict t.pool f
+   | None -> ());
+  Disk.free t.disk page_id
+
+let lock t ~txn resource mode =
+  check_active t txn "lock";
+  (* Charge only when the request actually goes to the lock manager
+     (repeat requests on held locks are free client-side checks). *)
+  let already =
+    match (Lock_mgr.held t.locks ~txn resource, mode) with
+    | Some Lock_mgr.Exclusive, _ -> true
+    | Some Lock_mgr.Shared, Lock_mgr.Shared -> true
+    | Some Lock_mgr.Shared, Lock_mgr.Exclusive | None, _ -> false
+  in
+  if not already then Simclock.Clock.charge t.clock Simclock.Category.Lock_acquire t.cm.Simclock.Cost_model.lock_us;
+  Lock_mgr.acquire t.locks ~txn resource mode
+
+let lock_held t ~txn resource = Lock_mgr.held t.locks ~txn resource
+
+let log_update t ~txn ~page ~off ~old_data ~new_data =
+  check_active t txn "log_update";
+  Simclock.Clock.charge t.clock Simclock.Category.Log_write t.cm.Simclock.Cost_model.log_record_cpu_us;
+  let lsn = Wal.append t.wal (Wal.Update { txn; page; off; old_data; new_data }) in
+  (match Hashtbl.find_opt t.txn_updates txn with
+   | Some l -> l := Wal.Update { txn; page; off; old_data; new_data } :: !l
+   | None -> ());
+  lsn
+
+let log_index t ~txn record =
+  check_active t txn "log_index";
+  (match record with
+   | Wal.Index_insert _ | Wal.Index_delete _ -> ()
+   | Wal.Begin _ | Wal.Update _ | Wal.Prepare _ | Wal.Commit _ | Wal.Abort _ ->
+     invalid_arg "Server.log_index: not an index record");
+  Simclock.Clock.charge t.clock Simclock.Category.Log_write t.cm.Simclock.Cost_model.log_record_cpu_us;
+  let lsn = Wal.append t.wal record in
+  (match Hashtbl.find_opt t.txn_updates txn with
+   | Some l -> l := record :: !l
+   | None -> ());
+  lsn
+
+let set_index_undo t f = t.index_undo <- f
+
+let force_log t =
+  let pages = Wal.force t.wal in
+  Simclock.Clock.charge_n t.clock Simclock.Category.Commit_flush pages
+    t.cm.Simclock.Cost_model.server_disk_write_us
+
+let flush_txn_pages t txn =
+  match Hashtbl.find_opt t.txn_dirty txn with
+  | None -> ()
+  | Some h ->
+    Hashtbl.iter
+      (fun page_id () ->
+        match Buf_pool.lookup t.pool page_id with
+        | Some f ->
+          Disk.write t.disk page_id (Buf_pool.frame_bytes t.pool f);
+          Buf_pool.clear_dirty t.pool f
+        | None -> ())
+      h
+
+let finish_txn t txn =
+  Lock_mgr.release_all t.locks ~txn;
+  Hashtbl.remove t.active txn;
+  Hashtbl.remove t.txn_updates txn;
+  Hashtbl.remove t.txn_dirty txn
+
+let commit t ~txn =
+  check_active t txn "commit";
+  ignore (Wal.append t.wal (Wal.Commit txn));
+  force_log t;
+  flush_txn_pages t txn;
+  finish_txn t txn
+
+(* Two-phase commit, participant side: make the transaction's effects
+   durable and vote yes. The transaction stays active (locks held)
+   until the coordinator's decision arrives via [commit] or [abort]. *)
+let prepare t ~txn =
+  check_active t txn "prepare";
+  ignore (Wal.append t.wal (Wal.Prepare txn));
+  force_log t;
+  flush_txn_pages t txn
+
+let abort t ~txn =
+  check_active t txn "abort";
+  let updates = match Hashtbl.find_opt t.txn_updates txn with Some l -> !l | None -> [] in
+  (* Apply before-images newest-first, logging each as a compensation
+     update so that restart redo replays the undo as well. *)
+  List.iter
+    (fun rec_ ->
+      match rec_ with
+      | Wal.Update { page; off; old_data; new_data; _ } ->
+        let clr_lsn =
+          Wal.append t.wal (Wal.Update { txn; page; off; old_data = new_data; new_data = old_data })
+        in
+        Simclock.Clock.charge t.clock Simclock.Category.Log_write t.cm.Simclock.Cost_model.log_record_cpu_us;
+        let f, _hit = resident_bytes t ~cat:Simclock.Category.Data_io ~charge_miss:true page in
+        let b = Buf_pool.frame_bytes t.pool f in
+        Bytes.blit old_data 0 b off (Bytes.length old_data);
+        Page.set_lsn (Page.attach b) clr_lsn;
+        Buf_pool.mark_dirty t.pool f;
+        note_txn_dirty t txn page
+      | Wal.Index_insert { root; key; oid; _ } ->
+        ignore (Wal.append t.wal (Wal.Index_delete { txn; root; key; oid }));
+        t.index_undo (Wal.Index_delete { txn; root; key; oid })
+      | Wal.Index_delete { root; key; oid; _ } ->
+        ignore (Wal.append t.wal (Wal.Index_insert { txn; root; key; oid }));
+        t.index_undo (Wal.Index_insert { txn; root; key; oid })
+      | Wal.Begin _ | Wal.Prepare _ | Wal.Commit _ | Wal.Abort _ -> ())
+    updates;
+  ignore (Wal.append t.wal (Wal.Abort txn));
+  force_log t;
+  flush_txn_pages t txn;
+  finish_txn t txn
+
+(* Checkpoint: make everything durable and drop the log. Requires no
+   active transactions. *)
+let checkpoint t =
+  if Hashtbl.length t.active > 0 then invalid_arg "Server.checkpoint: transactions active";
+  Buf_pool.iter_frames (fun ~frame ~page_id:_ -> flush_frame ~charged:false t frame) t.pool;
+  Wal.truncate t.wal
+
+let reset_cache t =
+  Buf_pool.iter_frames
+    (fun ~frame ~page_id:_ -> flush_frame ~charged:false t frame)
+    t.pool;
+  Buf_pool.clear t.pool
+
+let inject_crash_after_writes t n = t.fail_after_writes <- Some n
+
+let crash t =
+  t.pool <- Buf_pool.create ~frames:t.frames;
+  t.wal <- Wal.survive_crash t.wal;
+  t.locks <- Lock_mgr.create ();
+  t.active <- Hashtbl.create 8;
+  t.txn_updates <- Hashtbl.create 8;
+  t.txn_dirty <- Hashtbl.create 8;
+  t.fail_after_writes <- None

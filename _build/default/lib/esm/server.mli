@@ -1,0 +1,129 @@
+(** The ESM page server.
+
+    Clients request whole 8 KB pages over the (simulated) network; the
+    server answers from its own buffer pool or reads the raw volume,
+    exactly the page-shipping architecture of §4.4. The server also
+    owns the write-ahead log, the lock manager and the transaction
+    table, and charges every modeled cost to the shared simulated
+    clock. *)
+
+type t
+
+(** Read-request categories let QuickStore separate Table 6's "data
+    I/O" from "map I/O"; index reads are charged to the same data
+    channel but counted separately. *)
+type io_kind = Data | Map | Index
+
+val create :
+  ?frames:int (** server pool frames; paper default 4608 (36 MB) *) ->
+  clock:Simclock.Clock.t ->
+  cm:Simclock.Cost_model.t ->
+  unit ->
+  t
+
+(** Attach a server to an existing volume (e.g. one loaded from a
+    saved image). *)
+val create_with_disk :
+  ?frames:int -> disk:Disk.t -> clock:Simclock.Clock.t -> cm:Simclock.Cost_model.t -> unit -> t
+
+val disk : t -> Disk.t
+val clock : t -> Simclock.Clock.t
+val cost_model : t -> Simclock.Cost_model.t
+
+(** {2 Transactions} *)
+
+val begin_txn : t -> int
+val is_active : t -> int -> bool
+
+(** [commit t ~txn] logs the commit, forces the log (charged to
+    Commit_flush), writes the transaction's dirty server-side pages to
+    disk, and releases locks. The client must have shipped its dirty
+    pages first via {!write_page}. *)
+val commit : t -> txn:int -> unit
+
+(** [abort t ~txn] undoes the transaction's logged updates against the
+    server/disk state (before-images, reverse order), logs the abort
+    and releases locks. *)
+val abort : t -> txn:int -> unit
+
+(** Two-phase commit, participant side: force the log (with a durable
+    Prepare record) and flush the transaction's pages. The transaction
+    stays active — locks held — until {!commit} or {!abort} delivers
+    the coordinator's decision. After a crash the transaction is
+    {e in-doubt}: {!Recovery.restart} neither undoes nor commits it
+    (see {!Recovery.resolve_in_doubt}). *)
+val prepare : t -> txn:int -> unit
+
+(** {2 Page service} *)
+
+(** [read_page t ~txn ~kind page_id dst] ships the page to the client.
+    Charges net ship plus a disk read on a server-pool miss, and counts
+    one client I/O request (the unit reported in Tables 3/4/8/9). *)
+val read_page : t -> txn:int -> kind:io_kind -> int -> bytes -> unit
+
+(** [write_page t ~txn ~at_commit page_id src] receives a dirty page
+    from the client. With [at_commit:true] the charge is the per-page
+    commit-flush cost; otherwise it is a mid-transaction write-back
+    (network ship now, disk write when the server pool evicts it). *)
+val write_page : t -> txn:int -> at_commit:bool -> int -> bytes -> unit
+
+val alloc_page : t -> int
+val free_page : t -> int -> unit
+
+(** {2 Locks and logging} *)
+
+val lock : t -> txn:int -> Lock_mgr.resource -> Lock_mgr.mode -> unit
+val lock_held : t -> txn:int -> Lock_mgr.resource -> Lock_mgr.mode option
+
+(** Append an update record on behalf of a client; returns its LSN.
+    Charges log-record CPU. *)
+val log_update : t -> txn:int -> page:int -> off:int -> old_data:bytes -> new_data:bytes -> int64
+
+(** {2 Failure simulation} *)
+
+(** Empty the server buffer pool (cold-run protocol). Flushes dirty
+    frames to disk first, without charging (experiment setup, not
+    measured time). *)
+val reset_cache : t -> unit
+
+(** Checkpoint: flush all dirty server pages to disk and truncate the
+    log (used between benchmark phases to bound memory; requires no
+    active transactions). *)
+val checkpoint : t -> unit
+
+(** Simulate a server crash: volatile state (buffer pool, transaction
+    table, lock table) is lost; only the disk and the forced log
+    survive. Restart recovery is in {!Recovery}. *)
+val crash : t -> unit
+
+(** Fault injection: raised by {!write_page} once the injected
+    countdown reaches zero, cutting a commit flush mid-stream. *)
+exception Injected_crash
+
+(** Arm the fault: the [n+1]-th subsequent page write raises
+    {!Injected_crash}. Disarmed by {!crash}. *)
+val inject_crash_after_writes : t -> int -> unit
+
+val wal : t -> Wal.t
+
+(** {2 Counters} *)
+
+type counters = {
+  mutable client_reads : int;  (** client I/O (read) requests *)
+  mutable client_reads_data : int;
+  mutable client_reads_map : int;
+  mutable client_reads_index : int;
+  mutable client_writes : int;  (** pages shipped back by clients *)
+  mutable server_pool_hits : int;
+}
+
+val counters : t -> counters
+val reset_counters : t -> unit
+
+(** Append a logical index record ({!Wal.Index_insert} /
+    {!Wal.Index_delete}); returns its LSN. *)
+val log_index : t -> txn:int -> Wal.record -> int64
+
+(** Install the handler invoked during {!abort} to apply inverse
+    logical index operations (wired by {!Btree.install_undo_handler}). *)
+val set_index_undo : t -> (Wal.record -> unit) -> unit

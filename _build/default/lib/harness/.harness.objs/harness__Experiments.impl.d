@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: List Measure Oo7 Paper_data Printf Quickstore Report Simclock String System

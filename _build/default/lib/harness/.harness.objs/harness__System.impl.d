@@ -1,0 +1,1 @@
+lib/harness/system.ml: Elang Esm Fun Measure Oo7 Quickstore Simclock

@@ -1,0 +1,47 @@
+(** One measured phase: simulated time plus I/O and category detail. *)
+
+module Clock = Simclock.Clock
+
+type t = {
+  ms : float;  (** simulated milliseconds *)
+  client_reads : int;  (** client I/O read requests (Tables 3/4/8/9) *)
+  reads_data : int;
+  reads_map : int;
+  reads_index : int;
+  client_writes : int;
+  snapshot : Clock.snapshot;  (** per-category detail for Tables 6/7, Fig 11 *)
+  result : int;  (** operation return value (cross-system validation) *)
+}
+
+(** [phase ~clock ~server f] runs [f] and captures what it cost. *)
+let phase ~clock ~server f =
+  let snap = Clock.snapshot clock in
+  let c0 = Esm.Server.counters server in
+  let reads0 = c0.Esm.Server.client_reads
+  and data0 = c0.Esm.Server.client_reads_data
+  and map0 = c0.Esm.Server.client_reads_map
+  and idx0 = c0.Esm.Server.client_reads_index
+  and writes0 = c0.Esm.Server.client_writes in
+  let result = f () in
+  let s = Clock.since clock snap in
+  let c = Esm.Server.counters server in
+  { ms = Clock.snap_total_ms s
+  ; client_reads = c.Esm.Server.client_reads - reads0
+  ; reads_data = c.Esm.Server.client_reads_data - data0
+  ; reads_map = c.Esm.Server.client_reads_map - map0
+  ; reads_index = c.Esm.Server.client_reads_index - idx0
+  ; client_writes = c.Esm.Server.client_writes - writes0
+  ; snapshot = s
+  ; result }
+
+let cat t c = Clock.snap_category_us t.snapshot c /. 1000.0
+
+let zero =
+  { ms = 0.0
+  ; client_reads = 0
+  ; reads_data = 0
+  ; reads_map = 0
+  ; reads_index = 0
+  ; client_writes = 0
+  ; snapshot = Clock.snapshot (Clock.create ())
+  ; result = 0 }

@@ -1,0 +1,72 @@
+(** Reference values from the paper, for the paper-vs-measured columns.
+
+    Exact numbers exist for the I/O tables (3, 4, 8, 9), database sizes
+    (Table 2), per-fault costs (Tables 5, 6) and a handful of detailed
+    §5.2 measurements; response times were published as bar charts, so
+    for those we record the paper's stated *relationships* (who wins
+    and by what factor), which are what the reproduction must match. *)
+
+(* Table 2: database sizes in MB. *)
+let table2 = [ ("QS", 6.6, 54.2); ("E", 10.5, 94.1); ("QS-B", 11.5, 98.5) ]
+
+(* Table 3: client I/O requests, traversals, small. *)
+let table3 =
+  [ ("QS", [ ("T1", 474); ("T6", 467); ("T7", 26); ("T8", 19); ("T9", 9) ])
+  ; ("E", [ ("T1", 1018); ("T6", 600); ("T7", 25); ("T8", 18); ("T9", 7) ])
+  ; ("QS-B", [ ("T1", 1047); ("T6", 639); ("T7", 31); ("T8", 19); ("T9", 9) ]) ]
+
+(* Table 4: client I/O requests, queries, small. *)
+let table4 =
+  [ ("QS", [ ("Q1", 31); ("Q2", 109); ("Q3", 413); ("Q4", 62); ("Q5", 467) ])
+  ; ("E", [ ("Q1", 26); ("Q2", 104); ("Q3", 641); ("Q4", 59); ("Q5", 558) ])
+  ; ("QS-B", [ ("Q1", 33); ("Q2", 121); ("Q3", 663); ("Q4", 74); ("Q5", 583) ]) ]
+
+(* Table 5: average cost per fault in ms (T1, T6). *)
+let table5 = [ ("QS", 29.4, 33.1); ("E", 23.7, 26.5); ("QS-B", 31.6, 34.5) ]
+
+(* Table 6: detailed QS faulting times, ms per fault (T1, T6). *)
+let table6 =
+  [ ("min faults", 1.8, 1.6)
+  ; ("page fault", 0.8, 0.7)
+  ; ("misc. cpu overhead", 0.5, 0.2)
+  ; ("data I/O", 24.8, 28.5)
+  ; ("map I/O", 1.1, 1.1)
+  ; ("swizzling", 0.3, 0.4)
+  ; ("mmap", 0.8, 0.8)
+  ; ("total", 30.2, 33.3) ]
+
+(* Table 8: medium cold traversal I/Os. *)
+let table8 =
+  [ ("QS", [ ("T1", 13216); ("T6", 610); ("T7", 27); ("T8", 130) ])
+  ; ("E", [ ("T1", 35622); ("T6", 558); ("T7", 25); ("T8", 129) ])
+  ; ("QS-B", [ ("T1", 36963); ("T6", 802); ("T7", 32); ("T8", 130) ]) ]
+
+(* Table 9: medium cold query I/Os. *)
+let table9 =
+  [ ("QS", [ ("Q1", 34); ("Q2", 901); ("Q3", 5997); ("Q4", 68); ("Q5", 595) ])
+  ; ("E", [ ("Q1", 26); ("Q2", 919); ("Q3", 8045); ("Q4", 58); ("Q5", 558) ])
+  ; ("QS-B", [ ("Q1", 35); ("Q2", 1095); ("Q3", 10951); ("Q4", 81); ("Q5", 751) ]) ]
+
+(* Paper-stated relationships for the bar-chart figures, written as
+   "time(A) / time(B)" expectations. *)
+type claim = { figure : string; what : string; expect : string }
+
+let claims =
+  [ { figure = "Fig 8"; what = "T1 small cold"; expect = "QS ~37% faster than E" }
+  ; { figure = "Fig 8"; what = "T6 small cold"; expect = "QS ~4% faster than E" }
+  ; { figure = "Fig 8"; what = "T7 small cold"; expect = "QS ~26% slower than E" }
+  ; { figure = "Fig 8"; what = "T8 small cold"; expect = "E ~3x slower than QS" }
+  ; { figure = "Fig 8"; what = "T9 small cold"; expect = "E ~2x faster than QS" }
+  ; { figure = "Fig 9"; what = "Q1 small cold"; expect = "E ~24% faster than QS" }
+  ; { figure = "Fig 9"; what = "Q3 small cold"; expect = "QS ~27% faster than E" }
+  ; { figure = "Fig 9"; what = "Q5 small cold"; expect = "QS ~= E" }
+  ; { figure = "Fig 10"; what = "T2A small"; expect = "QS ~4% faster than E" }
+  ; { figure = "Fig 10"; what = "T2B small"; expect = "QS ~17% faster than E" }
+  ; { figure = "Fig 10"; what = "T2C small"; expect = "QS ~20% faster than E" }
+  ; { figure = "Fig 12"; what = "T1 small hot"; expect = "E ~23% slower than QS" }
+  ; { figure = "Fig 12"; what = "T6 small hot"; expect = "E ~3.6x slower than QS" }
+  ; { figure = "Fig 12"; what = "T8 small hot"; expect = "E ~32x slower than QS" }
+  ; { figure = "Fig 13"; what = "Q5 small hot"; expect = "E ~3.6x slower than QS" }
+  ; { figure = "Fig 14"; what = "T1 medium cold"; expect = "QS ~41% faster than E" }
+  ; { figure = "Fig 15"; what = "queries medium cold"; expect = "E best on all" }
+  ; { figure = "Fig 17"; what = "relocation"; expect = "QS-OR degrades much faster than QS-CR" } ]

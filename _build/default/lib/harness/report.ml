@@ -1,0 +1,40 @@
+(** Plain-text table rendering for the benchmark reports. *)
+
+let render ~title ~header ~rows =
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  let note w row = List.iteri (fun i cell -> if i < ncols then w.(i) <- max w.(i) (String.length cell)) row in
+  note widths header;
+  List.iter (note widths) rows;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let line row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        (* Left-justify the first column, right-justify numbers. *)
+        let pad = widths.(i) - String.length cell in
+        if i = 0 then begin
+          Buffer.add_string buf cell;
+          Buffer.add_string buf (String.make pad ' ')
+        end
+        else begin
+          Buffer.add_string buf (String.make pad ' ');
+          Buffer.add_string buf cell
+        end)
+      row;
+    Buffer.add_char buf '\n'
+  in
+  line header;
+  line (List.map (fun h -> String.make (String.length h) '-') header);
+  List.iter line rows;
+  Buffer.contents buf
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let i v = string_of_int v
+let seconds ms = Printf.sprintf "%.1f" (ms /. 1000.0)
+
+(** "x1.37" style ratio, guarding zero denominators. *)
+let ratio a b = if b = 0.0 then "-" else Printf.sprintf "x%.2f" (a /. b)

@@ -1,0 +1,20 @@
+(** Plain-text table rendering for the benchmark reports. *)
+
+(** [render ~title ~header ~rows] lays the table out with aligned
+    columns: the first column left-justified, the rest right-justified
+    (they hold numbers). *)
+val render : title:string -> header:string list -> rows:string list list -> string
+
+(** One decimal place. *)
+val f1 : float -> string
+
+(** Two decimal places. *)
+val f2 : float -> string
+
+val i : int -> string
+
+(** Milliseconds rendered as seconds with one decimal. *)
+val seconds : float -> string
+
+(** ["x1.37"]-style ratio; ["-"] when the denominator is zero. *)
+val ratio : float -> float -> string

@@ -1,0 +1,117 @@
+(** A benchmark system: one persistence scheme attached to one
+    database, with the paper's cold/hot measurement protocol.
+
+    Protocol (§5.2/§5.3): cold numbers come from running an operation
+    with both client and server caches empty; hot numbers from
+    re-running it inside the same transaction once everything it needs
+    is cached. Update transactions are measured as traversal phase +
+    commit phase (Figures 10 and 11 separate the two). *)
+
+type run_result = {
+  cold : Measure.t;
+  cold_faults : int;  (** data-page faults during the cold phase *)
+  hot : Measure.t option;  (** read-only operations only *)
+  commit : Measure.t option;  (** update operations only *)
+}
+
+type t = {
+  name : string;
+  server : Esm.Server.t;
+  params : Oo7.Params.t;
+  db_size_mb : unit -> float;
+  fault_count : unit -> int;  (** data-page faults during the last cold phase *)
+  run : op:string -> seed:int -> hot_reps:int -> run_result;
+  run_isolated : (unit -> unit) -> unit;  (** misc. access to the store in a txn *)
+}
+
+let total_response r = r.cold.Measure.ms +. match r.commit with Some c -> c.Measure.ms | None -> 0.0
+
+(** Build the harness closures for any store implementing the OO7
+    interface. *)
+module Of_store (S : Oo7.Store_intf.S) = struct
+  module W = Oo7.Workload.Make (S)
+
+  let make (st : S.t) (params : Oo7.Params.t) ~(faults : unit -> int) ~(reset_faults : unit -> unit)
+      =
+    let db = W.attach st params in
+    let server = Esm.Client.server (S.client st) in
+    let clock = S.clock st in
+    let last_cold_faults = ref 0 in
+    let run ~op ~seed ~hot_reps =
+      let kind, fn = W.find_op op in
+      S.reset_caches st;
+      Esm.Server.reset_counters server;
+      reset_faults ();
+      S.begin_txn st;
+      let cold = Measure.phase ~clock ~server (fun () -> fn db ~seed) in
+      last_cold_faults := faults ();
+      let cold_faults = !last_cold_faults in
+      match kind with
+      | W.Read_only ->
+        let hot =
+          if hot_reps <= 0 then None
+          else begin
+            let m = Measure.phase ~clock ~server (fun () ->
+                let r = ref 0 in
+                for _ = 1 to hot_reps do
+                  r := fn db ~seed
+                done;
+                !r)
+            in
+            Some { m with Measure.ms = m.Measure.ms /. float_of_int hot_reps }
+          end
+        in
+        S.commit st;
+        { cold; cold_faults; hot; commit = None }
+      | W.Update ->
+        let commit = Measure.phase ~clock ~server (fun () -> S.commit st; 0) in
+        { cold; cold_faults; hot = None; commit = Some commit }
+    in
+    let run_isolated f =
+      S.begin_txn st;
+      Fun.protect ~finally:(fun () -> if S.in_txn st then S.commit st) f
+    in
+    { name = S.system_name st
+    ; server
+    ; params
+    ; db_size_mb =
+        (fun () -> float_of_int (Esm.Disk.size_bytes (Esm.Server.disk server)) /. (1024.0 *. 1024.0))
+    ; fault_count = (fun () -> !last_cold_faults)
+    ; run
+    ; run_isolated }
+end
+
+module Qs = Of_store (Quickstore.Store)
+module El = Of_store (Elang.Store)
+
+let fresh_server () =
+  Esm.Server.create ~clock:(Simclock.Clock.create ()) ~cm:Simclock.Cost_model.default ()
+
+(** Build a QuickStore system (QS, QS-B via config) with its own
+    server and database. *)
+let make_qs ?(config = Quickstore.Qs_config.default) params ~seed =
+  let server = fresh_server () in
+  let st = Quickstore.Store.create_db ~config server in
+  let module W = Oo7.Workload.Make (Quickstore.Store) in
+  let _db = W.build st params ~seed in
+  Qs.make st params
+    ~faults:(fun () -> (Quickstore.Store.stats st).Quickstore.Store.hard_faults)
+    ~reset_faults:(fun () -> Quickstore.Store.reset_stats st)
+
+(** Re-attach a differently configured QuickStore client (e.g. a
+    relocation mode) to an existing QS system's database. *)
+let reattach_qs ~config (sys : t) params =
+  let st = Quickstore.Store.open_db ~config sys.server in
+  Qs.make st params
+    ~faults:(fun () -> (Quickstore.Store.stats st).Quickstore.Store.hard_faults)
+    ~reset_faults:(fun () -> Quickstore.Store.reset_stats st)
+
+(** Build an E system. *)
+let make_e ?(config = Elang.Store.default_config) params ~seed =
+  let server = fresh_server () in
+  let st = Elang.Store.create_db ~config server in
+  let module W = Oo7.Workload.Make (Elang.Store) in
+  let _db = W.build st params ~seed in
+  El.make st params
+    ~faults:(fun () -> (Elang.Store.stats st).Elang.Store.object_faults)
+    ~reset_faults:(fun () -> Elang.Store.reset_stats st)

@@ -1,0 +1,1 @@
+lib/oo7/classes.ml: List Printf Schema

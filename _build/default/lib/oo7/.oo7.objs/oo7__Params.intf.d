@@ -1,0 +1,1 @@
+lib/oo7/params.mli:

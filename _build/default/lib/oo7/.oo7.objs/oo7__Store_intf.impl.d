@@ -1,0 +1,1 @@
+lib/oo7/store_intf.ml: Esm Schema Simclock

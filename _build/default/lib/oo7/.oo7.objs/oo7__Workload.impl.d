@@ -1,0 +1,1 @@
+lib/oo7/workload.ml: Array Bytes Char Classes Esm Hashtbl List Params Printf Qs_util Simclock Store_intf String

@@ -1,0 +1,114 @@
+(** The OO7 schema (§4.1), as struct definitions.
+
+    Connections between atomic parts are materialized as
+    information-bearing connection objects interposed between the
+    parts; fanouts are fixed (3), so the outgoing slots are in-line
+    pointer fields. Variable-size relationships (a composite part's
+    "used in" base assemblies, the module's collection of base
+    assemblies) are chunked linked lists of pointer arrays. *)
+
+let chunk_capacity = 60
+
+let connection_type_len = 10
+let type_len = 10
+let title_len = 40
+
+(* Atomic parts carry the bidirectional association: three outgoing
+   connection slots (NumConnPerAtomic = 3) and three incoming ones
+   (the average in-degree; surplus back-pointers are dropped — no OO7
+   operation in the study traverses the "from" direction, but the
+   space, and hence the database size ratio between the 4-byte and
+   16-byte pointer schemes, must be modeled). *)
+let atomic_part =
+  Schema.class_def "AtomicPart"
+    [ ("id", Schema.F_int)
+    ; ("buildDate", Schema.F_int)
+    ; ("x", Schema.F_int)
+    ; ("y", Schema.F_int)
+    ; ("docId", Schema.F_int)
+    ; ("ptype", Schema.F_chars type_len)
+    ; ("partOf", Schema.F_ptr)
+    ; ("conn0", Schema.F_ptr)
+    ; ("conn1", Schema.F_ptr)
+    ; ("conn2", Schema.F_ptr)
+    ; ("from0", Schema.F_ptr)
+    ; ("from1", Schema.F_ptr)
+    ; ("from2", Schema.F_ptr) ]
+
+let connection =
+  Schema.class_def "Connection"
+    [ ("length", Schema.F_int)
+    ; ("ctype", Schema.F_chars connection_type_len)
+    ; ("cfrom", Schema.F_ptr)
+    ; ("cto", Schema.F_ptr) ]
+
+let composite_part =
+  Schema.class_def "CompositePart"
+    [ ("id", Schema.F_int)
+    ; ("buildDate", Schema.F_int)
+    ; ("ptype", Schema.F_chars type_len)
+    ; ("rootPart", Schema.F_ptr)
+    ; ("doc", Schema.F_ptr)
+    ; ("usedIn", Schema.F_ptr) ]
+
+(** Document text is in-line for the small database and a multi-page
+    object for the medium one, so the class is parameterized by the
+    in-line capacity. *)
+let document ~inline_text =
+  Schema.class_def "Document"
+    [ ("id", Schema.F_int)
+    ; ("title", Schema.F_chars title_len)
+    ; ("comp", Schema.F_ptr)
+    ; ("textSize", Schema.F_int)
+    ; ("textLarge", Schema.F_ptr)
+    ; ("text", Schema.F_chars (max 4 inline_text)) ]
+
+let base_assembly =
+  Schema.class_def "BaseAssembly"
+    [ ("id", Schema.F_int)
+    ; ("buildDate", Schema.F_int)
+    ; ("parent", Schema.F_ptr)
+    ; ("comp0", Schema.F_ptr)
+    ; ("comp1", Schema.F_ptr)
+    ; ("comp2", Schema.F_ptr) ]
+
+let complex_assembly =
+  Schema.class_def "ComplexAssembly"
+    [ ("id", Schema.F_int)
+    ; ("buildDate", Schema.F_int)
+    ; ("level", Schema.F_int)
+    ; ("parent", Schema.F_ptr)
+    ; ("sub0", Schema.F_ptr)
+    ; ("sub1", Schema.F_ptr)
+    ; ("sub2", Schema.F_ptr) ]
+
+let module_class =
+  Schema.class_def "Module"
+    [ ("id", Schema.F_int)
+    ; ("designRoot", Schema.F_ptr)
+    ; ("manual", Schema.F_ptr)
+    ; ("baseColl", Schema.F_ptr) ]
+
+let chunk =
+  Schema.class_def "Chunk"
+    (("count", Schema.F_int) :: ("next", Schema.F_ptr)
+    :: List.init chunk_capacity (fun i -> (Printf.sprintf "e%d" i, Schema.F_ptr)))
+
+let all ~inline_text =
+  [ atomic_part
+  ; connection
+  ; composite_part
+  ; document ~inline_text
+  ; base_assembly
+  ; complex_assembly
+  ; module_class
+  ; chunk ]
+
+(** Index names and key lengths. *)
+let idx_part_id = "AtomicPart.id"
+
+let idx_build_date = "AtomicPart.buildDate"
+let idx_doc_title = "Document.title"
+let part_id_klen = 8
+let build_date_klen = 16
+let doc_title_klen = title_len

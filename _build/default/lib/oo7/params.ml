@@ -1,0 +1,67 @@
+(** OO7 database parameters (Table 1 of the paper). *)
+
+type t = {
+  name : string;
+  num_atomic_per_comp : int;
+  num_conn_per_atomic : int;
+  document_size : int;  (** bytes of document text *)
+  manual_size : int;  (** bytes of the module manual *)
+  num_comp_per_module : int;
+  num_assm_per_assm : int;
+  num_assm_levels : int;
+  num_comp_per_assm : int;
+  num_modules : int;
+  min_atomic_date : int;
+  max_atomic_date : int;
+  doc_inline_limit : int;
+      (** documents whose text fits under this limit store it in line;
+          bigger text goes to a multi-page object (medium database) *)
+}
+
+let small =
+  { name = "small"
+  ; num_atomic_per_comp = 20
+  ; num_conn_per_atomic = 3
+  ; document_size = 2000
+  ; manual_size = 100 * 1024
+  ; num_comp_per_module = 500
+  ; num_assm_per_assm = 3
+  ; num_assm_levels = 7
+  ; num_comp_per_assm = 3
+  ; num_modules = 1
+  ; min_atomic_date = 1000
+  ; max_atomic_date = 1999
+  ; doc_inline_limit = 4000 }
+
+let medium =
+  { small with
+    name = "medium"
+  ; num_atomic_per_comp = 200
+  ; document_size = 20000
+  ; manual_size = 1024 * 1024 }
+
+(** A scaled-down variant for tests and the quickstart example. *)
+let tiny =
+  { small with
+    name = "tiny"
+  ; num_atomic_per_comp = 5
+  ; document_size = 200
+  ; manual_size = 10 * 1024
+  ; num_comp_per_module = 20
+  ; num_assm_levels = 3 }
+
+let num_atomic_parts p = p.num_comp_per_module * p.num_atomic_per_comp
+
+let num_base_assemblies p =
+  (* Levels are counted with the root at level 1; bases at the last. *)
+  let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+  pow p.num_assm_per_assm (p.num_assm_levels - 1)
+
+let num_assemblies p =
+  let rec go level acc n =
+    if level > p.num_assm_levels then acc else go (level + 1) (acc + n) (n * p.num_assm_per_assm)
+  in
+  go 1 0 1
+
+(** Document-title format; Q4 looks titles up by exact match. *)
+let title_of_comp id = Printf.sprintf "Composite Part %08d" id

@@ -1,0 +1,39 @@
+(** OO7 database parameters (Table 1 of the paper). *)
+
+type t = {
+  name : string;
+  num_atomic_per_comp : int;  (** 20 small / 200 medium *)
+  num_conn_per_atomic : int;  (** 3 *)
+  document_size : int;  (** 2000 small / 20000 medium, bytes *)
+  manual_size : int;  (** 100 KB small / 1 MB medium *)
+  num_comp_per_module : int;  (** 500 *)
+  num_assm_per_assm : int;  (** 3 *)
+  num_assm_levels : int;  (** 7 *)
+  num_comp_per_assm : int;  (** 3 *)
+  num_modules : int;  (** 1 *)
+  min_atomic_date : int;  (** 1000 *)
+  max_atomic_date : int;  (** 1999 *)
+  doc_inline_limit : int;
+      (** document text at most this long is stored in line; longer
+          text becomes a multi-page object (the medium database) *)
+}
+
+(** The paper's two sizes (Table 1). *)
+val small : t
+
+val medium : t
+
+(** A scaled-down set for tests and the quickstart example. *)
+val tiny : t
+
+val num_atomic_parts : t -> int
+
+(** Base assemblies sit at the deepest level: fanout^(levels-1). *)
+val num_base_assemblies : t -> int
+
+(** All assemblies: (fanout^levels - 1) / (fanout - 1); 1093 for the
+    paper's parameters. *)
+val num_assemblies : t -> int
+
+(** Document-title format; Q4 looks titles up by exact match. *)
+val title_of_comp : int -> string

@@ -1,0 +1,53 @@
+(** The persistent-store operations OO7 needs.
+
+    The benchmark (§4) is written once against this signature and
+    instantiated with {!Quickstore.Store} (hardware scheme, including
+    its QS-B / QS-CR / QS-OR variants) and {!Elang.Store} (software
+    scheme) — the paper's apples-to-apples setup: same storage manager,
+    same benchmark code, different swizzling technique. *)
+
+module type S = sig
+  type t
+  type ptr
+  type cluster
+  type field
+
+  val system_name : t -> string
+  val clock : t -> Simclock.Clock.t
+  val cost_model : t -> Simclock.Cost_model.t
+  val client : t -> Esm.Client.t
+  val null : ptr
+  val is_null : ptr -> bool
+  val ptr_equal : ptr -> ptr -> bool
+
+  (** Stable identity for visited-part sets. *)
+  val ptr_id : t -> ptr -> int
+
+  val register_class : t -> Schema.class_def -> unit
+  val layout : t -> string -> Schema.layout
+  val field : t -> cls:string -> name:string -> field
+  val begin_txn : t -> unit
+  val commit : t -> unit
+  val abort : t -> unit
+  val in_txn : t -> bool
+  val set_root : t -> string -> ptr -> unit
+  val root : t -> string -> ptr
+  val new_cluster : t -> cluster
+  val create : t -> cls:string -> cluster:cluster -> ptr
+  val get_int : t -> ptr -> field -> int
+  val set_int : t -> ptr -> field -> int -> unit
+  val get_ptr : t -> ptr -> field -> ptr
+  val set_ptr : t -> ptr -> field -> ptr -> unit
+  val get_chars : t -> ptr -> field -> string
+  val set_chars : t -> ptr -> field -> string -> unit
+  val create_large : t -> size:int -> ptr
+  val large_size : t -> ptr -> int
+  val large_byte : t -> ptr -> int -> char
+  val large_write : t -> ptr -> off:int -> bytes -> unit
+  val index_create : t -> string -> klen:int -> unit
+  val index_insert : t -> string -> key:bytes -> ptr -> unit
+  val index_delete : t -> string -> key:bytes -> ptr -> unit
+  val index_lookup : t -> string -> key:bytes -> ptr option
+  val index_range : t -> string -> lo:bytes -> hi:bytes -> (ptr -> unit) -> unit
+  val reset_caches : t -> unit
+end

@@ -1,0 +1,155 @@
+type field_kind = F_int | F_ptr | F_chars of int
+type field = { f_name : string; f_kind : field_kind }
+type class_def = { c_name : string; c_fields : field list }
+
+let class_def name fields =
+  { c_name = name; c_fields = List.map (fun (f_name, f_kind) -> { f_name; f_kind }) fields }
+
+type ptr_repr = Vm_ptr | Oid_ptr
+
+let ptr_width = function Vm_ptr -> 4 | Oid_ptr -> 16
+
+type layout = {
+  l_class : class_def;
+  l_repr : ptr_repr;
+  l_size : int;
+  l_offsets : int array;
+  l_ptr_fields : int array;
+}
+
+let align4 n = (n + 3) land lnot 3
+
+let field_width repr = function
+  | F_int -> 4
+  | F_ptr -> ptr_width repr
+  | F_chars n -> align4 n
+
+let layout ~repr ?(pad_to = 0) def =
+  let n = List.length def.c_fields in
+  let offsets = Array.make n 0 in
+  let ptr_fields = ref [] in
+  let size = ref 0 in
+  List.iteri
+    (fun i f ->
+      offsets.(i) <- !size;
+      (match f.f_kind with F_ptr -> ptr_fields := i :: !ptr_fields | F_int | F_chars _ -> ());
+      size := !size + field_width repr f.f_kind)
+    def.c_fields;
+  { l_class = def
+  ; l_repr = repr
+  ; l_size = max (align4 !size) (align4 pad_to)
+  ; l_offsets = offsets
+  ; l_ptr_fields = Array.of_list (List.rev !ptr_fields) }
+
+let field_index l name =
+  let rec go i = function
+    | [] -> invalid_arg (Printf.sprintf "Schema: no field %s in %s" name l.l_class.c_name)
+    | f :: rest -> if String.equal f.f_name name then i else go (i + 1) rest
+  in
+  go 0 l.l_class.c_fields
+
+let field_offset l name = l.l_offsets.(field_index l name)
+let ptr_offsets l = Array.map (fun i -> l.l_offsets.(i)) l.l_ptr_fields
+
+type t = { t_repr : ptr_repr; table : (string, layout) Hashtbl.t; mutable order : string list }
+
+let create ~repr = { t_repr = repr; table = Hashtbl.create 16; order = [] }
+let repr t = t.t_repr
+
+let add t ?pad_to def =
+  if Hashtbl.mem t.table def.c_name then
+    invalid_arg (Printf.sprintf "Schema.add: class %s already registered" def.c_name);
+  let l = layout ~repr:t.t_repr ?pad_to def in
+  Hashtbl.replace t.table def.c_name l;
+  t.order <- def.c_name :: t.order;
+  l
+
+let find t name =
+  match Hashtbl.find_opt t.table name with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Schema.find: unknown class %s" name)
+
+let mem t name = Hashtbl.mem t.table name
+let classes t = List.rev t.order
+
+(* Serialization: u8 repr, u16 class count, then per class:
+   u8 name-len, name, u32 pad_to(size), u16 field count, then per field
+   u8 name-len, name, u8 kind tag, u32 chars width. *)
+
+let serialize t =
+  let buf = Buffer.create 256 in
+  let u8 v = Buffer.add_char buf (Char.chr (v land 0xff)) in
+  let u16 v =
+    u8 (v land 0xff);
+    u8 (v lsr 8)
+  in
+  let u32 v =
+    u16 (v land 0xffff);
+    u16 ((v lsr 16) land 0xffff)
+  in
+  let str s =
+    u8 (String.length s);
+    Buffer.add_string buf s
+  in
+  u8 (match t.t_repr with Vm_ptr -> 0 | Oid_ptr -> 1);
+  let cls = classes t in
+  u16 (List.length cls);
+  List.iter
+    (fun name ->
+      let l = find t name in
+      str name;
+      u32 l.l_size;
+      u16 (List.length l.l_class.c_fields);
+      List.iter
+        (fun f ->
+          str f.f_name;
+          match f.f_kind with
+          | F_int -> u8 0
+          | F_ptr -> u8 1
+          | F_chars n ->
+            u8 2;
+            u32 n)
+        l.l_class.c_fields)
+    cls;
+  Buffer.to_bytes buf
+
+let deserialize b =
+  let pos = ref 0 in
+  let u8 () =
+    let v = Char.code (Bytes.get b !pos) in
+    incr pos;
+    v
+  in
+  let u16 () =
+    let lo = u8 () in
+    lo lor (u8 () lsl 8)
+  in
+  let u32 () =
+    let lo = u16 () in
+    lo lor (u16 () lsl 16)
+  in
+  let str () =
+    let n = u8 () in
+    let s = Bytes.sub_string b !pos n in
+    pos := !pos + n;
+    s
+  in
+  let repr = if u8 () = 0 then Vm_ptr else Oid_ptr in
+  let t = create ~repr in
+  let ncls = u16 () in
+  for _ = 1 to ncls do
+    let name = str () in
+    let size = u32 () in
+    let nfields = u16 () in
+    let fields =
+      List.init nfields (fun _ ->
+          let fname = str () in
+          match u8 () with
+          | 0 -> (fname, F_int)
+          | 1 -> (fname, F_ptr)
+          | 2 -> (fname, F_chars (u32 ()))
+          | k -> invalid_arg (Printf.sprintf "Schema.deserialize: bad kind %d" k))
+    in
+    ignore (add t ~pad_to:size (class_def name fields))
+  done;
+  t

@@ -1,0 +1,74 @@
+(** Object layouts and pointer maps.
+
+    The paper uses a modified gdb to extract the physical layout of C++
+    classes and derives, for every data page, a bitmap marking the
+    words that hold pointers (used when relocation forces swizzling).
+    Here the layouts come from a small struct DSL instead; everything
+    downstream — field offsets, object sizes, pointer bitmaps, schema
+    records stored in the database — is the same.
+
+    A layout is computed per pointer representation:
+    - QuickStore stores pointers as 4-byte virtual addresses;
+    - E stores 16-byte OIDs;
+    - QS-B uses QuickStore pointers but pads each object to its E size
+      (the paper's third system, isolating faulting cost from object
+      size). *)
+
+type field_kind =
+  | F_int  (** 32-bit integer *)
+  | F_ptr  (** persistent pointer; width depends on the scheme *)
+  | F_chars of int  (** fixed-size character array *)
+
+type field = { f_name : string; f_kind : field_kind }
+type class_def = { c_name : string; c_fields : field list }
+
+val class_def : string -> (string * field_kind) list -> class_def
+
+(** Pointer representation of a persistence scheme. *)
+type ptr_repr = Vm_ptr  (** 4-byte virtual address (QS) *) | Oid_ptr  (** 16-byte OID (E) *)
+
+val ptr_width : ptr_repr -> int
+
+type layout = {
+  l_class : class_def;
+  l_repr : ptr_repr;
+  l_size : int;  (** object size, 4-byte aligned, including padding *)
+  l_offsets : int array;  (** byte offset of each field, in declaration order *)
+  l_ptr_fields : int array;  (** indices of F_ptr fields *)
+}
+
+(** [layout ~repr ?pad_to def] computes offsets (all fields 4-byte
+    aligned, char arrays rounded up). [pad_to] grows the object to at
+    least that size — QS-B passes the E size. *)
+val layout : repr:ptr_repr -> ?pad_to:int -> class_def -> layout
+
+val field_index : layout -> string -> int
+val field_offset : layout -> string -> int
+
+(** Byte offsets of the pointer fields within an object. *)
+val ptr_offsets : layout -> int array
+
+(** {2 Registries}
+
+    A schema maps class names to layouts for one scheme. *)
+
+type t
+
+val create : repr:ptr_repr -> t
+val repr : t -> ptr_repr
+
+(** [add t def] computes and registers the layout. [pad_to] as above. *)
+val add : t -> ?pad_to:int -> class_def -> layout
+
+val find : t -> string -> layout
+val mem : t -> string -> bool
+val classes : t -> string list
+
+(** {2 Persistence}
+
+    Schemas are stored in the database (the paper: "QuickStore uses
+    the information provided by gdb to automatically maintain database
+    schemas"). *)
+
+val serialize : t -> bytes
+val deserialize : bytes -> t

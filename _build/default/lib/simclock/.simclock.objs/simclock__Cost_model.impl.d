@@ -1,0 +1,1 @@
+lib/simclock/cost_model.ml:

@@ -1,0 +1,46 @@
+type t = { us : float array; events : int array }
+type snapshot = { s_us : float array; s_events : int array }
+
+let create () = { us = Array.make Category.count 0.0; events = Array.make Category.count 0 }
+
+let charge t cat us =
+  let i = Category.index cat in
+  t.us.(i) <- t.us.(i) +. us;
+  t.events.(i) <- t.events.(i) + 1
+
+let charge_n t cat n us =
+  if n > 0 then begin
+    let i = Category.index cat in
+    t.us.(i) <- t.us.(i) +. (float_of_int n *. us);
+    t.events.(i) <- t.events.(i) + n
+  end
+
+let total_us t = Array.fold_left ( +. ) 0.0 t.us
+let category_us t cat = t.us.(Category.index cat)
+let category_events t cat = t.events.(Category.index cat)
+
+let reset t =
+  Array.fill t.us 0 Category.count 0.0;
+  Array.fill t.events 0 Category.count 0
+
+let snapshot t = { s_us = Array.copy t.us; s_events = Array.copy t.events }
+
+let since t s =
+  { s_us = Array.mapi (fun i v -> v -. s.s_us.(i)) t.us
+  ; s_events = Array.mapi (fun i v -> v - s.s_events.(i)) t.events }
+
+let snap_total_us s = Array.fold_left ( +. ) 0.0 s.s_us
+let snap_category_us s cat = s.s_us.(Category.index cat)
+let snap_category_events s cat = s.s_events.(Category.index cat)
+let snap_total_ms s = snap_total_us s /. 1000.0
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun cat ->
+      let us = snap_category_us s cat in
+      if us > 0.0 then
+        Format.fprintf ppf "%-20s %10.3f ms (%d events)@," (Category.name cat) (us /. 1000.0)
+          (snap_category_events s cat))
+    Category.all;
+  Format.fprintf ppf "%-20s %10.3f ms@]" "total" (snap_total_ms s)

@@ -1,0 +1,38 @@
+(** Simulated time accumulator.
+
+    The reproduction replaces the paper's Sun IPX/ELC testbed with a
+    deterministic clock: every modeled event charges a number of
+    microseconds to a {!Category.t}. Response times, commit-time
+    decompositions and per-fault breakdowns are all read back from
+    snapshots of this clock, so results are exactly reproducible. *)
+
+type t
+
+(** Totals per category at a point in time. *)
+type snapshot
+
+val create : unit -> t
+
+(** [charge t cat us] adds [us] microseconds (and one event) to [cat]. *)
+val charge : t -> Category.t -> float -> unit
+
+(** [charge_n t cat n us] adds [n] events of [us] microseconds each. *)
+val charge_n : t -> Category.t -> int -> float -> unit
+
+val total_us : t -> float
+val category_us : t -> Category.t -> float
+val category_events : t -> Category.t -> int
+val reset : t -> unit
+val snapshot : t -> snapshot
+
+(** [since t s] is a snapshot of what accumulated after [s] was taken. *)
+val since : t -> snapshot -> snapshot
+
+val snap_total_us : snapshot -> float
+val snap_category_us : snapshot -> Category.t -> float
+val snap_category_events : snapshot -> Category.t -> int
+
+(** Milliseconds, for report printing. *)
+val snap_total_ms : snapshot -> float
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

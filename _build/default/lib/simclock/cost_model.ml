@@ -1,0 +1,91 @@
+(** Per-event costs, in microseconds, for the simulated testbed.
+
+    The defaults are calibrated against the paper's own detailed
+    measurements (Sun IPX server / Sparc ELC client, SunOS 4.1.3,
+    Table 5, Table 6, and the §5.2 update decomposition):
+
+    - a cold data-page read costs ~23-25 ms (server disk + Ethernet
+      page ship), 82-85% of a QuickStore fault;
+    - trap handling ~0.8 ms, protection change (mmap) ~0.8 ms;
+    - the virtually-mapped-cache effect adds ~1.8 ms per fault;
+    - first write to a page: ~7.3 ms recovery-buffer copy + ~2.8 ms
+      lock upgrade + ~0.9 ms mmap;
+    - commit: ~6.7-12.9 ms/page diffing, ~7.2 ms/page mapping-object
+      maintenance, ~8 ms/page flush-and-force.
+
+    Everything is a knob so the ablation benches can vary one cost at a
+    time. *)
+
+type t = {
+  (* --- ESM server / network --- *)
+  server_disk_read_us : float;  (** physical read of an 8 KB page at the server *)
+  server_disk_write_us : float;  (** physical write of an 8 KB page at the server *)
+  net_ship_us : float;  (** shipping one page between client and server *)
+  lock_us : float;  (** ordinary lock-manager request *)
+  log_record_cpu_us : float;  (** building one log record (~50-byte header) *)
+  commit_flush_page_us : float;  (** per dirty page: ship back + amortized install *)
+  (* --- virtual-memory machinery (QuickStore) --- *)
+  page_fault_us : float;  (** detect illegal access, enter handler *)
+  min_fault_us : float;  (** one min fault (cache remap, no I/O) *)
+  min_faults_per_data_fault : int;  (** §3.2: dual address ranges flush the virtual cache *)
+  mmap_us : float;  (** one protection-change system call *)
+  fault_misc_us : float;  (** table lookup + status checks per fault *)
+  map_entry_us : float;  (** processing one mapping-object entry *)
+  swizzle_ptr_us : float;  (** examining/updating one pointer during relocation *)
+  write_fault_copy_us : float;  (** snapshot page into the recovery buffer *)
+  lock_upgrade_us : float;  (** upgrading to an exclusive page lock *)
+  (* --- commit-time work (QuickStore) --- *)
+  diff_byte_us : float;  (** comparing one byte old-vs-new *)
+  diff_region_us : float;  (** bookkeeping per modified region found *)
+  map_update_ptr_us : float;  (** re-examining one pointer for mapping maintenance *)
+  map_update_page_us : float;  (** fixed per-page mapping-maintenance cost *)
+  (* --- EPVM (the E language software scheme) --- *)
+  interp_call_us : float;
+      (** EPVM function call: deref an unswizzled pointer whose page is
+          resident (hash-table lookup path) *)
+  residency_check_us : float;  (** in-line check on an already swizzled deref *)
+  interp_large_access_us : float;  (** EPVM call per large-object byte-range access *)
+  interp_update_us : float;  (** EPVM update function call *)
+  e_fault_misc_us : float;  (** EPVM hash-table maintenance per page fault *)
+  e_copy_object_byte_us : float;  (** copying an object into E's side buffer *)
+  (* --- shared application CPU (OO7 driver, Table 7) --- *)
+  deref_us : float;  (** raw virtual-memory pointer dereference *)
+  malloc_us : float;  (** allocate + free one transient iterator *)
+  set_op_us : float;  (** one visited-set insert or membership test *)
+  traverse_node_us : float;  (** per-node driver work *)
+  char_work_us : float;  (** per-character work in T8/T9 scans *)
+  index_cpu_us : float;  (** CPU per B-tree node visited *)
+}
+
+let default =
+  { server_disk_read_us = 19_500.0
+  ; server_disk_write_us = 19_500.0
+  ; net_ship_us = 3_500.0
+  ; lock_us = 150.0
+  ; log_record_cpu_us = 370.0
+  ; commit_flush_page_us = 8_000.0
+  ; page_fault_us = 800.0
+  ; min_fault_us = 450.0
+  ; min_faults_per_data_fault = 4
+  ; mmap_us = 800.0
+  ; fault_misc_us = 500.0
+  ; map_entry_us = 15.0
+  ; swizzle_ptr_us = 1.0
+  ; write_fault_copy_us = 7_300.0
+  ; lock_upgrade_us = 2_800.0
+  ; diff_byte_us = 0.8
+  ; diff_region_us = 300.0
+  ; map_update_ptr_us = 20.0
+  ; map_update_page_us = 1_000.0
+  ; interp_call_us = 2.0
+  ; residency_check_us = 0.3
+  ; interp_large_access_us = 13.0
+  ; interp_update_us = 10.0
+  ; e_fault_misc_us = 500.0
+  ; e_copy_object_byte_us = 0.05
+  ; deref_us = 0.05
+  ; malloc_us = 27.0
+  ; set_op_us = 4.5
+  ; traverse_node_us = 1.0
+  ; char_work_us = 0.45
+  ; index_cpu_us = 20.0 }

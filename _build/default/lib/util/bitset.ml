@@ -1,0 +1,50 @@
+type t = { bits : bytes; nbits : int }
+
+let byte_size n = (n + 7) / 8
+let create n = { bits = Bytes.make (byte_size n) '\000'; nbits = n }
+let length t = t.nbits
+
+let check t i = if i < 0 || i >= t.nbits then invalid_arg "Bitset: index out of range"
+
+let set t i =
+  check t i;
+  let b = Char.code (Bytes.get t.bits (i lsr 3)) in
+  Bytes.set t.bits (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))))
+
+let clear t i =
+  check t i;
+  let b = Char.code (Bytes.get t.bits (i lsr 3)) in
+  Bytes.set t.bits (i lsr 3) (Char.chr (b land lnot (1 lsl (i land 7)) land 0xff))
+
+let get t i =
+  check t i;
+  let b = Char.code (Bytes.get t.bits (i lsr 3)) in
+  b land (1 lsl (i land 7)) <> 0
+
+let cardinal t =
+  let n = ref 0 in
+  for i = 0 to t.nbits - 1 do
+    if get t i then incr n
+  done;
+  !n
+
+let iter_set f t =
+  for byte = 0 to Bytes.length t.bits - 1 do
+    let b = Char.code (Bytes.get t.bits byte) in
+    if b <> 0 then
+      for bit = 0 to 7 do
+        if b land (1 lsl bit) <> 0 then begin
+          let i = (byte lsl 3) + bit in
+          if i < t.nbits then f i
+        end
+      done
+  done
+
+let to_bytes t = Bytes.copy t.bits
+
+let of_bytes n b =
+  if Bytes.length b <> byte_size n then invalid_arg "Bitset.of_bytes: size mismatch";
+  { bits = Bytes.copy b; nbits = n }
+
+let equal a b = a.nbits = b.nbits && Bytes.equal a.bits b.bits
+let copy t = { bits = Bytes.copy t.bits; nbits = t.nbits }

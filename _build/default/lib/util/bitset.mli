@@ -1,0 +1,30 @@
+(** Fixed-size bit sets backed by [bytes].
+
+    QuickStore's bitmap objects — one bit per 4-byte word of a data
+    page, marking the words that hold pointers — are stored on disk in
+    exactly this byte representation. *)
+
+type t
+
+val create : int -> t
+
+(** Number of bits. *)
+val length : t -> int
+
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val get : t -> int -> bool
+
+(** Number of set bits. *)
+val cardinal : t -> int
+
+(** [iter_set f t] applies [f] to every set index, ascending. *)
+val iter_set : (int -> unit) -> t -> unit
+
+(** Serialized size in bytes for a set of [n] bits. *)
+val byte_size : int -> int
+
+val to_bytes : t -> bytes
+val of_bytes : int -> bytes -> t
+val equal : t -> t -> bool
+val copy : t -> t

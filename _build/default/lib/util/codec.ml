@@ -1,0 +1,27 @@
+let get_u8 b off = Char.code (Bytes.get b off)
+let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+let get_u16 b off = Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+
+let set_u16 b off v =
+  set_u8 b off v;
+  set_u8 b (off + 1) (v lsr 8)
+
+let get_u32 b off = get_u16 b off lor (get_u16 b (off + 2) lsl 16)
+
+let set_u32 b off v =
+  set_u16 b off (v land 0xffff);
+  set_u16 b (off + 2) ((v lsr 16) land 0xffff)
+
+let get_i64 b off = Bytes.get_int64_le b off
+let set_i64 b off v = Bytes.set_int64_le b off v
+let get_string b off len = Bytes.sub_string b off len
+let set_string b off s = Bytes.blit_string s 0 b off (String.length s)
+
+let set_string_padded b off len s =
+  let n = min len (String.length s) in
+  Bytes.blit_string s 0 b off n;
+  Bytes.fill b (off + n) (len - n) '\000'
+
+let get_cstring b off len =
+  let s = get_string b off len in
+  match String.index_opt s '\000' with None -> s | Some i -> String.sub s 0 i

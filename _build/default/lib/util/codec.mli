@@ -1,0 +1,33 @@
+(** Little-endian binary encoding helpers over [bytes].
+
+    All persistent structures in the repository (slotted pages, log
+    records, mapping objects, B-tree nodes) are serialized with these
+    primitives so that the on-"disk" format is well defined and
+    byte-for-byte reproducible. *)
+
+val get_u8 : bytes -> int -> int
+val set_u8 : bytes -> int -> int -> unit
+
+val get_u16 : bytes -> int -> int
+val set_u16 : bytes -> int -> int -> unit
+
+(** 32-bit values are returned as non-negative OCaml [int]s in
+    [0, 2^32); this is the representation used for QuickStore's
+    persistent virtual-memory pointers. *)
+
+val get_u32 : bytes -> int -> int
+val set_u32 : bytes -> int -> int -> unit
+
+val get_i64 : bytes -> int -> int64
+val set_i64 : bytes -> int -> int64 -> unit
+
+val get_string : bytes -> int -> int -> string
+val set_string : bytes -> int -> string -> unit
+
+(** [set_string_padded b off len s] writes [s] truncated/zero-padded to
+    exactly [len] bytes. *)
+val set_string_padded : bytes -> int -> int -> string -> unit
+
+(** [get_cstring b off len] reads at most [len] bytes and cuts at the
+    first NUL, inverse of [set_string_padded] for NUL-free strings. *)
+val get_cstring : bytes -> int -> int -> string

@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every source of randomness in the reproduction — OO7 database
+    generation, random part selection in T7/Q1, relocation sampling in
+    the Figure 17 experiment — draws from an explicitly seeded [Rng.t]
+    so that runs are bit-reproducible. *)
+
+type t
+
+val create : int -> t
+
+(** Independent stream derived from [t]; advancing one does not perturb
+    the other. *)
+val split : t -> t
+
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument]
+    if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [range t lo hi] is uniform in [lo, hi] inclusive. *)
+val range : t -> int -> int -> int
+
+val float : t -> float -> float
+val bool : t -> bool
+
+(** Fisher-Yates shuffle, in place. *)
+val shuffle : t -> 'a array -> unit

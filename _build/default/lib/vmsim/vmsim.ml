@@ -1,0 +1,126 @@
+type prot = Prot_none | Prot_read | Prot_write
+type access = Read | Write
+
+let frame_size = 8192
+let frame_count = 1 lsl 19
+
+type mapping = { mutable m_prot : prot; mutable m_buf : bytes }
+
+type t = {
+  frames : (int, mapping) Hashtbl.t;
+  clock : Simclock.Clock.t;
+  cm : Simclock.Cost_model.t;
+  mutable handler : frame:int -> access:access -> unit;
+  mutable faults : int;
+}
+
+exception Unhandled_fault of { addr : int; access : access }
+
+let create ~clock ~cm () =
+  { frames = Hashtbl.create 4096
+  ; clock
+  ; cm
+  ; handler = (fun ~frame ~access -> ignore frame; ignore access)
+  ; faults = 0 }
+
+let frame_of_addr addr = addr lsr 13
+let offset_of_addr addr = addr land 8191
+let addr_of_frame frame = frame lsl 13
+
+let check_frame frame op =
+  if frame < 0 || frame >= frame_count then
+    invalid_arg (Printf.sprintf "Vmsim.%s: frame %d out of the 32-bit space" op frame)
+
+let map t ~frame ~buf =
+  check_frame frame "map";
+  if Bytes.length buf <> frame_size then invalid_arg "Vmsim.map: buffer must be one frame";
+  match Hashtbl.find_opt t.frames frame with
+  | Some m -> m.m_buf <- buf
+  | None -> Hashtbl.replace t.frames frame { m_prot = Prot_none; m_buf = buf }
+
+let unmap t ~frame = Hashtbl.remove t.frames frame
+let is_mapped t ~frame = Hashtbl.mem t.frames frame
+
+let buf_of_frame t ~frame =
+  Option.map (fun m -> m.m_buf) (Hashtbl.find_opt t.frames frame)
+
+let set_prot_free t ~frame p =
+  match Hashtbl.find_opt t.frames frame with
+  | Some m -> m.m_prot <- p
+  | None -> invalid_arg "Vmsim.set_prot: frame not mapped"
+
+let set_prot t ~frame p =
+  Simclock.Clock.charge t.clock Simclock.Category.Mmap_call t.cm.Simclock.Cost_model.mmap_us;
+  set_prot_free t ~frame p
+
+let prot t ~frame =
+  match Hashtbl.find_opt t.frames frame with Some m -> m.m_prot | None -> Prot_none
+
+let protect_all t =
+  Simclock.Clock.charge t.clock Simclock.Category.Mmap_call t.cm.Simclock.Cost_model.mmap_us;
+  Hashtbl.iter (fun _ m -> m.m_prot <- Prot_none) t.frames
+
+let iter_mapped f t = Hashtbl.iter (fun frame m -> f ~frame ~prot:m.m_prot) t.frames
+let mapped_count t = Hashtbl.length t.frames
+let clear t = Hashtbl.reset t.frames
+let set_fault_handler t h = t.handler <- h
+let fault_count t = t.faults
+let reset_fault_count t = t.faults <- 0
+
+let allows p a =
+  match (p, a) with
+  | Prot_write, (Read | Write) -> true
+  | Prot_read, Read -> true
+  | Prot_read, Write | Prot_none, (Read | Write) -> false
+
+(* Protection check with trap-and-retry. One retry only: a correct
+   handler enables access; anything else is a segfault. *)
+let resolve t addr a =
+  let frame = frame_of_addr addr in
+  check_frame frame "access";
+  let attempt () =
+    match Hashtbl.find_opt t.frames frame with
+    | Some m when allows m.m_prot a -> Some m.m_buf
+    | Some _ | None -> None
+  in
+  match attempt () with
+  | Some buf -> buf
+  | None -> (
+    t.faults <- t.faults + 1;
+    Simclock.Clock.charge t.clock Simclock.Category.Page_fault t.cm.Simclock.Cost_model.page_fault_us;
+    t.handler ~frame ~access:a;
+    match attempt () with
+    | Some buf -> buf
+    | None -> raise (Unhandled_fault { addr; access = a }))
+
+let span_check addr len =
+  if len < 0 || offset_of_addr addr + len > frame_size then
+    invalid_arg "Vmsim: access crosses a frame boundary"
+
+let read_u8 t addr =
+  let buf = resolve t addr Read in
+  Char.code (Bytes.get buf (offset_of_addr addr))
+
+let read_u32 t addr =
+  span_check addr 4;
+  let buf = resolve t addr Read in
+  Qs_util.Codec.get_u32 buf (offset_of_addr addr)
+
+let read_bytes t addr len =
+  span_check addr len;
+  let buf = resolve t addr Read in
+  Bytes.sub buf (offset_of_addr addr) len
+
+let write_u8 t addr v =
+  let buf = resolve t addr Write in
+  Bytes.set buf (offset_of_addr addr) (Char.chr (v land 0xff))
+
+let write_u32 t addr v =
+  span_check addr 4;
+  let buf = resolve t addr Write in
+  Qs_util.Codec.set_u32 buf (offset_of_addr addr) v
+
+let write_bytes t addr data =
+  span_check addr (Bytes.length data);
+  let buf = resolve t addr Write in
+  Bytes.blit data 0 buf (offset_of_addr addr) (Bytes.length data)

@@ -1,0 +1,91 @@
+(** Simulated virtual memory.
+
+    This substitutes for the SPARC MMU + SunOS [mmap]/SIGSEGV machinery
+    the paper relies on (OCaml's GC cannot tolerate raw mapped object
+    graphs, so the trap mechanism is modeled rather than borrowed from
+    the host). The address space is 32-bit, divided into 8 KB frames.
+    Each frame has a protection level and may be bound to a byte buffer
+    (a client buffer-pool frame). An access that the protection does
+    not allow invokes the registered fault handler — QuickStore's
+    §3.1 fault-handling routine — and is then retried, exactly like a
+    restarted instruction.
+
+    Cost charging: the trap itself charges [page_fault_us]
+    per fault; protection changes charge [mmap_us] per call. What the
+    handler does (I/O, swizzling, min-fault cache effects) is charged
+    by the handler. Successful accesses are free, as on real hardware
+    — the whole point of the memory-mapped scheme. *)
+
+type t
+
+type prot = Prot_none | Prot_read | Prot_write  (** write implies read *)
+type access = Read | Write
+
+val frame_size : int
+val frame_count : int  (** 2^19 frames = a 4 GB 32-bit space *)
+
+val create : clock:Simclock.Clock.t -> cm:Simclock.Cost_model.t -> unit -> t
+
+(** {2 Address arithmetic} *)
+
+val frame_of_addr : int -> int
+val offset_of_addr : int -> int
+val addr_of_frame : int -> int
+
+(** {2 Mapping and protection (the simulated mmap)} *)
+
+(** Bind a virtual frame to a physical buffer (8 KB bytes). Does not
+    change protection and does not charge (binding is bookkeeping; the
+    paper's single mmap call per fault is the protection change). *)
+val map : t -> frame:int -> buf:bytes -> unit
+
+(** Unbind; protection reverts to none. No charge (bookkeeping). *)
+val unmap : t -> frame:int -> unit
+
+val is_mapped : t -> frame:int -> bool
+val buf_of_frame : t -> frame:int -> bytes option
+
+(** Change protection; charges one mmap call. *)
+val set_prot : t -> frame:int -> prot -> unit
+
+(** Protection change without charging (experiment setup). *)
+val set_prot_free : t -> frame:int -> prot -> unit
+
+val prot : t -> frame:int -> prot
+
+(** Revoke access on every mapped frame with a single call — the one
+    big mmap of QuickStore's simplified clock (§3.5). Charges one mmap
+    call. *)
+val protect_all : t -> unit
+
+(** Mapped frames with their protections (diagnostics/tests). *)
+val iter_mapped : (frame:int -> prot:prot -> unit) -> t -> unit
+
+val mapped_count : t -> int
+
+(** Drop all mappings (end of transaction / crash). No charge. *)
+val clear : t -> unit
+
+(** {2 Faulting} *)
+
+exception Unhandled_fault of { addr : int; access : access }
+
+(** The handler must leave the faulting frame mapped with sufficient
+    protection, or {!Unhandled_fault} is raised (a "segfault"). *)
+val set_fault_handler : t -> (frame:int -> access:access -> unit) -> unit
+
+val fault_count : t -> int
+val reset_fault_count : t -> unit
+
+(** {2 Application access path}
+
+    All reads/writes below check protection, trap to the handler when
+    needed, then perform the access against the bound buffer. Accesses
+    must not cross a frame boundary (objects never span pages). *)
+
+val read_u8 : t -> int -> int
+val read_u32 : t -> int -> int
+val read_bytes : t -> int -> int -> bytes
+val write_u8 : t -> int -> int -> unit
+val write_u32 : t -> int -> int -> unit
+val write_bytes : t -> int -> bytes -> unit

@@ -1,0 +1,245 @@
+(* B-tree unit tests and model-based properties, including forced
+   splits via tiny fanouts and duplicate-key behaviour. *)
+
+module Btree = Esm.Btree
+module Client = Esm.Client
+module Server = Esm.Server
+module Oid = Esm.Oid
+module Clock = Simclock.Clock
+
+let mk_client ?(frames = 64) () =
+  let s = Server.create ~frames:256 ~clock:(Clock.create ()) ~cm:Simclock.Cost_model.default () in
+  Client.create ~frames s
+
+let oid_of_int i = Oid.make ~page:i ~slot:(i mod 100) ~unique:i ()
+let ikey = Btree.key_of_int ~klen:8
+
+let test_empty_lookup () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Btree.create c ~klen:8 in
+  Alcotest.(check bool) "empty" true (Btree.lookup t ~key:(ikey 5) = None);
+  Alcotest.(check int) "cardinal" 0 (Btree.cardinal t);
+  Client.commit c
+
+let test_insert_lookup_small () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Btree.create c ~klen:8 in
+  List.iter (fun i -> Btree.insert t ~key:(ikey i) ~oid:(oid_of_int i)) [ 5; 3; 8; 1; 9 ];
+  List.iter
+    (fun i ->
+      match Btree.lookup t ~key:(ikey i) with
+      | Some o -> Alcotest.(check bool) (Printf.sprintf "found %d" i) true (Oid.equal o (oid_of_int i))
+      | None -> Alcotest.fail (Printf.sprintf "missing %d" i))
+    [ 1; 3; 5; 8; 9 ];
+  Alcotest.(check bool) "absent" true (Btree.lookup t ~key:(ikey 4) = None);
+  Client.commit c
+
+let test_splits_with_tiny_fanout () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Btree.create ~cap:4 c ~klen:8 in
+  for i = 1 to 200 do
+    Btree.insert t ~key:(ikey ((i * 37) mod 211)) ~oid:(oid_of_int i)
+  done;
+  Alcotest.(check bool) "invariants after many splits" true (Btree.invariants_hold t);
+  Alcotest.(check int) "cardinal" 200 (Btree.cardinal t);
+  Client.commit c
+
+let test_root_stable_across_splits () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Btree.create ~cap:4 c ~klen:8 in
+  let root_before = Btree.root t in
+  for i = 1 to 100 do
+    Btree.insert t ~key:(ikey i) ~oid:(oid_of_int i)
+  done;
+  Alcotest.(check int) "root id unchanged" root_before (Btree.root t);
+  Client.commit c;
+  (* Reopen by root id and find everything. *)
+  Client.begin_txn c;
+  let t' = Btree.open_tree c ~root:root_before ~klen:8 in
+  Alcotest.(check int) "cardinal after reopen" 100 (Btree.cardinal t');
+  Client.commit c
+
+let test_range_scan () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Btree.create ~cap:6 c ~klen:8 in
+  for i = 0 to 99 do
+    Btree.insert t ~key:(ikey (i * 2)) ~oid:(oid_of_int i)
+  done;
+  let seen = ref [] in
+  Btree.range t ~lo:(ikey 10) ~hi:(ikey 21) (fun k _ ->
+      seen := Int64.to_int (Bytes.get_int64_be k 0) :: !seen);
+  Alcotest.(check (list int)) "inclusive range" [ 10; 12; 14; 16; 18; 20 ] (List.rev !seen);
+  Client.commit c
+
+let test_duplicates () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Btree.create ~cap:4 c ~klen:8 in
+  (* Many pairs under the same key, plus idempotent re-insert. *)
+  for i = 1 to 20 do
+    Btree.insert t ~key:(ikey 7) ~oid:(oid_of_int i)
+  done;
+  Btree.insert t ~key:(ikey 7) ~oid:(oid_of_int 5);
+  Alcotest.(check int) "20 distinct pairs" 20 (List.length (Btree.lookup_all t ~key:(ikey 7)));
+  Alcotest.(check bool) "invariants with dup runs" true (Btree.invariants_hold t);
+  Client.commit c
+
+let test_delete () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Btree.create ~cap:4 c ~klen:8 in
+  for i = 1 to 50 do
+    Btree.insert t ~key:(ikey i) ~oid:(oid_of_int i)
+  done;
+  Alcotest.(check bool) "delete present" true (Btree.delete t ~key:(ikey 25) ~oid:(oid_of_int 25));
+  Alcotest.(check bool) "delete absent" false (Btree.delete t ~key:(ikey 25) ~oid:(oid_of_int 25));
+  Alcotest.(check bool) "gone" true (Btree.lookup t ~key:(ikey 25) = None);
+  Alcotest.(check int) "cardinal" 49 (Btree.cardinal t);
+  Alcotest.(check bool) "invariants" true (Btree.invariants_hold t);
+  Client.commit c
+
+let test_update_indexed_field_pattern () =
+  (* T3's pattern: delete old key, insert new key for the same OID. *)
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Btree.create c ~klen:8 in
+  let o = oid_of_int 1 in
+  Btree.insert t ~key:(ikey 1000) ~oid:o;
+  ignore (Btree.delete t ~key:(ikey 1000) ~oid:o);
+  Btree.insert t ~key:(ikey 1001) ~oid:o;
+  Alcotest.(check bool) "old gone" true (Btree.lookup t ~key:(ikey 1000) = None);
+  Alcotest.(check bool) "new present" true (Btree.lookup t ~key:(ikey 1001) <> None);
+  Client.commit c
+
+let test_string_keys () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Btree.create c ~klen:20 in
+  let key = Btree.key_of_string ~klen:20 in
+  List.iteri
+    (fun i s -> Btree.insert t ~key:(key s) ~oid:(oid_of_int i))
+    [ "delta"; "alpha"; "charlie"; "bravo" ];
+  let seen = ref [] in
+  Btree.range t ~lo:(key "") ~hi:(key "zzzz") (fun k _ ->
+      seen := Qs_util.Codec.get_cstring k 0 20 :: !seen);
+  Alcotest.(check (list string)) "sorted" [ "alpha"; "bravo"; "charlie"; "delta" ] (List.rev !seen);
+  Client.commit c
+
+let test_composite_int_keys () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Btree.create c ~klen:16 in
+  let key = Btree.key_of_int2 ~klen:16 in
+  (* (buildDate, id) pairs: order must be by date then id. *)
+  Btree.insert t ~key:(key 1500 9) ~oid:(oid_of_int 9);
+  Btree.insert t ~key:(key 1400 5) ~oid:(oid_of_int 5);
+  Btree.insert t ~key:(key 1500 2) ~oid:(oid_of_int 2);
+  let seen = ref [] in
+  Btree.range t ~lo:(key 0 0) ~hi:(key 9999 max_int) (fun _ o -> seen := o.Oid.page :: !seen);
+  Alcotest.(check (list int)) "date-major order" [ 5; 2; 9 ] (List.rev !seen);
+  Client.commit c
+
+let test_persistence_across_cache_reset () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Btree.create ~cap:8 c ~klen:8 in
+  for i = 1 to 300 do
+    Btree.insert t ~key:(ikey i) ~oid:(oid_of_int i)
+  done;
+  let root = Btree.root t in
+  Client.commit c;
+  Client.reset_cache c;
+  Server.reset_cache (Client.server c);
+  Client.begin_txn c;
+  let t' = Btree.open_tree c ~root ~klen:8 in
+  Alcotest.(check int) "all found from disk" 300 (Btree.cardinal t');
+  Alcotest.(check bool) "invariants from disk" true (Btree.invariants_hold t');
+  Client.commit c
+
+let test_abort_rolls_back_index () =
+  let c = mk_client () in
+  Btree.install_undo_handler c;
+  Client.begin_txn c;
+  let t = Btree.create c ~klen:8 in
+  Btree.insert t ~key:(ikey 1) ~oid:(oid_of_int 1);
+  let root = Btree.root t in
+  Client.commit c;
+  Client.begin_txn c;
+  let t = Btree.open_tree c ~root ~klen:8 in
+  Btree.insert t ~key:(ikey 2) ~oid:(oid_of_int 2);
+  ignore (Btree.delete t ~key:(ikey 1) ~oid:(oid_of_int 1));
+  Client.abort c;
+  Client.begin_txn c;
+  let t = Btree.open_tree c ~root ~klen:8 in
+  Alcotest.(check bool) "aborted insert gone" true (Btree.lookup t ~key:(ikey 2) = None);
+  Alcotest.(check bool) "aborted delete restored" true (Btree.lookup t ~key:(ikey 1) <> None);
+  Client.commit c
+
+(* Model-based property: against a sorted association list. *)
+let prop_btree_model =
+  QCheck.Test.make ~name:"btree agrees with sorted-map model" ~count:60
+    QCheck.(pair (int_range 3 10) (list (pair (int_bound 100) bool)))
+    (fun (cap, ops) ->
+      let c = mk_client () in
+      Client.begin_txn c;
+      let t = Btree.create ~cap c ~klen:8 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, add) ->
+          let key = ikey k and oid = oid_of_int k in
+          if add then begin
+            Btree.insert t ~key ~oid;
+            Hashtbl.replace model k ()
+          end
+          else begin
+            ignore (Btree.delete t ~key ~oid);
+            Hashtbl.remove model k
+          end)
+        ops;
+      let ok =
+        Btree.invariants_hold t
+        && Btree.cardinal t = Hashtbl.length model
+        && Hashtbl.fold (fun k () acc -> acc && Btree.lookup t ~key:(ikey k) <> None) model true
+      in
+      Client.commit c;
+      ok)
+
+let prop_btree_range_complete =
+  QCheck.Test.make ~name:"range scan returns exactly the in-range keys" ~count:40
+    QCheck.(triple (list (int_bound 200)) (int_bound 200) (int_bound 200))
+    (fun (keys, a, b) ->
+      let lo = min a b and hi = max a b in
+      let c = mk_client () in
+      Client.begin_txn c;
+      let t = Btree.create ~cap:5 c ~klen:8 in
+      let distinct = List.sort_uniq compare keys in
+      List.iter (fun k -> Btree.insert t ~key:(ikey k) ~oid:(oid_of_int k)) distinct;
+      let seen = ref [] in
+      Btree.range t ~lo:(ikey lo) ~hi:(ikey hi) (fun k _ ->
+          seen := Int64.to_int (Bytes.get_int64_be k 0) :: !seen);
+      let expected = List.filter (fun k -> k >= lo && k <= hi) distinct in
+      Client.commit c;
+      List.rev !seen = expected)
+
+let () =
+  Alcotest.run "btree"
+    [ ( "btree"
+      , [ Alcotest.test_case "empty lookup" `Quick test_empty_lookup
+        ; Alcotest.test_case "insert/lookup" `Quick test_insert_lookup_small
+        ; Alcotest.test_case "splits (tiny fanout)" `Quick test_splits_with_tiny_fanout
+        ; Alcotest.test_case "root stable" `Quick test_root_stable_across_splits
+        ; Alcotest.test_case "range scan" `Quick test_range_scan
+        ; Alcotest.test_case "duplicates" `Quick test_duplicates
+        ; Alcotest.test_case "delete" `Quick test_delete
+        ; Alcotest.test_case "indexed-field update" `Quick test_update_indexed_field_pattern
+        ; Alcotest.test_case "string keys" `Quick test_string_keys
+        ; Alcotest.test_case "composite keys" `Quick test_composite_int_keys
+        ; Alcotest.test_case "persistent across reset" `Quick test_persistence_across_cache_reset
+        ; Alcotest.test_case "abort rollback" `Quick test_abort_rolls_back_index ] )
+    ; ( "properties"
+      , List.map QCheck_alcotest.to_alcotest [ prop_btree_model; prop_btree_range_complete ] ) ]

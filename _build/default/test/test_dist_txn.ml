@@ -1,0 +1,161 @@
+(* Distributed transactions: two-phase commit across two servers, with
+   atomicity under crashes between the phases (the in-doubt protocol). *)
+
+module Server = Esm.Server
+module Client = Esm.Client
+module Dist = Esm.Dist_txn
+module Recovery = Esm.Recovery
+module Clock = Simclock.Clock
+
+let mk_server () =
+  Server.create ~frames:64 ~clock:(Clock.create ()) ~cm:Simclock.Cost_model.default ()
+
+(* One object on each of two servers, both initialized to 'a'. *)
+let setup () =
+  let s1 = mk_server () and s2 = mk_server () in
+  let c1 = Client.create ~frames:16 s1 and c2 = Client.create ~frames:16 s2 in
+  Client.begin_txn c1;
+  let o1 = Client.create_object_new_page c1 (Bytes.make 8 'a') in
+  Client.commit c1;
+  Client.begin_txn c2;
+  let o2 = Client.create_object_new_page c2 (Bytes.make 8 'a') in
+  Client.commit c2;
+  (s1, s2, c1, c2, o1, o2)
+
+let value_of s oid =
+  let c = Client.create ~frames:8 s in
+  Client.begin_txn c;
+  let v = Bytes.get (Client.read_object c oid) 0 in
+  Client.commit c;
+  v
+
+let test_commit_both () =
+  let _s1, _s2, c1, c2, o1, o2 = setup () in
+  let d = Dist.begin_txn [ c1; c2 ] in
+  Client.update_object c1 o1 ~off:0 (Bytes.of_string "X");
+  Client.update_object c2 o2 ~off:0 (Bytes.of_string "Y");
+  Dist.commit d;
+  Alcotest.(check char) "server 1 committed" 'X' (value_of (Client.server c1) o1);
+  Alcotest.(check char) "server 2 committed" 'Y' (value_of (Client.server c2) o2)
+
+let test_abort_both () =
+  let _s1, _s2, c1, c2, o1, o2 = setup () in
+  let d = Dist.begin_txn [ c1; c2 ] in
+  Client.update_object c1 o1 ~off:0 (Bytes.of_string "X");
+  Client.update_object c2 o2 ~off:0 (Bytes.of_string "Y");
+  Dist.abort d;
+  Alcotest.(check char) "server 1 rolled back" 'a' (value_of (Client.server c1) o1);
+  Alcotest.(check char) "server 2 rolled back" 'a' (value_of (Client.server c2) o2)
+
+let test_prepare_failure_aborts_all () =
+  (* Server 2's prepare is cut by fault injection: phase 1 fails, so
+     both participants must end rolled back. *)
+  let _s1, s2, c1, c2, o1, o2 = setup () in
+  let d = Dist.begin_txn [ c1; c2 ] in
+  Client.update_object c1 o1 ~off:0 (Bytes.of_string "X");
+  Client.update_object c2 o2 ~off:0 (Bytes.of_string "Y");
+  Server.inject_crash_after_writes s2 0;
+  (match Dist.commit d with
+   | () -> Alcotest.fail "expected phase-1 failure"
+   | exception Server.Injected_crash -> ());
+  (* Participant 2 "crashed" during its vote: restart it. Its Prepare
+     never hit the log, so restart rolls it back as a loser. *)
+  Server.crash s2;
+  ignore (Recovery.restart s2);
+  Alcotest.(check char) "server 1 aborted" 'a' (value_of (Client.server c1) o1);
+  Alcotest.(check char) "server 2 recovered to old value" 'a' (value_of s2 o2)
+
+let test_in_doubt_resolution_commit () =
+  (* Participant 2 prepares (durable yes-vote) and then crashes before
+     the decision arrives. Restart reports it in-doubt; delivering the
+     coordinator's commit makes both sides visible. *)
+  let _s1, s2, c1, c2, o1, o2 = setup () in
+  Client.begin_txn c1;
+  Client.begin_txn c2;
+  Client.update_object c1 o1 ~off:0 (Bytes.of_string "X");
+  Client.update_object c2 o2 ~off:0 (Bytes.of_string "Y");
+  (* Phase 1 by hand. *)
+  Client.prepare c1;
+  Client.prepare c2;
+  (* Participant 2 crashes before phase 2 reaches it. *)
+  Client.crash c2;
+  Server.crash s2;
+  let stats = Recovery.restart s2 in
+  (match stats.Recovery.in_doubt with
+   | [ txn ] ->
+     (* Still invisible... in fact durable but undecided; the value on
+        disk is the new one, the transaction just lacks its verdict.
+        Deliver the decision. *)
+     Recovery.resolve_in_doubt s2 txn `Commit
+   | l -> Alcotest.fail (Printf.sprintf "expected one in-doubt txn, got %d" (List.length l)));
+  Client.commit_prepared c1;
+  Alcotest.(check char) "server 1 committed" 'X' (value_of (Client.server c1) o1);
+  Alcotest.(check char) "server 2 committed after resolution" 'Y' (value_of s2 o2);
+  (* A second restart must not disturb the decided transaction. *)
+  Server.crash s2;
+  let stats2 = Recovery.restart s2 in
+  Alcotest.(check int) "no longer in doubt" 0 (List.length stats2.Recovery.in_doubt);
+  Alcotest.(check char) "still committed" 'Y' (value_of s2 o2)
+
+let test_in_doubt_resolution_abort () =
+  let _s1, s2, c1, c2, o1, o2 = setup () in
+  Client.begin_txn c1;
+  Client.begin_txn c2;
+  Client.update_object c1 o1 ~off:0 (Bytes.of_string "X");
+  Client.update_object c2 o2 ~off:0 (Bytes.of_string "Y");
+  Client.prepare c2;
+  (* Coordinator decides to abort (say participant 1 voted no). *)
+  Client.abort c1;
+  Client.crash c2;
+  Server.crash s2;
+  let stats = Recovery.restart s2 in
+  (match stats.Recovery.in_doubt with
+   | [ txn ] -> Recovery.resolve_in_doubt s2 txn `Abort
+   | l -> Alcotest.fail (Printf.sprintf "expected one in-doubt txn, got %d" (List.length l)));
+  Alcotest.(check char) "server 1 aborted" 'a' (value_of (Client.server c1) o1);
+  Alcotest.(check char) "server 2 aborted after resolution" 'a' (value_of s2 o2)
+
+let test_coordinator_api_misuse () =
+  let _s1, _s2, c1, c2, _o1, _o2 = setup () in
+  let d = Dist.begin_txn [ c1; c2 ] in
+  Dist.abort d;
+  Alcotest.check_raises "double finish" (Invalid_argument "Dist_txn.commit: finished") (fun () ->
+      Dist.commit d)
+
+(* Property: under any injected crash point at either server during a
+   distributed commit, after restart + resolution both servers agree
+   (both committed or both rolled back). *)
+let prop_distributed_atomicity =
+  QCheck.Test.make ~name:"2PC leaves both servers consistent under any cut" ~count:25
+    QCheck.(pair bool (int_bound 3))
+    (fun (cut_second, cut) ->
+      let _s1, _s2, c1, c2, o1, o2 = setup () in
+      let victim_server = if cut_second then Client.server c2 else Client.server c1 in
+      let d = Dist.begin_txn [ c1; c2 ] in
+      Client.update_object c1 o1 ~off:0 (Bytes.of_string "Z");
+      Client.update_object c2 o2 ~off:0 (Bytes.of_string "Z");
+      Server.inject_crash_after_writes victim_server cut;
+      let crashed = match Dist.commit d with () -> false | exception Server.Injected_crash -> true in
+      if crashed then begin
+        (* Coordinator decision: abort (phase 1 did not complete on the
+           victim before... or did; resolve any in-doubt with abort and
+           abort any survivor still holding a transaction). *)
+        (if Client.in_txn c1 then try Client.abort c1 with Server.Injected_crash -> ());
+        (if Client.in_txn c2 then try Client.abort c2 with Server.Injected_crash -> ());
+        Server.crash victim_server;
+        let stats = Recovery.restart victim_server in
+        List.iter (fun txn -> Recovery.resolve_in_doubt victim_server txn `Abort) stats.Recovery.in_doubt
+      end;
+      let v1 = value_of (Client.server c1) o1 and v2 = value_of (Client.server c2) o2 in
+      if crashed then v1 = 'a' && v2 = 'a' else v1 = 'Z' && v2 = 'Z')
+
+let () =
+  Alcotest.run "dist-txn"
+    [ ( "two-phase-commit"
+      , [ Alcotest.test_case "commit both" `Quick test_commit_both
+        ; Alcotest.test_case "abort both" `Quick test_abort_both
+        ; Alcotest.test_case "prepare failure aborts all" `Quick test_prepare_failure_aborts_all
+        ; Alcotest.test_case "in-doubt resolved commit" `Quick test_in_doubt_resolution_commit
+        ; Alcotest.test_case "in-doubt resolved abort" `Quick test_in_doubt_resolution_abort
+        ; Alcotest.test_case "coordinator misuse" `Quick test_coordinator_api_misuse ] )
+    ; ("properties", [ QCheck_alcotest.to_alcotest prop_distributed_atomicity ]) ]

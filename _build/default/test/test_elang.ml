@@ -1,0 +1,320 @@
+(* E language (EPVM) store tests: interpreter-mediated dereferences,
+   big OID pointers, side-buffer logging, checked references, and the
+   traditional clock under paging. *)
+
+module E = Elang.Store
+module Server = Esm.Server
+module Clock = Simclock.Clock
+module Cat = Simclock.Category
+
+let node_def =
+  Schema.class_def "Node" [ ("id", Schema.F_int); ("next", Schema.F_ptr); ("tag", Schema.F_chars 12) ]
+
+let mk ?(config = E.default_config) () =
+  let server = Server.create ~frames:512 ~clock:(Clock.create ()) ~cm:Simclock.Cost_model.default () in
+  let st = E.create_db ~config server in
+  E.register_class st node_def;
+  (server, st)
+
+let build_list st ~n ~per_cluster =
+  E.begin_txn st;
+  let f_id = E.field st ~cls:"Node" ~name:"id" in
+  let f_next = E.field st ~cls:"Node" ~name:"next" in
+  let f_tag = E.field st ~cls:"Node" ~name:"tag" in
+  let cluster = ref (E.new_cluster st) in
+  let first = ref E.null and prev = ref E.null in
+  for i = 0 to n - 1 do
+    if i mod per_cluster = 0 then cluster := E.new_cluster st;
+    let p = E.create st ~cls:"Node" ~cluster:!cluster in
+    E.set_int st p f_id i;
+    E.set_chars st p f_tag (Printf.sprintf "node-%d" i);
+    if E.is_null !prev then first := p else E.set_ptr st !prev f_next p;
+    prev := p
+  done;
+  E.set_root st "head" !first;
+  E.commit st
+
+let walk st =
+  let f_id = E.field st ~cls:"Node" ~name:"id" in
+  let f_next = E.field st ~cls:"Node" ~name:"next" in
+  let rec go p i acc =
+    if E.is_null p then (i, acc)
+    else go (E.get_ptr st p f_next) (i + 1) (acc && E.get_int st p f_id = i)
+  in
+  go (E.root st "head") 0 true
+
+let test_build_and_walk () =
+  let _server, st = mk () in
+  build_list st ~n:100 ~per_cluster:10;
+  E.begin_txn st;
+  let n, ok = walk st in
+  Alcotest.(check int) "nodes" 100 n;
+  Alcotest.(check bool) "intact" true ok;
+  E.commit st
+
+let test_big_pointer_layout () =
+  let _server, st = mk () in
+  let l = E.layout st "Node" in
+  (* id 4 + next (16-byte OID) + tag 12 = 32. *)
+  Alcotest.(check int) "E object size with big pointers" 32 l.Schema.l_size
+
+let test_interp_counters () =
+  let _server, st = mk () in
+  build_list st ~n:50 ~per_cluster:10;
+  E.reset_caches st;
+  E.reset_stats st;
+  E.begin_txn st;
+  ignore (walk st);
+  E.commit st;
+  let s = E.stats st in
+  Alcotest.(check bool) "interpreter derefs happened" true (s.E.interp_derefs >= 50);
+  Alcotest.(check bool) "cold faults happened" true (s.E.object_faults >= 5)
+
+let test_cold_cheaper_than_hot_ratio () =
+  (* Interp costs accrue on hot re-walks too (the software scheme's
+     in-memory penalty). *)
+  let server, st = mk () in
+  build_list st ~n:50 ~per_cluster:10;
+  E.reset_caches st;
+  E.begin_txn st;
+  ignore (walk st);
+  let clock = Server.clock server in
+  let snap = Clock.snapshot clock in
+  ignore (walk st);
+  E.commit st;
+  let hot = Clock.since clock snap in
+  Alcotest.(check bool) "hot walk still pays the interpreter" true
+    (Clock.snap_category_us hot Cat.Interp > 0.0);
+  Alcotest.(check bool) "hot walk does no data I/O" true
+    (Clock.snap_category_us hot Cat.Data_io = 0.0)
+
+let test_update_durable () =
+  let _server, st = mk () in
+  build_list st ~n:60 ~per_cluster:12;
+  let f_id = E.field st ~cls:"Node" ~name:"id" in
+  let f_next = E.field st ~cls:"Node" ~name:"next" in
+  E.begin_txn st;
+  let rec bump p =
+    if not (E.is_null p) then begin
+      E.set_int st p f_id (E.get_int st p f_id + 1000);
+      bump (E.get_ptr st p f_next)
+    end
+  in
+  bump (E.root st "head");
+  E.commit st;
+  Alcotest.(check bool) "side copies" true ((E.stats st).E.side_copies >= 60);
+  Alcotest.(check bool) "chunks logged" true ((E.stats st).E.chunks_logged >= 60);
+  E.reset_caches st;
+  E.begin_txn st;
+  let rec verify p i ok =
+    if E.is_null p then ok else verify (E.get_ptr st p f_next) (i + 1) (ok && E.get_int st p f_id = i + 1000)
+  in
+  Alcotest.(check bool) "durable" true (verify (E.root st "head") 0 true);
+  E.commit st
+
+let test_abort_restores () =
+  let _server, st = mk () in
+  build_list st ~n:20 ~per_cluster:20;
+  let f_id = E.field st ~cls:"Node" ~name:"id" in
+  E.begin_txn st;
+  E.set_int st (E.root st "head") f_id 4242;
+  E.abort st;
+  E.begin_txn st;
+  Alcotest.(check int) "restored" 0 (E.get_int st (E.root st "head") f_id);
+  E.commit st
+
+let test_checked_references () =
+  (* E fully supports object identity: dangling OIDs are detected. *)
+  let _server, st = mk () in
+  E.begin_txn st;
+  let cluster = E.new_cluster st in
+  let a = E.create st ~cls:"Node" ~cluster in
+  let b = E.create st ~cls:"Node" ~cluster in
+  E.set_ptr st a (E.field st ~cls:"Node" ~name:"next") b;
+  E.set_root st "a" a;
+  E.commit st;
+  E.begin_txn st;
+  Esm.Client.delete_object (E.client st) b;
+  (* Reuse the slot. *)
+  let b2 = Esm.Client.create_object (E.client st) ~page_id:b.Esm.Oid.page (Bytes.make 32 'x') in
+  Alcotest.(check bool) "slot reused" true (Option.is_some b2);
+  let stale = E.get_ptr st (E.root st "a") (E.field st ~cls:"Node" ~name:"next") in
+  (match E.get_int st stale (E.field st ~cls:"Node" ~name:"id") with
+   | _ -> Alcotest.fail "expected dangling detection"
+   | exception E.Dangling _ -> ());
+  E.commit st
+
+let test_side_buffer_overflow () =
+  let config = { E.default_config with E.side_buffer_bytes = 512 } in
+  let _server, st = mk ~config () in
+  build_list st ~n:100 ~per_cluster:10;
+  let f_id = E.field st ~cls:"Node" ~name:"id" in
+  let f_next = E.field st ~cls:"Node" ~name:"next" in
+  E.begin_txn st;
+  let rec bump p =
+    if not (E.is_null p) then begin
+      E.set_int st p f_id (E.get_int st p f_id + 7);
+      bump (E.get_ptr st p f_next)
+    end
+  in
+  bump (E.root st "head");
+  E.commit st;
+  Alcotest.(check bool) "overflowed" true ((E.stats st).E.side_overflows > 0);
+  E.reset_caches st;
+  E.begin_txn st;
+  let rec verify p i ok =
+    if E.is_null p then ok else verify (E.get_ptr st p f_next) (i + 1) (ok && E.get_int st p f_id = i + 7)
+  in
+  Alcotest.(check bool) "durable despite overflow" true (verify (E.root st "head") 0 true);
+  E.commit st
+
+let test_paging_with_updates () =
+  let config = { E.default_config with E.client_frames = 16 } in
+  let _server, st = mk ~config () in
+  build_list st ~n:400 ~per_cluster:10;
+  let f_id = E.field st ~cls:"Node" ~name:"id" in
+  let f_next = E.field st ~cls:"Node" ~name:"next" in
+  E.reset_caches st;
+  E.begin_txn st;
+  let rec bump p =
+    if not (E.is_null p) then begin
+      E.set_int st p f_id (E.get_int st p f_id + 1);
+      bump (E.get_ptr st p f_next)
+    end
+  in
+  bump (E.root st "head");
+  E.commit st;
+  E.reset_caches st;
+  E.begin_txn st;
+  let rec verify p i ok =
+    if E.is_null p then ok else verify (E.get_ptr st p f_next) (i + 1) (ok && E.get_int st p f_id = i + 1)
+  in
+  Alcotest.(check bool) "stolen pages logged correctly" true (verify (E.root st "head") 0 true);
+  E.commit st
+
+let test_large_object_interp_cost () =
+  let server, st = mk () in
+  E.begin_txn st;
+  let manual = E.create_large st ~size:10_000 in
+  E.large_write st manual ~off:0 (Bytes.make 100 'M');
+  E.set_root st "manual" manual;
+  E.commit st;
+  E.reset_caches st;
+  let clock = Server.clock server in
+  Clock.reset clock;
+  E.begin_txn st;
+  let m = E.root st "manual" in
+  Alcotest.(check int) "size" 10_000 (E.large_size st m);
+  let count = ref 0 in
+  for i = 0 to 99 do
+    if E.large_byte st m i = 'M' then incr count
+  done;
+  E.commit st;
+  Alcotest.(check int) "scan correct" 100 !count;
+  (* Each byte went through the interpreter. *)
+  Alcotest.(check bool) "interp charged per byte" true
+    (Clock.category_us clock Cat.Interp >= 100.0 *. Simclock.Cost_model.default.Simclock.Cost_model.interp_large_access_us)
+
+let test_index_roundtrip () =
+  let _server, st = mk () in
+  build_list st ~n:50 ~per_cluster:10;
+  let f_id = E.field st ~cls:"Node" ~name:"id" in
+  let f_next = E.field st ~cls:"Node" ~name:"next" in
+  E.begin_txn st;
+  E.index_create st "by_id" ~klen:8;
+  let rec index p =
+    if not (E.is_null p) then begin
+      E.index_insert st "by_id" ~key:(Esm.Btree.key_of_int ~klen:8 (E.get_int st p f_id)) p;
+      index (E.get_ptr st p f_next)
+    end
+  in
+  index (E.root st "head");
+  E.commit st;
+  E.reset_caches st;
+  E.begin_txn st;
+  (match E.index_lookup st "by_id" ~key:(Esm.Btree.key_of_int ~klen:8 33) with
+   | Some p -> Alcotest.(check int) "lookup" 33 (E.get_int st p f_id)
+   | None -> Alcotest.fail "missing");
+  E.commit st
+
+let test_crash_recovery () =
+  let server, st = mk () in
+  build_list st ~n:30 ~per_cluster:10;
+  let f_id = E.field st ~cls:"Node" ~name:"id" in
+  E.begin_txn st;
+  E.set_int st (E.root st "head") f_id 31337;
+  E.commit st;
+  Server.crash server;
+  ignore (Esm.Recovery.restart server);
+  let st2 = E.open_db server in
+  E.begin_txn st2;
+  Alcotest.(check int) "recovered" 31337
+    (E.get_int st2 (E.root st2 "head") (E.field st2 ~cls:"Node" ~name:"id"));
+  E.commit st2
+
+(* Property: QS and E must compute identical data (same workload, two
+   persistence schemes). *)
+let prop_agree_with_quickstore =
+  QCheck.Test.make ~name:"E and QuickStore agree on list contents" ~count:15
+    QCheck.(pair (int_range 1 120) (int_range 1 20))
+    (fun (n, per_cluster) ->
+      let _s1, e = mk () in
+      build_list e ~n ~per_cluster;
+      let qs_server =
+        Server.create ~frames:512 ~clock:(Clock.create ()) ~cm:Simclock.Cost_model.default ()
+      in
+      let qs = Quickstore.Store.create_db qs_server in
+      Quickstore.Store.register_class qs node_def;
+      Quickstore.Store.begin_txn qs;
+      let f_id = Quickstore.Store.field qs ~cls:"Node" ~name:"id" in
+      let f_next = Quickstore.Store.field qs ~cls:"Node" ~name:"next" in
+      let cluster = ref (Quickstore.Store.new_cluster qs) in
+      let first = ref Quickstore.Store.null and prev = ref Quickstore.Store.null in
+      for i = 0 to n - 1 do
+        if i mod per_cluster = 0 then cluster := Quickstore.Store.new_cluster qs;
+        let p = Quickstore.Store.create qs ~cls:"Node" ~cluster:!cluster in
+        Quickstore.Store.set_int qs p f_id i;
+        if Quickstore.Store.is_null !prev then first := p
+        else Quickstore.Store.set_ptr qs !prev f_next p;
+        prev := p
+      done;
+      Quickstore.Store.set_root qs "head" !first;
+      Quickstore.Store.commit qs;
+      (* Walk both cold. *)
+      E.reset_caches e;
+      Quickstore.Store.reset_caches qs;
+      E.begin_txn e;
+      Quickstore.Store.begin_txn qs;
+      let rec walk_e p acc =
+        if E.is_null p then List.rev acc
+        else
+          walk_e
+            (E.get_ptr e p (E.field e ~cls:"Node" ~name:"next"))
+            (E.get_int e p (E.field e ~cls:"Node" ~name:"id") :: acc)
+      in
+      let rec walk_q p acc =
+        if Quickstore.Store.is_null p then List.rev acc
+        else walk_q (Quickstore.Store.get_ptr qs p f_next) (Quickstore.Store.get_int qs p f_id :: acc)
+      in
+      let le = walk_e (E.root e "head") [] in
+      let lq = walk_q (Quickstore.Store.root qs "head") [] in
+      E.commit e;
+      Quickstore.Store.commit qs;
+      le = lq && List.length le = n)
+
+let () =
+  Alcotest.run "elang"
+    [ ( "e-store"
+      , [ Alcotest.test_case "build and walk" `Quick test_build_and_walk
+        ; Alcotest.test_case "big pointer layout" `Quick test_big_pointer_layout
+        ; Alcotest.test_case "interp counters" `Quick test_interp_counters
+        ; Alcotest.test_case "hot interp cost" `Quick test_cold_cheaper_than_hot_ratio
+        ; Alcotest.test_case "update durable" `Quick test_update_durable
+        ; Alcotest.test_case "abort restores" `Quick test_abort_restores
+        ; Alcotest.test_case "checked references" `Quick test_checked_references
+        ; Alcotest.test_case "side-buffer overflow" `Quick test_side_buffer_overflow
+        ; Alcotest.test_case "paging with updates" `Quick test_paging_with_updates
+        ; Alcotest.test_case "large object interp" `Quick test_large_object_interp_cost
+        ; Alcotest.test_case "index roundtrip" `Quick test_index_roundtrip
+        ; Alcotest.test_case "crash recovery" `Quick test_crash_recovery ] )
+    ; ("properties", [ QCheck_alcotest.to_alcotest prop_agree_with_quickstore ]) ]

@@ -1,0 +1,158 @@
+(* OO7 integration tests: the database builds on all three systems and
+   every operation computes identical results on each — the benchmark
+   code is shared, so any divergence is a store bug. *)
+
+module Params = Oo7.Params
+module Sys_ = Harness.System
+module Qs_config = Quickstore.Qs_config
+
+let tiny = Params.tiny
+let seed = 0xBEEF
+
+(* Expected structural counts for the tiny database. *)
+let _n_comp = tiny.Params.num_comp_per_module
+let n_base = Params.num_base_assemblies tiny
+let parts_per_visit = tiny.Params.num_atomic_per_comp
+let t1_expected = n_base * tiny.Params.num_comp_per_assm * parts_per_visit
+let t6_expected = n_base * tiny.Params.num_comp_per_assm
+
+(* Parameters big enough that clusters span pages (the tiny set fits
+   every cluster in one page on both systems, hiding the pointer-width
+   effect on database size). *)
+let compact =
+  { tiny with
+    Params.name = "compact"
+  ; Params.num_atomic_per_comp = 20
+  ; Params.num_comp_per_module = 50
+  ; Params.document_size = 2000 }
+
+let qs = lazy (Sys_.make_qs tiny ~seed)
+let qs_c = lazy (Sys_.make_qs compact ~seed)
+let e_c = lazy (Sys_.make_e compact ~seed)
+let qsb =
+  lazy
+    (Sys_.make_qs
+       ~config:{ Qs_config.default with Qs_config.mode = Qs_config.Big_objects }
+       tiny ~seed)
+let e = lazy (Sys_.make_e tiny ~seed)
+
+let qsw =
+  lazy
+    (Sys_.make_qs
+       ~config:{ Qs_config.default with Qs_config.ptr_format = Qs_config.Page_offsets }
+       tiny ~seed)
+
+let run sys op = (sys.Sys_.run ~op ~seed:7 ~hot_reps:1).Sys_.cold
+
+let test_build_sizes () =
+  let qs = Lazy.force qs_c and e = Lazy.force e_c in
+  let s_qs = qs.Sys_.db_size_mb () and s_e = e.Sys_.db_size_mb () in
+  Alcotest.(check bool) "QS database smaller than E" true (s_qs < s_e);
+  Alcotest.(check bool) "QS meaningfully smaller (pointer width)" true (s_qs /. s_e < 0.85)
+
+let test_t1_counts () =
+  let r_qs = run (Lazy.force qs) "T1" in
+  let r_e = run (Lazy.force e) "T1" in
+  let r_qsb = run (Lazy.force qsb) "T1" in
+  Alcotest.(check int) "T1 visits (structural)" t1_expected r_qs.Harness.Measure.result;
+  Alcotest.(check int) "T1 equal QS/E" r_qs.Harness.Measure.result r_e.Harness.Measure.result;
+  Alcotest.(check int) "T1 equal QS/QS-B" r_qs.Harness.Measure.result r_qsb.Harness.Measure.result
+
+let test_t6_counts () =
+  let r_qs = run (Lazy.force qs) "T6" in
+  let r_e = run (Lazy.force e) "T6" in
+  Alcotest.(check int) "T6 visits" t6_expected r_qs.Harness.Measure.result;
+  Alcotest.(check int) "T6 equal" r_qs.Harness.Measure.result r_e.Harness.Measure.result
+
+let test_all_read_ops_agree () =
+  List.iter
+    (fun op ->
+      let r_qs = run (Lazy.force qs) op in
+      let r_e = run (Lazy.force e) op in
+      let r_qsb = run (Lazy.force qsb) op in
+      let r_qsw = run (Lazy.force qsw) op in
+      Alcotest.(check int) (op ^ " QS=E") r_qs.Harness.Measure.result r_e.Harness.Measure.result;
+      Alcotest.(check int) (op ^ " QS=QS-B") r_qs.Harness.Measure.result r_qsb.Harness.Measure.result;
+      Alcotest.(check int) (op ^ " QS=QS-W") r_qs.Harness.Measure.result r_qsw.Harness.Measure.result)
+    [ "T1"; "T6"; "T7"; "T8"; "T9"; "Q1"; "Q2"; "Q3"; "Q4"; "Q5" ]
+
+let test_t9_first_last_equal () =
+  Alcotest.(check int) "manual first = last" 1 (run (Lazy.force qs) "T9").Harness.Measure.result
+
+let test_query_selectivity () =
+  let n_parts = Params.num_atomic_parts tiny in
+  let q2 = (run (Lazy.force qs) "Q2").Harness.Measure.result in
+  let q3 = (run (Lazy.force qs) "Q3").Harness.Measure.result in
+  (* Dates are uniform: Q2 ~1%, Q3 ~10%, with sampling slack. *)
+  Alcotest.(check bool) "Q2 ~1%" true (q2 > 0 && q2 < n_parts / 20);
+  Alcotest.(check bool) "Q3 ~10%" true (q3 > n_parts / 25 && q3 < n_parts / 4);
+  Alcotest.(check bool) "Q3 > Q2" true (q3 > q2)
+
+let test_updates_and_validation () =
+  (* T2B increments (x, y) of every visited part; rerunning T1 after
+     commit must still visit the same structure, and a second T2B must
+     touch the same number of parts. Applied to both systems. *)
+  List.iter
+    (fun sys ->
+      let sys = Lazy.force sys in
+      let r1 = sys.Sys_.run ~op:"T2B" ~seed:0 ~hot_reps:0 in
+      Alcotest.(check bool) (sys.Sys_.name ^ " commit measured") true (r1.Sys_.commit <> None);
+      Alcotest.(check int) (sys.Sys_.name ^ " T2B visits") t1_expected r1.Sys_.cold.Harness.Measure.result;
+      let r2 = sys.Sys_.run ~op:"T1" ~seed:0 ~hot_reps:0 in
+      Alcotest.(check int) (sys.Sys_.name ^ " T1 after update") t1_expected
+        r2.Sys_.cold.Harness.Measure.result)
+    [ qs; e ]
+
+let test_t3_index_maintenance () =
+  (* T3A bumps indexed dates of root parts; Q2/Q3 must still agree
+     across systems afterwards (indexes stayed consistent). *)
+  let q3_qs_before = (run (Lazy.force qs) "Q3").Harness.Measure.result in
+  ignore q3_qs_before;
+  List.iter (fun sys -> ignore ((Lazy.force sys).Sys_.run ~op:"T3A" ~seed:0 ~hot_reps:0)) [ qs; e ];
+  let a = (run (Lazy.force qs) "Q3").Harness.Measure.result in
+  let b = (run (Lazy.force e) "Q3").Harness.Measure.result in
+  Alcotest.(check int) "Q3 after T3A agrees" a b
+
+let test_cold_hot_ordering () =
+  List.iter
+    (fun sys ->
+      let sys = Lazy.force sys in
+      let r = sys.Sys_.run ~op:"T1" ~seed:0 ~hot_reps:2 in
+      match r.Sys_.hot with
+      | None -> Alcotest.fail "expected hot measurement"
+      | Some hot ->
+        Alcotest.(check bool)
+          (sys.Sys_.name ^ " hot faster than cold")
+          true
+          (hot.Harness.Measure.ms < r.Sys_.cold.Harness.Measure.ms);
+        Alcotest.(check int) (sys.Sys_.name ^ " hot does no I/O") 0 hot.Harness.Measure.client_reads)
+    [ qs; e; qsb ]
+
+let test_io_counts_reasonable () =
+  let r_qs = run (Lazy.force qs_c) "T1" in
+  let r_e = run (Lazy.force e_c) "T1" in
+  Alcotest.(check bool) "cold T1 does I/O" true (r_qs.Harness.Measure.client_reads > 0);
+  Alcotest.(check bool) "E reads more pages than QS (bigger objects)" true
+    (r_e.Harness.Measure.client_reads > r_qs.Harness.Measure.client_reads);
+  Alcotest.(check bool) "QS reads mapping pages" true (r_qs.Harness.Measure.reads_map > 0);
+  Alcotest.(check int) "E reads no mapping pages" 0 r_e.Harness.Measure.reads_map
+
+let test_fault_counts () =
+  let qs = Lazy.force qs in
+  let _ = qs.Sys_.run ~op:"T1" ~seed:0 ~hot_reps:0 in
+  Alcotest.(check bool) "QS fault count tracked" true (qs.Sys_.fault_count () > 0)
+
+let () =
+  Alcotest.run "oo7"
+    [ ( "oo7"
+      , [ Alcotest.test_case "database sizes" `Quick test_build_sizes
+        ; Alcotest.test_case "T1 structural count" `Quick test_t1_counts
+        ; Alcotest.test_case "T6 structural count" `Quick test_t6_counts
+        ; Alcotest.test_case "all read ops agree" `Quick test_all_read_ops_agree
+        ; Alcotest.test_case "T9 semantics" `Quick test_t9_first_last_equal
+        ; Alcotest.test_case "query selectivity" `Quick test_query_selectivity
+        ; Alcotest.test_case "updates and revalidation" `Quick test_updates_and_validation
+        ; Alcotest.test_case "T3 index maintenance" `Quick test_t3_index_maintenance
+        ; Alcotest.test_case "cold/hot protocol" `Quick test_cold_hot_ordering
+        ; Alcotest.test_case "I/O counts" `Quick test_io_counts_reasonable
+        ; Alcotest.test_case "fault counts" `Quick test_fault_counts ] ) ]

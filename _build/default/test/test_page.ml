@@ -1,0 +1,167 @@
+(* Slotted-page unit and property tests: stable offsets (QuickStore's
+   pointer format depends on objects never moving), slot reuse,
+   uniqueness stamps, and codec-level roundtrips. *)
+
+module Page = Esm.Page
+
+let fresh ?(kind = Page.Small_obj) ?(id = 7) () =
+  Page.init (Bytes.create Page.page_size) ~kind ~page_id:id
+
+let obj n c = Bytes.make n c
+
+let test_init_header () =
+  let p = fresh ~kind:Page.Btree_node ~id:42 () in
+  Alcotest.(check int) "page id" 42 (Page.page_id p);
+  Alcotest.(check bool) "kind" true (Page.kind p = Page.Btree_node);
+  Alcotest.(check int) "no slots" 0 (Page.nslots p);
+  Alcotest.(check int64) "lsn zero" 0L (Page.lsn p)
+
+let test_insert_read () =
+  let p = fresh () in
+  let s1 = Page.insert p (obj 100 'a') in
+  let s2 = Page.insert p (obj 200 'b') in
+  Alcotest.(check int) "slots allocated in order" 0 s1;
+  Alcotest.(check int) "second slot" 1 s2;
+  Alcotest.(check bytes) "read back a" (obj 100 'a') (Page.read_slot p s1);
+  Alcotest.(check bytes) "read back b" (obj 200 'b') (Page.read_slot p s2)
+
+let test_offsets_stable () =
+  let p = fresh () in
+  let s1 = Page.insert p (obj 100 'a') in
+  let off1, _ = Page.slot_span p s1 in
+  let s2 = Page.insert p (obj 50 'b') in
+  Page.delete_slot p s2;
+  let _ = Page.insert p (obj 60 'c') in
+  let off1', _ = Page.slot_span p s1 in
+  Alcotest.(check int) "object never moves" off1 off1'
+
+let test_delete_and_reuse () =
+  let p = fresh () in
+  let s1 = Page.insert p (obj 10 'a') in
+  let u1 = Page.slot_unique p s1 in
+  Page.delete_slot p s1;
+  Alcotest.(check bool) "dead" false (Page.slot_is_live p s1);
+  let s2 = Page.insert p (obj 10 'b') in
+  Alcotest.(check int) "slot index reused" s1 s2;
+  Alcotest.(check bool) "unique differs on reuse" true (Page.slot_unique p s2 <> u1)
+
+let test_page_full () =
+  let p = fresh () in
+  let big = obj 4000 'x' in
+  ignore (Page.insert p big);
+  ignore (Page.insert p big);
+  Alcotest.check_raises "full" Page.Page_full (fun () -> ignore (Page.insert p big))
+
+let test_free_space_accounting () =
+  let p = fresh () in
+  let before = Page.free_space p in
+  ignore (Page.insert p (obj 100 'a'));
+  let after = Page.free_space p in
+  Alcotest.(check int) "consumed object + directory entry" (100 + Page.slot_entry_size)
+    (before - after)
+
+let test_insert_at_slot0_convention () =
+  (* QuickStore reserves slot 0 of each data page for its meta-object. *)
+  let p = fresh () in
+  Page.insert_at p ~slot:0 (obj 24 'm');
+  let s = Page.insert p (obj 100 'a') in
+  Alcotest.(check int) "next object goes to slot 1" 1 s;
+  Alcotest.(check bytes) "meta intact" (obj 24 'm') (Page.read_slot p 0)
+
+let test_insert_at_taken () =
+  let p = fresh () in
+  Page.insert_at p ~slot:2 (obj 10 'a');
+  Alcotest.check_raises "slot taken" (Invalid_argument "Page.insert_at: slot taken") (fun () ->
+      Page.insert_at p ~slot:2 (obj 10 'b'));
+  (* Slots 0 and 1 were implicitly created free and remain usable. *)
+  let s = Page.insert p (obj 10 'c') in
+  Alcotest.(check int) "fills earlier free slot" 0 s
+
+let test_write_slot_bounds () =
+  let p = fresh () in
+  let s = Page.insert p (obj 100 'a') in
+  Page.write_slot p ~slot:s ~off:10 (obj 5 'z');
+  let b = Page.read_slot p s in
+  Alcotest.(check char) "written" 'z' (Bytes.get b 10);
+  Alcotest.(check char) "before untouched" 'a' (Bytes.get b 9);
+  Alcotest.check_raises "oob" (Invalid_argument "Page.write_slot: out of object bounds") (fun () ->
+      Page.write_slot p ~slot:s ~off:96 (obj 5 'z'))
+
+let test_attach_rejects_garbage () =
+  Alcotest.check_raises "bad magic" (Invalid_argument "Page.attach: bad magic") (fun () ->
+      ignore (Page.attach (Bytes.make Page.page_size '\000')))
+
+let test_lsn_roundtrip () =
+  let p = fresh () in
+  Page.set_lsn p 123456789L;
+  Alcotest.(check int64) "lsn" 123456789L (Page.lsn p)
+
+let test_live_bytes () =
+  let p = fresh () in
+  ignore (Page.insert p (obj 100 'a'));
+  let s = Page.insert p (obj 50 'b') in
+  Page.delete_slot p s;
+  Alcotest.(check int) "live bytes" 100 (Page.live_bytes p)
+
+(* Property: arbitrary interleavings of inserts and deletes keep all
+   live objects intact and non-overlapping. *)
+let prop_page_model =
+  QCheck.Test.make ~name:"page agrees with model" ~count:200
+    QCheck.(list (pair (int_range 1 600) bool))
+    (fun ops ->
+      let p = fresh () in
+      let model : (int, bytes) Hashtbl.t = Hashtbl.create 16 in
+      let tag = ref 0 in
+      List.iter
+        (fun (size, ins) ->
+          if ins then begin
+            incr tag;
+            let data = Bytes.make size (Char.chr (33 + (!tag mod 90))) in
+            match Page.insert p data with
+            | slot -> Hashtbl.replace model slot data
+            | exception Page.Page_full -> ()
+          end
+          else begin
+            match Hashtbl.fold (fun k _ _ -> Some k) model None with
+            | Some slot ->
+              Page.delete_slot p slot;
+              Hashtbl.remove model slot
+            | None -> ()
+          end)
+        ops;
+      Hashtbl.fold (fun slot data acc -> acc && Bytes.equal (Page.read_slot p slot) data) model true)
+
+let prop_page_spans_disjoint =
+  QCheck.Test.make ~name:"live spans never overlap" ~count:100
+    QCheck.(list (int_range 1 300))
+    (fun sizes ->
+      let p = fresh () in
+      List.iter
+        (fun size -> try ignore (Page.insert p (obj size 'x')) with Page.Page_full -> ())
+        sizes;
+      let spans = ref [] in
+      Page.iter_slots (fun ~slot:_ ~off ~len -> spans := (off, len) :: !spans) p;
+      let sorted = List.sort compare !spans in
+      let rec disjoint = function
+        | (o1, l1) :: ((o2, _) :: _ as rest) -> o1 + l1 <= o2 && disjoint rest
+        | [ _ ] | [] -> true
+      in
+      disjoint sorted)
+
+let () =
+  Alcotest.run "page"
+    [ ( "slotted-page"
+      , [ Alcotest.test_case "init header" `Quick test_init_header
+        ; Alcotest.test_case "insert/read" `Quick test_insert_read
+        ; Alcotest.test_case "offsets stable" `Quick test_offsets_stable
+        ; Alcotest.test_case "delete and slot reuse" `Quick test_delete_and_reuse
+        ; Alcotest.test_case "page full" `Quick test_page_full
+        ; Alcotest.test_case "free space accounting" `Quick test_free_space_accounting
+        ; Alcotest.test_case "slot 0 reservation" `Quick test_insert_at_slot0_convention
+        ; Alcotest.test_case "insert_at taken" `Quick test_insert_at_taken
+        ; Alcotest.test_case "write_slot bounds" `Quick test_write_slot_bounds
+        ; Alcotest.test_case "attach rejects garbage" `Quick test_attach_rejects_garbage
+        ; Alcotest.test_case "lsn roundtrip" `Quick test_lsn_roundtrip
+        ; Alcotest.test_case "live bytes" `Quick test_live_bytes ] )
+    ; ( "properties"
+      , List.map QCheck_alcotest.to_alcotest [ prop_page_model; prop_page_spans_disjoint ] ) ]

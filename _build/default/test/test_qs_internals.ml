@@ -1,0 +1,237 @@
+(* Direct unit tests for QuickStore's internal structures: meta /
+   mapping / bitmap object codecs, the descriptor table with
+   large-object splitting (Figure 3), and the simplified clock. *)
+
+module Meta = Quickstore.Qs_meta
+module MT = Quickstore.Mapping_table
+module Qs_clock = Quickstore.Qs_clock
+module Oid = Esm.Oid
+module Pool = Esm.Buf_pool
+module Clock = Simclock.Clock
+
+let oid p = Oid.make ~page:p ~slot:3 ~unique:p ()
+
+(* --- codecs --- *)
+
+let test_meta_codec () =
+  let m = oid 10 and b = oid 11 in
+  let mapping, bitmap = Meta.decode_meta (Meta.encode_meta ~mapping:m ~bitmap:b) in
+  Alcotest.(check bool) "mapping oid" true (Oid.equal m mapping);
+  Alcotest.(check bool) "bitmap oid" true (Oid.equal b bitmap)
+
+let entries_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y ->
+         match (x, y) with
+         | Meta.E_small { vframe = v1; page = p1 }, Meta.E_small { vframe = v2; page = p2 } ->
+           v1 = v2 && p1 = p2
+         | ( Meta.E_large { vframe = v1; npages = n1; oid = o1 }
+           , Meta.E_large { vframe = v2; npages = n2; oid = o2 } ) ->
+           v1 = v2 && n1 = n2 && Oid.equal o1 o2
+         | Meta.E_small _, Meta.E_large _ | Meta.E_large _, Meta.E_small _ -> false)
+       a b
+
+let test_mapping_codec () =
+  let entries =
+    [ Meta.E_small { vframe = 100; page = 42 }
+    ; Meta.E_large { vframe = 200; npages = 13; oid = oid 7 }
+    ; Meta.E_small { vframe = 300; page = 43 } ]
+  in
+  let b = Meta.encode_mapping ~next:(oid 99) ~capacity:10 entries in
+  Alcotest.(check bool) "entries" true (entries_equal entries (Meta.decode_mapping b));
+  Alcotest.(check int) "capacity" 10 (Meta.mapping_capacity b);
+  Alcotest.(check bool) "next" true (Oid.equal (oid 99) (Meta.mapping_next b));
+  Alcotest.(check int) "size" (Meta.mapping_object_size ~capacity:10) (Bytes.length b)
+
+let test_mapping_capacity_guard () =
+  Alcotest.check_raises "capacity < count"
+    (Invalid_argument "Qs_meta.encode_mapping: capacity below count") (fun () ->
+      ignore (Meta.encode_mapping ~capacity:0 [ Meta.E_small { vframe = 1; page = 1 } ]));
+  Alcotest.(check bool) "segment bound positive" true (Meta.max_segment_capacity > 200)
+
+let test_bitmap_codec () =
+  let bs = Meta.empty_bitmap () in
+  Qs_util.Bitset.set bs 0;
+  Qs_util.Bitset.set bs 2047;
+  let bs' = Meta.decode_bitmap (Meta.encode_bitmap bs) in
+  Alcotest.(check bool) "roundtrip" true (Qs_util.Bitset.equal bs bs');
+  Alcotest.(check int) "object size" 256 Meta.bitmap_object_size
+
+(* --- mapping table --- *)
+
+let mk_desc ?(vframe = 100) ?(nframes = 1) phys =
+  { MT.vframe
+  ; nframes
+  ; phys
+  ; buf_frame = None
+  ; read_this_txn = false
+  ; write_enabled = false
+  ; snapshot_taken = false
+  ; cr_swizzled = false
+  ; mem_format = false }
+
+let test_table_small_pages () =
+  let t = MT.create () in
+  MT.add t (mk_desc ~vframe:10 (MT.Small_page 5));
+  MT.add t (mk_desc ~vframe:11 (MT.Small_page 6));
+  Alcotest.(check int) "cardinal" 2 (MT.cardinal t);
+  (match MT.find_by_page t 5 with
+   | Some d -> Alcotest.(check int) "reverse map" 10 d.MT.vframe
+   | None -> Alcotest.fail "missing");
+  (match MT.find_by_vframe t 11 with
+   | Some { MT.phys = MT.Small_page 6; _ } -> ()
+   | Some _ | None -> Alcotest.fail "by vframe");
+  Alcotest.(check bool) "range taken" false (MT.range_free t ~vframe:10 ~n:2);
+  Alcotest.(check bool) "range free" true (MT.range_free t ~vframe:12 ~n:100);
+  Alcotest.(check bool) "invariants" true (MT.invariants_hold t)
+
+let test_large_split_figure3 () =
+  (* The paper's Figure 3: a 100-page object mapped to frames 1..100;
+     accessing page index 7 (the paper's "eighth page") splits the
+     descriptor into [0..6], [7], [8..99]. *)
+  let t = MT.create () in
+  let o = oid 50 in
+  let d = mk_desc ~vframe:1 ~nframes:100 (MT.Large_range { oid = o; first = 0; npages = 100 }) in
+  MT.add t d;
+  let mid = MT.split_large t d ~idx:7 in
+  Alcotest.(check int) "three descriptors" 3 (MT.cardinal t);
+  Alcotest.(check int) "accessed page frame" 8 mid.MT.vframe;
+  Alcotest.(check int) "single frame" 1 mid.MT.nframes;
+  (match MT.find_by_vframe t 1 with
+   | Some { MT.phys = MT.Large_range { first = 0; npages = 7; _ }; _ } -> ()
+   | Some _ | None -> Alcotest.fail "left range");
+  (match MT.find_by_vframe t 9 with
+   | Some { MT.phys = MT.Large_range { first = 8; npages = 92; _ }; _ } -> ()
+   | Some _ | None -> Alcotest.fail "right range");
+  (* Subsequent split of a sub-range (the paper: "split in turn"). *)
+  (match MT.find_by_large t o ~idx:50 with
+   | Some d2 ->
+     let mid2 = MT.split_large t d2 ~idx:50 in
+     Alcotest.(check int) "five descriptors" 5 (MT.cardinal t);
+     Alcotest.(check int) "frame of page 50" 51 mid2.MT.vframe
+   | None -> Alcotest.fail "find_by_large");
+  (* The head entry in the hash still resolves. *)
+  (match MT.find_large_head t o with
+   | Some { MT.phys = MT.Large_range { first = 0; _ }; _ } -> ()
+   | Some _ | None -> Alcotest.fail "head after splits");
+  Alcotest.(check bool) "invariants" true (MT.invariants_hold t)
+
+let test_split_edge_pages () =
+  let t = MT.create () in
+  let o = oid 60 in
+  let d = mk_desc ~vframe:10 ~nframes:5 (MT.Large_range { oid = o; first = 0; npages = 5 }) in
+  MT.add t d;
+  (* Split at index 0: no left remainder. *)
+  let m0 = MT.split_large t d ~idx:0 in
+  Alcotest.(check int) "two descs" 2 (MT.cardinal t);
+  Alcotest.(check int) "frame" 10 m0.MT.vframe;
+  (* Split the tail range at its last page. *)
+  (match MT.find_by_large t o ~idx:4 with
+   | Some d2 ->
+     let m4 = MT.split_large t d2 ~idx:4 in
+     Alcotest.(check int) "frame of last" 14 m4.MT.vframe;
+     Alcotest.(check int) "three descs" 3 (MT.cardinal t)
+   | None -> Alcotest.fail "tail");
+  Alcotest.(check bool) "invariants" true (MT.invariants_hold t)
+
+let test_find_gap () =
+  let t = MT.create () in
+  MT.add t (mk_desc ~vframe:16 ~nframes:4 (MT.Small_page 1));
+  MT.add t (mk_desc ~vframe:25 ~nframes:1 (MT.Small_page 2));
+  (match MT.find_gap t ~width:5 () with
+   | Some g -> Alcotest.(check int) "lowest gap from zero" 0 g
+   | None -> Alcotest.fail "no gap");
+  (match MT.find_gap t ~start:16 ~width:5 () with
+   | Some g -> Alcotest.(check int) "gap above reservation" 20 g
+   | None -> Alcotest.fail "no gap above 16");
+  (match MT.find_gap t ~start:16 ~width:1 () with
+   | Some g -> Alcotest.(check int) "narrow gap" 20 g
+   | None -> Alcotest.fail "no narrow gap")
+
+(* --- simplified clock --- *)
+
+let test_simplified_clock () =
+  let clock = Clock.create () in
+  let vm = Vmsim.create ~clock ~cm:Simclock.Cost_model.default () in
+  let pool = Pool.create ~frames:4 in
+  (* Install 4 pages; map frames 100..103 onto them with access
+     enabled except vframe 102. *)
+  for i = 0 to 3 do
+    let f = Option.get (Pool.free_frame pool) in
+    Pool.install pool ~frame:f ~page_id:(200 + i);
+    Vmsim.map vm ~frame:(100 + i) ~buf:(Pool.frame_bytes pool f);
+    if i <> 2 then Vmsim.set_prot_free vm ~frame:(100 + i) Vmsim.Prot_read
+  done;
+  let vframe_of_frame f = Option.map (fun pid -> pid - 200 + 100) (Pool.page_of_frame pool f) in
+  let victim = Qs_clock.pick_victim ~pool ~vm ~vframe_of_frame in
+  Alcotest.(check int) "first no-access frame wins" 2 victim;
+  (* Enable it; now everything is accessible: the sweep must reprotect
+     the whole space (one mmap) and take the next frame. *)
+  Vmsim.set_prot_free vm ~frame:102 Vmsim.Prot_read;
+  Clock.reset clock;
+  let v2 = Qs_clock.pick_victim ~pool ~vm ~vframe_of_frame in
+  Alcotest.(check int) "one global reprotect" 1
+    (Clock.category_events clock Simclock.Category.Mmap_call);
+  Alcotest.(check bool) "a frame was chosen" true (v2 >= 0 && v2 < 4);
+  Vmsim.iter_mapped
+    (fun ~frame:_ ~prot -> Alcotest.(check bool) "all revoked" true (prot = Vmsim.Prot_none))
+    vm
+
+let test_clock_skips_pinned () =
+  let clock = Clock.create () in
+  let vm = Vmsim.create ~clock ~cm:Simclock.Cost_model.default () in
+  let pool = Pool.create ~frames:3 in
+  for i = 0 to 2 do
+    let f = Option.get (Pool.free_frame pool) in
+    Pool.install pool ~frame:f ~page_id:(300 + i)
+  done;
+  Pool.pin pool 0;
+  Pool.set_hand pool 0;
+  let victim = Qs_clock.pick_victim ~pool ~vm ~vframe_of_frame:(fun _ -> None) in
+  Alcotest.(check bool) "pinned frame skipped" true (victim <> 0)
+
+(* Property: random split sequences keep table invariants and full
+   coverage of the object's frames. *)
+let prop_splits_cover =
+  QCheck.Test.make ~name:"large splits keep coverage and invariants" ~count:100
+    QCheck.(pair (int_range 2 60) (list (int_bound 59)))
+    (fun (npages, accesses) ->
+      let t = MT.create () in
+      let o = oid 77 in
+      MT.add t (mk_desc ~vframe:1000 ~nframes:npages (MT.Large_range { oid = o; first = 0; npages }));
+      List.iter
+        (fun idx ->
+          let idx = idx mod npages in
+          match MT.find_by_large t o ~idx with
+          | Some d -> ignore (MT.split_large t d ~idx)
+          | None -> ())
+        accesses;
+      MT.invariants_hold t
+      && List.for_all
+           (fun idx ->
+             match MT.find_by_large t o ~idx with
+             | Some d -> (
+               match d.MT.phys with
+               | MT.Large_range { first; npages = n; _ } ->
+                 d.MT.vframe = 1000 + first && idx >= first && idx < first + n
+               | MT.Small_page _ -> false)
+             | None -> false)
+           (List.init npages (fun i -> i)))
+
+let () =
+  Alcotest.run "qs-internals"
+    [ ( "codecs"
+      , [ Alcotest.test_case "meta object" `Quick test_meta_codec
+        ; Alcotest.test_case "mapping object" `Quick test_mapping_codec
+        ; Alcotest.test_case "mapping capacity guard" `Quick test_mapping_capacity_guard
+        ; Alcotest.test_case "bitmap object" `Quick test_bitmap_codec ] )
+    ; ( "mapping-table"
+      , [ Alcotest.test_case "small pages" `Quick test_table_small_pages
+        ; Alcotest.test_case "figure 3 split" `Quick test_large_split_figure3
+        ; Alcotest.test_case "edge splits" `Quick test_split_edge_pages
+        ; Alcotest.test_case "find gap" `Quick test_find_gap ] )
+    ; ( "simplified-clock"
+      , [ Alcotest.test_case "protection-driven sweep" `Quick test_simplified_clock
+        ; Alcotest.test_case "skips pinned" `Quick test_clock_skips_pinned ] )
+    ; ("properties", [ QCheck_alcotest.to_alcotest prop_splits_cover ]) ]

@@ -1,0 +1,154 @@
+(* Shape tests: the paper's §5 qualitative claims must hold in the
+   reproduction. These are the statements the study exists to make —
+   who wins, in which regime, and roughly by how much — checked on the
+   small OO7 database (a couple of minutes of wall time, so the suite
+   is small and targeted). *)
+
+module Sys_ = Harness.System
+module Params = Oo7.Params
+module Qs_config = Quickstore.Qs_config
+module Measure = Harness.Measure
+
+let seed = 77
+
+(* One shared set of small-database systems (built once, lazily). *)
+let qs = lazy (Sys_.make_qs Params.small ~seed)
+let e = lazy (Sys_.make_e Params.small ~seed)
+
+let qsb =
+  lazy
+    (Sys_.make_qs ~config:{ Qs_config.default with Qs_config.mode = Qs_config.Big_objects }
+       Params.small ~seed)
+
+let cold sys op =
+  let r = (Lazy.force sys).Sys_.run ~op ~seed ~hot_reps:0 in
+  Sys_.total_response r
+
+let cold_hot sys op =
+  let r = (Lazy.force sys).Sys_.run ~op ~seed ~hot_reps:3 in
+  (r.Sys_.cold.Measure.ms, (Option.get r.Sys_.hot).Measure.ms)
+
+let check_faster name a b =
+  Alcotest.(check bool) (Printf.sprintf "%s (%.1f < %.1f)" name a b) true (a < b)
+
+let check_ratio name ~lo ~hi a b =
+  let r = a /. b in
+  Alcotest.(check bool) (Printf.sprintf "%s (ratio %.2f in [%.2f, %.2f])" name r lo hi) true
+    (r >= lo && r <= hi)
+
+(* §5.1 / Table 2: QS database ~60% of E's. *)
+let test_db_size_ratio () =
+  let s_qs = (Lazy.force qs).Sys_.db_size_mb () in
+  let s_e = (Lazy.force e).Sys_.db_size_mb () in
+  let s_qsb = (Lazy.force qsb).Sys_.db_size_mb () in
+  check_ratio "QS/E size" ~lo:0.45 ~hi:0.75 s_qs s_e;
+  check_ratio "QS-B/E size" ~lo:0.9 ~hi:1.25 s_qsb s_e
+
+(* Fig 8: clustered cold traversal — QS wins big (paper: 37%). *)
+let test_t1_cold () =
+  let t_qs = cold qs "T1" and t_e = cold e "T1" and t_qsb = cold qsb "T1" in
+  check_faster "QS beats E on clustered T1" t_qs t_e;
+  check_ratio "QS/E on T1" ~lo:0.5 ~hi:0.8 t_qs t_e;
+  check_faster "E beats QS-B on T1 (pure faulting premium)" t_e t_qsb
+
+(* Fig 8: large-object scan — E pays the interpreter (paper: ~3x). *)
+let test_t8_cold () =
+  let t_qs = cold qs "T8" and t_e = cold e "T8" in
+  check_ratio "E/QS on cold T8" ~lo:2.0 ~hi:5.0 t_e t_qs
+
+(* Fig 8: unclustered sparse reads — E wins (paper: T7 ~26%, T9 ~2x). *)
+let test_unclustered_cold () =
+  check_faster "E beats QS on T7" (cold e "T7") (cold qs "T7");
+  check_faster "E beats QS on T9" (cold e "T9") (cold qs "T9")
+
+(* Fig 9: random index retrieval — E wins Q1 (paper: 24%). *)
+let test_q1_cold () = check_faster "E beats QS on Q1" (cold e "Q1") (cold qs "Q1")
+
+(* Fig 9: QS-B always behind E on cold reads except large scans. *)
+let test_qsb_always_behind () =
+  List.iter
+    (fun op -> check_faster (Printf.sprintf "E beats QS-B on %s" op) (cold e op) (cold qsb op))
+    [ "T1"; "T6"; "T7"; "Q1"; "Q2"; "Q3"; "Q5" ]
+
+(* Fig 10: update traversals — diffing beats object logging as density
+   rises (paper: QS ~17-20% ahead on T2B/T2C). *)
+let test_updates_density () =
+  let qs_b = cold qs "T2B" and e_b = cold e "T2B" in
+  check_faster "QS beats E on dense updates (T2B)" qs_b e_b;
+  (* Repeated in-place updates are nearly free for QS, a function call
+     per update for E: T2C ~ T2B for QS, slower for E. *)
+  let qs_c = cold qs "T2C" and e_c = cold e "T2C" in
+  check_ratio "QS T2C/T2B" ~lo:0.97 ~hi:1.05 qs_c qs_b;
+  check_faster "E T2C slower than T2B" e_b e_c
+
+(* Fig 12: hot traversals — QS at or ahead everywhere; the gap is
+   small when app work dominates (T1) and huge on large objects (T8,
+   paper: 32x). *)
+let test_hot_shapes () =
+  let _, h1_qs = cold_hot qs "T1" in
+  let _, h1_e = cold_hot e "T1" in
+  check_faster "QS beats E hot T1" h1_qs h1_e;
+  check_ratio "E/QS hot T1 is modest" ~lo:1.05 ~hi:1.8 h1_e h1_qs;
+  let _, h8_qs = cold_hot qs "T8" in
+  let _, h8_e = cold_hot e "T8" in
+  check_ratio "E/QS hot T8 is enormous" ~lo:15.0 ~hi:60.0 h8_e h8_qs;
+  let _, h6_qs = cold_hot qs "T6" in
+  let _, h6_e = cold_hot e "T6" in
+  check_ratio "E/QS hot T6" ~lo:1.5 ~hi:8.0 h6_e h6_qs
+
+(* Fig 17: relocation — QS-OR degrades much faster than QS-CR. *)
+let test_relocation_modes () =
+  let run mode frac =
+    let config =
+      { Qs_config.default with
+        Qs_config.reloc =
+          (match mode with `CR -> Qs_config.Continual frac | `OR -> Qs_config.One_time frac) }
+    in
+    let sys = Sys_.make_qs ~config Params.small ~seed in
+    Sys_.total_response (sys.Sys_.run ~op:"T1" ~seed ~hot_reps:0)
+  in
+  let base = cold qs "T1" in
+  let cr100 = run `CR 1.0 and or100 = run `OR 1.0 in
+  check_faster "CR cheaper than OR at 100%" cr100 or100;
+  Alcotest.(check bool) "OR pays noticeably over baseline" true (or100 > base *. 1.15);
+  Alcotest.(check bool) "CR stays close to baseline" true (cr100 < base *. 1.25)
+
+(* §3.5: the shipped simplified clock beats the rejected protecting
+   clock under paging pressure. *)
+let test_clock_policy_ablation () =
+  let run policy =
+    let config =
+      { Qs_config.default with Qs_config.client_frames = 96; Qs_config.clock_policy = policy }
+    in
+    let sys = Sys_.make_qs ~config Params.small ~seed in
+    ignore (sys.Sys_.run ~op:"T1" ~seed ~hot_reps:0);
+    Sys_.total_response (sys.Sys_.run ~op:"T1" ~seed ~hot_reps:0)
+  in
+  check_faster "simplified clock beats protecting clock"
+    (run Qs_config.Simplified_clock)
+    (run Qs_config.Protecting_clock)
+
+(* Table 5: per-fault premium of the mapped scheme (paper: ~20-26%). *)
+let test_per_fault_premium () =
+  let per_fault sys =
+    let r = (Lazy.force sys).Sys_.run ~op:"T1" ~seed ~hot_reps:1 in
+    (r.Sys_.cold.Measure.ms -. (Option.get r.Sys_.hot).Measure.ms)
+    /. float_of_int r.Sys_.cold_faults
+  in
+  let f_qs = per_fault qs and f_e = per_fault e in
+  check_ratio "QS fault premium over E" ~lo:1.05 ~hi:1.45 f_qs f_e
+
+let () =
+  Alcotest.run "shapes"
+    [ ( "paper-claims"
+      , [ Alcotest.test_case "database size ratio" `Slow test_db_size_ratio
+        ; Alcotest.test_case "T1 cold: QS wins clustered" `Slow test_t1_cold
+        ; Alcotest.test_case "T8 cold: interpreter tax" `Slow test_t8_cold
+        ; Alcotest.test_case "unclustered: E wins" `Slow test_unclustered_cold
+        ; Alcotest.test_case "Q1: E wins" `Slow test_q1_cold
+        ; Alcotest.test_case "QS-B behind E" `Slow test_qsb_always_behind
+        ; Alcotest.test_case "update density" `Slow test_updates_density
+        ; Alcotest.test_case "hot shapes" `Slow test_hot_shapes
+        ; Alcotest.test_case "relocation CR vs OR" `Slow test_relocation_modes
+        ; Alcotest.test_case "clock policy ablation" `Slow test_clock_policy_ablation
+        ; Alcotest.test_case "per-fault premium" `Slow test_per_fault_premium ] ) ]

@@ -1,0 +1,442 @@
+(* Disk, WAL, lock manager, buffer pool, and client/server transaction
+   tests — the ESM substrate beneath both persistence schemes. *)
+
+module Disk = Esm.Disk
+module Wal = Esm.Wal
+module Lock = Esm.Lock_mgr
+module Pool = Esm.Buf_pool
+module Page = Esm.Page
+module Server = Esm.Server
+module Client = Esm.Client
+module Oid = Esm.Oid
+module Large = Esm.Large_obj
+module Root_dir = Esm.Root_dir
+module Clock = Simclock.Clock
+
+let mk_server ?(frames = 64) () =
+  Server.create ~frames ~clock:(Clock.create ()) ~cm:Simclock.Cost_model.default ()
+
+let mk_pair ?(client_frames = 16) ?(server_frames = 64) () =
+  let s = mk_server ~frames:server_frames () in
+  (s, Client.create ~frames:client_frames s)
+
+(* --- disk --- *)
+
+let test_disk_alloc_rw () =
+  let d = Disk.create () in
+  let p1 = Disk.alloc d and p2 = Disk.alloc d in
+  Alcotest.(check int) "ids sequential" (p1 + 1) p2;
+  let b = Bytes.make Page.page_size 'x' in
+  Disk.write d p1 b;
+  let r = Bytes.create Page.page_size in
+  Disk.read d p1 r;
+  Alcotest.(check bytes) "roundtrip" b r;
+  Alcotest.(check int) "reads counted" 1 (Disk.reads d);
+  Alcotest.(check int) "writes counted" 1 (Disk.writes d)
+
+let test_disk_free_reuse () =
+  let d = Disk.create () in
+  let p1 = Disk.alloc d in
+  let _ = Disk.alloc d in
+  Disk.free d p1;
+  Alcotest.(check bool) "not allocated" false (Disk.is_allocated d p1);
+  let p3 = Disk.alloc d in
+  Alcotest.(check int) "id reused" p1 p3;
+  let r = Bytes.make Page.page_size 'z' in
+  Disk.read d p3 r;
+  Alcotest.(check bytes) "reused page zeroed" (Bytes.make Page.page_size '\000') r
+
+let test_disk_save_load () =
+  let d = Disk.create () in
+  let p1 = Disk.alloc d and p2 = Disk.alloc d in
+  Disk.write d p1 (Bytes.make Page.page_size 'a');
+  Disk.free d p2;
+  let path = Filename.temp_file "qs_disk" ".img" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Disk.save_to_file d path;
+      let d' = Disk.load_from_file path in
+      Alcotest.(check int) "page count" (Disk.page_count d) (Disk.page_count d');
+      Alcotest.(check bool) "freed stays freed" false (Disk.is_allocated d' p2);
+      let r = Bytes.create Page.page_size in
+      Disk.read d' p1 r;
+      Alcotest.(check bytes) "content" (Bytes.make Page.page_size 'a') r)
+
+(* --- wal --- *)
+
+let test_wal_force_semantics () =
+  let w = Wal.create () in
+  let _ = Wal.append w (Wal.Begin 1) in
+  let _ =
+    Wal.append w (Wal.Update { txn = 1; page = 3; off = 0; old_data = Bytes.create 4; new_data = Bytes.create 4 })
+  in
+  Alcotest.(check int64) "nothing forced" 0L (Wal.forced_lsn w);
+  ignore (Wal.force w);
+  Alcotest.(check int64) "forced" 2L (Wal.forced_lsn w);
+  let _ = Wal.append w (Wal.Commit 1) in
+  let survived = Wal.survive_crash w in
+  Alcotest.(check int) "unforced tail lost" 2 (Wal.record_count survived)
+
+let test_wal_bytes_accounting () =
+  let w = Wal.create () in
+  let _ = Wal.append w (Wal.Begin 1) in
+  let _ =
+    Wal.append w
+      (Wal.Update { txn = 1; page = 1; off = 0; old_data = Bytes.create 10; new_data = Bytes.create 10 })
+  in
+  Alcotest.(check int) "total" (50 + 50 + 20) (Wal.total_bytes w);
+  Alcotest.(check int) "update bytes" 70 (Wal.update_bytes w)
+
+let test_wal_force_pages () =
+  let w = Wal.create () in
+  for _ = 1 to 200 do
+    ignore
+      (Wal.append w
+         (Wal.Update { txn = 1; page = 1; off = 0; old_data = Bytes.create 50; new_data = Bytes.create 50 }))
+  done;
+  (* 200 * 150 bytes = 30000 bytes = 4 pages of 8192 *)
+  Alcotest.(check int) "log pages written" 4 (Wal.force w);
+  Alcotest.(check int) "no new pages" 0 (Wal.force w)
+
+(* --- lock manager --- *)
+
+let test_lock_shared_compatible () =
+  let l = Lock.create () in
+  Lock.acquire l ~txn:1 (Lock.Page_lock 5) Lock.Shared;
+  Lock.acquire l ~txn:2 (Lock.Page_lock 5) Lock.Shared;
+  Alcotest.(check int) "two grants" 2 (Lock.outstanding l)
+
+let test_lock_exclusive_conflict () =
+  let l = Lock.create () in
+  Lock.acquire l ~txn:1 (Lock.Page_lock 5) Lock.Exclusive;
+  (match Lock.acquire l ~txn:2 (Lock.Page_lock 5) Lock.Shared with
+   | () -> Alcotest.fail "expected conflict"
+   | exception Lock.Conflict { holder = 1; requester = 2; _ } -> ()
+   | exception _ -> Alcotest.fail "wrong exception");
+  Lock.release_all l ~txn:1;
+  Lock.acquire l ~txn:2 (Lock.Page_lock 5) Lock.Shared
+
+let test_lock_upgrade () =
+  let l = Lock.create () in
+  Lock.acquire l ~txn:1 (Lock.Page_lock 5) Lock.Shared;
+  Lock.acquire l ~txn:1 (Lock.Page_lock 5) Lock.Exclusive;
+  Alcotest.(check bool) "upgraded" true (Lock.held l ~txn:1 (Lock.Page_lock 5) = Some Lock.Exclusive);
+  match Lock.acquire l ~txn:2 (Lock.Page_lock 5) Lock.Shared with
+  | () -> Alcotest.fail "expected conflict after upgrade"
+  | exception Lock.Conflict _ -> ()
+
+let test_lock_upgrade_blocked_by_reader () =
+  let l = Lock.create () in
+  Lock.acquire l ~txn:1 (Lock.Page_lock 5) Lock.Shared;
+  Lock.acquire l ~txn:2 (Lock.Page_lock 5) Lock.Shared;
+  match Lock.acquire l ~txn:1 (Lock.Page_lock 5) Lock.Exclusive with
+  | () -> Alcotest.fail "expected conflict"
+  | exception Lock.Conflict _ -> ()
+
+(* --- buffer pool --- *)
+
+let test_pool_install_lookup_evict () =
+  let p = Pool.create ~frames:4 in
+  let f = Option.get (Pool.free_frame p) in
+  Pool.install p ~frame:f ~page_id:42;
+  Alcotest.(check (option int)) "lookup" (Some f) (Pool.lookup p 42);
+  Pool.pin p f;
+  Alcotest.check_raises "evict pinned" (Invalid_argument "Buf_pool.evict: pinned frame") (fun () ->
+      Pool.evict p f);
+  Pool.unpin p f;
+  Pool.evict p f;
+  Alcotest.(check (option int)) "gone" None (Pool.lookup p 42)
+
+let test_pool_clock_second_chance () =
+  let p = Pool.create ~frames:3 in
+  for i = 0 to 2 do
+    let f = Option.get (Pool.free_frame p) in
+    Pool.install p ~frame:f ~page_id:(100 + i)
+  done;
+  (* All ref bits set; a full sweep clears them, then frame 0 wins. *)
+  let v = Pool.clock_victim p in
+  Alcotest.(check int) "first unreferenced frame" 0 v;
+  (* Re-reference frame 1: it must be skipped next. *)
+  Pool.set_ref_bit p 1 true;
+  let v2 = Pool.clock_victim p in
+  Alcotest.(check int) "skips re-referenced" 2 v2
+
+let test_pool_buffer_full () =
+  let p = Pool.create ~frames:2 in
+  for i = 0 to 1 do
+    let f = Option.get (Pool.free_frame p) in
+    Pool.install p ~frame:f ~page_id:i;
+    Pool.pin p f
+  done;
+  Alcotest.check_raises "all pinned" Pool.Buffer_full (fun () -> ignore (Pool.clock_victim p))
+
+(* --- client/server transactions --- *)
+
+let test_object_create_read () =
+  let _s, c = mk_pair () in
+  Client.begin_txn c;
+  let oid = Client.create_object_new_page c (Bytes.of_string "hello world") in
+  Alcotest.(check bytes) "read back in txn" (Bytes.of_string "hello world") (Client.read_object c oid);
+  Client.commit c;
+  Client.begin_txn c;
+  Alcotest.(check bytes) "read back after commit" (Bytes.of_string "hello world")
+    (Client.read_object c oid);
+  Client.commit c
+
+let test_object_update_visible_after_reset () =
+  let _s, c = mk_pair () in
+  Client.begin_txn c;
+  let oid = Client.create_object_new_page c (Bytes.make 32 'a') in
+  Client.commit c;
+  Client.begin_txn c;
+  Client.update_object c oid ~off:4 (Bytes.of_string "BBBB");
+  Client.commit c;
+  Client.reset_cache c;
+  Server.reset_cache (Client.server c);
+  Client.begin_txn c;
+  let b = Client.read_object c oid in
+  Alcotest.(check string) "update durable" "aaaaBBBBaaaa" (Bytes.sub_string b 0 12);
+  Client.commit c
+
+let test_abort_undoes_update () =
+  let _s, c = mk_pair () in
+  Client.begin_txn c;
+  let oid = Client.create_object_new_page c (Bytes.make 16 'a') in
+  Client.commit c;
+  Client.begin_txn c;
+  Client.update_object c oid ~off:0 (Bytes.of_string "ZZZZ");
+  Alcotest.(check char) "dirty read inside txn" 'Z' (Bytes.get (Client.read_object c oid) 0);
+  Client.abort c;
+  Client.begin_txn c;
+  Alcotest.(check char) "value restored" 'a' (Bytes.get (Client.read_object c oid) 0);
+  Client.commit c
+
+let test_dangling_reference_detected () =
+  let _s, c = mk_pair () in
+  Client.begin_txn c;
+  let oid = Client.create_object_new_page c (Bytes.make 16 'a') in
+  Client.delete_object c oid;
+  (* Reuse the slot with a different object. *)
+  let oid2 = Option.get (Client.create_object c ~page_id:oid.Oid.page (Bytes.make 16 'b')) in
+  Alcotest.(check int) "slot reused" oid.Oid.slot oid2.Oid.slot;
+  (match Client.read_object c oid with
+   | _ -> Alcotest.fail "expected dangling reference"
+   | exception Client.Dangling_reference o -> Alcotest.(check bool) "same oid" true (Oid.equal o oid));
+  Client.commit c
+
+let test_client_paging_writes_back () =
+  (* Client pool smaller than working set: dirty pages must be shipped
+     to the server on eviction and survive. *)
+  let _s, c = mk_pair ~client_frames:4 () in
+  Client.begin_txn c;
+  let oids =
+    List.init 16 (fun i -> Client.create_object_new_page c (Bytes.make 4000 (Char.chr (65 + i))))
+  in
+  List.iteri
+    (fun i oid ->
+      let b = Client.read_object c oid in
+      Alcotest.(check char) "content survives paging" (Char.chr (65 + i)) (Bytes.get b 0))
+    oids;
+  Client.commit c
+
+let test_io_counters () =
+  let s, c = mk_pair () in
+  Client.begin_txn c;
+  let oid = Client.create_object_new_page c (Bytes.make 100 'a') in
+  Client.commit c;
+  Client.reset_cache c;
+  Server.reset_counters s;
+  Client.begin_txn c;
+  ignore (Client.read_object c oid);
+  ignore (Client.read_object c oid);
+  Client.commit c;
+  Alcotest.(check int) "one client read request (second is cached)" 1
+    (Server.counters s).Server.client_reads
+
+let test_simulated_time_charged () =
+  let s, c = mk_pair () in
+  let clock = Server.clock s in
+  Client.begin_txn c;
+  let oid = Client.create_object_new_page c (Bytes.make 100 'a') in
+  Client.commit c;
+  Client.reset_cache c;
+  Server.reset_cache s;
+  Clock.reset clock;
+  Client.begin_txn c;
+  ignore (Client.read_object c oid);
+  Client.commit c;
+  let data_io = Clock.category_us clock Simclock.Category.Data_io in
+  (* One cold read: server disk read + net ship. *)
+  Alcotest.(check bool) "cold read charged" true (data_io >= 23_000.0)
+
+let test_two_clients_conflict () =
+  (* Two clients on one server: the no-wait lock manager rejects the
+     second writer; after the first commits, the second succeeds. *)
+  let s = mk_server () in
+  let a = Client.create ~frames:16 s and b = Client.create ~frames:16 s in
+  Client.begin_txn a;
+  let oid = Client.create_object_new_page a (Bytes.make 16 'a') in
+  Client.commit a;
+  Client.begin_txn a;
+  Client.begin_txn b;
+  Client.update_object a oid ~off:0 (Bytes.of_string "AA");
+  (match Client.update_object b oid ~off:0 (Bytes.of_string "BB") with
+   | () -> Alcotest.fail "expected lock conflict"
+   | exception Lock.Conflict _ -> ());
+  Client.commit a;
+  (* B's cached copy predates A's commit; refresh and retry. *)
+  Client.abort b;
+  Client.reset_cache b;
+  Client.begin_txn b;
+  Client.update_object b oid ~off:0 (Bytes.of_string "BB");
+  Client.commit b;
+  Client.reset_cache a;
+  Client.begin_txn a;
+  Alcotest.(check string) "last writer wins" "BB" (Bytes.sub_string (Client.read_object a oid) 0 2);
+  Client.commit a
+
+let test_two_clients_shared_reads () =
+  let s = mk_server () in
+  let a = Client.create ~frames:16 s and b = Client.create ~frames:16 s in
+  Client.begin_txn a;
+  let oid = Client.create_object_new_page a (Bytes.make 16 'x') in
+  Client.commit a;
+  Client.begin_txn a;
+  Client.begin_txn b;
+  Alcotest.(check bytes) "a reads" (Bytes.make 16 'x') (Client.read_object a oid);
+  Alcotest.(check bytes) "b reads concurrently" (Bytes.make 16 'x') (Client.read_object b oid);
+  (* A writer is refused while both readers hold shared locks. *)
+  (match Client.update_object a oid ~off:0 (Bytes.of_string "Z") with
+   | () -> Alcotest.fail "expected upgrade conflict"
+   | exception Lock.Conflict _ -> ());
+  Client.commit a;
+  Client.commit b
+
+(* --- large objects --- *)
+
+let test_large_roundtrip () =
+  let _s, c = mk_pair ~client_frames:32 () in
+  Client.begin_txn c;
+  let size = 100_000 in
+  let oid = Large.create c ~size in
+  Alcotest.(check bool) "is_large" true (Large.is_large oid);
+  Alcotest.(check int) "size" size (Large.size c oid);
+  let data = Bytes.init 5000 (fun i -> Char.chr (i mod 251)) in
+  Large.write c oid ~off:8000 data;
+  Client.commit c;
+  Client.begin_txn c;
+  Alcotest.(check bytes) "page-spanning readback" data (Large.read c oid ~off:8000 ~len:5000);
+  Alcotest.(check char) "zero elsewhere" '\000' (Large.get_byte c oid 50_000);
+  Client.commit c
+
+let test_large_page_count () =
+  let _s, c = mk_pair ~client_frames:32 () in
+  Client.begin_txn c;
+  let oid = Large.create c ~size:100_000 in
+  let ids = Large.page_ids c oid in
+  Alcotest.(check int) "pages" ((100_000 + Large.page_payload - 1) / Large.page_payload)
+    (Array.length ids);
+  Client.commit c
+
+let test_large_bounds () =
+  let _s, c = mk_pair () in
+  Client.begin_txn c;
+  let oid = Large.create c ~size:1000 in
+  Alcotest.check_raises "oob" (Invalid_argument "Large_obj: span out of bounds") (fun () ->
+      ignore (Large.read c oid ~off:900 ~len:200));
+  Client.commit c
+
+(* --- root directory --- *)
+
+let test_root_dir () =
+  let _s, c = mk_pair () in
+  Client.begin_txn c;
+  let meta_page = Root_dir.format_db c in
+  Root_dir.set_int c ~meta_page "counter" 12345;
+  Root_dir.set_oid c ~meta_page "root" (Oid.make ~page:9 ~slot:2 ~unique:7 ());
+  Client.commit c;
+  Client.reset_cache c;
+  Client.begin_txn c;
+  Alcotest.(check (option int)) "int" (Some 12345) (Root_dir.get_int c ~meta_page "counter");
+  (match Root_dir.get_oid c ~meta_page "root" with
+   | Some o -> Alcotest.(check bool) "oid" true (Oid.equal o (Oid.make ~page:9 ~slot:2 ~unique:7 ()))
+   | None -> Alcotest.fail "missing root");
+  Alcotest.(check (option int)) "absent" None (Root_dir.get_int c ~meta_page "nope");
+  Root_dir.set_int c ~meta_page "counter" 777;
+  Alcotest.(check (option int)) "overwrite" (Some 777) (Root_dir.get_int c ~meta_page "counter");
+  Root_dir.remove c ~meta_page "counter";
+  Alcotest.(check (option int)) "removed" None (Root_dir.get_int c ~meta_page "counter");
+  Client.commit c
+
+(* Property: random object workload against an in-memory model, with
+   paging and commits interleaved. *)
+let prop_object_store_model =
+  QCheck.Test.make ~name:"object store agrees with model" ~count:30
+    QCheck.(list (pair (int_bound 3) (int_range 1 500)))
+    (fun ops ->
+      let _s, c = mk_pair ~client_frames:8 () in
+      let model : (Oid.t * bytes) list ref = ref [] in
+      let tag = ref 0 in
+      Client.begin_txn c;
+      List.iter
+        (fun (op, size) ->
+          incr tag;
+          match op with
+          | 0 | 3 ->
+            let data = Bytes.make size (Char.chr (33 + (!tag mod 90))) in
+            let oid = Client.create_object_new_page c data in
+            model := (oid, data) :: !model
+          | 1 -> (
+            match !model with
+            | (oid, data) :: rest ->
+              let patch = Bytes.make (min size (Bytes.length data)) '!' in
+              Client.update_object c oid ~off:0 patch;
+              Bytes.blit patch 0 data 0 (Bytes.length patch);
+              model := (oid, data) :: rest
+            | [] -> ())
+          | _ ->
+            Client.commit c;
+            Client.begin_txn c)
+        ops;
+      let ok =
+        List.for_all (fun (oid, data) -> Bytes.equal (Client.read_object c oid) data) !model
+      in
+      Client.commit c;
+      ok)
+
+let () =
+  Alcotest.run "storage"
+    [ ( "disk"
+      , [ Alcotest.test_case "alloc/rw" `Quick test_disk_alloc_rw
+        ; Alcotest.test_case "free and reuse" `Quick test_disk_free_reuse
+        ; Alcotest.test_case "save/load" `Quick test_disk_save_load ] )
+    ; ( "wal"
+      , [ Alcotest.test_case "force semantics" `Quick test_wal_force_semantics
+        ; Alcotest.test_case "bytes accounting" `Quick test_wal_bytes_accounting
+        ; Alcotest.test_case "force pages" `Quick test_wal_force_pages ] )
+    ; ( "locks"
+      , [ Alcotest.test_case "shared compatible" `Quick test_lock_shared_compatible
+        ; Alcotest.test_case "exclusive conflict" `Quick test_lock_exclusive_conflict
+        ; Alcotest.test_case "upgrade" `Quick test_lock_upgrade
+        ; Alcotest.test_case "upgrade blocked" `Quick test_lock_upgrade_blocked_by_reader ] )
+    ; ( "buffer-pool"
+      , [ Alcotest.test_case "install/lookup/evict" `Quick test_pool_install_lookup_evict
+        ; Alcotest.test_case "clock second chance" `Quick test_pool_clock_second_chance
+        ; Alcotest.test_case "buffer full" `Quick test_pool_buffer_full ] )
+    ; ( "transactions"
+      , [ Alcotest.test_case "create/read" `Quick test_object_create_read
+        ; Alcotest.test_case "update durable" `Quick test_object_update_visible_after_reset
+        ; Alcotest.test_case "abort undoes" `Quick test_abort_undoes_update
+        ; Alcotest.test_case "dangling reference" `Quick test_dangling_reference_detected
+        ; Alcotest.test_case "paging write-back" `Quick test_client_paging_writes_back
+        ; Alcotest.test_case "io counters" `Quick test_io_counters
+        ; Alcotest.test_case "sim time charged" `Quick test_simulated_time_charged
+        ; Alcotest.test_case "two-client conflict" `Quick test_two_clients_conflict
+        ; Alcotest.test_case "two-client shared reads" `Quick test_two_clients_shared_reads ] )
+    ; ( "large-objects"
+      , [ Alcotest.test_case "roundtrip" `Quick test_large_roundtrip
+        ; Alcotest.test_case "page count" `Quick test_large_page_count
+        ; Alcotest.test_case "bounds" `Quick test_large_bounds ] )
+    ; ("root-dir", [ Alcotest.test_case "roundtrip" `Quick test_root_dir ])
+    ; ("properties", [ QCheck_alcotest.to_alcotest prop_object_store_model ]) ]

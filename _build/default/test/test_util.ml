@@ -1,0 +1,251 @@
+(* Unit and property tests for the leaf utilities: binary codecs,
+   deterministic RNG, bitsets, and the interval AVL tree that backs
+   QuickStore's mapping table. *)
+
+module Codec = Qs_util.Codec
+module Rng = Qs_util.Rng
+module Bitset = Qs_util.Bitset
+module Avl = Qs_util.Interval_avl
+
+let check = Alcotest.(check int)
+
+(* --- codec --- *)
+
+let test_codec_roundtrip () =
+  let b = Bytes.make 64 '\000' in
+  Codec.set_u8 b 0 0xAB;
+  check "u8" 0xAB (Codec.get_u8 b 0);
+  Codec.set_u16 b 1 0xBEEF;
+  check "u16" 0xBEEF (Codec.get_u16 b 1);
+  Codec.set_u32 b 3 0xDEADBEEF;
+  check "u32" 0xDEADBEEF (Codec.get_u32 b 3);
+  Codec.set_i64 b 7 (-123456789L);
+  Alcotest.(check int64) "i64" (-123456789L) (Codec.get_i64 b 7);
+  Codec.set_string b 20 "hello";
+  Alcotest.(check string) "string" "hello" (Codec.get_string b 20 5)
+
+let test_codec_u32_max () =
+  let b = Bytes.make 8 '\000' in
+  Codec.set_u32 b 0 0xFFFFFFFF;
+  check "u32 max" 0xFFFFFFFF (Codec.get_u32 b 0);
+  Codec.set_u32 b 0 0;
+  check "u32 zero" 0 (Codec.get_u32 b 0)
+
+let test_codec_cstring () =
+  let b = Bytes.make 16 '\xff' in
+  Codec.set_string_padded b 0 10 "abc";
+  Alcotest.(check string) "padded read" "abc" (Codec.get_cstring b 0 10);
+  Codec.set_string_padded b 0 4 "abcdefgh";
+  Alcotest.(check string) "truncated" "abcd" (Codec.get_cstring b 0 4)
+
+let test_codec_endianness () =
+  let b = Bytes.make 4 '\000' in
+  Codec.set_u32 b 0 0x01020304;
+  check "little-endian low byte" 0x04 (Codec.get_u8 b 0);
+  check "little-endian high byte" 0x01 (Codec.get_u8 b 3)
+
+(* --- rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check "same stream" (Rng.int a 1_000_000) (Rng.int b 1_000_000)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in bounds" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1_000 do
+    let v = Rng.range r 1000 1999 in
+    Alcotest.(check bool) "range" true (v >= 1000 && v <= 1999)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let x1 = Rng.int a 1000 and y1 = Rng.int b 1000 in
+  let a' = Rng.create 1 in
+  let _ = Rng.split a' in
+  let x2 = Rng.int a' 1000 in
+  check "parent unaffected by child draws order" x1 x2;
+  ignore y1
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 99 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* --- bitset --- *)
+
+let test_bitset_basic () =
+  let b = Bitset.create 100 in
+  Bitset.set b 0;
+  Bitset.set b 63;
+  Bitset.set b 99;
+  Alcotest.(check bool) "get 0" true (Bitset.get b 0);
+  Alcotest.(check bool) "get 1" false (Bitset.get b 1);
+  Alcotest.(check bool) "get 99" true (Bitset.get b 99);
+  check "cardinal" 3 (Bitset.cardinal b);
+  Bitset.clear b 63;
+  check "cardinal after clear" 2 (Bitset.cardinal b)
+
+let test_bitset_iter_order () =
+  let b = Bitset.create 64 in
+  List.iter (Bitset.set b) [ 5; 1; 60; 33 ];
+  let seen = ref [] in
+  Bitset.iter_set (fun i -> seen := i :: !seen) b;
+  Alcotest.(check (list int)) "ascending" [ 1; 5; 33; 60 ] (List.rev !seen)
+
+let test_bitset_serialize () =
+  let b = Bitset.create 77 in
+  List.iter (Bitset.set b) [ 0; 8; 76 ];
+  let b' = Bitset.of_bytes 77 (Bitset.to_bytes b) in
+  Alcotest.(check bool) "equal" true (Bitset.equal b b')
+
+let test_bitset_bounds () =
+  let b = Bitset.create 8 in
+  Alcotest.check_raises "oob set" (Invalid_argument "Bitset: index out of range") (fun () ->
+      Bitset.set b 8)
+
+(* --- interval avl --- *)
+
+let test_avl_basic () =
+  let t = Avl.empty in
+  let t = Avl.add t ~lo:10 ~hi:20 "a" in
+  let t = Avl.add t ~lo:30 ~hi:40 "b" in
+  let t = Avl.add t ~lo:0 ~hi:5 "c" in
+  check "cardinal" 3 (Avl.cardinal t);
+  (match Avl.find_containing t 15 with
+   | Some (10, 20, "a") -> ()
+   | _ -> Alcotest.fail "find_containing 15");
+  Alcotest.(check bool) "gap not found" true (Avl.find_containing t 25 = None);
+  (match Avl.find_first_from t 21 with
+   | Some (30, 40, "b") -> ()
+   | _ -> Alcotest.fail "find_first_from");
+  let t = Avl.remove t ~lo:10 in
+  check "cardinal after remove" 2 (Avl.cardinal t);
+  Alcotest.(check bool) "removed" true (Avl.find_containing t 15 = None)
+
+let test_avl_overlap_rejected () =
+  let t = Avl.add Avl.empty ~lo:10 ~hi:20 () in
+  Alcotest.check_raises "overlap" (Invalid_argument "Interval_avl.add: overlapping interval")
+    (fun () -> ignore (Avl.add t ~lo:15 ~hi:25 ()));
+  Alcotest.check_raises "contained" (Invalid_argument "Interval_avl.add: overlapping interval")
+    (fun () -> ignore (Avl.add t ~lo:12 ~hi:13 ()))
+
+let test_avl_adjacent_ok () =
+  let t = Avl.add Avl.empty ~lo:10 ~hi:20 () in
+  let t = Avl.add t ~lo:20 ~hi:30 () in
+  let t = Avl.add t ~lo:0 ~hi:10 () in
+  check "three adjacent" 3 (Avl.cardinal t)
+
+let test_avl_find_gap () =
+  let t = Avl.add Avl.empty ~lo:0 ~hi:10 () in
+  let t = Avl.add t ~lo:12 ~hi:20 () in
+  let t = Avl.add t ~lo:50 ~hi:60 () in
+  Alcotest.(check (option int)) "gap of 2" (Some 10) (Avl.find_gap t ~width:2 ~limit:100);
+  Alcotest.(check (option int)) "gap of 10" (Some 20) (Avl.find_gap t ~width:10 ~limit:100);
+  Alcotest.(check (option int)) "gap of 40" (Some 60) (Avl.find_gap t ~width:40 ~limit:100);
+  Alcotest.(check (option int)) "gap too wide" None (Avl.find_gap t ~width:41 ~limit:100)
+
+let test_avl_large_sequential () =
+  let t = ref Avl.empty in
+  for i = 0 to 9_999 do
+    t := Avl.add !t ~lo:(i * 10) ~hi:((i * 10) + 10) i
+  done;
+  Alcotest.(check bool) "invariants" true (Avl.invariants_hold !t);
+  Alcotest.(check bool) "height balanced" true (Avl.height !t <= 20);
+  (match Avl.find_containing !t 54_321 with
+   | Some (54_320, 54_330, 5432) -> ()
+   | _ -> Alcotest.fail "find in large tree")
+
+(* Model-based property: random adds/removes tracked against a list. *)
+let prop_avl_model =
+  QCheck.Test.make ~name:"avl agrees with model" ~count:200
+    QCheck.(list (pair (int_bound 500) bool))
+    (fun ops ->
+      let model = Hashtbl.create 16 in
+      let t = ref Avl.empty in
+      List.iter
+        (fun (slot, add) ->
+          let lo = slot * 10 and hi = (slot * 10) + 10 in
+          if add && not (Hashtbl.mem model lo) then begin
+            t := Avl.add !t ~lo ~hi slot;
+            Hashtbl.replace model lo slot
+          end
+          else if (not add) && Hashtbl.mem model lo then begin
+            t := Avl.remove !t ~lo;
+            Hashtbl.remove model lo
+          end)
+        ops;
+      Avl.invariants_hold !t
+      && Avl.cardinal !t = Hashtbl.length model
+      && Hashtbl.fold
+           (fun lo slot acc ->
+             acc
+             &&
+             match Avl.find_containing !t (lo + 5) with
+             | Some (l, h, v) -> l = lo && h = lo + 10 && v = slot
+             | None -> false)
+           model true)
+
+let prop_avl_iter_sorted =
+  QCheck.Test.make ~name:"avl iteration is sorted and disjoint" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun slots ->
+      let t =
+        List.fold_left
+          (fun t slot ->
+            let lo = slot * 4 in
+            match Avl.add t ~lo ~hi:(lo + 3) slot with x -> x | exception Invalid_argument _ -> t)
+          Avl.empty slots
+      in
+      let prev = ref (-1) in
+      let ok = ref true in
+      Avl.iter
+        (fun ~lo ~hi _ ->
+          if lo <= !prev then ok := false;
+          if hi <= lo then ok := false;
+          prev := hi)
+        t;
+      !ok)
+
+let prop_bitset_roundtrip =
+  QCheck.Test.make ~name:"bitset bytes roundtrip" ~count:200
+    QCheck.(pair (int_range 1 300) (list (int_bound 1000)))
+    (fun (n, idxs) ->
+      let b = Bitset.create n in
+      List.iter (fun i -> if i < n then Bitset.set b i) idxs;
+      Bitset.equal b (Bitset.of_bytes n (Bitset.to_bytes b)))
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [ ( "codec"
+      , [ Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip
+        ; Alcotest.test_case "u32 extremes" `Quick test_codec_u32_max
+        ; Alcotest.test_case "cstring" `Quick test_codec_cstring
+        ; Alcotest.test_case "endianness" `Quick test_codec_endianness ] )
+    ; ( "rng"
+      , [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic
+        ; Alcotest.test_case "bounds" `Quick test_rng_bounds
+        ; Alcotest.test_case "split independence" `Quick test_rng_split_independent
+        ; Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation ] )
+    ; ( "bitset"
+      , [ Alcotest.test_case "basic" `Quick test_bitset_basic
+        ; Alcotest.test_case "iter order" `Quick test_bitset_iter_order
+        ; Alcotest.test_case "serialize" `Quick test_bitset_serialize
+        ; Alcotest.test_case "bounds" `Quick test_bitset_bounds ] )
+    ; ( "interval-avl"
+      , [ Alcotest.test_case "basic" `Quick test_avl_basic
+        ; Alcotest.test_case "overlap rejected" `Quick test_avl_overlap_rejected
+        ; Alcotest.test_case "adjacent ok" `Quick test_avl_adjacent_ok
+        ; Alcotest.test_case "find_gap" `Quick test_avl_find_gap
+        ; Alcotest.test_case "large sequential" `Quick test_avl_large_sequential ] )
+    ; ("properties", qc [ prop_avl_model; prop_avl_iter_sorted; prop_bitset_roundtrip ]) ]

@@ -1,0 +1,116 @@
+(* Virtual-memory simulation tests: protection semantics, fault
+   dispatch and retry, the one-call global reprotect, and access
+   charging. *)
+
+module Clock = Simclock.Clock
+module Cat = Simclock.Category
+
+let mk () =
+  let clock = Clock.create () in
+  (clock, Vmsim.create ~clock ~cm:Simclock.Cost_model.default ())
+
+let buf c = Bytes.make Vmsim.frame_size c
+
+let test_address_arithmetic () =
+  Alcotest.(check int) "frame" 5 (Vmsim.frame_of_addr ((5 * 8192) + 100));
+  Alcotest.(check int) "offset" 100 (Vmsim.offset_of_addr ((5 * 8192) + 100));
+  Alcotest.(check int) "addr" (5 * 8192) (Vmsim.addr_of_frame 5)
+
+let test_read_requires_protection () =
+  let _clock, vm = mk () in
+  Vmsim.map vm ~frame:3 ~buf:(buf 'x');
+  (match Vmsim.read_u8 vm (3 * 8192) with
+   | _ -> Alcotest.fail "expected fault on Prot_none"
+   | exception Vmsim.Unhandled_fault { access = Vmsim.Read; _ } -> ());
+  Vmsim.set_prot vm ~frame:3 Vmsim.Prot_read;
+  Alcotest.(check int) "readable" (Char.code 'x') (Vmsim.read_u8 vm (3 * 8192))
+
+let test_write_requires_write_prot () =
+  let _clock, vm = mk () in
+  Vmsim.map vm ~frame:1 ~buf:(buf 'a');
+  Vmsim.set_prot vm ~frame:1 Vmsim.Prot_read;
+  (match Vmsim.write_u8 vm 8192 65 with
+   | () -> Alcotest.fail "expected write fault"
+   | exception Vmsim.Unhandled_fault { access = Vmsim.Write; _ } -> ());
+  Vmsim.set_prot vm ~frame:1 Vmsim.Prot_write;
+  Vmsim.write_u8 vm 8192 65;
+  Alcotest.(check int) "write implies read" 65 (Vmsim.read_u8 vm 8192)
+
+let test_fault_handler_enables () =
+  let _clock, vm = mk () in
+  let b = buf 'z' in
+  let handled = ref 0 in
+  Vmsim.set_fault_handler vm (fun ~frame ~access:_ ->
+      incr handled;
+      Vmsim.map vm ~frame ~buf:b;
+      Vmsim.set_prot vm ~frame Vmsim.Prot_read);
+  Alcotest.(check int) "access succeeds via handler" (Char.code 'z') (Vmsim.read_u8 vm (7 * 8192));
+  Alcotest.(check int) "one fault" 1 !handled;
+  Alcotest.(check int) "second access free" (Char.code 'z') (Vmsim.read_u8 vm (7 * 8192));
+  Alcotest.(check int) "still one fault" 1 !handled;
+  Alcotest.(check int) "fault counter" 1 (Vmsim.fault_count vm)
+
+let test_protect_all_one_charge () =
+  let clock, vm = mk () in
+  for f = 1 to 50 do
+    Vmsim.map vm ~frame:f ~buf:(buf 'x');
+    Vmsim.set_prot_free vm ~frame:f Vmsim.Prot_write
+  done;
+  Clock.reset clock;
+  Vmsim.protect_all vm;
+  Alcotest.(check int) "one mmap call" 1 (Clock.category_events clock Cat.Mmap_call);
+  Vmsim.iter_mapped
+    (fun ~frame:_ ~prot -> Alcotest.(check bool) "revoked" true (prot = Vmsim.Prot_none))
+    vm
+
+let test_frame_boundary_guard () =
+  let _clock, vm = mk () in
+  Vmsim.map vm ~frame:0 ~buf:(buf 'x');
+  Vmsim.set_prot vm ~frame:0 Vmsim.Prot_read;
+  Alcotest.check_raises "span crosses frames"
+    (Invalid_argument "Vmsim: access crosses a frame boundary") (fun () ->
+      ignore (Vmsim.read_bytes vm 8190 4))
+
+let test_unmap_revokes () =
+  let _clock, vm = mk () in
+  Vmsim.map vm ~frame:2 ~buf:(buf 'x');
+  Vmsim.set_prot vm ~frame:2 Vmsim.Prot_read;
+  Vmsim.unmap vm ~frame:2;
+  Alcotest.(check bool) "unmapped" false (Vmsim.is_mapped vm ~frame:2);
+  match Vmsim.read_u8 vm (2 * 8192) with
+  | _ -> Alcotest.fail "expected fault after unmap"
+  | exception Vmsim.Unhandled_fault _ -> ()
+
+let test_trap_charging () =
+  let clock, vm = mk () in
+  let b = buf 'x' in
+  Vmsim.set_fault_handler vm (fun ~frame ~access:_ ->
+      Vmsim.map vm ~frame ~buf:b;
+      Vmsim.set_prot_free vm ~frame Vmsim.Prot_read);
+  Clock.reset clock;
+  ignore (Vmsim.read_u8 vm (9 * 8192));
+  Alcotest.(check bool) "trap cost charged" true (Clock.category_us clock Cat.Page_fault > 0.0);
+  let before = Clock.category_us clock Cat.Page_fault in
+  ignore (Vmsim.read_u8 vm (9 * 8192));
+  Alcotest.(check bool) "no charge on plain access" true
+    (Clock.category_us clock Cat.Page_fault = before)
+
+let test_u32_roundtrip_via_vm () =
+  let _clock, vm = mk () in
+  Vmsim.map vm ~frame:4 ~buf:(buf '\000');
+  Vmsim.set_prot vm ~frame:4 Vmsim.Prot_write;
+  Vmsim.write_u32 vm ((4 * 8192) + 12) 0xCAFE1234;
+  Alcotest.(check int) "u32" 0xCAFE1234 (Vmsim.read_u32 vm ((4 * 8192) + 12))
+
+let () =
+  Alcotest.run "vmsim"
+    [ ( "vmsim"
+      , [ Alcotest.test_case "address arithmetic" `Quick test_address_arithmetic
+        ; Alcotest.test_case "read protection" `Quick test_read_requires_protection
+        ; Alcotest.test_case "write protection" `Quick test_write_requires_write_prot
+        ; Alcotest.test_case "fault handler retry" `Quick test_fault_handler_enables
+        ; Alcotest.test_case "protect_all is one mmap" `Quick test_protect_all_one_charge
+        ; Alcotest.test_case "frame boundary" `Quick test_frame_boundary_guard
+        ; Alcotest.test_case "unmap revokes" `Quick test_unmap_revokes
+        ; Alcotest.test_case "trap charging" `Quick test_trap_charging
+        ; Alcotest.test_case "u32 roundtrip" `Quick test_u32_roundtrip_via_vm ] ) ]

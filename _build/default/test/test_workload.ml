@@ -1,0 +1,187 @@
+(* OO7 workload internals, tested directly through the functor on a
+   tiny QuickStore database: chunked collections, builder structure,
+   index contents, and the semantics of each operation. *)
+
+module Params = Oo7.Params
+module W = Oo7.Workload.Make (Quickstore.Store)
+module Store = Quickstore.Store
+module Server = Esm.Server
+module Clock = Simclock.Clock
+
+let params = Params.tiny
+let seed = 11
+
+let db =
+  lazy
+    (let server = Server.create ~clock:(Clock.create ()) ~cm:Simclock.Cost_model.default () in
+     let st = Store.create_db server in
+     W.build st params ~seed)
+
+let with_txn f =
+  let db = Lazy.force db in
+  Store.begin_txn db.W.st;
+  Fun.protect ~finally:(fun () -> if Store.in_txn db.W.st then Store.commit db.W.st) (fun () -> f db)
+
+let n_parts = Params.num_atomic_parts params
+let n_base = Params.num_base_assemblies params
+
+let test_structure_counts () =
+  with_txn (fun db ->
+      Alcotest.(check int) "assemblies" 13 (Params.num_assemblies params);
+      Alcotest.(check int) "base assemblies" 9 n_base;
+      (* The module's base collection has every base assembly. *)
+      let module_ = Store.root db.W.st "module" in
+      let count = ref 0 in
+      W.coll_iter db ~owner:module_ ~head_field:db.W.f.W.md_basecoll (fun _ -> incr count);
+      Alcotest.(check int) "baseColl complete" n_base !count)
+
+let test_part_graph_connected () =
+  (* T1 from any composite must reach every one of its atomic parts
+     (the ring connection guarantees it). *)
+  with_txn (fun db ->
+      Alcotest.(check int) "T1 visits all parts of every visited composite"
+        (n_base * params.Params.num_comp_per_assm * params.Params.num_atomic_per_comp)
+        (W.t1 db))
+
+let test_connection_objects () =
+  (* Every atomic part has exactly NumConnPerAtomic outgoing
+     connections, each an information-bearing object whose [cfrom]
+     points back at the part. *)
+  with_txn (fun db ->
+      let st = db.W.st in
+      let f = db.W.f in
+      let module_ = Store.root st "module" in
+      let first_base = ref Store.null in
+      W.coll_iter db ~owner:module_ ~head_field:f.W.md_basecoll (fun ba ->
+          if Store.is_null !first_base then first_base := ba);
+      let comp = Store.get_ptr st !first_base f.W.ba_comp.(0) in
+      let root = Store.get_ptr st comp f.W.cp_root in
+      Array.iter
+        (fun cf ->
+          let conn = Store.get_ptr st root cf in
+          Alcotest.(check bool) "connection present" false (Store.is_null conn);
+          let back = Store.get_ptr st conn f.W.cn_from in
+          Alcotest.(check bool) "cfrom backlink" true (Store.ptr_equal back root);
+          let target = Store.get_ptr st conn f.W.cn_to in
+          Alcotest.(check bool) "cto set" false (Store.is_null target))
+        f.W.ap_conn)
+
+let test_id_index_complete () =
+  with_txn (fun db ->
+      (* Every part id resolves through the index to the part with that
+         id. *)
+      let ok = ref true in
+      for id = 1 to n_parts do
+        match
+          Store.index_lookup db.W.st Oo7.Classes.idx_part_id
+            ~key:(Esm.Btree.key_of_int ~klen:8 id)
+        with
+        | Some p -> if Store.get_int db.W.st p db.W.f.W.ap_id <> id then ok := false
+        | None -> ok := false
+      done;
+      Alcotest.(check bool) "id index complete and correct" true !ok)
+
+let test_date_index_matches_scan () =
+  with_txn (fun db ->
+      (* Q2/Q3 date cutoffs agree with a direct check of part dates. *)
+      let counted = W.q3 db in
+      let manual = ref 0 in
+      let p = db.W.params in
+      let span = p.Params.max_atomic_date - p.Params.min_atomic_date + 1 in
+      let cutoff = p.Params.max_atomic_date - (span / 10) + 1 in
+      for id = 1 to n_parts do
+        match
+          Store.index_lookup db.W.st Oo7.Classes.idx_part_id
+            ~key:(Esm.Btree.key_of_int ~klen:8 id)
+        with
+        | Some part -> if Store.get_int db.W.st part db.W.f.W.ap_date >= cutoff then incr manual
+        | None -> ()
+      done;
+      Alcotest.(check int) "Q3 equals direct date scan" !manual counted)
+
+let test_t7_path_length () =
+  with_txn (fun db ->
+      (* Part -> composite -> base assembly -> parents to the root:
+         hops = 2 + 1 + (levels - 1). *)
+      let hops = W.t7 db ~seed:3 in
+      Alcotest.(check int) "path length" (3 + params.Params.num_assm_levels - 1) hops)
+
+let test_t8_counts_manual_chars () =
+  with_txn (fun db ->
+      (* The manual pattern is byte i = 'a' + (i mod 26), with the last
+         byte forced to 'a'; count of 'j' is exactly size/26 adjusted. *)
+      let size = params.Params.manual_size in
+      let expected = ref 0 in
+      for i = 0 to size - 2 do
+        if Char.chr (97 + (i mod 26)) = 'j' then incr expected
+      done;
+      if size mod 26 = 10 then () (* last byte overwritten to 'a', never 'j' for our sizes *);
+      Alcotest.(check int) "T8 count" !expected (W.t8 db);
+      Alcotest.(check int) "T9 first=last" 1 (W.t9 db))
+
+let test_t2_updates_values () =
+  with_txn (fun db ->
+      let st = db.W.st in
+      let f = db.W.f in
+      (* Use a part that T2 definitely visits: the root part of the
+         first base assembly's first composite (a random composite of
+         the library may be used by no assembly at all). *)
+      let module_ = Store.root st "module" in
+      let first_base = ref Store.null in
+      W.coll_iter db ~owner:module_ ~head_field:f.W.md_basecoll (fun ba ->
+          if Store.is_null !first_base then first_base := ba);
+      let comp = Store.get_ptr st !first_base f.W.ba_comp.(0) in
+      let part = Store.get_ptr st comp f.W.cp_root in
+      let x0 = Store.get_int st part f.W.ap_x in
+      let _ = W.t2 db `B in
+      let x1 = Store.get_int st part f.W.ap_x in
+      (* Part 1 is a root part; under T2B it is updated once per visit
+         of its composite. *)
+      Alcotest.(check bool) "x incremented" true (x1 > x0);
+      let _ = W.t2 db `C in
+      let x2 = Store.get_int st part f.W.ap_x in
+      Alcotest.(check bool) "T2C four times T2B per visit" true (x2 - x1 = 4 * (x1 - x0)))
+
+let test_chunked_collection_overflow () =
+  (* Push a collection past one chunk and iterate it back in order of
+     append (chunks are prepended; entries within a chunk in order). *)
+  with_txn (fun db ->
+      let st = db.W.st in
+      let cluster = Store.new_cluster st in
+      let owner = Store.create st ~cls:"Module" ~cluster in
+      let head_field = db.W.f.W.md_basecoll in
+      let n = (2 * Oo7.Classes.chunk_capacity) + 7 in
+      let targets = Array.init n (fun _ -> Store.create st ~cls:"BaseAssembly" ~cluster) in
+      Array.iteri
+        (fun i t ->
+          Store.set_int st t db.W.f.W.ba_id (1000 + i);
+          W.coll_append db ~cluster ~owner ~head_field t)
+        targets;
+      let seen = ref [] in
+      W.coll_iter db ~owner ~head_field (fun p -> seen := Store.get_int st p db.W.f.W.ba_id :: !seen);
+      Alcotest.(check int) "all entries" n (List.length !seen);
+      Alcotest.(check (list int)) "no duplicates" (List.sort_uniq compare !seen)
+        (List.sort compare !seen))
+
+let test_ops_table () =
+  Alcotest.(check int) "16 operations" 16 (List.length W.ops);
+  let kind, _ = W.find_op "T2B" in
+  Alcotest.(check bool) "T2B is an update" true (kind = W.Update);
+  let kind, _ = W.find_op "Q5" in
+  Alcotest.(check bool) "Q5 is read-only" true (kind = W.Read_only);
+  Alcotest.check_raises "unknown op" (Invalid_argument "OO7: unknown operation T99") (fun () ->
+      ignore (W.find_op "T99"))
+
+let () =
+  Alcotest.run "workload"
+    [ ( "oo7-internals"
+      , [ Alcotest.test_case "structure counts" `Quick test_structure_counts
+        ; Alcotest.test_case "part graph connected" `Quick test_part_graph_connected
+        ; Alcotest.test_case "connection objects" `Quick test_connection_objects
+        ; Alcotest.test_case "id index complete" `Quick test_id_index_complete
+        ; Alcotest.test_case "date index matches scan" `Quick test_date_index_matches_scan
+        ; Alcotest.test_case "T7 path length" `Quick test_t7_path_length
+        ; Alcotest.test_case "T8/T9 manual semantics" `Quick test_t8_counts_manual_chars
+        ; Alcotest.test_case "T2 update values" `Quick test_t2_updates_values
+        ; Alcotest.test_case "chunked collections" `Quick test_chunked_collection_overflow
+        ; Alcotest.test_case "ops table" `Quick test_ops_table ] ) ]
