@@ -1,3 +1,5 @@
+[@@@qs_lint.allow "QS001"] (* builds synthetic page images for the diffing benchmark *)
+
 (* The benchmark harness: regenerates every table and figure of the
    paper's evaluation (§5) from the simulation, then runs one Bechamel
    micro-benchmark per table/figure measuring the real CPU cost of the

@@ -14,23 +14,18 @@ let params_of_size = function
   | "medium" -> Params.medium
   | s -> invalid_arg (Printf.sprintf "unknown size %S (tiny|small|medium)" s)
 
-let make_system name params seed reloc =
-  let reloc_cfg frac mode =
-    match mode with
-    | `CR -> { Qs_config.default with Qs_config.reloc = Qs_config.Continual frac }
-    | `OR -> { Qs_config.default with Qs_config.reloc = Qs_config.One_time frac }
-  in
+let make_system name params seed reloc sanitize =
+  let qs base = Sys_.make_qs ~config:{ base with Qs_config.sanitize } params ~seed in
   match String.lowercase_ascii name with
-  | "qs" when reloc = 0.0 -> Sys_.make_qs params ~seed
-  | "qs" -> Sys_.make_qs ~config:(reloc_cfg reloc `CR) params ~seed
-  | "qs-or" -> Sys_.make_qs ~config:(reloc_cfg reloc `OR) params ~seed
-  | "qs-b" ->
-    Sys_.make_qs ~config:{ Qs_config.default with Qs_config.mode = Qs_config.Big_objects } params ~seed
-  | "qs-w" ->
-    Sys_.make_qs
-      ~config:{ Qs_config.default with Qs_config.ptr_format = Qs_config.Page_offsets }
-      params ~seed
-  | "e" -> Sys_.make_e params ~seed
+  | "qs" when reloc = 0.0 -> qs Qs_config.default
+  | "qs" -> qs { Qs_config.default with Qs_config.reloc = Qs_config.Continual reloc }
+  | "qs-or" -> qs { Qs_config.default with Qs_config.reloc = Qs_config.One_time reloc }
+  | "qs-b" -> qs { Qs_config.default with Qs_config.mode = Qs_config.Big_objects }
+  | "qs-w" -> qs { Qs_config.default with Qs_config.ptr_format = Qs_config.Page_offsets }
+  | "e" ->
+    if sanitize then
+      prerr_endline "note: --sanitize applies to the QuickStore systems only; ignored for e";
+    Sys_.make_e params ~seed
   | s -> invalid_arg (Printf.sprintf "unknown system %S (qs|qs-b|qs-w|qs-or|e)" s)
 
 let print_measure label (m : Measure.t) =
@@ -41,11 +36,12 @@ let print_measure label (m : Measure.t) =
 let print_breakdown (m : Measure.t) =
   Format.printf "  breakdown:@.%a@." Clock.pp_snapshot m.Measure.snapshot
 
-let run system size ops seed hot_reps reloc verbose save =
+let run system size ops seed hot_reps reloc sanitize verbose save =
   let params = params_of_size size in
   Printf.printf "building %s database for %s...\n%!" params.Params.name system;
+  if sanitize then Printf.printf "QSan on: validating the address space at every fault and commit\n%!";
   let t0 = Unix.gettimeofday () in
-  let sys = make_system system params seed reloc in
+  let sys = make_system system params seed reloc sanitize in
   Printf.printf "built in %.1fs (wall); database size %.1f MB\n%!" (Unix.gettimeofday () -. t0)
     (sys.Sys_.db_size_mb ());
   (match save with
@@ -86,6 +82,14 @@ let hot_arg = Arg.(value & opt int 3 & info [ "hot-reps" ] ~doc:"hot repetitions
 let reloc_arg =
   Arg.(value & opt float 0.0 & info [ "relocate" ] ~doc:"fraction of pages relocated (QuickStore)")
 
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "run with QSan, the address-space sanitizer: validate mapping table, protection bits \
+           and residency at every fault and commit (QuickStore systems only)")
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print the cost breakdown")
 
 let save_arg =
@@ -96,7 +100,7 @@ let cmd =
   Cmd.v
     (Cmd.info "oo7_run" ~doc)
     Term.(
-      const run $ system_arg $ size_arg $ ops_arg $ seed_arg $ hot_arg $ reloc_arg $ verbose_arg
-      $ save_arg)
+      const run $ system_arg $ size_arg $ ops_arg $ seed_arg $ hot_arg $ reloc_arg $ sanitize_arg
+      $ verbose_arg $ save_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,62 @@
+(* qs_lint: enforce QuickStore's project invariants over the source
+   tree. Usage: qs_lint [DIR|FILE ...] (default: lib bin bench
+   examples). Prints one `file:line: RULE message` per violation and
+   exits non-zero if any were found. See lib/analysis/lint.mli for the
+   rule list and DESIGN.md "Invariants and enforcement". *)
+
+module Lint = Qs_analysis.Lint
+
+let rec collect path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc name ->
+        if name = "_build" || (String.length name > 0 && name.[0] = '.') then acc
+        else collect (Filename.concat path name) acc)
+      acc (Sys.readdir path)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+(* The path policy (lib/analysis/lint.mli) keys on repo-relative
+   paths; `qs_lint /abs/path/lib` or `qs_lint ./lib` must behave like
+   `qs_lint lib`, not silently drop the lib/-anchored rules. *)
+let normalize root =
+  let root =
+    let cwd = Sys.getcwd () ^ "/" in
+    let n = String.length cwd in
+    if String.length root > n && String.sub root 0 n = cwd then
+      String.sub root n (String.length root - n)
+    else root
+  in
+  if String.length root > 2 && String.sub root 0 2 = "./" then
+    String.sub root 2 (String.length root - 2)
+  else root
+
+let () =
+  let roots =
+    match List.map normalize (List.tl (Array.to_list Sys.argv)) with
+    | [] -> [ "lib"; "bin"; "bench"; "examples" ]
+    | roots -> roots
+  in
+  (* A misspelled root must not read as "clean": only the default
+     roots may be absent (bench/ or examples/ can legitimately be
+     missing in a cut-down checkout). *)
+  let explicit = Array.length Sys.argv > 1 in
+  let files =
+    List.sort compare
+      (List.concat_map
+         (fun r ->
+           if Sys.file_exists r then collect r []
+           else if explicit then begin
+             Printf.eprintf "qs_lint: no such file or directory: %s\n" r;
+             exit 2
+           end
+           else [])
+         roots)
+  in
+  let findings = List.concat_map Lint.lint_file files in
+  List.iter (fun f -> print_endline (Lint.to_string f)) findings;
+  if findings <> [] then begin
+    Printf.eprintf "qs_lint: %d violation(s) in %d file(s) scanned\n" (List.length findings)
+      (List.length files);
+    exit 1
+  end

@@ -1,3 +1,5 @@
+[@@@qs_lint.allow "QS004"] (* demo resets the simulated clock between narrated phases *)
+
 (* A document archive with multi-page objects and a title index: where
    the hardware and software schemes differ the most (the paper's T8 —
    E pays an interpreter call per byte scanned, QuickStore dereferences

@@ -1,3 +1,5 @@
+[@@@qs_lint.allow "QS004"] (* demo resets the simulated clock between narrated phases *)
+
 (* Quickstart: a persistent object graph through the QuickStore public
    API — define a schema, create clustered objects, commit, then come
    back cold and chase plain (virtual-memory) pointers.

@@ -1,3 +1,5 @@
+[@@@qs_lint.allow "QS004"] (* demo resets the simulated clock between narrated phases *)
+
 (* A tour of pointer swizzling at page-fault time (§3.4 and §5.5):
    what happens when pages cannot be mapped to their previous virtual
    frames, and the continual-vs-one-time relocation trade-off of

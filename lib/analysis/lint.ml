@@ -1,0 +1,228 @@
+open Parsetree
+
+type finding = { file : string; line : int; col : int; rule : string; msg : string }
+
+let all_rules = [ "QS001"; "QS002"; "QS003"; "QS004"; "QS005"; "QS006" ]
+
+let to_string f = Printf.sprintf "%s:%d: %s %s" f.file f.line f.rule f.msg
+
+(* ------------------------------------------------------------------ *)
+(* Built-in path policy (repo-relative, '/'-separated paths).          *)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let rule_applies ~path rule =
+  match rule with
+  | "QS001" ->
+    (* The byte-manipulation core is the only place allowed to touch
+       raw page bytes without an explicit annotation. *)
+    not
+      (path = "lib/esm/page.ml" || path = "lib/util/codec.ml" || has_prefix ~prefix:"lib/vmsim/" path)
+  | "QS004" ->
+    not
+      (has_prefix ~prefix:"lib/harness/" path
+      || has_prefix ~prefix:"lib/vmsim/" path
+      || has_prefix ~prefix:"test/" path)
+  | "QS005" -> not (has_prefix ~prefix:"test/" path)
+  | "QS006" -> has_prefix ~prefix:"lib/" path
+  | _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Allow attributes.                                                   *)
+
+let attr_name = "qs_lint.allow"
+
+(* Every string constant anywhere in the payload counts as an allowed
+   rule id, so [[@@@qs_lint.allow "QS001" "QS004"]] works however the
+   parser groups the literals. *)
+let strings_of_payload payload =
+  let acc = ref [] in
+  let expr self e =
+    (match e.pexp_desc with
+     | Pexp_constant (Pconst_string (s, _, _)) -> acc := s :: !acc
+     | _ -> ());
+    Ast_iterator.default_iterator.expr self e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  (match payload with PStr str -> it.structure it str | PSig _ | PTyp _ | PPat _ -> ());
+  !acc
+
+let allows_of_attrs attrs =
+  List.concat_map
+    (fun a -> if a.attr_name.txt = attr_name then strings_of_payload a.attr_payload else [])
+    attrs
+
+(* ------------------------------------------------------------------ *)
+(* Heuristics.                                                         *)
+
+let last_two comps =
+  match List.rev comps with
+  | [] -> (None, None)
+  | [ x ] -> (Some x, None)
+  | x :: y :: _ -> (Some x, Some y)
+
+let ends_with ~suffix s =
+  String.length s >= String.length suffix
+  && String.sub s (String.length s - String.length suffix) (String.length suffix) = suffix
+
+(* Names that, by project convention, denote identity-carrying values
+   (Oid.t, Store.ptr, Mapping_table.desc). *)
+let identity_name s =
+  s = "oid" || s = "desc" || s = "ptr"
+  || ends_with ~suffix:"_oid" s
+  || ends_with ~suffix:"_desc" s
+  || ends_with ~suffix:"_ptr" s
+
+(* Shallow operand shape: we look only at the outermost identifier or
+   field so that e.g. [o.Oid.page = p] (an int comparison) is not
+   flagged. *)
+let rec suspect_operand e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+    let comps = Longident.flatten txt in
+    match last_two comps with
+    | Some last, _ -> identity_name last || (List.mem "Oid" comps && last = "null")
+    | None, _ -> false)
+  | Pexp_field (_, { txt; _ }) -> (
+    match last_two (Longident.flatten txt) with
+    | Some last, _ -> identity_name last
+    | None, _ -> false)
+  | Pexp_constraint (e', _) | Pexp_open (_, e') -> suspect_operand e'
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The scan.                                                           *)
+
+type ctx = {
+  file : string;
+  mutable findings : finding list;
+  mutable file_allows : string list;
+  mutable allow_stack : string list list;
+  mutable handler_reg : (int * int) option;  (* first Vmsim.set_fault_handler site *)
+  mutable saw_charge : bool;
+}
+
+let allowed ctx rule =
+  List.mem rule ctx.file_allows || List.exists (List.mem rule) ctx.allow_stack
+
+let report ctx ~loc rule msg =
+  if rule_applies ~path:ctx.file rule && not (allowed ctx rule) then begin
+    let pos = loc.Location.loc_start in
+    ctx.findings <-
+      { file = ctx.file
+      ; line = pos.Lexing.pos_lnum
+      ; col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol
+      ; rule
+      ; msg }
+      :: ctx.findings
+  end
+
+let check_ident ctx ~loc comps =
+  let last, penult = last_two comps in
+  match last with
+  | None -> ()
+  | Some last ->
+    if penult = Some "Bytes" && (last = "get" || last = "set" || last = "blit") then
+      report ctx ~loc "QS001"
+        (Printf.sprintf
+           "raw Bytes.%s on a buffer: persistent accesses must go through Vmsim (or annotate with \
+            [@qs_lint.allow \"QS001\"])"
+           last);
+    if penult = Some "Obj" && last = "magic" then
+      report ctx ~loc "QS002" "Obj.magic defeats the schema layer";
+    if last = "set_prot_free" then
+      report ctx ~loc "QS004"
+        "Vmsim.set_prot_free bypasses mmap cost charging (harness/test only)";
+    if penult = Some "Clock" && last = "reset" then
+      report ctx ~loc "QS004" "Clock.reset discards charged simulated time (harness/test only)";
+    if last = "failwith" then
+      report ctx ~loc "QS006" "stringly failure in library code: raise a typed exception";
+    if last = "set_fault_handler" && ctx.handler_reg = None then begin
+      let pos = loc.Location.loc_start in
+      ctx.handler_reg <- Some (pos.Lexing.pos_lnum, pos.Lexing.pos_cnum - pos.Lexing.pos_bol)
+    end;
+    if last = "charge" || last = "charge_n" then ctx.saw_charge <- true
+
+let check_apply ctx ~loc fn args =
+  match fn.pexp_desc with
+  | Pexp_ident { txt; _ } ->
+    let comps = Longident.flatten txt in
+    let poly =
+      match comps with
+      | [ "=" ] | [ "<>" ] | [ "Stdlib"; "=" ] | [ "Stdlib"; "<>" ] -> Some "polymorphic (=)/(<>)"
+      | [ "compare" ] | [ "Stdlib"; "compare" ] -> Some "polymorphic compare"
+      | [ "Hashtbl"; "hash" ] | [ "Stdlib"; "Hashtbl"; "hash" ] -> Some "Hashtbl.hash"
+      | _ -> None
+    in
+    (match poly with
+     | Some what when List.exists (fun (_, a) -> suspect_operand a) args ->
+       report ctx ~loc "QS003"
+         (what
+         ^ " on an identity value (Oid.t / Store.ptr / Mapping_table.desc): use the module's \
+            equal/compare/hash")
+     | Some _ | None -> ())
+  | _ -> ()
+
+let scan_structure ctx str =
+  (* File-level allows may appear anywhere; collect them first. *)
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_attribute a ->
+        if a.attr_name.txt = attr_name then
+          ctx.file_allows <- strings_of_payload a.attr_payload @ ctx.file_allows
+      | _ -> ())
+    str;
+  let expr self e =
+    ctx.allow_stack <- allows_of_attrs e.pexp_attributes :: ctx.allow_stack;
+    (match e.pexp_desc with
+     | Pexp_ident { txt; _ } -> check_ident ctx ~loc:e.pexp_loc (Longident.flatten txt)
+     | Pexp_apply (fn, args) -> check_apply ctx ~loc:e.pexp_loc fn args
+     | _ -> ());
+    Ast_iterator.default_iterator.expr self e;
+    ctx.allow_stack <- List.tl ctx.allow_stack
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure it str;
+  (match ctx.handler_reg with
+   | Some (line, col) when not ctx.saw_charge ->
+     if rule_applies ~path:ctx.file "QS005" && not (allowed ctx "QS005") then
+       ctx.findings <-
+         { file = ctx.file
+         ; line
+         ; col
+         ; rule = "QS005"
+         ; msg =
+             "Vmsim.set_fault_handler registered but the file never charges the clock: fault \
+              servicing must charge costs" }
+         :: ctx.findings
+   | Some _ | None -> ())
+
+let lint_source ~path ~contents =
+  let ctx =
+    { file = path
+    ; findings = []
+    ; file_allows = []
+    ; allow_stack = []
+    ; handler_reg = None
+    ; saw_charge = false }
+  in
+  let lexbuf = Lexing.from_string contents in
+  Lexing.set_filename lexbuf path;
+  (match Parse.implementation lexbuf with
+   | str -> scan_structure ctx str
+   | exception exn ->
+     let line =
+       match exn with
+       | Syntaxerr.Error e -> (Syntaxerr.location_of_error e).Location.loc_start.Lexing.pos_lnum
+       | _ -> lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum
+     in
+     ctx.findings <- [ { file = path; line; col = 0; rule = "QS000"; msg = "parse error" } ]);
+  List.sort (fun a b -> compare (a.line, a.col, a.rule) (b.line, b.col, b.rule)) ctx.findings
+
+let lint_file path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  lint_source ~path ~contents

@@ -1,0 +1,66 @@
+(** qs_lint: project-invariant enforcement over OCaml sources.
+
+    QuickStore's result hinges on a discipline the compiler cannot
+    check: every persistent access must go through the [Vmsim]
+    dereference API so faults, protection flips and cost charges land
+    exactly where the paper's MMU would put them. One raw [Bytes.get]
+    on a page buffer silently breaks the fault stream and the Table 5/6
+    calibration. This pass parses each [.ml] with compiler-libs and
+    enforces the invariants syntactically.
+
+    {2 Rules}
+
+    - {b QS001} [raw-page-bytes]: no [Bytes.get]/[Bytes.set]/
+      [Bytes.blit] outside the byte-manipulation core
+      ([lib/esm/page.ml], [lib/util/codec.ml], [lib/vmsim/]). Modules
+      whose whole job is raw bytes (codecs, the disk, the B-tree)
+      carry a file-level allow attribute.
+    - {b QS002} [obj-magic]: no [Obj.magic] anywhere.
+    - {b QS003} [poly-compare-on-identity]: no polymorphic [=]/[<>]/
+      [compare]/[Hashtbl.hash] on identity-carrying values ([Oid.t],
+      [Store.ptr], [Mapping_table.desc]) — detected heuristically by
+      operand shape: identifiers or fields named [oid]/[*_oid],
+      [desc]/[*_desc], [ptr]/[*_ptr], or [Oid.null]. Use [Oid.equal]/
+      [Oid.compare]/[Oid.hash] or [Store.ptr_equal] instead.
+    - {b QS004} [gated-call]: no [Vmsim.set_prot_free] or
+      [Clock.reset] (cost-charge bypasses) outside [lib/harness/],
+      [lib/vmsim/] and [test/].
+    - {b QS005} [handler-without-charge]: a file registering a
+      [Vmsim.set_fault_handler] must also charge the simulated clock
+      ([charge]/[charge_n]) — a handler that services faults for free
+      falsifies the calibration.
+    - {b QS006} [stringly-failure]: no [failwith] in [lib/] (library
+      errors must be typed exceptions).
+    - {b QS000}: the file failed to parse.
+
+    {2 Allowlisting}
+
+    Deliberate exceptions are annotated in the source:
+    [[\@\@\@qs_lint.allow "QS001"]] at file level, or
+    [(e [\@qs_lint.allow "QS001"])] on an expression to suppress the
+    rule inside that subtree only. *)
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;  (** "QS001" .. "QS006", or "QS000" for parse errors *)
+  msg : string;
+}
+
+val all_rules : string list
+
+(** [rule_applies ~path rule] is false when the built-in path policy
+    exempts [path] (repo-relative, '/'-separated) from [rule]. *)
+val rule_applies : path:string -> string -> bool
+
+(** Lint one compilation unit given as a string. [path] is the
+    repo-relative path used both for reporting and for the built-in
+    path policy. Findings are sorted by line. *)
+val lint_source : path:string -> contents:string -> finding list
+
+(** Read and lint a file on disk ([path] is also the policy path). *)
+val lint_file : string -> finding list
+
+(** [file:line: RULE message] — the machine-readable report line. *)
+val to_string : finding -> string

@@ -127,19 +127,42 @@ let find_gap ?start t ~width () = Avl.find_gap ?start t.tree ~width ~limit:Vmsim
 
 let iter f t = Avl.iter (fun ~lo:_ ~hi:_ d -> f d) t.tree
 
-let invariants_hold t =
-  Avl.invariants_hold t.tree
-  && Hashtbl.fold
-       (fun k d acc ->
-         acc
-         &&
-         match (k, d.phys) with
-         | K_page p, Small_page p' -> p = p'
-         | K_large _, Large_range { first; _ } ->
-           (* The hashed large descriptor must contain page 0. *)
-           first = 0
-         | K_page _, Large_range _ | K_large _, Small_page _ -> false)
-       t.hash true
+let hash_agrees t =
+  Hashtbl.fold
+    (fun k d acc ->
+      acc
+      &&
+      match (k, d.phys) with
+      | K_page p, Small_page p' -> p = p'
+      | K_large _, Large_range { first; _ } ->
+        (* The hashed large descriptor must contain page 0. *)
+        first = 0
+      | K_page _, Large_range _ | K_large _, Small_page _ -> false)
+    t.hash true
+
+let invariants_hold t = Avl.invariants_hold t.tree && hash_agrees t
+
+(* QSan: like [invariants_hold] but fail-fast with a structured
+   report, plus the check the boolean version cannot express — a
+   descriptor's mutable [vframe]/[nframes] must still agree with the
+   interval the tree filed it under (callers mutate descriptors; a
+   drifted one would satisfy the tree's own invariants while lying
+   about the range it covers). *)
+let validate t =
+  if not (Avl.invariants_hold t.tree) then
+    Qs_util.Sanitizer.fail ~check:"mapping-overlap" ~subject:"mapping-table"
+      "interval tree violates balance/ordering/disjointness";
+  if not (hash_agrees t) then
+    Qs_util.Sanitizer.fail ~check:"mapping-hash" ~subject:"mapping-table"
+      "reverse-mapping hash disagrees with descriptor physical info";
+  Avl.iter
+    (fun ~lo ~hi d ->
+      if d.vframe <> lo || d.vframe + d.nframes <> hi then
+        Qs_util.Sanitizer.fail ~check:"mapping-drift"
+          ~subject:(Printf.sprintf "vframe %d" d.vframe)
+          "descriptor range [%d,%d) drifted from its tree interval [%d,%d)" d.vframe
+          (d.vframe + d.nframes) lo hi)
+    t.tree
 
 let clear t =
   t.tree <- Avl.empty;

@@ -71,5 +71,12 @@ val iter : (desc -> unit) -> t -> unit
 (** Structural sanity (AVL invariants + hash/tree agreement). *)
 val invariants_hold : t -> bool
 
+(** QSan: {!invariants_hold} as a fail-fast check, raising
+    [Qs_util.Sanitizer.Sanitizer_violation] naming the first broken
+    invariant; additionally verifies each descriptor's mutable
+    [vframe]/[nframes] still matches the tree interval it is filed
+    under. *)
+val validate : t -> unit
+
 (** Forget everything (client crash / store close). *)
 val clear : t -> unit

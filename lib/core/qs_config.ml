@@ -37,6 +37,14 @@ type t = {
       (** coalescing threshold for commit-time diffing, in clean bytes
           between modified regions (§3.6); the paper's rule compares
           against the ~50-byte log-record header *)
+  sanitize : bool;
+      (** QSan: validate address-space invariants (mapping-table
+          disjointness, Vmsim protection agreement, residency,
+          slot stamps, diff-vs-shadow equality) at every fault and
+          commit, raising [Qs_util.Sanitizer.Sanitizer_violation] on
+          the first inconsistency. Off by default: the checks walk the
+          whole mapping table and would distort no costs (they charge
+          nothing) but plenty of wall-clock. *)
 }
 
 let default =
@@ -47,6 +55,7 @@ let default =
   ; client_frames = 1536
   ; clock_policy = Simplified_clock
   ; ptr_format = Vm_addresses
-  ; diff_gap = Esm.Wal.header_bytes / 2 }
+  ; diff_gap = Esm.Wal.header_bytes / 2
+  ; sanitize = false }
 
 let reloc_fraction = function No_reloc -> 0.0 | Continual f | One_time f -> f

@@ -1,3 +1,5 @@
+[@@@qs_lint.allow "QS001"] (* the diff engine: byte-compares page snapshots, below the VM layer *)
+
 type t = {
   capacity_bytes : int;
   mutable used : int;
@@ -60,3 +62,21 @@ let diff_regions ~old_bytes ~new_bytes ~gap =
 
 let log_bytes_of_regions regions =
   List.fold_left (fun acc (_, len) -> acc + Esm.Wal.header_bytes + (2 * len)) 0 regions
+
+(* QSan shadow check: would replaying [regions] out of [new_bytes]
+   onto [old_bytes] reproduce [new_bytes] exactly? I.e., does the
+   coalesced diff account for every differing byte of the full-page
+   comparison? Regions must be ascending (as [diff_regions] emits). *)
+let regions_cover ~old_bytes ~new_bytes regions =
+  let n = Bytes.length old_bytes in
+  Bytes.length new_bytes = n
+  &&
+  let rec go i regions =
+    if i >= n then true
+    else
+      match regions with
+      | (off, len) :: rest when i >= off + len -> go i rest
+      | (off, len) :: _ when i >= off && i < off + len -> go (i + 1) regions
+      | _ -> Bytes.get old_bytes i = Bytes.get new_bytes i && go (i + 1) regions
+  in
+  go 0 regions

@@ -38,3 +38,9 @@ val diff_regions : old_bytes:bytes -> new_bytes:bytes -> gap:int -> (int * int) 
     and new images plus one header per record) — the quantity the
     coalescing rule minimizes. *)
 val log_bytes_of_regions : (int * int) list -> int
+
+(** QSan shadow check: true iff replaying [regions] (ascending, as
+    {!diff_regions} emits) out of [new_bytes] onto [old_bytes] would
+    reproduce [new_bytes] byte-for-byte — i.e. the coalesced diff
+    agrees with a full-page comparison. *)
+val regions_cover : old_bytes:bytes -> new_bytes:bytes -> (int * int) list -> bool

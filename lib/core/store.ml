@@ -10,9 +10,12 @@ module Clock = Simclock.Clock
 module Category = Simclock.Category
 module CM = Simclock.Cost_model
 module Bitset = Qs_util.Bitset
+module San = Qs_util.Sanitizer
 module MT = Mapping_table
 
 type ptr = int
+
+exception Address_space_exhausted
 
 let null = 0
 let is_null p = p = 0
@@ -108,6 +111,8 @@ let system_name t =
 let ptr_id _t (p : ptr) = p
 let charge t cat us = Clock.charge t.clock cat us
 let in_txn t = Client.in_txn t.client
+let vm t = t.vm
+let sanitize_on t = t.config.Qs_config.sanitize
 
 (* ------------------------------------------------------------------ *)
 (* Frame allocation: a persistent counter, wrapping into tree gaps.    *)
@@ -127,7 +132,7 @@ let alloc_frames t n =
        above the reserved low frames. *)
     match MT.find_gap t.table ~start:16 ~width:n () with
     | Some f -> f
-    | None -> failwith "QuickStore: virtual address space exhausted"
+    | None -> raise Address_space_exhausted
   end
 
 let should_relocate t page =
@@ -361,6 +366,11 @@ let diff_and_log t ~page_id ~frame ~baseline =
   let regions =
     Rec_buffer.diff_regions ~old_bytes:baseline ~new_bytes:current ~gap:t.config.Qs_config.diff_gap
   in
+  if sanitize_on t && not (Rec_buffer.regions_cover ~old_bytes:baseline ~new_bytes:current regions)
+  then
+    San.fail ~check:"diff-shadow"
+      ~subject:(Printf.sprintf "page %d" page_id)
+      "commit-time diff regions do not reproduce the full-page shadow comparison";
   Clock.charge_n t.clock Category.Diff (List.length regions) t.cm.CM.diff_region_us;
   List.iter
     (fun (off, len) ->
@@ -518,6 +528,65 @@ let data_page_of_desc t d =
         ids
     in
     ids.(first)
+
+(* ------------------------------------------------------------------ *)
+(* QSan (Qs_config.sanitize): fail-fast address-space validation, run
+   after every serviced fault and at commit. Checks that the mapping
+   table, the simulated MMU and the buffer pool tell one consistent
+   story: ranges disjoint (§3.3), protection bits matching descriptor
+   state (§3.1), residency claims real, bindings physical. Charges
+   nothing — QSan observes the simulation, it is not part of it. *)
+
+let validate t =
+  MT.validate t.table;
+  Vmsim.iter_mapped
+    (fun ~frame ~prot:_ ->
+      match MT.find_by_vframe t.table frame with
+      | Some _ -> ()
+      | None ->
+        San.fail ~check:"orphan-mapping"
+          ~subject:(Printf.sprintf "vframe %d" frame)
+          "Vmsim frame bound but no mapping-table descriptor covers it")
+    t.vm;
+  MT.iter
+    (fun d ->
+      let subject = Printf.sprintf "vframe %d" d.MT.vframe in
+      (match Vmsim.prot t.vm ~frame:d.MT.vframe with
+       | Vmsim.Prot_none -> ()
+       | Vmsim.Prot_write when not d.MT.write_enabled ->
+         San.fail ~check:"prot-escalation" ~subject
+           "frame write-enabled in Vmsim but the descriptor never took a write fault"
+       | (Vmsim.Prot_read | Vmsim.Prot_write) when d.MT.buf_frame = None ->
+         San.fail ~check:"prot-without-residency" ~subject
+           "frame accessible in Vmsim but its page is not buffer-resident"
+       | Vmsim.Prot_read | Vmsim.Prot_write -> ());
+      match d.MT.buf_frame with
+      | None ->
+        if d.MT.nframes = 1 && Vmsim.is_mapped t.vm ~frame:d.MT.vframe then
+          San.fail ~check:"stale-mapping" ~subject
+            "descriptor not resident but its frame still carries a Vmsim binding"
+      | Some bf -> (
+        match d.MT.phys with
+        | MT.Large_range { npages; _ } when npages <> 1 ->
+          San.fail ~check:"residency-shape" ~subject
+            "unsplit %d-page range claims buffer residency" npages
+        | MT.Large_range _ | MT.Small_page _ ->
+          let page_id = data_page_of_desc t d in
+          (match Buf_pool.page_of_frame (Client.pool t.client) bf with
+           | Some pid when pid = page_id -> ()
+           | Some pid ->
+             San.fail ~check:"stale-residency" ~subject
+               "descriptor claims pool frame %d, which holds page %d, not page %d" bf pid page_id
+           | None ->
+             San.fail ~check:"stale-residency" ~subject
+               "descriptor claims pool frame %d, which holds no page" bf);
+          (match Vmsim.buf_of_frame t.vm ~frame:d.MT.vframe with
+           | Some b when b == Client.page_bytes t.client ~frame:bf -> ()
+           | Some _ ->
+             San.fail ~check:"frame-binding" ~subject
+               "Vmsim binding is not the pool frame's buffer (page %d)" page_id
+           | None -> ())))
+    t.table
 
 (* Ensure the page is in the client buffer pool, pinned (the handler
    performs further I/O — mapping objects, bitmaps — that must not
@@ -677,7 +746,10 @@ let on_evict t ~frame ~page_id =
       (match d.MT.phys with
        | MT.Small_page _ ->
          let b = Client.page_bytes t.client ~frame in
-         Bytes.blit (unswizzle_copy t ~page_id b) 0 b 0 Page.page_size
+         (* In-place format flip of an outgoing page: the one sanctioned
+            raw write outside the byte-manipulation core. *)
+         (Bytes.blit (unswizzle_copy t ~page_id b) 0 b 0 Page.page_size
+          [@qs_lint.allow "QS001"])
        | MT.Large_range _ -> ());
       d.MT.mem_format <- false
     end;
@@ -839,6 +911,7 @@ let mk ~config ~server ~meta_page ~schema ~frame_counter =
     ; stats = fresh_stats () }
   in
   Vmsim.set_fault_handler vm (fun ~frame ~access -> handle_fault t ~frame ~access);
+  if config.Qs_config.sanitize then Vmsim.set_post_fault_hook vm (fun ~frame:_ -> validate t);
   if offsets_mode t then begin
     (match config.Qs_config.reloc with
      | Qs_config.No_reloc -> ()
@@ -959,8 +1032,12 @@ let commit t =
       flush_bitmaps t;
       mapping_maintenance t;
       flush_rec_buffer t ~reprotect:false;
-      persist_counter t);
-  end_of_txn t
+      persist_counter t;
+      (* QSan: the address space must be coherent at the moment the
+         commit flush starts — every diff has been taken against it. *)
+      if sanitize_on t then validate t);
+  end_of_txn t;
+  if sanitize_on t then validate t
 
 let abort t =
   (* Drop snapshots first: the eviction hook must not diff-and-log the
@@ -1044,7 +1121,19 @@ let ptr_of_oid t (oid : Oid.t) =
       (fun () ->
         let p = Page.attach (Client.page_bytes t.client ~frame) in
         match Page.slot_span p oid.Oid.slot with
-        | off, _len -> (d.MT.vframe lsl 13) lor off
+        | off, _len ->
+          (* QSan: E-style checked reference (§4.5.2) — the OID's
+             uniqueness stamp must match the slot's. QuickStore itself
+             never checks; under QSan a stale OID is a violation, not
+             a silent wrong answer. *)
+          if
+            sanitize_on t && oid.Oid.unique <> 0
+            && Page.slot_unique p oid.Oid.slot <> oid.Oid.unique
+          then
+            San.fail ~check:"slot-stamp" ~subject:(Oid.to_string oid)
+              "dereferenced OID's stamp does not match slot %d's current stamp %d" oid.Oid.slot
+              (Page.slot_unique p oid.Oid.slot);
+          (d.MT.vframe lsl 13) lor off
         | exception Not_found ->
           (* QuickStore does not check references (§4.5.2): a dangling
              OID just yields the frame base. *)

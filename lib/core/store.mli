@@ -22,6 +22,10 @@ type t
     residency checks. *)
 type ptr = int
 
+(** Raised when neither the persistent frame counter nor a wraparound
+    gap scan can supply fresh virtual frames (§3.3). *)
+exception Address_space_exhausted
+
 type cluster
 type field
 
@@ -44,6 +48,10 @@ val config : t -> Qs_config.t
 val client : t -> Esm.Client.t
 val clock : t -> Simclock.Clock.t
 val cost_model : t -> Simclock.Cost_model.t
+
+(** The store's simulated MMU (diagnostics and sanitizer tests). *)
+val vm : t -> Vmsim.t
+
 val system_name : t -> string
 
 (** Register a class; its layout (QS pointers; padded to the E size
@@ -133,5 +141,13 @@ val reset_stats : t -> unit
 
 (** Mapping-table invariant check (tests). *)
 val mapping_invariants_hold : t -> bool
+
+(** QSan: one full validation pass over the address space — mapping
+    table self-consistency, every mapped MMU frame backed by a
+    descriptor, residency/protection/pool agreement per descriptor.
+    Raises [Qs_util.Sanitizer.Sanitizer_violation] naming the first
+    broken invariant. Runs automatically after every fault and at
+    commit when {!Qs_config.t.sanitize} is set. *)
+val validate : t -> unit
 
 val mapping_table_size : t -> int

@@ -1,3 +1,5 @@
+[@@@qs_lint.allow "QS001"] (* E dereferences page bytes in software by design (§4.2): no VM fault path to preserve *)
+
 module Client = Esm.Client
 module Server = Esm.Server
 module Page = Esm.Page

@@ -1,3 +1,5 @@
+[@@@qs_lint.allow "QS001"] (* B-tree node codec: raw bytes over fixed node pages, below the VM layer *)
+
 (* Node body layout, after the 32-byte common page header:
    32 u8  is_leaf
    34 u16 nkeys

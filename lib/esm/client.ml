@@ -1,3 +1,5 @@
+[@@@qs_lint.allow "QS001"] (* object write path into pool frames; every change is ESM-logged here *)
+
 type t = {
   server : Server.t;
   mutable pool : Buf_pool.t;

@@ -1,3 +1,5 @@
+[@@@qs_lint.allow "QS001"] (* the simulated disk itself: page images are its backing store *)
+
 type t = {
   mutable pages : bytes array;  (* index 0 unused; page ids start at 1 *)
   mutable next : int;

@@ -1,3 +1,5 @@
+[@@@qs_lint.allow "QS001"] (* large-object payload I/O through fixed pool frames (ESM path, not mapped) *)
+
 let page_payload = Page.page_size - 32
 let large_slot = 0xFFFF
 

@@ -1,3 +1,5 @@
+[@@@qs_lint.allow "QS001"] (* redo/undo applies log images to raw disk pages; no VM exists at restart *)
+
 type stats = {
   redo_applied : int;
   redo_skipped : int;
@@ -11,9 +13,10 @@ let txn_of = function
   | Wal.Begin txn | Wal.Prepare txn | Wal.Commit txn | Wal.Abort txn -> txn
   | Wal.Update { txn; _ } | Wal.Index_insert { txn; _ } | Wal.Index_delete { txn; _ } -> txn
 
-let restart server =
+let restart ?(sanitize = false) server =
   let wal = Server.wal server in
   let disk = Server.disk server in
+  let wal_end = Wal.last_lsn wal in
   (* --- analysis --- *)
   let started = Hashtbl.create 16 and finished = Hashtbl.create 16 in
   let prepared = Hashtbl.create 4 in
@@ -42,6 +45,12 @@ let restart server =
       | Wal.Update { page; off; new_data; _ } when Disk.is_allocated disk page ->
         Disk.read disk page buf;
         let page_lsn = Qs_util.Codec.get_i64 buf 8 in
+        (* QSan: a page LSN beyond the end of the forced log means the
+           disk image was written by records we never logged — torn
+           write-ahead ordering or outside corruption. *)
+        if sanitize && Int64.compare page_lsn wal_end > 0 then
+          Qs_util.Sanitizer.fail ~check:"lsn-monotone" ~subject:(Printf.sprintf "page %d" page)
+            "page LSN %Ld exceeds last logged LSN %Ld" page_lsn wal_end;
         if Int64.compare page_lsn lsn < 0 then begin
           Bytes.blit new_data 0 buf off (Bytes.length new_data);
           Qs_util.Codec.set_i64 buf 8 lsn;

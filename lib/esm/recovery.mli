@@ -29,7 +29,12 @@ type stats = {
           coordinator's decision; resolve with {!resolve_in_doubt} *)
 }
 
-val restart : Server.t -> stats
+(** [restart ?sanitize server] runs the three phases. With
+    [~sanitize:true] the redo pass additionally fail-fasts (raising
+    [Qs_util.Sanitizer.Sanitizer_violation], check ["lsn-monotone"])
+    when a disk page carries an LSN beyond the end of the forced log —
+    evidence of a write that bypassed write-ahead ordering. *)
+val restart : ?sanitize:bool -> Server.t -> stats
 
 (** Deliver the coordinator's decision for an in-doubt transaction
     found by {!restart}. *)

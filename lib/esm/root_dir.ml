@@ -1,3 +1,5 @@
+[@@@qs_lint.allow "QS001"] (* root-directory entry codec over page bytes (ESM-internal object) *)
+
 (* Meta-page body: u16 count, then count entries of
    (u8 name-length, name, u16 value-length, value). Rewritten wholesale
    on each mutation — root updates are rare and tiny. *)

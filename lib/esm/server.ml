@@ -1,3 +1,5 @@
+[@@@qs_lint.allow "QS001"] (* page shipping between pool frames and the simulated disk *)
+
 type io_kind = Data | Map | Index
 
 type counters = {

@@ -1,3 +1,5 @@
+[@@@qs_lint.allow "QS001"] (* schema (de)serialization codec over its own buffers *)
+
 type field_kind = F_int | F_ptr | F_chars of int
 type field = { f_name : string; f_kind : field_kind }
 type class_def = { c_name : string; c_fields : field list }

@@ -1,3 +1,5 @@
+[@@@qs_lint.allow "QS001"] (* packed bitmap over its own backing buffer, not page bytes *)
+
 type t = { bits : bytes; nbits : int }
 
 let byte_size n = (n + 7) / 8

@@ -1,0 +1,14 @@
+type violation = { check : string; subject : string; detail : string }
+
+exception Sanitizer_violation of violation
+
+let fail ~check ~subject fmt =
+  Printf.ksprintf (fun detail -> raise (Sanitizer_violation { check; subject; detail })) fmt
+
+let to_string v = Printf.sprintf "QSan[%s] %s: %s" v.check v.subject v.detail
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let () =
+  Printexc.register_printer (function
+    | Sanitizer_violation v -> Some (to_string v)
+    | _ -> None)

@@ -1,0 +1,25 @@
+(** QSan: the runtime address-space sanitizer's failure reports.
+
+    QuickStore's correctness rests on invariants that ordinary tests
+    observe only indirectly: mapping-table ranges stay disjoint and
+    agree with the simulated MMU's protection bits, resident
+    descriptors point at the frames they claim, commit-time diffs
+    account for every modified byte, page LSNs never run ahead of the
+    WAL. When [Qs_config.sanitize] is on, these are checked at every
+    fault and commit, failing fast with a structured report instead of
+    silently mis-charging the paper's cost model. *)
+
+type violation = {
+  check : string;  (** machine-readable check id, e.g. ["prot-escalation"] *)
+  subject : string;  (** what was being validated (frame, page, oid) *)
+  detail : string;  (** human-readable explanation *)
+}
+
+exception Sanitizer_violation of violation
+
+(** [fail ~check ~subject fmt ...] raises {!Sanitizer_violation} with
+    the formatted detail. *)
+val fail : check:string -> subject:string -> ('a, unit, string, 'b) format4 -> 'a
+
+val to_string : violation -> string
+val pp : Format.formatter -> violation -> unit

@@ -11,6 +11,7 @@ type t = {
   clock : Simclock.Clock.t;
   cm : Simclock.Cost_model.t;
   mutable handler : frame:int -> access:access -> unit;
+  mutable post_fault : frame:int -> unit;
   mutable faults : int;
 }
 
@@ -21,6 +22,7 @@ let create ~clock ~cm () =
   ; clock
   ; cm
   ; handler = (fun ~frame ~access -> ignore frame; ignore access)
+  ; post_fault = (fun ~frame -> ignore frame)
   ; faults = 0 }
 
 let frame_of_addr addr = addr lsr 13
@@ -64,6 +66,7 @@ let iter_mapped f t = Hashtbl.iter (fun frame m -> f ~frame ~prot:m.m_prot) t.fr
 let mapped_count t = Hashtbl.length t.frames
 let clear t = Hashtbl.reset t.frames
 let set_fault_handler t h = t.handler <- h
+let set_post_fault_hook t f = t.post_fault <- f
 let fault_count t = t.faults
 let reset_fault_count t = t.faults <- 0
 
@@ -90,7 +93,9 @@ let resolve t addr a =
     Simclock.Clock.charge t.clock Simclock.Category.Page_fault t.cm.Simclock.Cost_model.page_fault_us;
     t.handler ~frame ~access:a;
     match attempt () with
-    | Some buf -> buf
+    | Some buf ->
+      t.post_fault ~frame;
+      buf
     | None -> raise (Unhandled_fault { addr; access = a }))
 
 let span_check addr len =

@@ -74,6 +74,11 @@ exception Unhandled_fault of { addr : int; access : access }
     protection, or {!Unhandled_fault} is raised (a "segfault"). *)
 val set_fault_handler : t -> (frame:int -> access:access -> unit) -> unit
 
+(** Diagnostics hook run after a handler successfully services a
+    fault, before the access retries. QSan ([Qs_config.sanitize])
+    installs its address-space validation here; charges nothing. *)
+val set_post_fault_hook : t -> (frame:int -> unit) -> unit
+
 val fault_count : t -> int
 val reset_fault_count : t -> unit
 

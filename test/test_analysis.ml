@@ -1,0 +1,151 @@
+(* qs_lint rule tests: one positive fixture (violation found) and one
+   negative fixture (exempt path or allow attribute) per rule family,
+   running the analyzer on in-memory sources. *)
+
+module Lint = Qs_analysis.Lint
+
+let rules_of ~path contents =
+  List.map (fun f -> f.Lint.rule) (Lint.lint_source ~path ~contents)
+
+let check_rules name expected ~path contents =
+  Alcotest.(check (list string)) name expected (rules_of ~path contents)
+
+(* --- QS001: raw page bytes --- *)
+
+let qs001_src = "let f b = Bytes.get b 0\nlet g b = Bytes.set b 1 'x'\n"
+
+let test_qs001 () =
+  check_rules "flagged in lib/core" [ "QS001"; "QS001" ] ~path:"lib/core/foo.ml" qs001_src;
+  check_rules "blit too" [ "QS001" ] ~path:"lib/core/foo.ml"
+    "let h a b = Bytes.blit a 0 b 0 8\n";
+  check_rules "byte core exempt" [] ~path:"lib/esm/page.ml" qs001_src;
+  check_rules "codec exempt" [] ~path:"lib/util/codec.ml" qs001_src;
+  check_rules "vmsim exempt" [] ~path:"lib/vmsim/vmsim.ml" qs001_src;
+  check_rules "file allow" [] ~path:"lib/core/foo.ml"
+    ("[@@@qs_lint.allow \"QS001\"]\n" ^ qs001_src);
+  check_rules "expression allow" [] ~path:"lib/core/foo.ml"
+    "let f b = (Bytes.get b 0 [@qs_lint.allow \"QS001\"])\n";
+  check_rules "expression allow is scoped" [ "QS001" ] ~path:"lib/core/foo.ml"
+    "let f b = (Bytes.get b 0 [@qs_lint.allow \"QS001\"])\nlet g b = Bytes.get b 1\n";
+  check_rules "unrelated Bytes ops pass" [] ~path:"lib/core/foo.ml"
+    "let f b = Bytes.length b + Bytes.length (Bytes.copy b)\n"
+
+(* --- QS002: Obj.magic --- *)
+
+let test_qs002 () =
+  check_rules "flagged everywhere" [ "QS002" ] ~path:"lib/esm/page.ml"
+    "let f (x : int) : string = Obj.magic x\n";
+  check_rules "flagged in bin" [ "QS002" ] ~path:"bin/main.ml" "let f x = Obj.magic x\n";
+  check_rules "allow attribute" [] ~path:"bin/main.ml"
+    "let f x = (Obj.magic x [@qs_lint.allow \"QS002\"])\n";
+  check_rules "Obj.repr untouched" [] ~path:"bin/main.ml" "let f x = Obj.repr x\n"
+
+(* --- QS003: polymorphic compare on identity values --- *)
+
+let test_qs003 () =
+  check_rules "oid = oid" [ "QS003" ] ~path:"lib/core/foo.ml"
+    "let f oid other_oid = oid = other_oid\n";
+  check_rules "suffix _oid" [ "QS003" ] ~path:"lib/core/foo.ml"
+    "let f root_oid x = x <> root_oid\n";
+  check_rules "compare on ptrs" [ "QS003" ] ~path:"lib/core/foo.ml"
+    "let f a_ptr b_ptr = compare a_ptr b_ptr\n";
+  check_rules "hash on desc" [ "QS003" ] ~path:"lib/core/foo.ml"
+    "let f desc = Hashtbl.hash desc\n";
+  check_rules "field access operand" [ "QS003" ] ~path:"lib/core/foo.ml"
+    "let f e x = x = e.oid\n";
+  check_rules "Oid.null operand" [ "QS003" ] ~path:"lib/core/foo.ml"
+    "let f x = x = Oid.null\n";
+  check_rules "Oid.equal is the fix" [] ~path:"lib/core/foo.ml"
+    "let f oid other_oid = Oid.equal oid other_oid\n";
+  check_rules "neutral names pass" [] ~path:"lib/core/foo.ml" "let f a b = a = b\n";
+  check_rules "int compare passes" [] ~path:"lib/core/foo.ml"
+    "let f (page : int) n = compare page n\n"
+
+(* --- QS004: gated calls (cost-charge bypasses) --- *)
+
+let test_qs004 () =
+  check_rules "set_prot_free in lib/core" [ "QS004" ] ~path:"lib/core/foo.ml"
+    "let f vm = Vmsim.set_prot_free vm ~frame:0 Vmsim.Prot_write\n";
+  check_rules "clock reset in lib/esm" [ "QS004" ] ~path:"lib/esm/foo.ml"
+    "let f c = Clock.reset c\n";
+  check_rules "harness exempt" [] ~path:"lib/harness/runner.ml"
+    "let f vm c = Vmsim.set_prot_free vm ~frame:0 Vmsim.Prot_read; Clock.reset c\n";
+  check_rules "vmsim exempt" [] ~path:"lib/vmsim/vmsim.ml" "let f t = set_prot_free t\n";
+  check_rules "test exempt" [] ~path:"test/test_foo.ml" "let f c = Clock.reset c\n";
+  check_rules "file allow" [] ~path:"examples/demo.ml"
+    "[@@@qs_lint.allow \"QS004\"]\nlet f c = Clock.reset c\n";
+  check_rules "unqualified reset passes" [] ~path:"lib/core/foo.ml" "let f h = reset h\n"
+
+(* --- QS005: fault handler without cost charging --- *)
+
+let test_qs005 () =
+  check_rules "handler, no charge" [ "QS005" ] ~path:"lib/core/foo.ml"
+    "let f vm h = Vmsim.set_fault_handler vm h\n";
+  check_rules "handler plus charge" [] ~path:"lib/core/foo.ml"
+    "let f vm h clock = Vmsim.set_fault_handler vm h; Simclock.Clock.charge clock 1\n";
+  check_rules "charge_n counts" [] ~path:"lib/core/foo.ml"
+    "let f vm h clock = Vmsim.set_fault_handler vm h; Clock.charge_n clock 2 3\n";
+  check_rules "test exempt" [] ~path:"test/test_foo.ml"
+    "let f vm h = Vmsim.set_fault_handler vm h\n";
+  check_rules "no handler, no finding" [] ~path:"lib/core/foo.ml" "let f x = x + 1\n"
+
+(* --- QS006: stringly failure in lib/ --- *)
+
+let test_qs006 () =
+  check_rules "failwith in lib" [ "QS006" ] ~path:"lib/core/foo.ml"
+    "let f () = failwith \"boom\"\n";
+  check_rules "bin exempt" [] ~path:"bin/main.ml" "let f () = failwith \"usage\"\n";
+  check_rules "typed raise passes" [] ~path:"lib/core/foo.ml"
+    "exception Boom\nlet f () = raise Boom\n"
+
+(* --- QS000: parse errors --- *)
+
+let test_qs000 () =
+  check_rules "unclosed paren" [ "QS000" ] ~path:"lib/core/foo.ml" "let f = (\n"
+
+(* --- plumbing --- *)
+
+let test_path_policy () =
+  Alcotest.(check bool) "QS001 off in vmsim" false
+    (Lint.rule_applies ~path:"lib/vmsim/vmsim.ml" "QS001");
+  Alcotest.(check bool) "QS001 on in core" true
+    (Lint.rule_applies ~path:"lib/core/store.ml" "QS001");
+  Alcotest.(check bool) "QS004 off in harness" false
+    (Lint.rule_applies ~path:"lib/harness/runner.ml" "QS004");
+  Alcotest.(check bool) "QS006 only in lib" false (Lint.rule_applies ~path:"bench/main.ml" "QS006");
+  Alcotest.(check bool) "QS002 everywhere" true (Lint.rule_applies ~path:"bench/main.ml" "QS002")
+
+let test_report_format () =
+  match Lint.lint_source ~path:"lib/core/foo.ml" ~contents:"let f b =\n  Bytes.get b 0\n" with
+  | [ f ] ->
+    Alcotest.(check int) "line" 2 f.Lint.line;
+    let s = Lint.to_string f in
+    Alcotest.(check bool) "grep-able report line" true
+      (String.length s > 0
+      && String.sub s 0 (String.length "lib/core/foo.ml:2: QS001") = "lib/core/foo.ml:2: QS001")
+  | fs -> Alcotest.fail (Printf.sprintf "expected one finding, got %d" (List.length fs))
+
+let test_all_rules_listed () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (r ^ " well-formed") true
+        (String.length r = 5 && String.sub r 0 2 = "QS"))
+    Lint.all_rules;
+  (* QS000 (parse error) is a pseudo-rule, not an enforceable one. *)
+  Alcotest.(check int) "six enforceable rules" 6 (List.length Lint.all_rules);
+  Alcotest.(check bool) "QS000 not listed" false (List.mem "QS000" Lint.all_rules)
+
+let () =
+  Alcotest.run "analysis"
+    [ ( "rules"
+      , [ Alcotest.test_case "QS001 raw page bytes" `Quick test_qs001
+        ; Alcotest.test_case "QS002 obj magic" `Quick test_qs002
+        ; Alcotest.test_case "QS003 poly compare" `Quick test_qs003
+        ; Alcotest.test_case "QS004 gated calls" `Quick test_qs004
+        ; Alcotest.test_case "QS005 handler without charge" `Quick test_qs005
+        ; Alcotest.test_case "QS006 stringly failure" `Quick test_qs006
+        ; Alcotest.test_case "QS000 parse error" `Quick test_qs000 ] )
+    ; ( "plumbing"
+      , [ Alcotest.test_case "path policy" `Quick test_path_policy
+        ; Alcotest.test_case "report format" `Quick test_report_format
+        ; Alcotest.test_case "rule list" `Quick test_all_rules_listed ] ) ]

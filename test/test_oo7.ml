@@ -42,6 +42,9 @@ let qsw =
        ~config:{ Qs_config.default with Qs_config.ptr_format = Qs_config.Page_offsets }
        tiny ~seed)
 
+let qs_san =
+  lazy (Sys_.make_qs ~config:{ Qs_config.default with Qs_config.sanitize = true } tiny ~seed)
+
 let run sys op = (sys.Sys_.run ~op ~seed:7 ~hot_reps:1).Sys_.cold
 
 let test_build_sizes () =
@@ -142,6 +145,19 @@ let test_fault_counts () =
   let _ = qs.Sys_.run ~op:"T1" ~seed:0 ~hot_reps:0 in
   Alcotest.(check bool) "QS fault count tracked" true (qs.Sys_.fault_count () > 0)
 
+(* The full cold/hot protocol — build, traversals, an update traversal
+   — with the address-space sanitizer validating at every fault and
+   commit. Any mapping-table / protection / diffing inconsistency the
+   OO7 workload can provoke raises Sanitizer_violation here. *)
+let test_traversals_sanitized () =
+  let sys = Lazy.force qs_san in
+  let r1 = run sys "T1" in
+  Alcotest.(check int) "T1 visits under QSan" t1_expected r1.Harness.Measure.result;
+  let r6 = run sys "T6" in
+  Alcotest.(check int) "T6 visits under QSan" t6_expected r6.Harness.Measure.result;
+  let r2 = run sys "T2A" in
+  Alcotest.(check int) "T2A visits under QSan" t1_expected r2.Harness.Measure.result
+
 let () =
   Alcotest.run "oo7"
     [ ( "oo7"
@@ -155,4 +171,5 @@ let () =
         ; Alcotest.test_case "T3 index maintenance" `Quick test_t3_index_maintenance
         ; Alcotest.test_case "cold/hot protocol" `Quick test_cold_hot_ordering
         ; Alcotest.test_case "I/O counts" `Quick test_io_counts_reasonable
-        ; Alcotest.test_case "fault counts" `Quick test_fault_counts ] ) ]
+        ; Alcotest.test_case "fault counts" `Quick test_fault_counts
+        ; Alcotest.test_case "T1/T6/T2A under QSan" `Quick test_traversals_sanitized ] ) ]

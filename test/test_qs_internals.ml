@@ -149,6 +149,70 @@ let test_find_gap () =
    | Some g -> Alcotest.(check int) "narrow gap" 20 g
    | None -> Alcotest.fail "no narrow gap")
 
+(* --- adversarial: the table must reject inconsistent states --- *)
+
+let test_overlapping_add_raises () =
+  let t = MT.create () in
+  MT.add t (mk_desc ~vframe:10 ~nframes:4 (MT.Small_page 1));
+  Alcotest.check_raises "overlap rejected"
+    (Invalid_argument "Interval_avl.add: overlapping interval") (fun () ->
+      MT.add t (mk_desc ~vframe:13 ~nframes:2 (MT.Small_page 2)));
+  (* Abutting on either side is fine; containment is not. *)
+  MT.add t (mk_desc ~vframe:14 ~nframes:1 (MT.Small_page 3));
+  MT.add t (mk_desc ~vframe:9 ~nframes:1 (MT.Small_page 4));
+  Alcotest.check_raises "contained range rejected"
+    (Invalid_argument "Interval_avl.add: overlapping interval") (fun () ->
+      MT.add t (mk_desc ~vframe:11 ~nframes:1 (MT.Small_page 5)));
+  Alcotest.(check int) "failed adds left no trace" 3 (MT.cardinal t);
+  Alcotest.(check bool) "invariants" true (MT.invariants_hold t);
+  MT.validate t
+
+let test_split_rejects_outside_idx () =
+  let t = MT.create () in
+  let o = oid 61 in
+  let d = mk_desc ~vframe:20 ~nframes:5 (MT.Large_range { oid = o; first = 2; npages = 5 }) in
+  MT.add t d;
+  Alcotest.check_raises "below range" (Invalid_argument "Mapping_table.split_large: idx outside")
+    (fun () -> ignore (MT.split_large t d ~idx:1));
+  Alcotest.check_raises "above range" (Invalid_argument "Mapping_table.split_large: idx outside")
+    (fun () -> ignore (MT.split_large t d ~idx:7));
+  let s = mk_desc ~vframe:40 (MT.Small_page 9) in
+  MT.add t s;
+  Alcotest.check_raises "small page" (Invalid_argument "Mapping_table.split_large: small page")
+    (fun () -> ignore (MT.split_large t s ~idx:0));
+  Alcotest.(check int) "nothing split" 2 (MT.cardinal t);
+  MT.validate t
+
+let test_find_by_large_out_of_range () =
+  let t = MT.create () in
+  let o = oid 62 in
+  MT.add t (mk_desc ~vframe:30 ~nframes:4 (MT.Large_range { oid = o; first = 0; npages = 4 }));
+  (* Split so the object is covered by several descriptors, then probe
+     outside the object. *)
+  (match MT.find_by_large t o ~idx:2 with
+   | Some d -> ignore (MT.split_large t d ~idx:2)
+   | None -> Alcotest.fail "idx 2 before split");
+  Alcotest.(check bool) "past the end" true (Option.is_none (MT.find_by_large t o ~idx:4));
+  Alcotest.(check bool) "other oid" true (Option.is_none (MT.find_by_large t (oid 63) ~idx:0));
+  Alcotest.(check bool) "every in-range idx covered" true
+    (List.for_all (fun i -> Option.is_some (MT.find_by_large t o ~idx:i)) [ 0; 1; 2; 3 ]);
+  MT.validate t
+
+let test_validate_catches_drift () =
+  let t = MT.create () in
+  let d = mk_desc ~vframe:50 ~nframes:2 (MT.Large_range { oid = oid 64; first = 0; npages = 2 }) in
+  MT.add t d;
+  MT.validate t;
+  (* Corrupt the descriptor behind the tree's back: QSan must name the
+     drifted range rather than silently misroute later faults. *)
+  d.MT.vframe <- 51;
+  (match MT.validate t with
+   | () -> Alcotest.fail "drift not caught"
+   | exception Qs_util.Sanitizer.Sanitizer_violation v ->
+     Alcotest.(check string) "check id" "mapping-drift" v.Qs_util.Sanitizer.check);
+  d.MT.vframe <- 50;
+  MT.validate t
+
 (* --- simplified clock --- *)
 
 let test_simplified_clock () =
@@ -231,6 +295,11 @@ let () =
         ; Alcotest.test_case "figure 3 split" `Quick test_large_split_figure3
         ; Alcotest.test_case "edge splits" `Quick test_split_edge_pages
         ; Alcotest.test_case "find gap" `Quick test_find_gap ] )
+    ; ( "mapping-table-adversarial"
+      , [ Alcotest.test_case "overlapping add raises" `Quick test_overlapping_add_raises
+        ; Alcotest.test_case "split outside idx raises" `Quick test_split_rejects_outside_idx
+        ; Alcotest.test_case "find_by_large out of range" `Quick test_find_by_large_out_of_range
+        ; Alcotest.test_case "validate catches drift" `Quick test_validate_catches_drift ] )
     ; ( "simplified-clock"
       , [ Alcotest.test_case "protection-driven sweep" `Quick test_simplified_clock
         ; Alcotest.test_case "skips pinned" `Quick test_clock_skips_pinned ] )

@@ -582,6 +582,87 @@ let prop_walk_after_random_relocation =
       Store.commit st;
       n = 80 && ok)
 
+(* --- QSan: the address-space sanitizer (Qs_config.sanitize) --- *)
+
+let sanitize_config = { Qs_config.default with Qs_config.sanitize = true }
+
+(* A full build / cold walk / update / commit cycle with the sanitizer
+   validating at every fault and at commit must be violation-free. *)
+let test_sanitize_clean_run () =
+  let _server, st = mk ~config:sanitize_config () in
+  build_list st ~n:120 ~per_cluster:12;
+  Store.reset_caches st;
+  Store.begin_txn st;
+  let n, ok = walk_list st in
+  Alcotest.(check int) "all nodes" 120 n;
+  Alcotest.(check bool) "fields intact" true ok;
+  let f_id = Store.field st ~cls:"Node" ~name:"id" in
+  let head = Store.root st "head" in
+  Store.set_int st head f_id 9999;
+  Store.commit st;
+  Store.validate st;
+  Store.begin_txn st;
+  Alcotest.(check int) "update durable" 9999 (Store.get_int st head f_id);
+  Store.commit st
+
+(* Same, under memory pressure: evictions and re-faults must keep the
+   mapping table, pool residency and protection bits in agreement. *)
+let test_sanitize_under_eviction () =
+  let config = { sanitize_config with Qs_config.client_frames = 16 } in
+  let _server, st = mk ~config () in
+  build_list st ~n:400 ~per_cluster:10;
+  Store.reset_caches st;
+  for _ = 1 to 2 do
+    Store.begin_txn st;
+    let n, ok = walk_list st in
+    Alcotest.(check int) "all nodes" 400 n;
+    Alcotest.(check bool) "fields intact" true ok;
+    Store.commit st
+  done;
+  Store.validate st
+
+(* Injected corruption: escalate a read-protected frame to write
+   access behind the store's back. QSan must flag the page as
+   write-enabled-without-snapshot rather than let an unlogged update
+   slip past commit diffing. *)
+let test_sanitize_catches_prot_escalation () =
+  let _server, st = mk ~config:sanitize_config () in
+  build_list st ~n:60 ~per_cluster:10;
+  Store.reset_caches st;
+  Store.begin_txn st;
+  ignore (walk_list st);
+  let vm = Store.vm st in
+  let victim = ref None in
+  Vmsim.iter_mapped
+    (fun ~frame ~prot -> if !victim = None && prot = Vmsim.Prot_read then victim := Some frame)
+    vm;
+  (match !victim with
+   | None -> Alcotest.fail "no read-protected frame after walk"
+   | Some frame ->
+     Vmsim.set_prot_free vm ~frame Vmsim.Prot_write;
+     (match Store.validate st with
+      | () -> Alcotest.fail "escalation not caught"
+      | exception Qs_util.Sanitizer.Sanitizer_violation v ->
+        Alcotest.(check string) "check id" "prot-escalation" v.Qs_util.Sanitizer.check);
+     (* Undo the corruption so commit still goes through cleanly. *)
+     Vmsim.set_prot_free vm ~frame Vmsim.Prot_read;
+     Store.validate st);
+  Store.commit st
+
+(* The commit-time shadow check itself: a region list that misses a
+   modified byte must be rejected, the honest diff accepted. *)
+let test_regions_cover_shadow () =
+  let old_bytes = Bytes.make 256 'a' and new_bytes = Bytes.make 256 'a' in
+  Bytes.set new_bytes 10 'x';
+  Bytes.set new_bytes 200 'y';
+  let regions = Rec_buffer.diff_regions ~old_bytes ~new_bytes ~gap:16 in
+  Alcotest.(check bool) "honest diff covers" true
+    (Rec_buffer.regions_cover ~old_bytes ~new_bytes regions);
+  Alcotest.(check bool) "dropped region detected" false
+    (Rec_buffer.regions_cover ~old_bytes ~new_bytes [ (10, 1) ]);
+  Alcotest.(check bool) "empty diff of equal pages" true
+    (Rec_buffer.regions_cover ~old_bytes:new_bytes ~new_bytes [])
+
 let () =
   Alcotest.run "quickstore"
     [ ( "store"
@@ -606,6 +687,11 @@ let () =
         ; Alcotest.test_case "QS-W rejects relocation" `Quick test_offsets_rejects_relocation
         ; Alcotest.test_case "cost categories" `Quick test_cost_categories_charged
         ; Alcotest.test_case "diff regions" `Quick test_diff_regions ] )
+    ; ( "qsan"
+      , [ Alcotest.test_case "clean run validates" `Quick test_sanitize_clean_run
+        ; Alcotest.test_case "clean under eviction" `Quick test_sanitize_under_eviction
+        ; Alcotest.test_case "catches prot escalation" `Quick test_sanitize_catches_prot_escalation
+        ; Alcotest.test_case "regions_cover shadow check" `Quick test_regions_cover_shadow ] )
     ; ( "properties"
       , List.map QCheck_alcotest.to_alcotest
           [ prop_diff_patch_identity
