@@ -36,7 +36,7 @@ let print_measure label (m : Measure.t) =
 let print_breakdown (m : Measure.t) =
   Format.printf "  breakdown:@.%a@." Clock.pp_snapshot m.Measure.snapshot
 
-let run system size ops seed hot_reps reloc sanitize verbose save =
+let run system size ops seed hot_reps reloc sanitize faults verbose save =
   let params = params_of_size size in
   Printf.printf "building %s database for %s...\n%!" params.Params.name system;
   if sanitize then Printf.printf "QSan on: validating the address space at every fault and commit\n%!";
@@ -49,17 +49,34 @@ let run system size ops seed hot_reps reloc sanitize verbose save =
      Esm.Disk.save_to_file (Esm.Server.disk sys.Sys_.server) path;
      Printf.printf "volume image saved to %s (inspect with qs_dump)\n%!" path
    | None -> ());
+  (* Faults arm only after the build, so the database itself is clean. *)
+  (match faults with
+   | Some spec ->
+     Qs_fault.arm (Esm.Server.fault_injector sys.Sys_.server) (Qs_fault.plan_of_spec ~seed spec);
+     Printf.printf "fault injection armed: %s (rng seed %d)\n%!" spec seed
+   | None -> ());
   List.iter
     (fun op ->
       Printf.printf "%s on %s (%s):\n%!" op sys.Sys_.name params.Params.name;
       let t1 = Unix.gettimeofday () in
-      let r = sys.Sys_.run ~op ~seed ~hot_reps in
-      print_measure "cold" r.Sys_.cold;
-      (match r.Sys_.hot with Some h -> print_measure "hot" h | None -> ());
-      (match r.Sys_.commit with Some c -> print_measure "commit" c | None -> ());
-      if verbose then print_breakdown r.Sys_.cold;
-      Printf.printf "  (wall %.1fs; cold faults %d)\n%!" (Unix.gettimeofday () -. t1)
-        (sys.Sys_.fault_count ()))
+      match sys.Sys_.run ~op ~seed ~hot_reps with
+      | r ->
+        print_measure "cold" r.Sys_.cold;
+        (match r.Sys_.hot with Some h -> print_measure "hot" h | None -> ());
+        (match r.Sys_.commit with Some c -> print_measure "commit" c | None -> ());
+        if verbose then print_breakdown r.Sys_.cold;
+        Printf.printf "  (wall %.1fs; cold faults %d)\n%!" (Unix.gettimeofday () -. t1)
+          (sys.Sys_.fault_count ())
+      | exception Esm.Client.Degraded d ->
+        Printf.printf
+          "  DEGRADED: %s of page %d failed after %d attempts (%s); store abandoned\n%!" d.Esm.Client.op
+          d.Esm.Client.page d.Esm.Client.attempts
+          (Printexc.to_string d.Esm.Client.cause);
+        exit 2
+      | exception Qs_fault.Injected_crash { point; hit } ->
+        Printf.printf "  CRASHED at injected point %s (hit %d); volume recoverable via restart\n%!"
+          point hit;
+        exit 2)
     ops
 
 open Cmdliner
@@ -90,6 +107,17 @@ let sanitize_arg =
           "run with QSan, the address-space sanitizer: validate mapping table, protection bits \
            and residency at every fault and commit (QuickStore systems only)")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          (Printf.sprintf
+             "arm fault injection on the server for the measured runs (the build is clean). \
+              Syntax: %s"
+             Qs_fault.spec_syntax))
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print the cost breakdown")
 
 let save_arg =
@@ -101,6 +129,6 @@ let cmd =
     (Cmd.info "oo7_run" ~doc)
     Term.(
       const run $ system_arg $ size_arg $ ops_arg $ seed_arg $ hot_arg $ reloc_arg $ sanitize_arg
-      $ verbose_arg $ save_arg)
+      $ faults_arg $ verbose_arg $ save_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -2,7 +2,7 @@ open Parsetree
 
 type finding = { file : string; line : int; col : int; rule : string; msg : string }
 
-let all_rules = [ "QS001"; "QS002"; "QS003"; "QS004"; "QS005"; "QS006" ]
+let all_rules = [ "QS001"; "QS002"; "QS003"; "QS004"; "QS005"; "QS006"; "QS007" ]
 
 let to_string f = Printf.sprintf "%s:%d: %s %s" f.file f.line f.rule f.msg
 
@@ -26,6 +26,11 @@ let rule_applies ~path rule =
       || has_prefix ~prefix:"test/" path)
   | "QS005" -> not (has_prefix ~prefix:"test/" path)
   | "QS006" -> has_prefix ~prefix:"lib/" path
+  | "QS007" ->
+    (* Raw disk I/O is the server's business: everything else must go
+       through Server.read_page/write_page so the fault-injection layer
+       sees it. Tools (bin/) and tests may inspect volumes directly. *)
+    has_prefix ~prefix:"lib/" path && not (has_prefix ~prefix:"lib/esm/" path)
   | _ -> true
 
 (* ------------------------------------------------------------------ *)
@@ -138,6 +143,12 @@ let check_ident ctx ~loc comps =
       report ctx ~loc "QS004" "Clock.reset discards charged simulated time (harness/test only)";
     if last = "failwith" then
       report ctx ~loc "QS006" "stringly failure in library code: raise a typed exception";
+    if penult = Some "Disk" && (last = "read" || last = "write") then
+      report ctx ~loc "QS007"
+        (Printf.sprintf
+           "direct Disk.%s outside lib/esm: all I/O must cross the server (and its fault-injection \
+            layer)"
+           last);
     if last = "set_fault_handler" && ctx.handler_reg = None then begin
       let pos = loc.Location.loc_start in
       ctx.handler_reg <- Some (pos.Lexing.pos_lnum, pos.Lexing.pos_cnum - pos.Lexing.pos_bol)

@@ -31,6 +31,9 @@
       falsifies the calibration.
     - {b QS006} [stringly-failure]: no [failwith] in [lib/] (library
       errors must be typed exceptions).
+    - {b QS007} [direct-disk-io]: no [Disk.read]/[Disk.write] in [lib/]
+      outside [lib/esm/] — all I/O must cross the server, and therefore
+      the {!Qs_fault} injection layer. Tools and tests are exempt.
     - {b QS000}: the file failed to parse.
 
     {2 Allowlisting}
@@ -44,7 +47,7 @@ type finding = {
   file : string;
   line : int;
   col : int;
-  rule : string;  (** "QS001" .. "QS006", or "QS000" for parse errors *)
+  rule : string;  (** "QS001" .. "QS007", or "QS000" for parse errors *)
   msg : string;
 }
 

@@ -1397,3 +1397,31 @@ let reset_caches t =
 
 let mapping_invariants_hold t = MT.invariants_hold t.table
 let mapping_table_size t = MT.cardinal t.table
+
+(* ------------------------------------------------------------------ *)
+(* Typed I/O failure propagation.                                      *)
+
+(* A mapped-store access that page-faults runs the whole fault pipeline
+   (ensure-resident, map processing, swizzling) under the caller's
+   stack frame, so an ESM request that exhausts its retry budget
+   surfaces to the application as [Esm.Client.Degraded] — typed, not a
+   failwith — from the dereference or commit that triggered it. The
+   handler mutates descriptor state only after the client request
+   succeeds, so the address space stays consistent; but a degraded
+   commit leaves the ship state unknown, so the transaction must be
+   abandoned: crash the client/server pair and run restart recovery. *)
+let attempt (f : unit -> 'a) : ('a, Esm.Client.degradation) result = Esm.Client.attempt f
+
+let degraded_crash t =
+  Client.crash t.client;
+  Server.crash (Client.server t.client);
+  Vmsim.clear t.vm;
+  MT.clear t.table;
+  Rec_buffer.clear t.rec_buf;
+  Hashtbl.reset t.bitmaps;
+  Hashtbl.reset t.bitmaps_dirty;
+  Hashtbl.reset t.pending_map_update;
+  Hashtbl.reset t.resident;
+  Hashtbl.reset t.large_ids;
+  Hashtbl.reset t.reloc_choice;
+  Hashtbl.reset t.indices

@@ -139,6 +139,27 @@ type stats = {
 val stats : t -> stats
 val reset_stats : t -> unit
 
+(** {2 Degradation under injected faults}
+
+    Page faults run the whole miss pipeline under the faulting
+    dereference, so an ESM request that exhausts its {!Esm.Client}
+    retry budget surfaces as the typed [Esm.Client.Degraded] from the
+    access (or commit) that needed it. Descriptor state is only
+    mutated after the underlying request succeeds, so reads that
+    degrade leave the address space consistent; a commit that degrades
+    leaves the ship state unknown and the store must be abandoned via
+    {!degraded_crash} followed by {!Esm.Recovery.restart} and a fresh
+    {!open_db}. *)
+
+(** [attempt f] runs [f], catching only [Esm.Client.Degraded]. *)
+val attempt : (unit -> 'a) -> ('a, Esm.Client.degradation) result
+
+(** Abandon a degraded store: crash the client and server (volatile
+    caches and the unforced log tail are lost) and drop every mapping
+    so no stale virtual address survives. Follow with
+    {!Esm.Recovery.restart} on the server and {!open_db}. *)
+val degraded_crash : t -> unit
+
 (** Mapping-table invariant check (tests). *)
 val mapping_invariants_hold : t -> bool
 

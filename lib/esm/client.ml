@@ -15,6 +15,12 @@ and victim_policy = Traditional | External of (t -> int)
 exception No_transaction
 exception Dangling_reference of Oid.t
 
+type degradation = { op : string; page : int; attempts : int; cause : exn }
+
+exception Degraded of degradation
+
+let max_retries = 5
+
 let create ?(frames = 1536) server =
   { server
   ; pool = Buf_pool.create ~frames
@@ -36,6 +42,47 @@ let ship_bytes t page_id b =
   match t.pre_ship with Some f -> f ~page_id b | None -> b
 let in_txn t = t.txn <> None
 
+(* --- robustness layer: every client↔server request goes through here ---
+
+   [net_request] consults the injector on the message itself: a dropped
+   request is discovered by waiting out the timeout; a duplicate is
+   served twice (page reads and whole-page ships are idempotent); a
+   delay charges extra latency before delivery. [rpc] then bounds the
+   retries of transient failures with exponential backoff charged to
+   the clock, surfacing a typed [Degraded] once the budget exhausts.
+   Scheduled crashes ([Injected_crash], [Server_down]) are not
+   transient and propagate. *)
+
+let charge_retry t us = Simclock.Clock.charge (Server.clock t.server) Simclock.Category.Retry us
+
+let net_request t ~op ~page (serve : unit -> unit) =
+  match Qs_fault.net_gate (Server.fault_injector t.server) ~op ~page with
+  | Qs_fault.Net_ok -> serve ()
+  | Qs_fault.Net_drop ->
+    charge_retry t (cost_model t).Simclock.Cost_model.net_timeout_us;
+    raise (Qs_fault.Net_error { op; page })
+  | Qs_fault.Net_dup ->
+    serve ();
+    serve ()
+  | Qs_fault.Net_delay us ->
+    charge_retry t us;
+    serve ()
+
+let rpc t ~op ~page (f : unit -> 'a) : 'a =
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception ((Qs_fault.Io_error _ | Qs_fault.Net_error _) as cause) ->
+      let attempts = attempt + 1 in
+      if attempts >= max_retries then raise (Degraded { op; page; attempts; cause })
+      else begin
+        charge_retry t
+          ((cost_model t).Simclock.Cost_model.retry_backoff_us *. float_of_int (1 lsl attempt));
+        go attempts
+      end
+  in
+  go 0
+
 let txn_id t = match t.txn with Some id -> id | None -> raise No_transaction
 
 let begin_txn t =
@@ -46,14 +93,22 @@ let page_bytes t ~frame = Buf_pool.frame_bytes t.pool frame
 let frame_of_page t page_id = Buf_pool.lookup t.pool page_id
 let mark_dirty t ~frame = Buf_pool.mark_dirty t.pool frame
 
+(* Ship one dirty page to the server through the faultable network
+   path, retrying transient failures. The pre-ship transform runs once:
+   retries resend the same bytes. *)
+let ship_page t ~txn ~at_commit page_id bytes =
+  let b = ship_bytes t page_id bytes in
+  rpc t ~op:"write_page" ~page:page_id (fun () ->
+      net_request t ~op:"write_page" ~page:page_id (fun () ->
+          Server.write_page t.server ~txn ~at_commit page_id b))
+
 (* Ship a dirty frame back to the server mid-transaction (steal). *)
 let write_back t ~at_commit frame =
   match Buf_pool.page_of_frame t.pool frame with
   | None -> ()
   | Some page_id ->
     if Buf_pool.is_dirty t.pool frame then begin
-      Server.write_page t.server ~txn:(txn_id t) ~at_commit page_id
-        (ship_bytes t page_id (Buf_pool.frame_bytes t.pool frame));
+      ship_page t ~txn:(txn_id t) ~at_commit page_id (Buf_pool.frame_bytes t.pool frame);
       Buf_pool.clear_dirty t.pool frame
     end
 
@@ -84,7 +139,9 @@ let fix_page t ~kind page_id =
     f
   | None ->
     let f = take_frame t in
-    Server.read_page t.server ~txn ~kind page_id (Buf_pool.frame_bytes t.pool f);
+    rpc t ~op:"read_page" ~page:page_id (fun () ->
+        net_request t ~op:"read_page" ~page:page_id (fun () ->
+            Server.read_page t.server ~txn ~kind page_id (Buf_pool.frame_bytes t.pool f)));
     Buf_pool.install t.pool ~frame:f ~page_id;
     Buf_pool.pin t.pool f;
     f
@@ -129,8 +186,7 @@ let prepare ?(before_flush = fun () -> ()) t =
   before_flush ();
   List.iter
     (fun (page_id, frame) ->
-      Server.write_page t.server ~txn ~at_commit:true page_id
-        (ship_bytes t page_id (Buf_pool.frame_bytes t.pool frame));
+      ship_page t ~txn ~at_commit:true page_id (Buf_pool.frame_bytes t.pool frame);
       Buf_pool.clear_dirty t.pool frame)
     (Buf_pool.dirty_pages t.pool);
   Server.prepare t.server ~txn
@@ -145,8 +201,7 @@ let commit ?(before_flush = fun () -> ()) t =
   before_flush ();
   List.iter
     (fun (page_id, frame) ->
-      Server.write_page t.server ~txn ~at_commit:true page_id
-        (ship_bytes t page_id (Buf_pool.frame_bytes t.pool frame));
+      ship_page t ~txn ~at_commit:true page_id (Buf_pool.frame_bytes t.pool frame);
       Buf_pool.clear_dirty t.pool frame)
     (Buf_pool.dirty_pages t.pool);
   Server.commit t.server ~txn;
@@ -308,3 +363,5 @@ let reset_cache t =
 let crash t =
   t.pool <- Buf_pool.create ~frames:t.frames;
   t.txn <- None
+
+let attempt f = match f () with v -> Ok v | exception Degraded d -> Error d

@@ -32,6 +32,30 @@ val set_pre_evict_hook : t -> (frame:int -> page_id:int -> unit) -> unit
     copy itself is not modified. *)
 val set_pre_ship_hook : t -> (page_id:int -> bytes -> bytes) -> unit
 
+(** {2 Robustness}
+
+    Every client↔server request (page fetch, dirty-page ship) crosses
+    the server's {!Qs_fault} injector. Transient failures — injected
+    disk errors and lost/duplicated/delayed messages — are retried with
+    exponential backoff; dropped requests first wait out the
+    per-request timeout. All waiting is charged to the simulated clock
+    under [Category.Retry]. When the retry budget ({!max_retries})
+    exhausts, the request degrades: a typed {!Degraded} carries the
+    operation, the page, the attempt count and the last cause. A
+    degraded client holds an open transaction in an unknown ship
+    state; the safe continuation is {!crash} (client cache is
+    volatile) and server-side abort or restart recovery. *)
+
+type degradation = { op : string; page : int; attempts : int; cause : exn }
+
+exception Degraded of degradation
+
+(** Retry budget per request (attempts, including the first). *)
+val max_retries : int
+
+(** [attempt f] runs [f], catching only {!Degraded}. *)
+val attempt : (unit -> 'a) -> ('a, degradation) result
+
 (** {2 Transactions} *)
 
 exception No_transaction

@@ -1,5 +1,7 @@
 [@@@qs_lint.allow "QS001"] (* the simulated disk itself: page images are its backing store *)
 
+exception Bad_page of { op : string; page : int }
+
 type t = {
   mutable pages : bytes array;  (* index 0 unused; page ids start at 1 *)
   mutable next : int;
@@ -7,6 +9,7 @@ type t = {
   freed : (int, unit) Hashtbl.t;
   mutable reads : int;
   mutable writes : int;
+  mutable fault : Qs_fault.t option;
 }
 
 let create () =
@@ -15,7 +18,10 @@ let create () =
   ; free_list = []
   ; freed = Hashtbl.create 16
   ; reads = 0
-  ; writes = 0 }
+  ; writes = 0
+  ; fault = None }
+
+let set_fault t f = t.fault <- Some f
 
 let page_count t = t.next - 1
 
@@ -46,22 +52,45 @@ let alloc t =
 
 let is_allocated t id = id >= 1 && id < t.next && not (Hashtbl.mem t.freed id)
 
-let check t id op = if not (is_allocated t id) then invalid_arg (Printf.sprintf "Disk.%s: page %d not allocated" op id)
+let check t id op = if not (is_allocated t id) then raise (Bad_page { op; page = id })
 
 let free t id =
   check t id "free";
   Hashtbl.replace t.freed id ();
   t.free_list <- id :: t.free_list
 
+let gate t ~op id =
+  match t.fault with None -> Qs_fault.Io_ok | Some f -> Qs_fault.disk_gate f ~op ~page:id
+
 let read t id dst =
   check t id "read";
+  (match gate t ~op:Qs_fault.Read id with
+   | Qs_fault.Io_fail -> raise (Qs_fault.Io_error { op = Qs_fault.Read; page = id })
+   | Qs_fault.Io_ok | Qs_fault.Io_torn _ -> ());
   t.reads <- t.reads + 1;
   Bytes.blit t.pages.(id) 0 dst 0 Page.page_size
 
 let write t id src =
   check t id "write";
-  t.writes <- t.writes + 1;
-  Bytes.blit src 0 t.pages.(id) 0 Page.page_size
+  match gate t ~op:Qs_fault.Write id with
+  | Qs_fault.Io_ok ->
+    t.writes <- t.writes + 1;
+    Bytes.blit src 0 t.pages.(id) 0 Page.page_size
+  | Qs_fault.Io_fail -> raise (Qs_fault.Io_error { op = Qs_fault.Write; page = id })
+  | Qs_fault.Io_torn n ->
+    (* Torn write: the drive persists a prefix of the page body, then
+       power is cut. The header sector is written last under ESM's
+       discipline, so the old header — including the old page LSN —
+       survives, and LSN-guarded redo repairs the whole page. *)
+    t.writes <- t.writes + 1;
+    let body = Page.page_size - Page.header_size in
+    Bytes.blit src Page.header_size t.pages.(id) Page.header_size (min n body);
+    let hit =
+      match t.fault with
+      | Some f -> (match Qs_fault.fired f with Some (_, h) -> h | None -> 0)
+      | None -> 0
+    in
+    raise (Qs_fault.Injected_crash { point = Qs_fault.Point.disk_torn_write; hit })
 
 let reads t = t.reads
 let writes t = t.writes
@@ -71,6 +100,17 @@ let reset_counters t =
   t.writes <- 0
 
 let size_bytes t = (page_count t - List.length t.free_list) * Page.page_size
+
+(* Snapshot of the durable state (for forked what-if recovery runs);
+   counters reset, no injector attached. *)
+let copy t =
+  { pages = Array.map Bytes.copy t.pages
+  ; next = t.next
+  ; free_list = t.free_list
+  ; freed = Hashtbl.copy t.freed
+  ; reads = 0
+  ; writes = 0
+  ; fault = None }
 
 let save_to_file t path =
   let oc = open_out_bin path in

@@ -8,7 +8,18 @@
 
 type t
 
+(** Raised on I/O against a page id that was never allocated (or was
+    freed): always a caller bug, never an injected fault. *)
+exception Bad_page of { op : string; page : int }
+
 val create : unit -> t
+
+(** Attach a fault injector: every subsequent {!read}/{!write} consults
+    {!Qs_fault.disk_gate} and may raise {!Qs_fault.Io_error} (transient,
+    retryable) or {!Qs_fault.Injected_crash} (torn write: a prefix of
+    the page body persists under the old header). Disarmed injectors
+    cost nothing. *)
+val set_fault : t -> Qs_fault.t -> unit
 
 (** Number of allocated pages (page ids are [1..n]; 0 is reserved as
     the null page). *)
@@ -33,6 +44,11 @@ val reset_counters : t -> unit
 
 (** Total allocated bytes (for Table 2 database sizes). *)
 val size_bytes : t -> int
+
+(** Deep copy of the durable state (counters reset, no injector): lets
+    recovery tests fork a crashed volume and drive an in-doubt
+    transaction both ways. *)
+val copy : t -> t
 
 val save_to_file : t -> string -> unit
 val load_from_file : string -> t

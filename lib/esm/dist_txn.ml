@@ -1,30 +1,54 @@
-type t = { mutable clients : Client.t list }
+type t = { mutable clients : Client.t list; fault : Qs_fault.t option }
 
-let begin_txn clients =
+let begin_txn ?fault clients =
   if clients = [] then invalid_arg "Dist_txn.begin_txn: no participants";
   List.iter Client.begin_txn clients;
-  { clients }
+  { clients; fault }
 
 let participants t = t.clients
 
 let check_open t op = if t.clients = [] then invalid_arg (Printf.sprintf "Dist_txn.%s: finished" op)
+
+let hit t point = match t.fault with Some f -> Qs_fault.hit f point | None -> ()
 
 let abort t =
   check_open t "abort";
   List.iter (fun c -> if Client.in_txn c then Client.abort c) t.clients;
   t.clients <- []
 
+(* Abort that survives participant failures: a participant that
+   crashed (or keeps failing) cannot execute the abort now — its
+   restart will roll the transaction back from the log (or leave it
+   in-doubt to be resolved with the Abort decision). *)
+let abort_surviving t =
+  List.iter
+    (fun c ->
+      if Client.in_txn c then
+        try Client.abort c
+        with
+        | Qs_fault.Injected_crash _ | Qs_fault.Io_error _ | Qs_fault.Net_error _
+        | Server.Server_down | Client.Degraded _ ->
+          ())
+    t.clients;
+  t.clients <- []
+
 let commit t =
   check_open t "commit";
+  hit t Qs_fault.Point.dist_pre_prepare;
   (* Phase 1: every participant ships its dirty pages and votes with a
      durable Prepare record, keeping its locks. A failure anywhere
-     aborts everyone. *)
+     aborts everyone still reachable. *)
   (try List.iter Client.prepare t.clients
    with e ->
-     abort t;
+     abort_surviving t;
      raise e);
+  hit t Qs_fault.Point.dist_pre_decision;
   (* Phase 2: the decision is commit; deliver it everywhere. A
      participant that crashes from here on restarts in-doubt and is
      resolved by Recovery.resolve_in_doubt. *)
-  List.iter Client.commit_prepared t.clients;
+  List.iteri
+    (fun i c ->
+      if i > 0 then hit t Qs_fault.Point.dist_mid_decision;
+      Client.commit_prepared c)
+    t.clients;
   t.clients <- []

@@ -17,14 +17,17 @@
 type t
 
 (** [begin_txn clients] starts one transaction on every client.
-    Clients must be idle. *)
-val begin_txn : Client.t list -> t
+    Clients must be idle. The optional injector reports the
+    coordinator's own crash points ([dist.pre_prepare],
+    [dist.pre_decision], [dist.mid_decision]). *)
+val begin_txn : ?fault:Qs_fault.t -> Client.t list -> t
 
 val participants : t -> Client.t list
 
 (** Two-phase commit. Phase 1 asks every participant to prepare
-    (flush + durable yes-vote); if any vote fails, every participant
-    aborts and the exception is re-raised. Phase 2 commits all. *)
+    (flush + durable yes-vote); if any vote fails, every {e reachable}
+    participant aborts — a crashed one is left for restart recovery —
+    and the exception is re-raised. Phase 2 commits all. *)
 val commit : t -> unit
 
 (** Abort everywhere. *)

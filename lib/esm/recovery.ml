@@ -129,6 +129,10 @@ let resolve_in_doubt server txn decision =
     ignore (Wal.append wal (Wal.Commit txn));
     ignore (Wal.force wal)
   | `Abort ->
+    (* The before-images go straight to disk below; any copy of those
+       pages in the server pool (read back while the transaction was
+       in doubt) would go stale. Flush and drop the pool first. *)
+    Server.reset_cache server;
     let records = ref [] in
     Wal.iter_forced (fun _lsn r -> if txn_of r = txn then records := r :: !records) wal;
     let buf = Bytes.create Page.page_size in

@@ -12,6 +12,8 @@ type counters = {
 }
 
 exception Injected_crash
+exception Server_down
+exception Bad_txn of { op : string; txn : int }
 
 type t = {
   disk : Disk.t;
@@ -28,9 +30,12 @@ type t = {
   mutable txn_dirty : (int, (int, unit) Hashtbl.t) Hashtbl.t;  (* server-side pages to flush *)
   mutable index_undo : Wal.record -> unit;
   mutable fail_after_writes : int option;  (* fault injection: crash mid-flush *)
+  fault : Qs_fault.t;  (* Qs_fault injector shared with the disk *)
 }
 
-let create_with_disk ?(frames = 4608) ~disk ~clock ~cm () =
+let create_with_disk ?(frames = 4608) ?fault ~disk ~clock ~cm () =
+  let fault = match fault with Some f -> f | None -> Qs_fault.create () in
+  Disk.set_fault disk fault;
   { disk
   ; wal = Wal.create ()
   ; locks = Lock_mgr.create ()
@@ -50,9 +55,13 @@ let create_with_disk ?(frames = 4608) ~disk ~clock ~cm () =
   ; txn_updates = Hashtbl.create 8
   ; txn_dirty = Hashtbl.create 8
   ; index_undo = (fun _ -> ())
-  ; fail_after_writes = None }
+  ; fail_after_writes = None
+  ; fault }
 
-let create ?frames ~clock ~cm () = create_with_disk ?frames ~disk:(Disk.create ()) ~clock ~cm ()
+let create ?frames ?fault ~clock ~cm () =
+  create_with_disk ?frames ?fault ~disk:(Disk.create ()) ~clock ~cm ()
+
+let fault_injector t = t.fault
 
 let disk t = t.disk
 let clock t = t.clock
@@ -69,7 +78,13 @@ let reset_counters t =
   c.client_writes <- 0;
   c.server_pool_hits <- 0
 
+(* A server whose scheduled crash has fired is dead until [crash] takes
+   the failure: further requests bounce, exactly as a real coordinator
+   would see a crashed participant. *)
+let check_up t = if Qs_fault.halted t.fault then raise Server_down
+
 let begin_txn t =
+  check_up t;
   let txn = t.next_txn in
   t.next_txn <- txn + 1;
   Hashtbl.replace t.active txn ();
@@ -81,11 +96,29 @@ let begin_txn t =
 let is_active t txn = Hashtbl.mem t.active txn
 
 let check_active t txn op =
-  if not (is_active t txn) then invalid_arg (Printf.sprintf "Server.%s: txn %d not active" op txn)
+  check_up t;
+  if not (is_active t txn) then raise (Bad_txn { op; txn })
 
 let category_of_kind = function
   | Data | Index -> Simclock.Category.Data_io
   | Map -> Simclock.Category.Map_io
+
+(* The server re-issues a transiently failed local disk write; each
+   re-issue redraws the fault and charges the write cost to Retry.
+   Injected crashes (torn writes) are not retryable and propagate. *)
+let disk_write_retrying t page_id bytes =
+  let rec go attempt =
+    match Disk.write t.disk page_id bytes with
+    | () -> ()
+    | exception (Qs_fault.Io_error _ as e) ->
+      if attempt >= 2 then raise e
+      else begin
+        Simclock.Clock.charge t.clock Simclock.Category.Retry
+          t.cm.Simclock.Cost_model.server_disk_write_us;
+        go (attempt + 1)
+      end
+  in
+  go 0
 
 (* Write a dirty server frame to disk (server-pool eviction under
    memory pressure); charged as part of serving the current request. *)
@@ -94,7 +127,13 @@ let flush_frame ?(charged = true) t frame =
   | None -> ()
   | Some page_id ->
     if Buf_pool.is_dirty t.pool frame then begin
-      Disk.write t.disk page_id (Buf_pool.frame_bytes t.pool frame);
+      (* WAL rule: no dirty page reaches the volume before its log
+         records are durable — the eviction may be stealing uncommitted
+         bytes whose before-images must survive a crash. The force
+         piggybacks on this sequential write and is not charged
+         separately. *)
+      ignore (Wal.force t.wal);
+      disk_write_retrying t page_id (Buf_pool.frame_bytes t.pool frame);
       if charged then
         Simclock.Clock.charge t.clock Simclock.Category.Data_io t.cm.Simclock.Cost_model.server_disk_write_us;
       Buf_pool.clear_dirty t.pool frame
@@ -148,6 +187,8 @@ let write_page t ~txn ~at_commit page_id src =
    | Some 0 -> raise Injected_crash
    | Some n -> t.fail_after_writes <- Some (n - 1)
    | None -> ());
+  Qs_fault.hit t.fault
+    (if at_commit then Qs_fault.Point.commit_ship_page else Qs_fault.Point.evict_steal_write);
   t.counters.client_writes <- t.counters.client_writes + 1;
   let cm = t.cm in
   if at_commit then
@@ -218,11 +259,15 @@ let log_index t ~txn record =
 let set_index_undo t f = t.index_undo <- f
 
 let force_log t =
+  (* wal.force_partial: the force is cut mid-stream — a seeded fraction
+     of the unforced tail becomes durable, then the process dies. *)
+  Qs_fault.hit t.fault Qs_fault.Point.wal_force_partial ~on_fire:(fun ~frac ->
+      ignore (Wal.force_upto t.wal (int_of_float (frac *. float_of_int (Wal.unforced t.wal)))));
   let pages = Wal.force t.wal in
   Simclock.Clock.charge_n t.clock Simclock.Category.Commit_flush pages
     t.cm.Simclock.Cost_model.server_disk_write_us
 
-let flush_txn_pages t txn =
+let flush_txn_pages ?point t txn =
   match Hashtbl.find_opt t.txn_dirty txn with
   | None -> ()
   | Some h ->
@@ -230,7 +275,8 @@ let flush_txn_pages t txn =
       (fun page_id () ->
         match Buf_pool.lookup t.pool page_id with
         | Some f ->
-          Disk.write t.disk page_id (Buf_pool.frame_bytes t.pool f);
+          (match point with Some p -> Qs_fault.hit t.fault p | None -> ());
+          disk_write_retrying t page_id (Buf_pool.frame_bytes t.pool f);
           Buf_pool.clear_dirty t.pool f
         | None -> ())
       h
@@ -243,9 +289,12 @@ let finish_txn t txn =
 
 let commit t ~txn =
   check_active t txn "commit";
+  Qs_fault.hit t.fault Qs_fault.Point.commit_pre_log;
   ignore (Wal.append t.wal (Wal.Commit txn));
+  Qs_fault.hit t.fault Qs_fault.Point.commit_pre_flush;
   force_log t;
-  flush_txn_pages t txn;
+  flush_txn_pages ~point:Qs_fault.Point.commit_mid_flush t txn;
+  Qs_fault.hit t.fault Qs_fault.Point.commit_post_flush;
   finish_txn t txn
 
 (* Two-phase commit, participant side: make the transaction's effects
@@ -253,9 +302,12 @@ let commit t ~txn =
    until the coordinator's decision arrives via [commit] or [abort]. *)
 let prepare t ~txn =
   check_active t txn "prepare";
+  Qs_fault.hit t.fault Qs_fault.Point.prepare_pre_log;
   ignore (Wal.append t.wal (Wal.Prepare txn));
   force_log t;
-  flush_txn_pages t txn
+  (* From here the vote is durable: a crash leaves the txn in-doubt. *)
+  Qs_fault.hit t.fault Qs_fault.Point.prepare_post_log;
+  flush_txn_pages ~point:Qs_fault.Point.prepare_mid_flush t txn
 
 let abort t ~txn =
   check_active t txn "abort";
@@ -264,6 +316,7 @@ let abort t ~txn =
      update so that restart redo replays the undo as well. *)
   List.iter
     (fun rec_ ->
+      Qs_fault.hit t.fault Qs_fault.Point.abort_mid_undo;
       match rec_ with
       | Wal.Update { page; off; old_data; new_data; _ } ->
         let clr_lsn =
@@ -293,7 +346,11 @@ let abort t ~txn =
    active transactions. *)
 let checkpoint t =
   if Hashtbl.length t.active > 0 then invalid_arg "Server.checkpoint: transactions active";
-  Buf_pool.iter_frames (fun ~frame ~page_id:_ -> flush_frame ~charged:false t frame) t.pool;
+  Buf_pool.iter_frames
+    (fun ~frame ~page_id:_ ->
+      Qs_fault.hit t.fault Qs_fault.Point.checkpoint_mid_flush;
+      flush_frame ~charged:false t frame)
+    t.pool;
   Wal.truncate t.wal
 
 let reset_cache t =
@@ -311,4 +368,19 @@ let crash t =
   t.active <- Hashtbl.create 8;
   t.txn_updates <- Hashtbl.create 8;
   t.txn_dirty <- Hashtbl.create 8;
-  t.fail_after_writes <- None
+  t.fail_after_writes <- None;
+  (* The failure is taken: the restarted server may serve again. *)
+  Qs_fault.clear_halt t.fault
+
+(* Fork the durable state of a crashed server — the disk image and the
+   forced log prefix — into an independent server on its own clock, so
+   a test can restart the same crash twice and drive an in-doubt
+   transaction to both decisions. *)
+let fork_crashed t =
+  let s =
+    create_with_disk ~frames:t.frames ~disk:(Disk.copy t.disk)
+      ~clock:(Simclock.Clock.create ()) ~cm:t.cm ()
+  in
+  s.wal <- Wal.survive_crash t.wal;
+  s.next_txn <- t.next_txn;
+  s

@@ -16,15 +16,31 @@ type io_kind = Data | Map | Index
 
 val create :
   ?frames:int (** server pool frames; paper default 4608 (36 MB) *) ->
+  ?fault:Qs_fault.t (** fault injector (a disarmed one is created otherwise) *) ->
   clock:Simclock.Clock.t ->
   cm:Simclock.Cost_model.t ->
   unit ->
   t
 
 (** Attach a server to an existing volume (e.g. one loaded from a
-    saved image). *)
+    saved image). The injector is shared with the disk. *)
 val create_with_disk :
-  ?frames:int -> disk:Disk.t -> clock:Simclock.Clock.t -> cm:Simclock.Cost_model.t -> unit -> t
+  ?frames:int ->
+  ?fault:Qs_fault.t ->
+  disk:Disk.t ->
+  clock:Simclock.Clock.t ->
+  cm:Simclock.Cost_model.t ->
+  unit ->
+  t
+
+(** The server's fault injector (disarmed and free unless a harness
+    arms it). Crash points instrumented here: [commit.pre_log],
+    [commit.pre_flush], [commit.mid_flush], [commit.post_flush],
+    [commit.ship_page], [evict.steal_write], [wal.force_partial],
+    [prepare.pre_log], [prepare.post_log], [prepare.mid_flush],
+    [abort.mid_undo], [checkpoint.mid_flush]; the shared disk adds
+    [disk.torn_write] plus transient I/O errors. *)
+val fault_injector : t -> Qs_fault.t
 
 val disk : t -> Disk.t
 val clock : t -> Simclock.Clock.t
@@ -93,8 +109,25 @@ val checkpoint : t -> unit
 
 (** Simulate a server crash: volatile state (buffer pool, transaction
     table, lock table) is lost; only the disk and the forced log
-    survive. Restart recovery is in {!Recovery}. *)
+    survive. Also clears the injector's halt, so the restarted server
+    serves again. Restart recovery is in {!Recovery}. *)
 val crash : t -> unit
+
+(** Raised by every request once a scheduled {!Qs_fault} crash has
+    fired and until {!crash} takes the failure: a dead server does not
+    answer, so e.g. a 2PC coordinator cannot keep talking to a crashed
+    participant. *)
+exception Server_down
+
+(** Raised on requests naming a transaction that is not active: always
+    a caller bug, never an injected fault. *)
+exception Bad_txn of { op : string; txn : int }
+
+(** Fork the durable state (disk image + forced log) of a crashed
+    server into an independent server on a fresh clock: recovery tests
+    restart the same crash twice and drive an in-doubt transaction to
+    both decisions. *)
+val fork_crashed : t -> t
 
 (** Fault injection: raised by {!write_page} once the injected
     countdown reaches zero, cutting a commit flush mid-stream. *)

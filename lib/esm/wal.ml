@@ -61,6 +61,21 @@ let force t =
     max 0 (pages_after - full_pages_before)
   end
 
+let unforced t = t.len - t.forced
+
+(* Partial force (injected fault): only the first [k] records of the
+   unforced tail become durable — the crash that tore the force follows
+   immediately, so no I/O cost is charged. *)
+let force_upto t k =
+  let k = max 0 (min k (t.len - t.forced)) in
+  let b = ref 0 in
+  for i = t.forced to t.forced + k - 1 do
+    b := !b + record_bytes t.records.(i)
+  done;
+  t.forced <- t.forced + k;
+  t.forced_bytes <- t.forced_bytes + !b;
+  k
+
 let forced_lsn t = Int64.of_int (t.base + t.forced)
 let last_lsn t = Int64.of_int (t.base + t.len)
 

@@ -37,6 +37,15 @@ val append : t -> record -> int64
     number of 8 KB log pages newly written (for cost charging). *)
 val force : t -> int
 
+(** Records appended but not yet durable. *)
+val unforced : t -> int
+
+(** [force_upto t k] makes only the first [k] records of the unforced
+    tail durable (a log force torn by an injected crash); returns the
+    number actually forced. No cost accounting: the caller crashes
+    immediately after. *)
+val force_upto : t -> int -> int
+
 val forced_lsn : t -> int64
 val last_lsn : t -> int64
 

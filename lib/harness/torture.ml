@@ -1,0 +1,464 @@
+(* Crash-point torture harness.
+
+   One seed = one deterministic schedule: a small object world, a
+   stream of update transactions laced with transient disk/network
+   faults, and a scheduled crash at one registered Qs_fault point
+   (chosen by [seed mod |points|], so any contiguous seed range covers
+   the whole registry). When the crash fires, the harness takes it —
+   [Client.crash], [Server.crash], [Recovery.restart ~sanitize:true] —
+   and then checks the full read-back against a model kept in ordinary
+   OCaml values:
+
+   - objects untouched by the in-flight transaction must be bitwise
+     intact;
+   - the in-flight transaction must be atomic: all-old or all-new,
+     with the direction pinned down wherever the crash point
+     determines it (e.g. [commit.pre_flush] is a loser,
+     [commit.post_flush] a winner);
+   - prepared 2PC participants must restart in-doubt and be resolvable
+     to BOTH decisions (checked on forked volumes) before the real
+     decision is applied everywhere and checked for global atomicity.
+
+   Everything — world, workload, fault plan — derives from the seed,
+   so a failing schedule reproduces from its printed one-line repro. *)
+
+module F = Qs_fault
+module Server = Esm.Server
+module Client = Esm.Client
+module Recovery = Esm.Recovery
+module Dist_txn = Esm.Dist_txn
+module Buf_pool = Esm.Buf_pool
+module Rng = Qs_util.Rng
+module Clock = Simclock.Clock
+
+exception Check_failed of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Check_failed s)) fmt
+let repro ~seed = Printf.sprintf "qs_torture --first-seed %d --seeds 1" seed
+
+type outcome = {
+  seed : int;
+  point : string;  (* the armed crash point *)
+  fired : bool;
+  txns : int;  (* transactions attempted before the crash *)
+  transients : int;  (* transient faults injected (and retried) *)
+  failure : string option;  (* None = schedule survived all checks *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Common pieces.                                                      *)
+
+let obj_len = 64
+
+let value ~seed ~idx ~version =
+  let tag = Printf.sprintf "s%d-o%d-v%d." seed idx version in
+  Bytes.init obj_len (fun i -> tag.[i mod String.length tag])
+
+let transient_plan ~seed =
+  { F.no_faults with
+    F.disk_read_p = 0.03
+  ; disk_write_p = 0.02
+  ; net_drop_p = 0.04
+  ; net_dup_p = 0.03
+  ; net_delay_p = 0.04
+  ; net_delay_us = 20_000.0
+  ; rng_seed = seed }
+
+let read_all client oids = Client.with_txn client (fun () -> Array.map (Client.read_object client) oids)
+
+let check_intact ~seed ~what ~model ~skip reads =
+  Array.iteri
+    (fun i v ->
+      if (not (List.mem i skip)) && not (Bytes.equal v model.(i)) then
+        failf "seed %d: %s: object %d corrupted (got %S, expected %S)" seed what i
+          (Bytes.to_string v) (Bytes.to_string model.(i)))
+    reads
+
+(* Atomicity check on the in-flight transaction's objects; returns
+   [`Old] or [`New] as actually observed, updating the model. *)
+let check_in_flight ~seed ~what ~model ~expect in_flight reads =
+  match in_flight with
+  | [] -> `Old
+  | _ ->
+    let dir_of (idx, newv) =
+      if Bytes.equal reads.(idx) model.(idx) then `Old
+      else if Bytes.equal reads.(idx) newv then `New
+      else
+        failf "seed %d: %s: object %d is neither old nor new (%S)" seed what idx
+          (Bytes.to_string reads.(idx))
+    in
+    let dirs = List.map dir_of in_flight in
+    let first = List.hd dirs in
+    List.iter
+      (fun d ->
+        if d <> first then failf "seed %d: %s: in-flight transaction not atomic" seed what)
+      dirs;
+    (match (expect, first) with
+     | `Either, _ -> ()
+     | `Old, `Old | `New, `New -> ()
+     | `Old, `New ->
+       failf "seed %d: %s: transaction should have been lost but its updates survived" seed what
+     | `New, `Old ->
+       failf "seed %d: %s: committed transaction lost its updates" seed what);
+    if first = `New then List.iter (fun (idx, newv) -> model.(idx) <- newv) in_flight;
+    first
+
+(* ------------------------------------------------------------------ *)
+(* Single-server schedule.                                             *)
+
+let single_points =
+  [ F.Point.commit_pre_log; F.Point.commit_pre_flush; F.Point.commit_mid_flush
+  ; F.Point.commit_post_flush; F.Point.commit_ship_page; F.Point.wal_force_partial
+  ; F.Point.abort_mid_undo; F.Point.evict_steal_write; F.Point.checkpoint_mid_flush
+  ; F.Point.disk_torn_write ]
+
+let crash_exn = function
+  | F.Injected_crash _ | F.Io_error _ | F.Net_error _ | Client.Degraded _ | Server.Server_down
+  | Server.Injected_crash ->
+    true
+  | _ -> false
+
+let hit_bound ~rng point =
+  let bound =
+    if point = F.Point.commit_mid_flush || point = F.Point.commit_ship_page then 20
+    else if point = F.Point.disk_torn_write then 25
+    else if point = F.Point.evict_steal_write then 15
+    else if point = F.Point.wal_force_partial then 12
+    else if point = F.Point.abort_mid_undo || point = F.Point.checkpoint_mid_flush then 6
+    else if List.mem point single_points then 12
+    else 6 (* prepare.* / dist.*: one hit per 2PC round *)
+  in
+  1 + Rng.int rng bound
+
+(* Expected direction of the in-flight transaction, given where the
+   crash fired. *)
+let expectation ~entered_abort fired =
+  match fired with
+  | None -> `Either  (* retry exhaustion or server-retry exhaustion: phase unknown *)
+  | Some (point, _) ->
+    if entered_abort then `Old
+    else if
+      point = F.Point.commit_pre_log || point = F.Point.commit_pre_flush
+      || point = F.Point.commit_ship_page
+      || point = F.Point.evict_steal_write
+      || point = F.Point.abort_mid_undo
+    then `Old
+    else if point = F.Point.commit_mid_flush || point = F.Point.commit_post_flush then `New
+    else `Either (* wal.force_partial, disk.torn_write: depends on the cut *)
+
+let run_single ~seed ~point =
+  let rng = Rng.create (seed * 2 + 1) in
+  let cm = Simclock.Cost_model.default in
+  let fault = F.create () in
+  let server = Server.create ~frames:64 ~fault ~clock:(Clock.create ()) ~cm () in
+  let client = Client.create ~frames:6 server in
+  let nobj = 10 in
+  let model = Array.init nobj (fun idx -> value ~seed ~idx ~version:0) in
+  let oids =
+    Array.init nobj (fun idx ->
+        Client.with_txn client (fun () -> Client.create_object_new_page client model.(idx)))
+  in
+  F.arm fault { (transient_plan ~seed) with F.crash_point = Some (point, hit_bound ~rng point) };
+  let txns = ref 0 in
+  let crashed = ref false in
+  let failure = ref None in
+  (try
+     let i = ref 0 in
+     while (not !crashed) && !i < 80 do
+       incr i;
+       txns := !i;
+       (* distinct objects for this transaction *)
+       let k = 2 + Rng.int rng 3 in
+       let picked = ref [] in
+       while List.length !picked < k do
+         let idx = Rng.int rng nobj in
+         if not (List.mem idx !picked) then picked := idx :: !picked
+       done;
+       let in_flight = List.map (fun idx -> (idx, value ~seed ~idx ~version:!i)) !picked in
+       let entered_abort = ref false in
+       (try
+          Client.begin_txn client;
+          List.iter
+            (fun (idx, newv) ->
+              let got = Client.read_object client oids.(idx) in
+              if not (Bytes.equal got model.(idx)) then
+                failf "seed %d: txn %d read stale object %d" seed !i idx;
+              Client.update_object client oids.(idx) ~off:0 newv)
+            in_flight;
+          (* Force a mid-transaction steal so evict.steal_write and the
+             WAL-rule path are exercised every schedule. *)
+          (match
+             List.find_opt
+               (fun (_, f) -> Buf_pool.pin_count (Client.pool client) f = 0)
+               (Buf_pool.dirty_pages (Client.pool client))
+           with
+           | Some (_, f) -> Client.evict_page client ~frame:f
+           | None -> ());
+          if !i mod 4 = 3 then begin
+            entered_abort := true;
+            Client.abort client
+          end
+          else begin
+            Client.commit client;
+            List.iter (fun (idx, newv) -> model.(idx) <- newv) in_flight
+          end;
+          if !i mod 5 = 0 then Server.checkpoint server
+        with e when crash_exn e ->
+          crashed := true;
+          Client.crash client;
+          let fired = F.fired fault in
+          F.disarm fault;
+          Server.crash server;
+          let stats = Recovery.restart ~sanitize:true server in
+          if stats.Recovery.in_doubt <> [] then
+            failf "seed %d: unexpected in-doubt transactions on a single server" seed;
+          let reads = read_all client oids in
+          check_intact ~seed ~what:"post-restart" ~model ~skip:(List.map fst in_flight) reads;
+          ignore
+            (check_in_flight ~seed ~what:"post-restart" ~model
+               ~expect:(expectation ~entered_abort:!entered_abort fired)
+               in_flight reads))
+     done;
+     (* Post-crash (or fault-free) epilogue: the store must still work. *)
+     F.disarm fault;
+     for v = 1000 to 1001 do
+       Client.with_txn client (fun () ->
+           let idx = v - 1000 in
+           Client.update_object client oids.(idx) ~off:0 (value ~seed ~idx ~version:v);
+           model.(idx) <- value ~seed ~idx ~version:v)
+     done;
+     check_intact ~seed ~what:"epilogue" ~model ~skip:[] (read_all client oids);
+     (* Restart idempotency: a second clean crash/restart changes nothing. *)
+     Client.crash client;
+     Server.crash server;
+     ignore (Recovery.restart ~sanitize:true server);
+     check_intact ~seed ~what:"second restart" ~model ~skip:[] (read_all client oids)
+   with
+  | Check_failed msg -> failure := Some msg
+  | e -> failure := Some (Printf.sprintf "seed %d: unexpected %s" seed (Printexc.to_string e)));
+  { seed
+  ; point
+  ; fired = F.fired fault <> None
+  ; txns = !txns
+  ; transients = F.transients_injected fault
+  ; failure = !failure }
+
+(* ------------------------------------------------------------------ *)
+(* Two-server (2PC) schedule.                                          *)
+
+(* What each participant knows about the transaction after restart. *)
+type participant_state = In_doubt of int | Committed | Aborted
+
+let participant_state ~seed ~model ~in_flight ~in_doubt reads =
+  match in_doubt with
+  | [ txn ] -> In_doubt txn
+  | _ :: _ :: _ -> failf "seed %d: more than one in-doubt transaction" seed
+  | [] ->
+    (match
+       check_in_flight ~seed ~what:"participant" ~model:(Array.copy model) ~expect:`Either
+         in_flight reads
+     with
+    | `New -> Committed
+    | `Old -> Aborted)
+
+(* Fork the crashed participant and prove the in-doubt transaction can
+   go BOTH ways before the real decision is applied. *)
+let check_both_ways ~seed ~model ~in_flight ~oids server txn =
+  List.iter
+    (fun decision ->
+      let fork = Server.fork_crashed server in
+      let st = Recovery.restart ~sanitize:true fork in
+      if not (List.mem txn st.Recovery.in_doubt) then
+        failf "seed %d: fork lost the in-doubt transaction %d" seed txn;
+      Recovery.resolve_in_doubt fork txn decision;
+      let c = Client.create ~frames:16 fork in
+      let reads = read_all c oids in
+      let expect = match decision with `Commit -> `New | `Abort -> `Old in
+      check_intact ~seed ~what:"fork" ~model ~skip:(List.map fst in_flight) reads;
+      ignore
+        (check_in_flight ~seed ~what:"fork" ~model:(Array.copy model) ~expect in_flight reads))
+    [ `Abort; `Commit ]
+
+let run_dist ~seed ~point =
+  let rng = Rng.create (seed * 2 + 1) in
+  let cm = Simclock.Cost_model.default in
+  let mk () =
+    let fault = F.create () in
+    let server = Server.create ~frames:64 ~fault ~clock:(Clock.create ()) ~cm () in
+    (fault, server, Client.create ~frames:8 server)
+  in
+  let f1, s1, c1 = mk () in
+  let f2, s2, c2 = mk () in
+  let nobj = 4 in
+  let model1 = Array.init nobj (fun idx -> value ~seed ~idx ~version:0) in
+  let model2 = Array.init nobj (fun idx -> value ~seed ~idx:(idx + 100) ~version:0) in
+  let mk_world c model =
+    Array.init nobj (fun idx ->
+        Client.with_txn c (fun () -> Client.create_object_new_page c model.(idx)))
+  in
+  let oids1 = mk_world c1 model1 and oids2 = mk_world c2 model2 in
+  (* The crash rides on the coordinator's site for dist.* points and on
+     participant 2 for prepare.*; the other site gets transients only. *)
+  let crash_on_f1 = point = F.Point.dist_pre_prepare || point = F.Point.dist_pre_decision
+                    || point = F.Point.dist_mid_decision in
+  let crash_plan =
+    { (transient_plan ~seed) with F.crash_point = Some (point, hit_bound ~rng point) }
+  in
+  if crash_on_f1 then begin
+    F.arm f1 crash_plan;
+    F.arm f2 (transient_plan ~seed:(seed + 1))
+  end
+  else begin
+    F.arm f1 (transient_plan ~seed:(seed + 1));
+    F.arm f2 crash_plan
+  end;
+  let armed = if crash_on_f1 then f1 else f2 in
+  let txns = ref 0 in
+  let crashed = ref false in
+  let failure = ref None in
+  (try
+     let i = ref 0 in
+     while (not !crashed) && !i < 40 do
+       incr i;
+       txns := !i;
+       let i1 = Rng.int rng nobj and i2 = Rng.int rng nobj in
+       let n1 = value ~seed ~idx:i1 ~version:!i in
+       let n2 = value ~seed ~idx:(i2 + 100) ~version:!i in
+       try
+         let d = Dist_txn.begin_txn ~fault:f1 [ c1; c2 ] in
+         Client.update_object c1 oids1.(i1) ~off:0 n1;
+         Client.update_object c2 oids2.(i2) ~off:0 n2;
+         if !i mod 5 = 0 then Dist_txn.abort d
+         else begin
+           Dist_txn.commit d;
+           model1.(i1) <- n1;
+           model2.(i2) <- n2
+         end
+       with e when crash_exn e ->
+         crashed := true;
+         Client.crash c1;
+         Client.crash c2;
+         let fired = F.fired armed in
+         F.disarm f1;
+         F.disarm f2;
+         Server.crash s1;
+         Server.crash s2;
+         let st1 = Recovery.restart ~sanitize:true s1 in
+         let st2 = Recovery.restart ~sanitize:true s2 in
+         let fl1 = [ (i1, n1) ] and fl2 = [ (i2, n2) ] in
+         let reads1 = read_all c1 oids1 and reads2 = read_all c2 oids2 in
+         check_intact ~seed ~what:"site 1" ~model:model1 ~skip:[ i1 ] reads1;
+         check_intact ~seed ~what:"site 2" ~model:model2 ~skip:[ i2 ] reads2;
+         let p1 =
+           participant_state ~seed ~model:model1 ~in_flight:fl1
+             ~in_doubt:st1.Recovery.in_doubt reads1
+         in
+         let p2 =
+           participant_state ~seed ~model:model2 ~in_flight:fl2
+             ~in_doubt:st2.Recovery.in_doubt reads2
+         in
+         (* In-doubt participants must be resolvable both ways. *)
+         (match p1 with
+          | In_doubt txn -> check_both_ways ~seed ~model:model1 ~in_flight:fl1 ~oids:oids1 s1 txn
+          | Committed | Aborted -> ());
+         (match p2 with
+          | In_doubt txn -> check_both_ways ~seed ~model:model2 ~in_flight:fl2 ~oids:oids2 s2 txn
+          | Committed | Aborted -> ());
+         (* The real decision: commit iff some participant already
+            committed (it can no longer abort); presumed abort
+            otherwise. Mixed terminal states are an atomicity bug. *)
+         (match (p1, p2) with
+          | Committed, Aborted | Aborted, Committed ->
+            failf "seed %d: participants decided differently" seed
+          | _ -> ());
+         let decision = if p1 = Committed || p2 = Committed then `Commit else `Abort in
+         (match (fired, decision) with
+          | Some (p, _), `Commit when p <> F.Point.dist_mid_decision ->
+            failf "seed %d: crash at %s must not leave a committed participant" seed p
+          | _ -> ());
+         (match p1 with
+          | In_doubt txn -> Recovery.resolve_in_doubt s1 txn decision
+          | Committed | Aborted -> ());
+         (match p2 with
+          | In_doubt txn -> Recovery.resolve_in_doubt s2 txn decision
+          | Committed | Aborted -> ());
+         (* The pre-resolution read-back cached the redone (new) pages
+            at the clients; resolution changed them server-side. *)
+         Client.crash c1;
+         Client.crash c2;
+         let expect = match decision with `Commit -> `New | `Abort -> `Old in
+         ignore
+           (check_in_flight ~seed ~what:"site 1 resolved" ~model:model1 ~expect fl1
+              (read_all c1 oids1));
+         ignore
+           (check_in_flight ~seed ~what:"site 2 resolved" ~model:model2 ~expect fl2
+              (read_all c2 oids2))
+     done;
+     (* Epilogue: one clean distributed commit, then full read-back. *)
+     F.disarm f1;
+     F.disarm f2;
+     let d = Dist_txn.begin_txn [ c1; c2 ] in
+     let n1 = value ~seed ~idx:0 ~version:9999 and n2 = value ~seed ~idx:100 ~version:9999 in
+     Client.update_object c1 oids1.(0) ~off:0 n1;
+     Client.update_object c2 oids2.(0) ~off:0 n2;
+     Dist_txn.commit d;
+     model1.(0) <- n1;
+     model2.(0) <- n2;
+     check_intact ~seed ~what:"dist epilogue site 1" ~model:model1 ~skip:[] (read_all c1 oids1);
+     check_intact ~seed ~what:"dist epilogue site 2" ~model:model2 ~skip:[] (read_all c2 oids2)
+   with
+  | Check_failed msg -> failure := Some msg
+  | e -> failure := Some (Printf.sprintf "seed %d: unexpected %s" seed (Printexc.to_string e)));
+  { seed
+  ; point
+  ; fired = F.fired armed <> None
+  ; txns = !txns
+  ; transients = F.transients_injected f1 + F.transients_injected f2
+  ; failure = !failure }
+
+(* ------------------------------------------------------------------ *)
+(* Driver.                                                             *)
+
+let points = F.Point.all
+let point_of_seed seed = List.nth points (seed mod List.length points)
+
+let run_seed ~seed =
+  let point = point_of_seed seed in
+  if List.mem point single_points then run_single ~seed ~point else run_dist ~seed ~point
+
+type summary = {
+  total : int;
+  failed : outcome list;
+  coverage : (string * int * int) list;  (* point, schedules, fired *)
+  transients_total : int;
+}
+
+let run_range ?(log = fun _ -> ()) ~first ~count () =
+  let sched = Hashtbl.create 16 and fire = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace sched p 0;
+      Hashtbl.replace fire p 0)
+    points;
+  let bump h p = Hashtbl.replace h p (Hashtbl.find h p + 1) in
+  let failed = ref [] in
+  let transients = ref 0 in
+  for seed = first to first + count - 1 do
+    let o = run_seed ~seed in
+    bump sched o.point;
+    if o.fired then bump fire o.point;
+    transients := !transients + o.transients;
+    (match o.failure with
+     | Some msg ->
+       failed := o :: !failed;
+       log (Printf.sprintf "FAIL seed %d [%s] %s; repro: %s" o.seed o.point msg (repro ~seed:o.seed))
+     | None ->
+       log
+         (Printf.sprintf "ok   seed %d [%s] %s after %d txns, %d transient faults" o.seed o.point
+            (if o.fired then "fired" else "no fire")
+            o.txns o.transients))
+  done;
+  { total = count
+  ; failed = List.rev !failed
+  ; coverage = List.map (fun p -> (p, Hashtbl.find sched p, Hashtbl.find fire p)) points
+  ; transients_total = !transients }

@@ -28,11 +28,12 @@ type t =
   | App_traverse  (** traversal driver work (Table 7 "traverse") *)
   | App_deref  (** raw pointer dereferences in application code *)
   | App_work  (** other per-datum application CPU (compares, counts) *)
+  | Retry  (** client backoff and request timeouts under injected faults *)
 
 let all =
   [ Data_io; Map_io; Page_fault; Min_fault; Mmap_call; Swizzle; Fault_misc; Write_fault_copy
   ; Lock_acquire; Diff; Log_write; Map_update; Commit_flush; Interp; Residency_check; Index_op
-  ; App_malloc; App_set; App_traverse; App_deref; App_work ]
+  ; App_malloc; App_set; App_traverse; App_deref; App_work; Retry ]
 
 let index = function
   | Data_io -> 0
@@ -56,8 +57,9 @@ let index = function
   | App_traverse -> 18
   | App_deref -> 19
   | App_work -> 20
+  | Retry -> 21
 
-let count = 21
+let count = 22
 
 let name = function
   | Data_io -> "data I/O"
@@ -81,3 +83,4 @@ let name = function
   | App_traverse -> "traverse"
   | App_deref -> "pointer deref"
   | App_work -> "app work"
+  | Retry -> "retry/timeout"

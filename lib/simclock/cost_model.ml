@@ -24,6 +24,8 @@ type t = {
   lock_us : float;  (** ordinary lock-manager request *)
   log_record_cpu_us : float;  (** building one log record (~50-byte header) *)
   commit_flush_page_us : float;  (** per dirty page: ship back + amortized install *)
+  net_timeout_us : float;  (** waiting out a lost request before retrying *)
+  retry_backoff_us : float;  (** base client backoff between retries (doubles per attempt) *)
   (* --- virtual-memory machinery (QuickStore) --- *)
   page_fault_us : float;  (** detect illegal access, enter handler *)
   min_fault_us : float;  (** one min fault (cache remap, no I/O) *)
@@ -64,6 +66,8 @@ let default =
   ; lock_us = 150.0
   ; log_record_cpu_us = 370.0
   ; commit_flush_page_us = 8_000.0
+  ; net_timeout_us = 100_000.0
+  ; retry_backoff_us = 25_000.0
   ; page_fault_us = 800.0
   ; min_fault_us = 450.0
   ; min_faults_per_data_fault = 4

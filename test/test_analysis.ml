@@ -98,6 +98,21 @@ let test_qs006 () =
   check_rules "typed raise passes" [] ~path:"lib/core/foo.ml"
     "exception Boom\nlet f () = raise Boom\n"
 
+(* --- QS007: direct disk I/O outside lib/esm --- *)
+
+let test_qs007 () =
+  check_rules "Disk.read in lib/core" [ "QS007" ] ~path:"lib/core/foo.ml"
+    "let f d b = Esm.Disk.read d 1 b\n";
+  check_rules "Disk.write in lib/harness" [ "QS007" ] ~path:"lib/harness/foo.ml"
+    "let f d b = Disk.write d 1 b\n";
+  check_rules "lib/esm exempt" [] ~path:"lib/esm/server.ml" "let f d b = Disk.read d 1 b\n";
+  check_rules "bin tools exempt" [] ~path:"bin/qs_dump.ml" "let f d b = Esm.Disk.read d 1 b\n";
+  check_rules "tests exempt" [] ~path:"test/test_foo.ml" "let f d b = Disk.write d 1 b\n";
+  check_rules "allow attribute" [] ~path:"lib/core/foo.ml"
+    "let f d b = (Esm.Disk.read d 1 b [@qs_lint.allow \"QS007\"])\n";
+  check_rules "metadata ops pass" [] ~path:"lib/core/foo.ml"
+    "let f d = Esm.Disk.alloc d + Esm.Disk.size_bytes d\n"
+
 (* --- QS000: parse errors --- *)
 
 let test_qs000 () =
@@ -113,7 +128,12 @@ let test_path_policy () =
   Alcotest.(check bool) "QS004 off in harness" false
     (Lint.rule_applies ~path:"lib/harness/runner.ml" "QS004");
   Alcotest.(check bool) "QS006 only in lib" false (Lint.rule_applies ~path:"bench/main.ml" "QS006");
-  Alcotest.(check bool) "QS002 everywhere" true (Lint.rule_applies ~path:"bench/main.ml" "QS002")
+  Alcotest.(check bool) "QS002 everywhere" true (Lint.rule_applies ~path:"bench/main.ml" "QS002");
+  Alcotest.(check bool) "QS007 off in lib/esm" false
+    (Lint.rule_applies ~path:"lib/esm/recovery.ml" "QS007");
+  Alcotest.(check bool) "QS007 on in lib/core" true
+    (Lint.rule_applies ~path:"lib/core/store.ml" "QS007");
+  Alcotest.(check bool) "QS007 off in bin" false (Lint.rule_applies ~path:"bin/qs_dump.ml" "QS007")
 
 let test_report_format () =
   match Lint.lint_source ~path:"lib/core/foo.ml" ~contents:"let f b =\n  Bytes.get b 0\n" with
@@ -132,7 +152,7 @@ let test_all_rules_listed () =
         (String.length r = 5 && String.sub r 0 2 = "QS"))
     Lint.all_rules;
   (* QS000 (parse error) is a pseudo-rule, not an enforceable one. *)
-  Alcotest.(check int) "six enforceable rules" 6 (List.length Lint.all_rules);
+  Alcotest.(check int) "seven enforceable rules" 7 (List.length Lint.all_rules);
   Alcotest.(check bool) "QS000 not listed" false (List.mem "QS000" Lint.all_rules)
 
 let () =
@@ -144,6 +164,7 @@ let () =
         ; Alcotest.test_case "QS004 gated calls" `Quick test_qs004
         ; Alcotest.test_case "QS005 handler without charge" `Quick test_qs005
         ; Alcotest.test_case "QS006 stringly failure" `Quick test_qs006
+        ; Alcotest.test_case "QS007 direct disk io" `Quick test_qs007
         ; Alcotest.test_case "QS000 parse error" `Quick test_qs000 ] )
     ; ( "plumbing"
       , [ Alcotest.test_case "path policy" `Quick test_path_policy
