@@ -8,7 +8,13 @@
    Usage:
      bench/main.exe            full run (small + medium + relocation)
      bench/main.exe quick      small database and relocation only
-     bench/main.exe no-bech    skip the Bechamel micro-suite *)
+     bench/main.exe no-bech    skip the Bechamel micro-suite
+     bench/main.exe --json     also emit BENCH_oo7.json (the CI
+                               bench-shape baseline) from the small run
+
+   Everything printed to stdout is simulated and deterministic: CI
+   runs this twice and byte-compares the outputs. Wall-clock chatter
+   goes to stderr. *)
 
 module Sys_ = Harness.System
 module Exp = Harness.Experiments
@@ -18,18 +24,7 @@ module Qs_config = Quickstore.Qs_config
 let seed = 1234
 let section title = Printf.printf "\n%s\n%s\n\n%!" title (String.make (String.length title) '=')
 
-let small_ops = Exp.traversal_ops @ Exp.query_ops @ Exp.update_ops
 let medium_ops = [ "T1"; "T6"; "T7"; "T8" ] @ Exp.query_ops @ Exp.update_ops
-
-let build_small () =
-  Printf.printf "building small databases (QS, E, QS-B)...\n%!";
-  let qs = Sys_.make_qs Params.small ~seed in
-  let e = Sys_.make_e Params.small ~seed in
-  let qsb =
-    Sys_.make_qs ~config:{ Qs_config.default with Qs_config.mode = Qs_config.Big_objects }
-      Params.small ~seed
-  in
-  [ qs; e; qsb ]
 
 let build_medium () =
   Printf.printf "building medium databases (QS, E, QS-B)...\n%!";
@@ -245,15 +240,27 @@ let () =
   let argv = Array.to_list Sys.argv in
   let quick = List.mem "quick" argv in
   let with_bechamel = not (List.mem "no-bech" argv) in
+  let emit_json = List.mem "--json" argv in
   let t0 = Unix.gettimeofday () in
   Printf.printf
     "QuickStore reproduction benchmark harness\n\
      (White & DeWitt, SIGMOD 1994; simulated 1994 testbed - see DESIGN.md)\n%!";
 
   section "Small database";
-  let small = build_small () in
-  let small_suites = run_phase ~label:"small" small ~ops:small_ops in
+  (* Shared with test/test_bench_json.ml so the committed baseline and
+     the bench agree byte for byte. *)
+  let small_suites =
+    Harness.Bench_json.small_suites ~progress:(fun m -> Printf.printf "%s\n%!" m) ~seed ()
+  in
+  let small = List.map (fun s -> s.Exp.sys) small_suites in
   validate small_suites;
+  if emit_json then begin
+    let path = "BENCH_oo7.json" in
+    let oc = open_out_bin path in
+    output_string oc (Harness.Bench_json.render_small ~seed small_suites);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end;
   print_newline ();
   print_endline (Exp.fig8 small_suites);
   print_endline (Exp.table3 small_suites);
@@ -292,4 +299,6 @@ let () =
   print_endline (Exp.claims ());
 
   if with_bechamel then bechamel_suite ();
-  Printf.printf "\ntotal wall time: %.1fs\n%!" (Unix.gettimeofday () -. t0)
+  (* stderr: wall time is real time, not simulated — keeping stdout
+     byte-identical across runs for the CI determinism gate. *)
+  Printf.eprintf "\ntotal wall time: %.1fs\n%!" (Unix.gettimeofday () -. t0)

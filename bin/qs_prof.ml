@@ -1,0 +1,198 @@
+(* qs_prof: regenerate the paper's §5.2 cost decomposition from the
+   Qs_trace event stream and cross-check it against the simulated
+   clock's own category totals.
+
+   The trace sink is armed right after resetting the clock, so every
+   charge of the profiled run is recorded; Qs_metrics then replays the
+   stream with the clock's exact float arithmetic and the per-category
+   totals must match bit for bit (exit 1 otherwise). --verify runs a
+   second, identically built system with tracing disarmed and asserts
+   the clock readings are bit-identical — arming must never change
+   what is simulated.
+
+   Examples:
+     qs_prof --op T1                        per-fault decomposition (Table 6 shape)
+     qs_prof --op T2B                       commit decomposition (Figure 11 shape)
+     qs_prof --sys e --op T1 --db small     software scheme, small database
+     qs_prof --op T1 --out t1.trace.json    Chrome trace_event timeline
+     qs_prof --op T1 --verify               armed-vs-disarmed bit check *)
+
+module Sys_ = Harness.System
+module Params = Oo7.Params
+module Qs_config = Quickstore.Qs_config
+module Clock = Simclock.Clock
+module Cat = Simclock.Category
+module Report = Harness.Report
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("qs_prof: " ^ s); exit 1) fmt
+
+let params_of_db = function
+  | "tiny" -> Params.tiny
+  | "small" -> Params.small
+  | "medium" -> Params.medium
+  | db -> die "unknown database %S (tiny|small|medium)" db
+
+let build ~sysname ~db ~seed =
+  let params = params_of_db db in
+  match sysname with
+  | "qs" -> Sys_.make_qs params ~seed
+  | "qsb" ->
+    Sys_.make_qs ~config:{ Qs_config.default with Qs_config.mode = Qs_config.Big_objects } params
+      ~seed
+  | "e" -> Sys_.make_e params ~seed
+  | s -> die "unknown system %S (qs|e|qsb)" s
+
+(* Run [op] with the sink armed across a freshly reset clock, so the
+   trace covers the clock's whole accumulation window (the exactness
+   precondition of Qs_metrics.crosscheck). *)
+let run_traced (sys : Sys_.t) ~op ~seed ~hot_reps =
+  let clock = Esm.Server.clock sys.Sys_.server in
+  (Clock.reset clock [@qs_lint.allow "QS004"]);
+  let trace = Qs_trace.create ~clock () in
+  Qs_trace.arm trace;
+  let r = sys.Sys_.run ~op ~seed ~hot_reps in
+  Qs_trace.disarm trace;
+  (r, trace, clock)
+
+let run_plain (sys : Sys_.t) ~op ~seed ~hot_reps =
+  let clock = Esm.Server.clock sys.Sys_.server in
+  (Clock.reset clock [@qs_lint.allow "QS004"]);
+  let r = sys.Sys_.run ~op ~seed ~hot_reps in
+  (r, clock)
+
+(* --- §5.2 decompositions, computed from the trace span rollups --- *)
+
+let span_ms (row : Qs_metrics.span_row) cat = row.Qs_metrics.sr_us.(Cat.index cat) /. 1000.0
+let span_events (row : Qs_metrics.span_row) cat = row.Qs_metrics.sr_events.(Cat.index cat)
+
+let fault_decomposition ~op (m : Qs_metrics.t) =
+  match Qs_metrics.find_span m (op ^ ".cold") with
+  | None -> None
+  | Some cold ->
+    let faults = span_events cold Cat.Page_fault in
+    if faults = 0 then None
+    else begin
+      let per cat = span_ms cold cat /. float_of_int faults in
+      let rows =
+        [ ("min faults", per Cat.Min_fault)
+        ; ("page fault", per Cat.Page_fault)
+        ; ("misc. cpu overhead", per Cat.Fault_misc)
+        ; ("data I/O", per Cat.Data_io)
+        ; ("map I/O", per Cat.Map_io)
+        ; ("swizzling", per Cat.Swizzle)
+        ; ("mmap", per Cat.Mmap_call) ]
+      in
+      let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 rows in
+      Some
+        (Report.render
+           ~title:
+             (Printf.sprintf
+                "Per-fault decomposition of %s cold (Table 6 / §5.2 shape; %d faults, from trace)"
+                op faults)
+           ~header:[ "description"; "ms per fault" ]
+           ~rows:(List.map (fun (n, v) -> [ n; Report.f2 v ]) rows @ [ [ "total"; Report.f2 total ] ]))
+    end
+
+let commit_decomposition ~op (m : Qs_metrics.t) =
+  match Qs_metrics.find_span m (op ^ ".commit") with
+  | None -> None
+  | Some c ->
+    let ms cat = span_ms c cat in
+    let total = Array.fold_left ( +. ) 0.0 c.Qs_metrics.sr_us /. 1000.0 in
+    let rows =
+      [ ("diff", ms Cat.Diff)
+      ; ("log records", ms Cat.Log_write)
+      ; ("map update", ms Cat.Map_update)
+      ; ("flush + force", ms Cat.Commit_flush)
+      ; ("swizzling", ms Cat.Swizzle)
+      ; ("locks", ms Cat.Lock_acquire)
+      ; ("interpreter", ms Cat.Interp) ]
+    in
+    let pct v = if total <= 0.0 then "-" else Printf.sprintf "%.1f%%" (100.0 *. v /. total) in
+    Some
+      (Report.render
+         ~title:
+           (Printf.sprintf "Commit decomposition of %s (Figure 11 / §5.2 shape, from trace)" op)
+         ~header:[ "component"; "ms"; "share" ]
+         ~rows:
+           (List.filter_map
+              (fun (n, v) -> if v = 0.0 then None else Some [ n; Report.f1 v; pct v ])
+              rows
+           @ [ [ "total (all categories)"; Report.f1 total; "100.0%" ] ]))
+
+let () =
+  let sysname = ref "qs"
+  and db = ref "tiny"
+  and op = ref "T1"
+  and seed = ref 1234
+  and hot = ref 0
+  and out = ref ""
+  and charges = ref false
+  and verify = ref false in
+  let spec =
+    [ ("--sys", Arg.Set_string sysname, "SYS system: qs|e|qsb (default qs)")
+    ; ("--db", Arg.Set_string db, "DB database: tiny|small|medium (default tiny)")
+    ; ("--op", Arg.Set_string op, "OP OO7 operation (default T1)")
+    ; ("--seed", Arg.Set_int seed, "N workload seed (default 1234)")
+    ; ("--hot", Arg.Set_int hot, "N hot repetitions (default 0)")
+    ; ("--out", Arg.Set_string out, "FILE write Chrome trace_event JSON")
+    ; ("--charges", Arg.Set charges, " include every clock charge in the Chrome export")
+    ; ("--verify", Arg.Set verify, " also run disarmed; clock readings must be bit-identical") ]
+  in
+  Arg.parse spec
+    (fun a -> die "unexpected argument %S" a)
+    "qs_prof: §5.2 cost decomposition from the Qs_trace stream";
+
+  Printf.printf "qs_prof: %s %s on the %s database, seed %d, hot_reps %d\n%!" !sysname !op !db
+    !seed !hot;
+  let sys = build ~sysname:!sysname ~db:!db ~seed:!seed in
+  let r, trace, clock = run_traced sys ~op:!op ~seed:!seed ~hot_reps:!hot in
+  Printf.printf "%d trace events; cold %.1f ms, %d faults%s\n\n" (Qs_trace.length trace)
+    r.Sys_.cold.Harness.Measure.ms r.Sys_.cold_faults
+    (match r.Sys_.commit with
+     | Some c -> Printf.sprintf ", commit %.1f ms" c.Harness.Measure.ms
+     | None -> "");
+
+  let m = Qs_metrics.of_trace trace in
+  print_string (Qs_metrics.render m);
+  print_newline ();
+  (match fault_decomposition ~op:!op m with Some s -> print_endline s | None -> ());
+  (match commit_decomposition ~op:!op m with Some s -> print_endline s | None -> ());
+
+  (* The acceptance check: the decomposition regenerated from the
+     trace stream must equal the clock's own totals exactly. *)
+  (match Qs_metrics.crosscheck m clock with
+   | Ok () ->
+     Printf.printf "crosscheck: trace totals == clock totals (bit-exact, %d categories)\n"
+       Cat.count
+   | Error errs ->
+     prerr_endline "crosscheck FAILED: trace totals diverge from the clock:";
+     List.iter (fun e -> prerr_endline ("  " ^ e)) errs;
+     exit 1);
+
+  if !out <> "" then begin
+    let oc = open_out_bin !out in
+    output_string oc (Qs_trace.to_chrome ~include_charges:!charges trace);
+    close_out oc;
+    Printf.printf "wrote %s (load in chrome://tracing or Perfetto)\n" !out
+  end;
+
+  if !verify then begin
+    let sys2 = build ~sysname:!sysname ~db:!db ~seed:!seed in
+    let _, clock2 = run_plain sys2 ~op:!op ~seed:!seed ~hot_reps:!hot in
+    let bad = ref [] in
+    List.iter
+      (fun cat ->
+        let a = Clock.category_us clock cat and b = Clock.category_us clock2 cat in
+        if
+          Int64.bits_of_float a <> Int64.bits_of_float b
+          || Clock.category_events clock cat <> Clock.category_events clock2 cat
+        then bad := Cat.name cat :: !bad)
+      Cat.all;
+    match !bad with
+    | [] -> Printf.printf "verify: armed and disarmed clock readings bit-identical\n"
+    | l ->
+      Printf.eprintf "verify FAILED: tracing changed the simulation in: %s\n"
+        (String.concat ", " (List.rev l));
+      exit 1
+  end

@@ -2,7 +2,7 @@ open Parsetree
 
 type finding = { file : string; line : int; col : int; rule : string; msg : string }
 
-let all_rules = [ "QS001"; "QS002"; "QS003"; "QS004"; "QS005"; "QS006"; "QS007" ]
+let all_rules = [ "QS001"; "QS002"; "QS003"; "QS004"; "QS005"; "QS006"; "QS007"; "QS008" ]
 
 let to_string f = Printf.sprintf "%s:%d: %s %s" f.file f.line f.rule f.msg
 
@@ -31,6 +31,12 @@ let rule_applies ~path rule =
        through Server.read_page/write_page so the fault-injection layer
        sees it. Tools (bin/) and tests may inspect volumes directly. *)
     has_prefix ~prefix:"lib/" path && not (has_prefix ~prefix:"lib/esm/" path)
+  | "QS008" ->
+    (* Cost charges must flow through the traced charge API so the
+       Qs_trace event layer sees every one; only the clock itself and
+       the trace layer may name Clock.charge directly. *)
+    has_prefix ~prefix:"lib/" path
+    && not (has_prefix ~prefix:"lib/simclock/" path || has_prefix ~prefix:"lib/obs/" path)
   | _ -> true
 
 (* ------------------------------------------------------------------ *)
@@ -141,6 +147,12 @@ let check_ident ctx ~loc comps =
         "Vmsim.set_prot_free bypasses mmap cost charging (harness/test only)";
     if penult = Some "Clock" && last = "reset" then
       report ctx ~loc "QS004" "Clock.reset discards charged simulated time (harness/test only)";
+    if penult = Some "Clock" && (last = "charge" || last = "charge_n") then
+      report ctx ~loc "QS008"
+        (Printf.sprintf
+           "direct Clock.%s bypasses the Qs_trace event layer: charge through \
+            Qs_trace.charge/charge_n"
+           last);
     if last = "failwith" then
       report ctx ~loc "QS006" "stringly failure in library code: raise a typed exception";
     if penult = Some "Disk" && (last = "read" || last = "write") then

@@ -34,6 +34,11 @@
     - {b QS007} [direct-disk-io]: no [Disk.read]/[Disk.write] in [lib/]
       outside [lib/esm/] — all I/O must cross the server, and therefore
       the {!Qs_fault} injection layer. Tools and tests are exempt.
+    - {b QS008} [untraced-charge]: no direct [Clock.charge]/
+      [Clock.charge_n] in [lib/] outside [lib/simclock/] and
+      [lib/obs/] — cost charges must go through the traced charge API
+      ([Qs_trace.charge]/[charge_n]) so the event layer observes every
+      one. Tools and tests are exempt.
     - {b QS000}: the file failed to parse.
 
     {2 Allowlisting}
@@ -47,7 +52,7 @@ type finding = {
   file : string;
   line : int;
   col : int;
-  rule : string;  (** "QS001" .. "QS007", or "QS000" for parse errors *)
+  rule : string;  (** "QS001" .. "QS008", or "QS000" for parse errors *)
   msg : string;
 }
 

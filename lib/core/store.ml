@@ -109,7 +109,7 @@ let system_name t =
   | _, Qs_config.Big_objects, Qs_config.One_time _ -> "QS-B-OR"
 
 let ptr_id _t (p : ptr) = p
-let charge t cat us = Clock.charge t.clock cat us
+let charge t cat us = Qs_trace.charge t.clock cat us
 let in_txn t = Client.in_txn t.client
 let vm t = t.vm
 let sanitize_on t = t.config.Qs_config.sanitize
@@ -309,6 +309,10 @@ let materialize_entry t entry =
       let vf =
         if relocate then begin
           t.stats.relocations <- t.stats.relocations + 1;
+          if Qs_trace.enabled t.clock then
+            Qs_trace.instant t.clock ~cat:"qs"
+              ~args:[ Qs_trace.A_int ("page", page); Qs_trace.A_int ("vframe", vframe) ]
+              "relocate";
           alloc_frames t 1
         end
         else vframe
@@ -331,6 +335,10 @@ let materialize_entry t entry =
         if free then vframe
         else begin
           t.stats.relocations <- t.stats.relocations + 1;
+          if Qs_trace.enabled t.clock then
+            Qs_trace.instant t.clock ~cat:"qs"
+              ~args:[ Qs_trace.A_int ("vframe", vframe); Qs_trace.A_int ("npages", npages) ]
+              "relocate";
           alloc_frames t npages
         end
       in
@@ -371,7 +379,11 @@ let diff_and_log t ~page_id ~frame ~baseline =
     San.fail ~check:"diff-shadow"
       ~subject:(Printf.sprintf "page %d" page_id)
       "commit-time diff regions do not reproduce the full-page shadow comparison";
-  Clock.charge_n t.clock Category.Diff (List.length regions) t.cm.CM.diff_region_us;
+  Qs_trace.charge_n t.clock Category.Diff (List.length regions) t.cm.CM.diff_region_us;
+  if Qs_trace.enabled t.clock then
+    Qs_trace.instant t.clock ~cat:"qs"
+      ~args:[ Qs_trace.A_int ("page", page_id); Qs_trace.A_int ("regions", List.length regions) ]
+      "diff.page";
   List.iter
     (fun (off, len) ->
       t.stats.diff_log_records <- t.stats.diff_log_records + 1;
@@ -407,9 +419,13 @@ let snapshot_page t d ~page_id ~frame =
   if not d.MT.snapshot_taken then begin
     if Rec_buffer.would_overflow t.rec_buf then begin
       t.stats.rec_buffer_overflows <- t.stats.rec_buffer_overflows + 1;
+      if Qs_trace.enabled t.clock then
+        Qs_trace.instant t.clock ~cat:"qs" ~args:[] "recbuf.overflow";
       flush_rec_buffer t ~reprotect:true
     end;
     Rec_buffer.add t.rec_buf page_id (Client.page_bytes t.client ~frame);
+    if Qs_trace.enabled t.clock then
+      Qs_trace.instant t.clock ~cat:"qs" ~args:[ Qs_trace.A_int ("page", page_id) ] "recbuf.snapshot";
     charge t Category.Write_fault_copy t.cm.CM.write_fault_copy_us;
     d.MT.snapshot_taken <- true
   end
@@ -481,6 +497,8 @@ let iter_live_ptr_words t ~page_id ~bytes f =
    addresses. *)
 let swizzle_offsets t ~page_id ~frame =
   t.stats.pages_swizzled <- t.stats.pages_swizzled + 1;
+  if Qs_trace.enabled t.clock then
+    Qs_trace.instant t.clock ~cat:"qs" ~args:[ Qs_trace.A_int ("page", page_id) ] "swizzle.page";
   let bytes = Client.page_bytes t.client ~frame in
   iter_live_ptr_words t ~page_id ~bytes (fun off ->
       charge t Category.Swizzle t.cm.CM.swizzle_ptr_us;
@@ -496,6 +514,8 @@ let swizzle_offsets t ~page_id ~frame =
 (* Disk-format copy of a memory-format page. Unknown frames (stale
    bytes of deleted objects) are left untouched. *)
 let unswizzle_copy t ~page_id bytes =
+  if Qs_trace.enabled t.clock then
+    Qs_trace.instant t.clock ~cat:"qs" ~args:[ Qs_trace.A_int ("page", page_id) ] "unswizzle.page";
   let out = Bytes.copy bytes in
   iter_live_ptr_words t ~page_id ~bytes (fun off ->
       charge t Category.Swizzle t.cm.CM.swizzle_ptr_us;
@@ -626,6 +646,10 @@ let swizzle_check t d ~page_id ~frame =
   in
   if mismatches <> [] then begin
     t.stats.pages_swizzled <- t.stats.pages_swizzled + 1;
+    if Qs_trace.enabled t.clock then
+      Qs_trace.instant t.clock ~cat:"qs"
+        ~args:[ Qs_trace.A_int ("page", page_id); Qs_trace.A_int ("moved", List.length mismatches) ]
+        "swizzle.page";
     let bs = load_bitmap t ~page_id ~page_bytes:bytes in
     (* Under one-time relocation the pointer rewrites are real updates:
        snapshot first so commit diffs and logs them. *)
@@ -666,7 +690,7 @@ let read_fault t d =
     (fun () ->
       if did_io then begin
         t.stats.hard_faults <- t.stats.hard_faults + 1;
-        Clock.charge_n t.clock Category.Min_fault t.cm.CM.min_faults_per_data_fault
+        Qs_trace.charge_n t.clock Category.Min_fault t.cm.CM.min_faults_per_data_fault
           t.cm.CM.min_fault_us
       end
       else t.stats.soft_faults <- t.stats.soft_faults + 1;
@@ -701,8 +725,21 @@ let write_fault t d =
 
 let handle_fault t ~frame ~access =
   match MT.find_by_vframe t.table frame with
-  | None -> ()  (* unmapped address: Vmsim raises Unhandled_fault *)
+  | None ->
+    (* unmapped address: Vmsim raises Unhandled_fault *)
+    if Qs_trace.enabled t.clock then
+      Qs_trace.instant t.clock ~cat:"qs" ~args:[ Qs_trace.A_int ("vframe", frame) ] "mt.miss"
   | Some d ->
+    if Qs_trace.enabled t.clock then
+      Qs_trace.instant t.clock ~cat:"qs"
+        ~args:
+          [ Qs_trace.A_int ("vframe", frame)
+          ; Qs_trace.A_int
+              ( "page"
+              , match d.MT.phys with
+                | MT.Small_page p -> p
+                | MT.Large_range { oid; _ } -> oid.Oid.page ) ]
+        "mt.hit";
     let d =
       match d.MT.phys with
       | MT.Small_page _ -> d
@@ -1027,15 +1064,18 @@ let end_of_txn t =
 let begin_txn t = Client.begin_txn t.client
 
 let commit t =
-  Client.commit t.client ~before_flush:(fun () ->
-      persist_schema t;
-      flush_bitmaps t;
-      mapping_maintenance t;
-      flush_rec_buffer t ~reprotect:false;
-      persist_counter t;
-      (* QSan: the address space must be coherent at the moment the
-         commit flush starts — every diff has been taken against it. *)
-      if sanitize_on t then validate t);
+  Qs_trace.with_span t.clock ~cat:"qs" "commit" (fun () ->
+      Client.commit t.client ~before_flush:(fun () ->
+          persist_schema t;
+          Qs_trace.with_span t.clock ~cat:"qs" "commit.bitmaps" (fun () -> flush_bitmaps t);
+          Qs_trace.with_span t.clock ~cat:"qs" "commit.map_maint" (fun () ->
+              mapping_maintenance t);
+          Qs_trace.with_span t.clock ~cat:"qs" "commit.diff" (fun () ->
+              flush_rec_buffer t ~reprotect:false);
+          persist_counter t;
+          (* QSan: the address space must be coherent at the moment the
+             commit flush starts — every diff has been taken against it. *)
+          if sanitize_on t then validate t));
   end_of_txn t;
   if sanitize_on t then validate t
 

@@ -78,7 +78,7 @@ let reset_stats t =
   d.side_overflows <- 0
 
 let ptr_id _t (p : ptr) = (p.Oid.page * 65536) + p.Oid.slot
-let charge t cat us = Clock.charge t.clock cat us
+let charge t cat us = Qs_trace.charge t.clock cat us
 let in_txn t = Client.in_txn t.client
 let schema_key = "e_schema"
 
@@ -151,6 +151,8 @@ let resolve t (oid : ptr) =
     Client.unfix_page t.client ~frame;
     if not was_resident then begin
       t.stats.object_faults <- t.stats.object_faults + 1;
+      if Qs_trace.enabled t.clock then
+        Qs_trace.instant t.clock ~cat:"e" ~args:[ Qs_trace.A_int ("page", oid.Oid.page) ] "e.fault";
       charge t Category.Fault_misc t.cm.CM.e_fault_misc_us;
       Client.lock_page t.client oid.Oid.page Esm.Lock_mgr.Shared
     end;
@@ -271,9 +273,10 @@ let persist_schema t =
 let begin_txn t = Client.begin_txn t.client
 
 let commit t =
-  Client.commit t.client ~before_flush:(fun () ->
-      persist_schema t;
-      flush_side_buffer t);
+  Qs_trace.with_span t.clock ~cat:"e" "commit" (fun () ->
+      Client.commit t.client ~before_flush:(fun () ->
+          persist_schema t;
+          Qs_trace.with_span t.clock ~cat:"e" "commit.chunks" (fun () -> flush_side_buffer t)));
   t.cached <- None
 
 let abort t =
@@ -378,7 +381,7 @@ let large_byte t p off =
   Large_obj.get_byte t.client p off
 
 let large_write t p ~off data =
-  Clock.charge_n t.clock Category.Interp (Bytes.length data) t.cm.CM.interp_large_access_us;
+  Qs_trace.charge_n t.clock Category.Interp (Bytes.length data) t.cm.CM.interp_large_access_us;
   Large_obj.write t.client p ~off data
 
 (* ------------------------------------------------------------------ *)

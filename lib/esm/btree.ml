@@ -31,7 +31,7 @@ let klen t = t.klen
 
 let charge_node t =
   let cm = Client.cost_model t.client in
-  Simclock.Clock.charge (Client.clock t.client) Simclock.Category.Index_op
+  Qs_trace.charge (Client.clock t.client) Simclock.Category.Index_op
     cm.Simclock.Cost_model.index_cpu_us
 
 let default_cap ~klen ~leaf_entry =

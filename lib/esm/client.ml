@@ -53,19 +53,28 @@ let in_txn t = t.txn <> None
    Scheduled crashes ([Injected_crash], [Server_down]) are not
    transient and propagate. *)
 
-let charge_retry t us = Simclock.Clock.charge (Server.clock t.server) Simclock.Category.Retry us
+let charge_retry t us = Qs_trace.charge (Server.clock t.server) Simclock.Category.Retry us
+
+let net_instant t ~op ~page name =
+  if Qs_trace.enabled (Server.clock t.server) then
+    Qs_trace.instant (Server.clock t.server) ~cat:"net"
+      ~args:[ Qs_trace.A_str ("op", op); Qs_trace.A_int ("page", page) ]
+      name
 
 let net_request t ~op ~page (serve : unit -> unit) =
   match Qs_fault.net_gate (Server.fault_injector t.server) ~op ~page with
   | Qs_fault.Net_ok -> serve ()
   | Qs_fault.Net_drop ->
     charge_retry t (cost_model t).Simclock.Cost_model.net_timeout_us;
+    net_instant t ~op ~page "net.drop";
     raise (Qs_fault.Net_error { op; page })
   | Qs_fault.Net_dup ->
+    net_instant t ~op ~page "net.dup";
     serve ();
     serve ()
   | Qs_fault.Net_delay us ->
     charge_retry t us;
+    net_instant t ~op ~page "net.delay";
     serve ()
 
 let rpc t ~op ~page (f : unit -> 'a) : 'a =
@@ -78,6 +87,13 @@ let rpc t ~op ~page (f : unit -> 'a) : 'a =
       else begin
         charge_retry t
           ((cost_model t).Simclock.Cost_model.retry_backoff_us *. float_of_int (1 lsl attempt));
+        if Qs_trace.enabled (Server.clock t.server) then
+          Qs_trace.instant (Server.clock t.server) ~cat:"net"
+            ~args:
+              [ Qs_trace.A_str ("op", op)
+              ; Qs_trace.A_int ("page", page)
+              ; Qs_trace.A_int ("attempt", attempts) ]
+            "retry.rpc";
         go attempts
       end
   in

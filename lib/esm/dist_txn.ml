@@ -38,7 +38,11 @@ let commit t =
   (* Phase 1: every participant ships its dirty pages and votes with a
      durable Prepare record, keeping its locks. A failure anywhere
      aborts everyone still reachable. *)
-  (try List.iter Client.prepare t.clients
+  (try
+     List.iter
+       (fun c ->
+         Qs_trace.with_span (Client.clock c) ~cat:"2pc" "2pc.prepare" (fun () -> Client.prepare c))
+       t.clients
    with e ->
      abort_surviving t;
      raise e);
@@ -49,6 +53,7 @@ let commit t =
   List.iteri
     (fun i c ->
       if i > 0 then hit t Qs_fault.Point.dist_mid_decision;
-      Client.commit_prepared c)
+      Qs_trace.with_span (Client.clock c) ~cat:"2pc" "2pc.decide" (fun () ->
+          Client.commit_prepared c))
     t.clients;
   t.clients <- []

@@ -113,8 +113,12 @@ let disk_write_retrying t page_id bytes =
     | exception (Qs_fault.Io_error _ as e) ->
       if attempt >= 2 then raise e
       else begin
-        Simclock.Clock.charge t.clock Simclock.Category.Retry
+        Qs_trace.charge t.clock Simclock.Category.Retry
           t.cm.Simclock.Cost_model.server_disk_write_us;
+        if Qs_trace.enabled t.clock then
+          Qs_trace.instant t.clock ~cat:"esm"
+            ~args:[ Qs_trace.A_int ("page", page_id); Qs_trace.A_int ("attempt", attempt + 1) ]
+            "retry.disk_write";
         go (attempt + 1)
       end
   in
@@ -135,7 +139,9 @@ let flush_frame ?(charged = true) t frame =
       ignore (Wal.force t.wal);
       disk_write_retrying t page_id (Buf_pool.frame_bytes t.pool frame);
       if charged then
-        Simclock.Clock.charge t.clock Simclock.Category.Data_io t.cm.Simclock.Cost_model.server_disk_write_us;
+        Qs_trace.charge t.clock Simclock.Category.Data_io t.cm.Simclock.Cost_model.server_disk_write_us;
+      if Qs_trace.enabled t.clock then
+        Qs_trace.instant t.clock ~cat:"esm" ~args:[ Qs_trace.A_int ("page", page_id) ] "disk.write";
       Buf_pool.clear_dirty t.pool frame
     end
 
@@ -158,7 +164,9 @@ let resident_bytes t ~cat ~charge_miss page_id =
   | None ->
     let f = take_frame t in
     Disk.read t.disk page_id (Buf_pool.frame_bytes t.pool f);
-    if charge_miss then Simclock.Clock.charge t.clock cat t.cm.Simclock.Cost_model.server_disk_read_us;
+    if charge_miss then Qs_trace.charge t.clock cat t.cm.Simclock.Cost_model.server_disk_read_us;
+    if Qs_trace.enabled t.clock then
+      Qs_trace.instant t.clock ~cat:"esm" ~args:[ Qs_trace.A_int ("page", page_id) ] "disk.read";
     Buf_pool.install t.pool ~frame:f ~page_id;
     (f, false)
 
@@ -173,7 +181,14 @@ let read_page t ~txn ~kind page_id dst =
   let cat = category_of_kind kind in
   let f, hit = resident_bytes t ~cat ~charge_miss:true page_id in
   if hit then c.server_pool_hits <- c.server_pool_hits + 1;
-  Simclock.Clock.charge t.clock cat t.cm.Simclock.Cost_model.net_ship_us;
+  Qs_trace.charge t.clock cat t.cm.Simclock.Cost_model.net_ship_us;
+  if Qs_trace.enabled t.clock then
+    Qs_trace.instant t.clock ~cat:"esm"
+      ~args:
+        [ Qs_trace.A_int ("page", page_id)
+        ; Qs_trace.A_str ("kind", match kind with Data -> "data" | Map -> "map" | Index -> "index")
+        ; Qs_trace.A_int ("server_hit", if hit then 1 else 0) ]
+      "ship.read";
   Bytes.blit (Buf_pool.frame_bytes t.pool f) 0 dst 0 Page.page_size
 
 let note_txn_dirty t txn page_id =
@@ -192,8 +207,12 @@ let write_page t ~txn ~at_commit page_id src =
   t.counters.client_writes <- t.counters.client_writes + 1;
   let cm = t.cm in
   if at_commit then
-    Simclock.Clock.charge t.clock Simclock.Category.Commit_flush cm.Simclock.Cost_model.commit_flush_page_us
-  else Simclock.Clock.charge t.clock Simclock.Category.Data_io cm.Simclock.Cost_model.net_ship_us;
+    Qs_trace.charge t.clock Simclock.Category.Commit_flush cm.Simclock.Cost_model.commit_flush_page_us
+  else Qs_trace.charge t.clock Simclock.Category.Data_io cm.Simclock.Cost_model.net_ship_us;
+  if Qs_trace.enabled t.clock then
+    Qs_trace.instant t.clock ~cat:"esm"
+      ~args:[ Qs_trace.A_int ("page", page_id) ]
+      (if at_commit then "ship.commit" else "ship.steal");
   let f =
     match Buf_pool.lookup t.pool page_id with
     | Some f -> f
@@ -208,7 +227,7 @@ let write_page t ~txn ~at_commit page_id src =
   note_txn_dirty t txn page_id
 
 let alloc_page t =
-  Simclock.Clock.charge t.clock Simclock.Category.Lock_acquire t.cm.Simclock.Cost_model.lock_us;
+  Qs_trace.charge t.clock Simclock.Category.Lock_acquire t.cm.Simclock.Cost_model.lock_us;
   Disk.alloc t.disk
 
 let free_page t page_id =
@@ -229,14 +248,26 @@ let lock t ~txn resource mode =
     | Some Lock_mgr.Shared, Lock_mgr.Shared -> true
     | Some Lock_mgr.Shared, Lock_mgr.Exclusive | None, _ -> false
   in
-  if not already then Simclock.Clock.charge t.clock Simclock.Category.Lock_acquire t.cm.Simclock.Cost_model.lock_us;
+  if not already then begin
+    Qs_trace.charge t.clock Simclock.Category.Lock_acquire t.cm.Simclock.Cost_model.lock_us;
+    if Qs_trace.enabled t.clock then
+      Qs_trace.instant t.clock ~cat:"esm"
+        ~args:
+          [ (match resource with
+             | Lock_mgr.Page_lock p -> Qs_trace.A_int ("page", p)
+             | Lock_mgr.File_lock f -> Qs_trace.A_int ("file", f))
+          ; Qs_trace.A_str
+              ("mode", match mode with Lock_mgr.Shared -> "shared" | Lock_mgr.Exclusive -> "exclusive")
+          ]
+        "lock.acquire"
+  end;
   Lock_mgr.acquire t.locks ~txn resource mode
 
 let lock_held t ~txn resource = Lock_mgr.held t.locks ~txn resource
 
 let log_update t ~txn ~page ~off ~old_data ~new_data =
   check_active t txn "log_update";
-  Simclock.Clock.charge t.clock Simclock.Category.Log_write t.cm.Simclock.Cost_model.log_record_cpu_us;
+  Qs_trace.charge t.clock Simclock.Category.Log_write t.cm.Simclock.Cost_model.log_record_cpu_us;
   let lsn = Wal.append t.wal (Wal.Update { txn; page; off; old_data; new_data }) in
   (match Hashtbl.find_opt t.txn_updates txn with
    | Some l -> l := Wal.Update { txn; page; off; old_data; new_data } :: !l
@@ -249,7 +280,7 @@ let log_index t ~txn record =
    | Wal.Index_insert _ | Wal.Index_delete _ -> ()
    | Wal.Begin _ | Wal.Update _ | Wal.Prepare _ | Wal.Commit _ | Wal.Abort _ ->
      invalid_arg "Server.log_index: not an index record");
-  Simclock.Clock.charge t.clock Simclock.Category.Log_write t.cm.Simclock.Cost_model.log_record_cpu_us;
+  Qs_trace.charge t.clock Simclock.Category.Log_write t.cm.Simclock.Cost_model.log_record_cpu_us;
   let lsn = Wal.append t.wal record in
   (match Hashtbl.find_opt t.txn_updates txn with
    | Some l -> l := record :: !l
@@ -264,8 +295,10 @@ let force_log t =
   Qs_fault.hit t.fault Qs_fault.Point.wal_force_partial ~on_fire:(fun ~frac ->
       ignore (Wal.force_upto t.wal (int_of_float (frac *. float_of_int (Wal.unforced t.wal)))));
   let pages = Wal.force t.wal in
-  Simclock.Clock.charge_n t.clock Simclock.Category.Commit_flush pages
-    t.cm.Simclock.Cost_model.server_disk_write_us
+  Qs_trace.charge_n t.clock Simclock.Category.Commit_flush pages
+    t.cm.Simclock.Cost_model.server_disk_write_us;
+  if Qs_trace.enabled t.clock then
+    Qs_trace.instant t.clock ~cat:"esm" ~args:[ Qs_trace.A_int ("pages", pages) ] "wal.force"
 
 let flush_txn_pages ?point t txn =
   match Hashtbl.find_opt t.txn_dirty txn with
@@ -322,7 +355,7 @@ let abort t ~txn =
         let clr_lsn =
           Wal.append t.wal (Wal.Update { txn; page; off; old_data = new_data; new_data = old_data })
         in
-        Simclock.Clock.charge t.clock Simclock.Category.Log_write t.cm.Simclock.Cost_model.log_record_cpu_us;
+        Qs_trace.charge t.clock Simclock.Category.Log_write t.cm.Simclock.Cost_model.log_record_cpu_us;
         let f, _hit = resident_bytes t ~cat:Simclock.Category.Data_io ~charge_miss:true page in
         let b = Buf_pool.frame_bytes t.pool f in
         Bytes.blit old_data 0 b off (Bytes.length old_data);

@@ -1,0 +1,92 @@
+(** Machine-readable OO7 results: the bench-shape baseline.
+
+    [render] serializes a set of suites (per-system, per-operation
+    simulated times, I/O counts, fault counts, plus the win/loss
+    ordering of the systems on each operation) as deterministic JSON:
+    floats print as the shortest round-tripping decimal, so the file
+    is byte-stable run to run and any change to the committed
+    [BENCH_oo7.json] baseline is a real change in bench shape.
+    [small_suites] builds exactly the systems and operations
+    [bench/main.exe] uses for the small database, so the CI gate and
+    the bench agree on what the baseline is. *)
+
+module Exp = Experiments
+
+let json_float f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let json_string s = "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\""
+
+let op_json (op, (r : System.run_result)) =
+  let m = r.System.cold in
+  let field k v = Printf.sprintf "\"%s\":%s" k v in
+  let opt_ms = function Some (m : Measure.t) -> json_float m.Measure.ms | None -> "null" in
+  "{"
+  ^ String.concat ","
+      [ field "op" (json_string op)
+      ; field "cold_ms" (json_float m.Measure.ms)
+      ; field "hot_ms" (opt_ms r.System.hot)
+      ; field "commit_ms" (opt_ms r.System.commit)
+      ; field "result" (string_of_int m.Measure.result)
+      ; field "reads" (string_of_int m.Measure.client_reads)
+      ; field "reads_data" (string_of_int m.Measure.reads_data)
+      ; field "reads_map" (string_of_int m.Measure.reads_map)
+      ; field "reads_index" (string_of_int m.Measure.reads_index)
+      ; field "writes" (string_of_int m.Measure.client_writes)
+      ; field "commit_writes"
+          (string_of_int
+             (match r.System.commit with Some c -> c.Measure.client_writes | None -> 0))
+      ; field "faults" (string_of_int r.System.cold_faults) ]
+  ^ "}"
+
+let suite_json (s : Exp.suite) =
+  Printf.sprintf "{\"name\":%s,\"db_mb\":%s,\"ops\":[%s]}"
+    (json_string s.Exp.sys.System.name)
+    (json_float (s.Exp.sys.System.db_size_mb ()))
+    (String.concat "," (List.map op_json s.Exp.results))
+
+(* Fastest-to-slowest by total response (cold + commit); ties keep the
+   suite order. These are the paper's win/loss relationships — the
+   part of bench shape that must never drift silently. *)
+let ordering_json (suites : Exp.suite list) op =
+  let totals =
+    List.map (fun s -> (s.Exp.sys.System.name, System.total_response (Exp.get s op))) suites
+  in
+  let sorted = List.stable_sort (fun (_, a) (_, b) -> compare a b) totals in
+  Printf.sprintf "{\"op\":%s,\"fastest_to_slowest\":[%s]}" (json_string op)
+    (String.concat "," (List.map (fun (n, _) -> json_string n) sorted))
+
+let render ~benchmark ~database ~seed ~hot_reps (suites : Exp.suite list) =
+  let ops = match suites with [] -> [] | s :: _ -> List.map fst s.Exp.results in
+  Printf.sprintf
+    "{\"benchmark\":%s,\"database\":%s,\"seed\":%d,\"hot_reps\":%d,\"systems\":[%s],\"orderings\":[%s]}\n"
+    (json_string benchmark) (json_string database) seed hot_reps
+    (String.concat "," (List.map suite_json suites))
+    (String.concat "," (List.map (ordering_json suites) ops))
+
+let small_ops = Exp.traversal_ops @ Exp.query_ops @ Exp.update_ops
+
+(* Exactly bench/main.exe's small-database section: QS, E and QS-B on
+   the small parameters, every small op, hot_reps 3. *)
+let small_suites ?(progress = fun (_ : string) -> ()) ~seed () =
+  progress "building small databases (QS, E, QS-B)...";
+  let qs = System.make_qs Oo7.Params.small ~seed in
+  let e = System.make_e Oo7.Params.small ~seed in
+  let qsb =
+    System.make_qs
+      ~config:
+        { Quickstore.Qs_config.default with
+          Quickstore.Qs_config.mode = Quickstore.Qs_config.Big_objects }
+      Oo7.Params.small ~seed
+  in
+  List.map
+    (fun (sys : System.t) ->
+      progress (Printf.sprintf "running small operations on %s..." sys.System.name);
+      Exp.run_suite ~seed ~hot_reps:3 sys ~ops:small_ops)
+    [ qs; e; qsb ]
+
+let render_small ~seed suites = render ~benchmark:"OO7" ~database:"small" ~seed ~hot_reps:3 suites

@@ -42,30 +42,42 @@ module Of_store (S : Oo7.Store_intf.S) = struct
       S.reset_caches st;
       Esm.Server.reset_counters server;
       reset_faults ();
-      S.begin_txn st;
-      let cold = Measure.phase ~clock ~server (fun () -> fn db ~seed) in
-      last_cold_faults := faults ();
-      let cold_faults = !last_cold_faults in
-      match kind with
-      | W.Read_only ->
-        let hot =
-          if hot_reps <= 0 then None
-          else begin
-            let m = Measure.phase ~clock ~server (fun () ->
-                let r = ref 0 in
-                for _ = 1 to hot_reps do
-                  r := fn db ~seed
-                done;
-                !r)
+      (* The harness owns the per-operation / per-transaction / per-
+         phase spans so they nest LIFO around the store-internal ones
+         (fault handler, commit sub-phases). *)
+      Qs_trace.with_span clock ~cat:"oo7" ("txn:" ^ op) (fun () ->
+          S.begin_txn st;
+          let cold =
+            Qs_trace.with_span clock ~cat:"oo7" (op ^ ".cold") (fun () ->
+                Measure.phase ~clock ~server (fun () -> fn db ~seed))
+          in
+          last_cold_faults := faults ();
+          let cold_faults = !last_cold_faults in
+          match kind with
+          | W.Read_only ->
+            let hot =
+              if hot_reps <= 0 then None
+              else begin
+                let m =
+                  Qs_trace.with_span clock ~cat:"oo7" (op ^ ".hot") (fun () ->
+                      Measure.phase ~clock ~server (fun () ->
+                          let r = ref 0 in
+                          for _ = 1 to hot_reps do
+                            r := fn db ~seed
+                          done;
+                          !r))
+                in
+                Some { m with Measure.ms = m.Measure.ms /. float_of_int hot_reps }
+              end
             in
-            Some { m with Measure.ms = m.Measure.ms /. float_of_int hot_reps }
-          end
-        in
-        S.commit st;
-        { cold; cold_faults; hot; commit = None }
-      | W.Update ->
-        let commit = Measure.phase ~clock ~server (fun () -> S.commit st; 0) in
-        { cold; cold_faults; hot = None; commit = Some commit }
+            S.commit st;
+            { cold; cold_faults; hot; commit = None }
+          | W.Update ->
+            let commit =
+              Qs_trace.with_span clock ~cat:"oo7" (op ^ ".commit") (fun () ->
+                  Measure.phase ~clock ~server (fun () -> S.commit st; 0))
+            in
+            { cold; cold_faults; hot = None; commit = Some commit })
     in
     let run_isolated f =
       S.begin_txn st;

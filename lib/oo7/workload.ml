@@ -104,10 +104,10 @@ module Make (S : Store_intf.S) = struct
 
   let cm db = S.cost_model db.st
   let clk db = S.clock db.st
-  let malloc db = Clock.charge (clk db) Category.App_malloc (cm db).CM.malloc_us
-  let setop db = Clock.charge (clk db) Category.App_set (cm db).CM.set_op_us
-  let trav db = Clock.charge (clk db) Category.App_traverse (cm db).CM.traverse_node_us
-  let char_work db = Clock.charge (clk db) Category.App_work (cm db).CM.char_work_us
+  let malloc db = Qs_trace.charge (clk db) Category.App_malloc (cm db).CM.malloc_us
+  let setop db = Qs_trace.charge (clk db) Category.App_set (cm db).CM.set_op_us
+  let trav db = Qs_trace.charge (clk db) Category.App_traverse (cm db).CM.traverse_node_us
+  let char_work db = Qs_trace.charge (clk db) Category.App_work (cm db).CM.char_work_us
 
   (* --- chunked collections --- *)
 

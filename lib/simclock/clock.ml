@@ -1,18 +1,32 @@
-type t = { us : float array; events : int array }
+type t = {
+  us : float array;
+  events : int array;
+  (* Observer called after each accumulation with (cat, n, us). The
+     trace layer (Qs_trace) installs it when armed; [None] costs one
+     immediate-match per charge and allocates nothing. *)
+  mutable obs : (Category.t -> int -> float -> unit) option;
+}
+
 type snapshot = { s_us : float array; s_events : int array }
 
-let create () = { us = Array.make Category.count 0.0; events = Array.make Category.count 0 }
+let create () =
+  { us = Array.make Category.count 0.0; events = Array.make Category.count 0; obs = None }
+
+let set_observer t o = t.obs <- o
+let observed t = t.obs <> None
 
 let charge t cat us =
   let i = Category.index cat in
   t.us.(i) <- t.us.(i) +. us;
-  t.events.(i) <- t.events.(i) + 1
+  t.events.(i) <- t.events.(i) + 1;
+  match t.obs with None -> () | Some f -> f cat 1 us
 
 let charge_n t cat n us =
   if n > 0 then begin
     let i = Category.index cat in
     t.us.(i) <- t.us.(i) +. (float_of_int n *. us);
-    t.events.(i) <- t.events.(i) + n
+    t.events.(i) <- t.events.(i) + n;
+    match t.obs with None -> () | Some f -> f cat n us
   end
 
 let total_us t = Array.fold_left ( +. ) 0.0 t.us

@@ -13,6 +13,16 @@ type snapshot
 
 val create : unit -> t
 
+(** Install (or remove, with [None]) a charge observer, called after
+    every accumulation with the category, event count and per-event
+    microseconds exactly as accumulated. One observer at a time; used
+    by the [Qs_trace] event layer. Disarmed observation is free: an
+    immediate [None] match per charge, no allocation. *)
+val set_observer : t -> (Category.t -> int -> float -> unit) option -> unit
+
+(** Whether an observer is currently installed. *)
+val observed : t -> bool
+
 (** [charge t cat us] adds [us] microseconds (and one event) to [cat]. *)
 val charge : t -> Category.t -> float -> unit
 

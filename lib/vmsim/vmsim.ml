@@ -51,15 +51,25 @@ let set_prot_free t ~frame p =
   | Some m -> m.m_prot <- p
   | None -> invalid_arg "Vmsim.set_prot: frame not mapped"
 
+let prot_name = function Prot_none -> "none" | Prot_read -> "read" | Prot_write -> "write"
+
 let set_prot t ~frame p =
-  Simclock.Clock.charge t.clock Simclock.Category.Mmap_call t.cm.Simclock.Cost_model.mmap_us;
+  Qs_trace.charge t.clock Simclock.Category.Mmap_call t.cm.Simclock.Cost_model.mmap_us;
+  if Qs_trace.enabled t.clock then
+    Qs_trace.instant t.clock ~cat:"vm"
+      ~args:[ Qs_trace.A_int ("frame", frame); Qs_trace.A_str ("prot", prot_name p) ]
+      "mmap.protect";
   set_prot_free t ~frame p
 
 let prot t ~frame =
   match Hashtbl.find_opt t.frames frame with Some m -> m.m_prot | None -> Prot_none
 
 let protect_all t =
-  Simclock.Clock.charge t.clock Simclock.Category.Mmap_call t.cm.Simclock.Cost_model.mmap_us;
+  Qs_trace.charge t.clock Simclock.Category.Mmap_call t.cm.Simclock.Cost_model.mmap_us;
+  if Qs_trace.enabled t.clock then
+    Qs_trace.instant t.clock ~cat:"vm"
+      ~args:[ Qs_trace.A_int ("frames", Hashtbl.length t.frames) ]
+      "mmap.protect_all";
   Hashtbl.iter (fun _ m -> m.m_prot <- Prot_none) t.frames
 
 let iter_mapped f t = Hashtbl.iter (fun frame m -> f ~frame ~prot:m.m_prot) t.frames
@@ -88,15 +98,26 @@ let resolve t addr a =
   in
   match attempt () with
   | Some buf -> buf
-  | None -> (
+  | None ->
     t.faults <- t.faults + 1;
-    Simclock.Clock.charge t.clock Simclock.Category.Page_fault t.cm.Simclock.Cost_model.page_fault_us;
-    t.handler ~frame ~access:a;
-    match attempt () with
-    | Some buf ->
-      t.post_fault ~frame;
-      buf
-    | None -> raise (Unhandled_fault { addr; access = a }))
+    (* Trap + handler as one trace span (the closure only exists on
+       the fault path; the protected no-fault access stays clean). *)
+    let handle () =
+      Qs_trace.charge t.clock Simclock.Category.Page_fault t.cm.Simclock.Cost_model.page_fault_us;
+      t.handler ~frame ~access:a;
+      match attempt () with
+      | Some buf ->
+        t.post_fault ~frame;
+        buf
+      | None -> raise (Unhandled_fault { addr; access = a })
+    in
+    if Qs_trace.enabled t.clock then
+      Qs_trace.with_span t.clock ~cat:"vm"
+        ~args:
+          [ Qs_trace.A_int ("frame", frame)
+          ; Qs_trace.A_str ("access", match a with Read -> "read" | Write -> "write") ]
+        "fault" handle
+    else handle ()
 
 let span_check addr len =
   if len < 0 || offset_of_addr addr + len > frame_size then

@@ -82,9 +82,9 @@ let test_qs005 () =
   check_rules "handler, no charge" [ "QS005" ] ~path:"lib/core/foo.ml"
     "let f vm h = Vmsim.set_fault_handler vm h\n";
   check_rules "handler plus charge" [] ~path:"lib/core/foo.ml"
-    "let f vm h clock = Vmsim.set_fault_handler vm h; Simclock.Clock.charge clock 1\n";
+    "let f vm h clock = Vmsim.set_fault_handler vm h; Qs_trace.charge clock 1\n";
   check_rules "charge_n counts" [] ~path:"lib/core/foo.ml"
-    "let f vm h clock = Vmsim.set_fault_handler vm h; Clock.charge_n clock 2 3\n";
+    "let f vm h clock = Vmsim.set_fault_handler vm h; Qs_trace.charge_n clock 2 3\n";
   check_rules "test exempt" [] ~path:"test/test_foo.ml"
     "let f vm h = Vmsim.set_fault_handler vm h\n";
   check_rules "no handler, no finding" [] ~path:"lib/core/foo.ml" "let f x = x + 1\n"
@@ -113,6 +113,25 @@ let test_qs007 () =
   check_rules "metadata ops pass" [] ~path:"lib/core/foo.ml"
     "let f d = Esm.Disk.alloc d + Esm.Disk.size_bytes d\n"
 
+(* --- QS008: untraced clock charges outside simclock/obs --- *)
+
+let test_qs008 () =
+  check_rules "Clock.charge in lib/core" [ "QS008" ] ~path:"lib/core/foo.ml"
+    "let f c = Simclock.Clock.charge c Simclock.Category.Diff 1.0\n";
+  check_rules "Clock.charge_n in lib/esm" [ "QS008" ] ~path:"lib/esm/foo.ml"
+    "let f c = Clock.charge_n c Category.Min_fault 3 0.5\n";
+  check_rules "simclock exempt" [] ~path:"lib/simclock/clock.ml"
+    "let f c = Clock.charge c cat 1.0\n";
+  check_rules "obs exempt" [] ~path:"lib/obs/qs_trace.ml"
+    "let charge = Clock.charge\n";
+  check_rules "bin tools exempt" [] ~path:"bin/qs_prof.ml"
+    "let f c = Simclock.Clock.charge c cat 1.0\n";
+  check_rules "tests exempt" [] ~path:"test/test_foo.ml" "let f c = Clock.charge c cat 1.0\n";
+  check_rules "Qs_trace.charge is the fix" [] ~path:"lib/core/foo.ml"
+    "let f c = Qs_trace.charge c Simclock.Category.Diff 1.0\n";
+  check_rules "allow attribute" [] ~path:"lib/core/foo.ml"
+    "let f c = (Simclock.Clock.charge c cat 1.0 [@qs_lint.allow \"QS008\"])\n"
+
 (* --- QS000: parse errors --- *)
 
 let test_qs000 () =
@@ -133,7 +152,14 @@ let test_path_policy () =
     (Lint.rule_applies ~path:"lib/esm/recovery.ml" "QS007");
   Alcotest.(check bool) "QS007 on in lib/core" true
     (Lint.rule_applies ~path:"lib/core/store.ml" "QS007");
-  Alcotest.(check bool) "QS007 off in bin" false (Lint.rule_applies ~path:"bin/qs_dump.ml" "QS007")
+  Alcotest.(check bool) "QS007 off in bin" false (Lint.rule_applies ~path:"bin/qs_dump.ml" "QS007");
+  Alcotest.(check bool) "QS008 on in core" true
+    (Lint.rule_applies ~path:"lib/core/store.ml" "QS008");
+  Alcotest.(check bool) "QS008 off in simclock" false
+    (Lint.rule_applies ~path:"lib/simclock/clock.ml" "QS008");
+  Alcotest.(check bool) "QS008 off in obs" false
+    (Lint.rule_applies ~path:"lib/obs/qs_trace.ml" "QS008");
+  Alcotest.(check bool) "QS008 off in bin" false (Lint.rule_applies ~path:"bin/qs_prof.ml" "QS008")
 
 let test_report_format () =
   match Lint.lint_source ~path:"lib/core/foo.ml" ~contents:"let f b =\n  Bytes.get b 0\n" with
@@ -152,7 +178,7 @@ let test_all_rules_listed () =
         (String.length r = 5 && String.sub r 0 2 = "QS"))
     Lint.all_rules;
   (* QS000 (parse error) is a pseudo-rule, not an enforceable one. *)
-  Alcotest.(check int) "seven enforceable rules" 7 (List.length Lint.all_rules);
+  Alcotest.(check int) "eight enforceable rules" 8 (List.length Lint.all_rules);
   Alcotest.(check bool) "QS000 not listed" false (List.mem "QS000" Lint.all_rules)
 
 let () =
@@ -165,6 +191,7 @@ let () =
         ; Alcotest.test_case "QS005 handler without charge" `Quick test_qs005
         ; Alcotest.test_case "QS006 stringly failure" `Quick test_qs006
         ; Alcotest.test_case "QS007 direct disk io" `Quick test_qs007
+        ; Alcotest.test_case "QS008 untraced charge" `Quick test_qs008
         ; Alcotest.test_case "QS000 parse error" `Quick test_qs000 ] )
     ; ( "plumbing"
       , [ Alcotest.test_case "path policy" `Quick test_path_policy

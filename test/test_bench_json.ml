@@ -1,0 +1,60 @@
+(* Bench-shape gate: regenerate BENCH_oo7.json (the committed OO7
+   small-database baseline: per-op times, I/O counts, fault counts and
+   win/loss orderings) and fail on any byte of drift. The simulation is
+   deterministic, so times are compared exactly, not within a
+   tolerance — any change to the committed file must be a deliberate,
+   reviewed re-baseline (dune exec bench/main.exe -- quick no-bech --json).
+
+   Runs as a plain executable test: exit 0 on match, exit 1 with the
+   first differing line otherwise. *)
+
+(* Under [dune runtest] the cwd is [_build/default/test] (the baseline
+   is a declared dep one level up); under [dune exec] from the repo
+   root it is the root itself. *)
+let baseline_candidates = [ "../BENCH_oo7.json"; "BENCH_oo7.json" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let first_diff a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i la lb =
+    match (la, lb) with
+    | [], [] -> None
+    | x :: la', y :: lb' -> if x = y then go (i + 1) la' lb' else Some (i, x, y)
+    | x :: _, [] -> Some (i, x, "<eof>")
+    | [], y :: _ -> Some (i, "<eof>", y)
+  in
+  go 1 la lb
+
+let () =
+  let baseline =
+    match List.find_opt Sys.file_exists baseline_candidates with
+    | Some path -> read_file path
+    | None ->
+      prerr_endline "test_bench_json: committed baseline BENCH_oo7.json not found";
+      exit 1
+  in
+  let seed = 1234 in
+  let suites =
+    Harness.Bench_json.small_suites ~progress:(fun m -> Printf.printf "%s\n%!" m) ~seed ()
+  in
+  let regenerated = Harness.Bench_json.render_small ~seed suites in
+  if String.equal baseline regenerated then
+    print_endline "test_bench_json: BENCH_oo7.json matches the regenerated benchmark byte-for-byte"
+  else begin
+    prerr_endline "test_bench_json: BENCH SHAPE DRIFT — regenerated OO7 output differs from the";
+    prerr_endline "committed BENCH_oo7.json. If the change is intentional, re-baseline with:";
+    prerr_endline "  dune exec bench/main.exe -- quick no-bech --json";
+    (match first_diff baseline regenerated with
+     | Some (line, was, now) ->
+       Printf.eprintf "first difference at line %d:\n  baseline:    %s\n  regenerated: %s\n" line
+         was now
+     | None ->
+       Printf.eprintf "files differ in length only (baseline %d bytes, regenerated %d bytes)\n"
+         (String.length baseline) (String.length regenerated));
+    exit 1
+  end
