@@ -64,9 +64,52 @@ let run_phase ~label systems ~ops =
    (wall-clock) cost of the reproduction kernel behind it on a tiny
    database. *)
 
-let bechamel_suite () =
+(* The protected no-fault access path of Vmsim — the store's hot loop.
+   Pure Vmsim, no database: 64 mapped read-enabled frames swept with
+   u32 loads, the shape of a traversal touching already-faulted pages.
+   This is the kernel the software TLB and the unsafe access path are
+   meant to speed up (EXPERIMENTS.md records before/after). *)
+let deref_kernel () =
+  let clock = Simclock.Clock.create () in
+  let vm = Vmsim.create ~clock ~cm:Simclock.Cost_model.default () in
+  let nframes = 64 in
+  for f = 0 to nframes - 1 do
+    Vmsim.map vm ~frame:f ~buf:(Bytes.make Vmsim.frame_size '\001');
+    Vmsim.set_prot vm ~frame:f Vmsim.Prot_read
+  done;
+  fun () ->
+    let acc = ref 0 in
+    for f = 0 to nframes - 1 do
+      let base = Vmsim.addr_of_frame f in
+      for i = 0 to 255 do
+        acc := !acc + Vmsim.read_u32 vm (base + (i * 32))
+      done
+    done;
+    ignore (Sys.opaque_identity !acc)
+
+let run_bechamel tests =
   let open Bechamel in
   let open Toolkit in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw =
+    Benchmark.all cfg Instance.[ monotonic_clock ] (Test.make_grouped ~name:"quickstore" tests)
+  in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with Some (v :: _) -> v | Some [] | None -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-44s %12.1f ns/run (%.3f ms)\n" name ns (ns /. 1e6))
+    (List.sort compare !rows)
+
+let bechamel_suite () =
+  let open Bechamel in
   section "Bechamel micro-benchmarks (real wall-clock time of the reproduction kernels)";
   let qs = Sys_.make_qs Params.tiny ~seed in
   let e = Sys_.make_e Params.tiny ~seed in
@@ -106,25 +149,10 @@ let bechamel_suite () =
     ; Test.make ~name:"fig15/e-Q2-cold" (Staged.stage (cold e "Q2"))
     ; Test.make ~name:"table9/e-Q1-cold" (Staged.stage (cold e "Q1"))
     ; Test.make ~name:"fig16/e-T2B-update" (Staged.stage (update e "T2B"))
-    ; Test.make ~name:"fig17/qs-cr-T1" (Staged.stage (cold qs_cr "T1")) ]
+    ; Test.make ~name:"fig17/qs-cr-T1" (Staged.stage (cold qs_cr "T1"))
+    ; Test.make ~name:"vm/deref-protected-u32" (Staged.stage (deref_kernel ())) ]
   in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
-  let raw =
-    Benchmark.all cfg Instance.[ monotonic_clock ] (Test.make_grouped ~name:"quickstore" tests)
-  in
-  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name ols_result ->
-      let ns =
-        match Analyze.OLS.estimates ols_result with Some (v :: _) -> v | Some [] | None -> nan
-      in
-      rows := (name, ns) :: !rows)
-    results;
-  List.iter
-    (fun (name, ns) -> Printf.printf "  %-44s %12.1f ns/run (%.3f ms)\n" name ns (ns /. 1e6))
-    (List.sort compare !rows)
+  run_bechamel tests
 
 (* ------------------------------------------------------------------ *)
 (* Ablations of DESIGN.md's called-out design choices.                 *)
@@ -241,6 +269,14 @@ let () =
   let quick = List.mem "quick" argv in
   let with_bechamel = not (List.mem "no-bech" argv) in
   let emit_json = List.mem "--json" argv in
+  if List.mem "deref" argv then begin
+    (* Fast path for the EXPERIMENTS.md wall-clock numbers: only the
+       Vmsim dereference kernel, no database build. *)
+    let open Bechamel in
+    section "Bechamel deref kernel (protected no-fault access path)";
+    run_bechamel [ Test.make ~name:"vm/deref-protected-u32" (Staged.stage (deref_kernel ())) ];
+    exit 0
+  end;
   let t0 = Unix.gettimeofday () in
   Printf.printf
     "QuickStore reproduction benchmark harness\n\
@@ -275,6 +311,48 @@ let () =
   print_endline (Exp.fig12 small_suites);
   print_endline (Exp.fig13 small_suites);
   print_endline (Exp.table7 small_suites);
+
+  section "Batched I/O (fault-time page-run prefetch + WAL group commit)";
+  let prefetch_suites =
+    Harness.Bench_json.small_prefetch_suites ~progress:(fun m -> Printf.printf "%s\n%!" m) ~seed ()
+  in
+  validate prefetch_suites;
+  if emit_json then begin
+    let path = "BENCH_oo7_prefetch.json" in
+    let oc = open_out_bin path in
+    output_string oc (Harness.Bench_json.render_small_prefetch ~seed prefetch_suites);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end;
+  print_newline ();
+  (match (small_suites, prefetch_suites) with
+   | qs_plain :: e_plain :: _, [ qs_pre; e_ctrl ] ->
+     let cold s op = (Exp.get s op).Sys_.cold.Harness.Measure.ms in
+     let row op =
+       let plain = cold qs_plain op and pre = cold qs_pre op in
+       [ op
+       ; Harness.Report.seconds plain
+       ; Harness.Report.seconds pre
+       ; Printf.sprintf "%.1f%%" (100.0 *. (plain -. pre) /. plain)
+       ; Harness.Report.seconds (cold e_ctrl op) ]
+     in
+     print_endline
+       (Harness.Report.render
+          ~title:
+            "QS cold response with prefetch_run_max=8 + group commit vs stock QS (small DB); E \
+             control"
+          ~header:[ "op"; "QS (s)"; "QS+prefetch (s)"; "saved"; "E ctrl (s)" ]
+          ~rows:(List.map row Harness.Bench_json.small_prefetch_ops));
+     (* Prefetch lives in QuickStore's fault handler and group commit is
+        enabled per-store, so E must not move at all. Cold T1 is the one
+        run whose pre-state is identical in both suites (first op on a
+        freshly built system) and therefore bit-comparable; later ops see
+        different carried-over cache/log state because the suites run
+        different op sequences. *)
+     Printf.printf "E control cold T1 %s the stock E baseline (%.1f s)\n"
+       (if cold e_ctrl "T1" = cold e_plain "T1" then "matches" else "DIVERGES FROM")
+       (cold e_ctrl "T1" /. 1000.0)
+   | _ -> ());
 
   if not quick then begin
     section "Medium database";

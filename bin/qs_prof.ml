@@ -32,14 +32,21 @@ let params_of_db = function
   | "medium" -> Params.medium
   | db -> die "unknown database %S (tiny|small|medium)" db
 
-let build ~sysname ~db ~seed =
+let build ~sysname ~db ~seed ~prefetch ~group_commit =
   let params = params_of_db db in
+  let with_batching base =
+    { base with Qs_config.prefetch_run_max = prefetch; Qs_config.group_commit }
+  in
   match sysname with
-  | "qs" -> Sys_.make_qs params ~seed
+  | "qs" -> Sys_.make_qs ~config:(with_batching Qs_config.default) params ~seed
   | "qsb" ->
-    Sys_.make_qs ~config:{ Qs_config.default with Qs_config.mode = Qs_config.Big_objects } params
-      ~seed
-  | "e" -> Sys_.make_e params ~seed
+    Sys_.make_qs
+      ~config:(with_batching { Qs_config.default with Qs_config.mode = Qs_config.Big_objects })
+      params ~seed
+  | "e" ->
+    if prefetch > 1 || group_commit then
+      die "--prefetch/--group-commit are QuickStore fault-handler knobs; E has no fault-time batching";
+    Sys_.make_e params ~seed
   | s -> die "unknown system %S (qs|e|qsb)" s
 
 (* Run [op] with the sink armed across a freshly reset clock, so the
@@ -120,12 +127,34 @@ let commit_decomposition ~op (m : Qs_metrics.t) =
               rows
            @ [ [ "total (all categories)"; Report.f1 total; "100.0%" ] ]))
 
+(* Attribution of the batched-I/O savings: how many fetch runs the
+   fault handler batched (and the Data_io they charged as one seek +
+   per-page transfers + one ship) and how many log forces group commit
+   coalesced into a prior in-flight write. *)
+let batched_io_summary (m : Qs_metrics.t) =
+  let printed = ref false in
+  (match Qs_metrics.find_span m "prefetch" with
+   | Some row when row.Qs_metrics.sr_count > 0 ->
+     printed := true;
+     Printf.printf "prefetch: %d batched run fetches, %.1f ms data I/O inside prefetch spans\n"
+       row.Qs_metrics.sr_count (span_ms row Cat.Data_io)
+   | Some _ | None -> ());
+  (match Qs_metrics.find_span m "group_commit" with
+   | Some row when row.Qs_metrics.sr_count > 0 ->
+     printed := true;
+     Printf.printf "group commit: %d log forces coalesced (no disk charge)\n"
+       row.Qs_metrics.sr_count
+   | Some _ | None -> ());
+  if !printed then print_newline ()
+
 let () =
   let sysname = ref "qs"
   and db = ref "tiny"
   and op = ref "T1"
   and seed = ref 1234
   and hot = ref 0
+  and prefetch = ref 1
+  and group_commit = ref false
   and out = ref ""
   and charges = ref false
   and verify = ref false in
@@ -135,6 +164,8 @@ let () =
     ; ("--op", Arg.Set_string op, "OP OO7 operation (default T1)")
     ; ("--seed", Arg.Set_int seed, "N workload seed (default 1234)")
     ; ("--hot", Arg.Set_int hot, "N hot repetitions (default 0)")
+    ; ("--prefetch", Arg.Set_int prefetch, "N fault-time fetch runs of up to N pages (default 1 = off)")
+    ; ("--group-commit", Arg.Set group_commit, " coalesce adjacent WAL forces (charging only)")
     ; ("--out", Arg.Set_string out, "FILE write Chrome trace_event JSON")
     ; ("--charges", Arg.Set charges, " include every clock charge in the Chrome export")
     ; ("--verify", Arg.Set verify, " also run disarmed; clock readings must be bit-identical") ]
@@ -143,9 +174,11 @@ let () =
     (fun a -> die "unexpected argument %S" a)
     "qs_prof: §5.2 cost decomposition from the Qs_trace stream";
 
-  Printf.printf "qs_prof: %s %s on the %s database, seed %d, hot_reps %d\n%!" !sysname !op !db
-    !seed !hot;
-  let sys = build ~sysname:!sysname ~db:!db ~seed:!seed in
+  Printf.printf "qs_prof: %s %s on the %s database, seed %d, hot_reps %d%s%s\n%!" !sysname !op !db
+    !seed !hot
+    (if !prefetch > 1 then Printf.sprintf ", prefetch %d" !prefetch else "")
+    (if !group_commit then ", group commit" else "");
+  let sys = build ~sysname:!sysname ~db:!db ~seed:!seed ~prefetch:!prefetch ~group_commit:!group_commit in
   let r, trace, clock = run_traced sys ~op:!op ~seed:!seed ~hot_reps:!hot in
   Printf.printf "%d trace events; cold %.1f ms, %d faults%s\n\n" (Qs_trace.length trace)
     r.Sys_.cold.Harness.Measure.ms r.Sys_.cold_faults
@@ -158,6 +191,7 @@ let () =
   print_newline ();
   (match fault_decomposition ~op:!op m with Some s -> print_endline s | None -> ());
   (match commit_decomposition ~op:!op m with Some s -> print_endline s | None -> ());
+  batched_io_summary m;
 
   (* The acceptance check: the decomposition regenerated from the
      trace stream must equal the clock's own totals exactly. *)
@@ -178,7 +212,10 @@ let () =
   end;
 
   if !verify then begin
-    let sys2 = build ~sysname:!sysname ~db:!db ~seed:!seed in
+    let sys2 =
+      build ~sysname:!sysname ~db:!db ~seed:!seed ~prefetch:!prefetch
+        ~group_commit:!group_commit
+    in
     let _, clock2 = run_plain sys2 ~op:!op ~seed:!seed ~hot_reps:!hot in
     let bad = ref [] in
     List.iter

@@ -2,7 +2,7 @@ open Parsetree
 
 type finding = { file : string; line : int; col : int; rule : string; msg : string }
 
-let all_rules = [ "QS001"; "QS002"; "QS003"; "QS004"; "QS005"; "QS006"; "QS007"; "QS008" ]
+let all_rules = [ "QS001"; "QS002"; "QS003"; "QS004"; "QS005"; "QS006"; "QS007"; "QS008"; "QS009" ]
 
 let to_string f = Printf.sprintf "%s:%d: %s %s" f.file f.line f.rule f.msg
 
@@ -37,6 +37,10 @@ let rule_applies ~path rule =
        the trace layer may name Clock.charge directly. *)
     has_prefix ~prefix:"lib/" path
     && not (has_prefix ~prefix:"lib/simclock/" path || has_prefix ~prefix:"lib/obs/" path)
+  | "QS009" ->
+    (* Unchecked byte access is confined to the Vmsim fast path and its
+       codec helpers, where map/span_check establish the bounds. *)
+    not (has_prefix ~prefix:"lib/vmsim/" path || has_prefix ~prefix:"lib/util/" path)
   | _ -> true
 
 (* ------------------------------------------------------------------ *)
@@ -142,6 +146,16 @@ let check_ident ctx ~loc comps =
            last);
     if penult = Some "Obj" && last = "magic" then
       report ctx ~loc "QS002" "Obj.magic defeats the schema layer";
+    if
+      penult = Some "Bytes"
+      && String.length last > 7
+      && String.sub last 0 7 = "unsafe_"
+    then
+      report ctx ~loc "QS009"
+        (Printf.sprintf
+           "Bytes.%s outside lib/vmsim and lib/util: unchecked byte access belongs to the Vmsim \
+            fast path (or annotate with [@qs_lint.allow \"QS009\"])"
+           last);
     if last = "set_prot_free" then
       report ctx ~loc "QS004"
         "Vmsim.set_prot_free bypasses mmap cost charging (harness/test only)";

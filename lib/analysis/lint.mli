@@ -39,6 +39,10 @@
       [lib/obs/] — cost charges must go through the traced charge API
       ([Qs_trace.charge]/[charge_n]) so the event layer observes every
       one. Tools and tests are exempt.
+    - {b QS009} [unsafe-bytes]: no [Bytes.unsafe_get]/[Bytes.unsafe_set]
+      (any [Bytes.unsafe_*]) outside [lib/vmsim/] and [lib/util/] — the
+      unchecked access path is justified only where [Vmsim.map]'s
+      buffer-length validation and [span_check] establish the bounds.
     - {b QS000}: the file failed to parse.
 
     {2 Allowlisting}
@@ -52,7 +56,7 @@ type finding = {
   file : string;
   line : int;
   col : int;
-  rule : string;  (** "QS001" .. "QS008", or "QS000" for parse errors *)
+  rule : string;  (** "QS001" .. "QS009", or "QS000" for parse errors *)
   msg : string;
 }
 

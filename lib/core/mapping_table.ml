@@ -123,6 +123,22 @@ let split_large t d ~idx =
     mid
   end
 
+(* Fault-time prefetch: the run of single-frame small-page descriptors
+   mapped contiguously after [vframe] (up to [max] of them). A hole in
+   the address space or a large-object range ends the run — large
+   objects fault by range already, and a hole means the segment's next
+   page was never assigned a neighboring frame by the mapping. *)
+let contiguous_run t ~vframe ~max =
+  let rec go v n acc =
+    if n >= max then List.rev acc
+    else
+      match find_by_vframe t v with
+      | Some ({ phys = Small_page _; nframes = 1; _ } as d) when d.vframe = v ->
+        go (v + 1) (n + 1) (d :: acc)
+      | Some _ | None -> List.rev acc
+  in
+  go (vframe + 1) 0 []
+
 let find_gap ?start t ~width () = Avl.find_gap ?start t.tree ~width ~limit:Vmsim.frame_count
 
 let iter f t = Avl.iter (fun ~lo:_ ~hi:_ d -> f d) t.tree

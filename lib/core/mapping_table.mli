@@ -57,6 +57,13 @@ val find_large_head : t -> Esm.Oid.t -> desc option
 (** Is the virtual-frame range [vframe, vframe+n) free? *)
 val range_free : t -> vframe:int -> n:int -> bool
 
+(** [contiguous_run t ~vframe ~max] returns up to [max] single-frame
+    small-page descriptors mapped at [vframe+1], [vframe+2], ... — the
+    run a fault-time prefetch can fetch together with the faulting
+    page. A hole in the virtual address space or a large-object range
+    ends the run. *)
+val contiguous_run : t -> vframe:int -> max:int -> desc list
+
 (** Split a large descriptor so that page index [idx] gets its own
     single-frame descriptor (Figure 3); returns it. The descriptor must
     cover [idx]. *)

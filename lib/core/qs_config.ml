@@ -44,7 +44,22 @@ type t = {
           commit, raising [Qs_util.Sanitizer.Sanitizer_violation] on
           the first inconsistency. Off by default: the checks walk the
           whole mapping table and would distort no costs (they charge
-          nothing) but plenty of wall-clock. *)
+          nothing) but plenty of wall-clock. Also restores Vmsim's
+          bounds-checked access path. *)
+  prefetch_run_max : int;
+      (** Fault-time read-ahead: on a data-page read fault, fetch up
+          to this many pages (the faulting page plus the run of
+          contiguously-mapped, non-resident neighbors in the same
+          segment) in one server round trip, charged as one seek +
+          per-page transfer + one ship. [1] (the default) disables
+          prefetch — every fault ships exactly its own page, as in the
+          paper's measured configuration. *)
+  group_commit : bool;
+      (** WAL group commit: a log force that arrives within
+          [group_commit_window_us] of the previous force and adds no
+          new full log page rides the in-flight disk force for free
+          (durability is unchanged — only the charge coalesces). Off
+          by default. *)
 }
 
 let default =
@@ -56,6 +71,8 @@ let default =
   ; clock_policy = Simplified_clock
   ; ptr_format = Vm_addresses
   ; diff_gap = Esm.Wal.header_bytes / 2
-  ; sanitize = false }
+  ; sanitize = false
+  ; prefetch_run_max = 1
+  ; group_commit = false }
 
 let reloc_fraction = function No_reloc -> 0.0 | Continual f | One_time f -> f

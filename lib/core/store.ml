@@ -27,6 +27,7 @@ type field = { fl_layout : Schema.layout; fl_off : int; fl_kind : Schema.field_k
 type stats = {
   mutable hard_faults : int;
   mutable soft_faults : int;
+  mutable pages_prefetched : int;
   mutable write_faults : int;
   mutable pages_swizzled : int;
   mutable ptrs_rewritten : int;
@@ -41,6 +42,7 @@ type stats = {
 let fresh_stats () =
   { hard_faults = 0
   ; soft_faults = 0
+  ; pages_prefetched = 0
   ; write_faults = 0
   ; pages_swizzled = 0
   ; ptrs_rewritten = 0
@@ -88,6 +90,7 @@ let reset_stats t =
   let d = t.stats in
   d.hard_faults <- 0;
   d.soft_faults <- 0;
+  d.pages_prefetched <- 0;
   d.write_faults <- 0;
   d.pages_swizzled <- 0;
   d.ptrs_rewritten <- 0;
@@ -608,9 +611,49 @@ let validate t =
            | None -> ())))
     t.table
 
+(* Prefetch runs only extend across pages this close together on disk:
+   contiguously clustered segment neighbors share the faulting page's
+   seek; anything further apart would need its own positioning and
+   gains nothing from batching. *)
+let max_prefetch_page_gap = 8
+
+(* Fault-time prefetch candidates: the contiguously mapped single-frame
+   neighbors of [d] (in virtual-address order) whose pages are
+   non-resident and follow the faulting page on disk with bounded
+   gaps. The run ends at the first descriptor that fails any
+   condition — a fetch batch must be one forward disk sweep. *)
+let run_candidates t d ~page_id =
+  let max_extra = t.config.Qs_config.prefetch_run_max - 1 in
+  if max_extra <= 0 then []
+  else begin
+    let pool = Client.pool t.client in
+    let rec keep prev = function
+      | [] -> []
+      | (d2 : MT.desc) :: rest -> (
+        match d2.MT.phys with
+        | MT.Small_page p
+          when p > prev
+               && p - prev <= max_prefetch_page_gap
+               && d2.MT.buf_frame = None
+               && (not (Hashtbl.mem t.resident p))
+               && Buf_pool.lookup pool p = None -> (p, d2) :: keep p rest
+        | MT.Small_page _ | MT.Large_range _ -> [])
+    in
+    keep page_id (MT.contiguous_run t.table ~vframe:d.MT.vframe ~max:max_extra)
+  end
+
 (* Ensure the page is in the client buffer pool, pinned (the handler
    performs further I/O — mapping objects, bitmaps — that must not
-   evict the page mid-fault); true if I/O happened. The caller unfixes. *)
+   evict the page mid-fault); true if I/O happened. The caller unfixes.
+
+   With [prefetch_run_max > 1], a non-resident small data page pulls
+   its candidate run along in the same server round trip. The faulting
+   page stays pinned as before; prefetched neighbors are installed in
+   the mapping table as resident-but-unmapped (their first access is a
+   soft fault with no I/O — the whole saving) and unpinned, so they are
+   ordinary eviction victims. If the fetch fails, [Client.fix_page_run]
+   has already restored the pool and nothing here ran: the mapping
+   table never sees a partial run. *)
 let ensure_resident_pinned t d =
   let page_id = data_page_of_desc t d in
   let resident =
@@ -618,12 +661,46 @@ let ensure_resident_pinned t d =
     | Some f when Buf_pool.page_of_frame (Client.pool t.client) f = Some page_id -> true
     | Some _ | None -> false
   in
-  let f = Client.fix_page t.client ~kind:Server.Data page_id in
-  if not resident then begin
-    d.MT.buf_frame <- Some f;
-    Hashtbl.replace t.resident page_id d
-  end;
-  (page_id, f, not resident)
+  let run =
+    match d.MT.phys with
+    | MT.Small_page _ when (not resident) && t.config.Qs_config.prefetch_run_max > 1 ->
+      run_candidates t d ~page_id
+    | MT.Small_page _ | MT.Large_range _ -> []
+  in
+  match run with
+  | [] ->
+    let f = Client.fix_page t.client ~kind:Server.Data page_id in
+    if not resident then begin
+      d.MT.buf_frame <- Some f;
+      Hashtbl.replace t.resident page_id d
+    end;
+    (page_id, f, not resident)
+  | _ :: _ ->
+    let pages = page_id :: List.map fst run in
+    let fetch () =
+      match Client.fix_page_run t.client ~kind:Server.Data pages with
+      | [] -> assert false
+      | (_, f) :: prefetched ->
+        d.MT.buf_frame <- Some f;
+        Hashtbl.replace t.resident page_id d;
+        List.iter2
+          (fun (p, d2) (_, f2) ->
+            d2.MT.buf_frame <- Some f2;
+            Hashtbl.replace t.resident p d2;
+            t.stats.pages_prefetched <- t.stats.pages_prefetched + 1;
+            Client.unfix_page t.client ~frame:f2)
+          run prefetched;
+        f
+    in
+    let f =
+      if Qs_trace.enabled t.clock then
+        Qs_trace.with_span t.clock ~cat:"qs"
+          ~args:
+            [ Qs_trace.A_int ("page", page_id); Qs_trace.A_int ("pages", List.length pages) ]
+          "prefetch" fetch
+      else fetch ()
+    in
+    (page_id, f, true)
 
 (* Swizzle check for a small data page (Figure 5): process the mapping
    object; if any referenced page lost its previous frame, rewrite the
@@ -948,7 +1025,12 @@ let mk ~config ~server ~meta_page ~schema ~frame_counter =
     ; stats = fresh_stats () }
   in
   Vmsim.set_fault_handler vm (fun ~frame ~access -> handle_fault t ~frame ~access);
-  if config.Qs_config.sanitize then Vmsim.set_post_fault_hook vm (fun ~frame:_ -> validate t);
+  if config.Qs_config.group_commit then Server.set_group_commit server true;
+  if config.Qs_config.sanitize then begin
+    Vmsim.set_post_fault_hook vm (fun ~frame:_ -> validate t);
+    (* QSan also re-enables the bounds-checked access path. *)
+    Vmsim.set_checked vm true
+  end;
   if offsets_mode t then begin
     (match config.Qs_config.reloc with
      | Qs_config.No_reloc -> ()

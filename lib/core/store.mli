@@ -125,6 +125,10 @@ val reset_caches : t -> unit
 type stats = {
   mutable hard_faults : int;  (** faults that performed data I/O *)
   mutable soft_faults : int;  (** faults satisfied from the buffer pool *)
+  mutable pages_prefetched : int;
+      (** neighbor pages fetched along with a faulting page
+          ([Qs_config.prefetch_run_max] > 1); their later first
+          accesses are soft faults *)
   mutable write_faults : int;
   mutable pages_swizzled : int;  (** pages whose pointers were rewritten *)
   mutable ptrs_rewritten : int;

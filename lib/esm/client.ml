@@ -162,6 +162,54 @@ let fix_page t ~kind page_id =
     Buf_pool.pin t.pool f;
     f
 
+(* Fault-time prefetch: fix a whole run of pages with one server round
+   trip ([Server.read_page_run]). Frames are installed and pinned one
+   at a time, so [take_frame] for a later page of the run can never
+   reclaim an earlier one (both victim policies skip pinned frames).
+   If acquisition or the fetch ultimately fails, every pin taken and
+   every frame acquired for the run is released — none holds dirty
+   data — leaving the pool exactly as before the call, so the caller's
+   mapping table never sees a partially installed run. Retries inside
+   [rpc] re-request the whole run; pages the server already read are
+   served from its pool, so the retry is idempotent. Returns the
+   (page, frame) pairs in request order, all pinned. *)
+let fix_page_run t ~kind page_ids =
+  let txn = txn_id t in
+  let pinned = ref [] in
+  let fetched = ref [] in  (* newly acquired frames awaiting data *)
+  try
+    let fixed =
+      List.map
+        (fun page_id ->
+          match Buf_pool.lookup t.pool page_id with
+          | Some f ->
+            Buf_pool.pin t.pool f;
+            Buf_pool.set_ref_bit t.pool f true;
+            pinned := f :: !pinned;
+            (page_id, f)
+          | None ->
+            let f = take_frame t in
+            Buf_pool.install t.pool ~frame:f ~page_id;
+            Buf_pool.pin t.pool f;
+            pinned := f :: !pinned;
+            fetched := (page_id, f) :: !fetched;
+            (page_id, f))
+        page_ids
+    in
+    (match !fetched with
+     | [] -> ()
+     | to_fetch ->
+       let run = List.rev_map (fun (p, f) -> (p, Buf_pool.frame_bytes t.pool f)) to_fetch in
+       let first = match page_ids with p :: _ -> p | [] -> -1 in
+       rpc t ~op:"read_run" ~page:first (fun () ->
+           net_request t ~op:"read_run" ~page:first (fun () ->
+               Server.read_page_run t.server ~txn ~kind run)));
+    fixed
+  with e ->
+    List.iter (fun f -> Buf_pool.unpin t.pool f) !pinned;
+    List.iter (fun (_, f) -> Buf_pool.evict t.pool f) !fetched;
+    raise e
+
 let unfix_page t ~frame = Buf_pool.unpin t.pool frame
 
 let new_page t ~kind =

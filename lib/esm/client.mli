@@ -90,6 +90,15 @@ val with_txn : t -> (unit -> 'a) -> 'a
     frame. Misses go to the server (charged). *)
 val fix_page : t -> kind:Server.io_kind -> int -> int
 
+(** [fix_page_run t ~kind pages] fixes a run of pages with one server
+    round trip ({!Server.read_page_run}): one disk seek for the run's
+    misses, one ship for the run — the fault-time prefetch path.
+    Already-resident pages are pinned locally. Returns (page, frame)
+    pairs in request order, all pinned. On failure (including
+    {!Degraded}) every pin and frame acquired for the run has been
+    released, so the pool is exactly as before the call. *)
+val fix_page_run : t -> kind:Server.io_kind -> int list -> (int * int) list
+
 val unfix_page : t -> frame:int -> unit
 
 (** Residency without faulting. *)

@@ -31,6 +31,11 @@ type t = {
   mutable index_undo : Wal.record -> unit;
   mutable fail_after_writes : int option;  (* fault injection: crash mid-flush *)
   fault : Qs_fault.t;  (* Qs_fault injector shared with the disk *)
+  mutable group_commit : bool;
+  mutable last_force : (float * int) option;
+      (* simulated time of the last charged log force and the count of
+         full log pages durable at that point; a force inside the
+         group-commit window that adds no full page rides it for free *)
 }
 
 let create_with_disk ?(frames = 4608) ?fault ~disk ~clock ~cm () =
@@ -56,12 +61,15 @@ let create_with_disk ?(frames = 4608) ?fault ~disk ~clock ~cm () =
   ; txn_dirty = Hashtbl.create 8
   ; index_undo = (fun _ -> ())
   ; fail_after_writes = None
-  ; fault }
+  ; fault
+  ; group_commit = false
+  ; last_force = None }
 
 let create ?frames ?fault ~clock ~cm () =
   create_with_disk ?frames ?fault ~disk:(Disk.create ()) ~clock ~cm ()
 
 let fault_injector t = t.fault
+let set_group_commit t b = t.group_commit <- b
 
 let disk t = t.disk
 let clock t = t.clock
@@ -191,6 +199,46 @@ let read_page t ~txn ~kind page_id dst =
       "ship.read";
   Bytes.blit (Buf_pool.frame_bytes t.pool f) 0 dst 0 Page.page_size
 
+(* Multi-page fetch (fault-time prefetch): every page of the run is
+   served in one round trip. The run's pool misses are read as one
+   disk batch — one seek ([disk_seek_us]) plus a media transfer per
+   page — and the run ships for a single [net_ship_us], which is where
+   prefetch wins over [List.length pages] individual [read_page]
+   calls. Each page still counts as one client read. A transient
+   [Disk] fault propagates with the pages read so far already
+   installed in the server pool, so the client's retry is idempotent
+   (re-served pages become hits). *)
+let read_page_run t ~txn ~kind pages =
+  check_active t txn "read_page_run";
+  let c = t.counters in
+  let cat = category_of_kind kind in
+  let cm = t.cm in
+  let misses = ref 0 in
+  List.iter
+    (fun (page_id, dst) ->
+      c.client_reads <- c.client_reads + 1;
+      (match kind with
+       | Data -> c.client_reads_data <- c.client_reads_data + 1
+       | Map -> c.client_reads_map <- c.client_reads_map + 1
+       | Index -> c.client_reads_index <- c.client_reads_index + 1);
+      let f, hit = resident_bytes t ~cat ~charge_miss:false page_id in
+      if hit then c.server_pool_hits <- c.server_pool_hits + 1 else incr misses;
+      Bytes.blit (Buf_pool.frame_bytes t.pool f) 0 dst 0 Page.page_size)
+    pages;
+  if !misses > 0 then begin
+    Qs_trace.charge t.clock cat cm.Simclock.Cost_model.disk_seek_us;
+    Qs_trace.charge_n t.clock cat !misses cm.Simclock.Cost_model.disk_transfer_page_us
+  end;
+  Qs_trace.charge t.clock cat cm.Simclock.Cost_model.net_ship_us;
+  if Qs_trace.enabled t.clock then
+    Qs_trace.instant t.clock ~cat:"esm"
+      ~args:
+        [ Qs_trace.A_int ("pages", List.length pages)
+        ; Qs_trace.A_int ("misses", !misses)
+        ; Qs_trace.A_str ("kind", match kind with Data -> "data" | Map -> "map" | Index -> "index")
+        ]
+      "ship.read_run"
+
 let note_txn_dirty t txn page_id =
   match Hashtbl.find_opt t.txn_dirty txn with
   | Some h -> Hashtbl.replace h page_id ()
@@ -294,9 +342,38 @@ let force_log t =
      of the unforced tail becomes durable, then the process dies. *)
   Qs_fault.hit t.fault Qs_fault.Point.wal_force_partial ~on_fire:(fun ~frac ->
       ignore (Wal.force_upto t.wal (int_of_float (frac *. float_of_int (Wal.unforced t.wal)))));
+  let full_pages_before = Wal.forced_bytes t.wal / Page.page_size in
   let pages = Wal.force t.wal in
-  Qs_trace.charge_n t.clock Simclock.Category.Commit_flush pages
-    t.cm.Simclock.Cost_model.server_disk_write_us;
+  (* Group commit: a force arriving within the window of the previous
+     charged force, whose only newly written page is the same partial
+     tail page that force already rewrote, rides the in-flight disk
+     write (§3.5's delayed-write discipline applied to the log).
+     Durability is unchanged — the records are forced above either
+     way; only the disk charge coalesces. *)
+  let coalesced =
+    t.group_commit
+    && pages = 1
+    && (match t.last_force with
+        | Some (ts, full_pages) ->
+          full_pages = full_pages_before
+          && Simclock.Clock.total_us t.clock -. ts
+             <= t.cm.Simclock.Cost_model.group_commit_window_us
+        | None -> false)
+  in
+  if coalesced then begin
+    if Qs_trace.enabled t.clock then
+      Qs_trace.with_span t.clock ~cat:"esm"
+        ~args:[ Qs_trace.A_int ("pages_saved", pages) ]
+        "group_commit"
+        (fun () -> ())
+  end
+  else begin
+    Qs_trace.charge_n t.clock Simclock.Category.Commit_flush pages
+      t.cm.Simclock.Cost_model.server_disk_write_us;
+    if pages > 0 then
+      t.last_force <-
+        Some (Simclock.Clock.total_us t.clock, Wal.forced_bytes t.wal / Page.page_size)
+  end;
   if Qs_trace.enabled t.clock then
     Qs_trace.instant t.clock ~cat:"esm" ~args:[ Qs_trace.A_int ("pages", pages) ] "wal.force"
 
@@ -402,6 +479,7 @@ let crash t =
   t.txn_updates <- Hashtbl.create 8;
   t.txn_dirty <- Hashtbl.create 8;
   t.fail_after_writes <- None;
+  t.last_force <- None;
   (* The failure is taken: the restarted server may serve again. *)
   Qs_fault.clear_halt t.fault
 
@@ -416,4 +494,5 @@ let fork_crashed t =
   in
   s.wal <- Wal.survive_crash t.wal;
   s.next_txn <- t.next_txn;
+  s.group_commit <- t.group_commit;
   s

@@ -77,6 +77,16 @@ val prepare : t -> txn:int -> unit
     one client I/O request (the unit reported in Tables 3/4/8/9). *)
 val read_page : t -> txn:int -> kind:io_kind -> int -> bytes -> unit
 
+(** [read_page_run t ~txn ~kind pages] ships a run of pages in one
+    round trip (fault-time prefetch): the run's server-pool misses are
+    read as one disk batch — one [disk_seek_us] plus a
+    [disk_transfer_page_us] per missed page — and the whole run is
+    charged a single [net_ship_us]. Each page still counts as one
+    client I/O request. A transient disk fault propagates with the
+    pages read so far installed in the server pool, so a client retry
+    is idempotent. *)
+val read_page_run : t -> txn:int -> kind:io_kind -> (int * bytes) list -> unit
+
 (** [write_page t ~txn ~at_commit page_id src] receives a dirty page
     from the client. With [at_commit:true] the charge is the per-page
     commit-flush cost; otherwise it is a mid-transaction write-back
@@ -138,6 +148,14 @@ exception Injected_crash
 val inject_crash_after_writes : t -> int -> unit
 
 val wal : t -> Wal.t
+
+(** WAL group commit ([Qs_config.group_commit]): when on, a log force
+    arriving within [group_commit_window_us] of the previous charged
+    force that adds no new full log page rides the in-flight disk
+    write for free. Durability is unchanged — records are forced
+    immediately either way; only the disk charge coalesces. Off by
+    default (bit-identical to the paper's per-commit force). *)
+val set_group_commit : t -> bool -> unit
 
 (** {2 Counters} *)
 

@@ -104,3 +104,4 @@ let survive_crash t =
 let record_count t = t.len
 let total_bytes t = t.total_bytes
 let update_bytes t = t.update_bytes
+let forced_bytes t = t.forced_bytes

@@ -65,3 +65,8 @@ val total_bytes : t -> int
 (** Bytes appended by [Update] records only (log-volume accounting for
     the diffing experiments). *)
 val update_bytes : t -> int
+
+(** Log bytes already written to disk pages (the durable prefix) —
+    [forced_bytes t / Page.page_size] is the number of full log pages
+    on disk, the quantity group commit compares across forces. *)
+val forced_bytes : t -> int

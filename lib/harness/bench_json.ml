@@ -90,3 +90,32 @@ let small_suites ?(progress = fun (_ : string) -> ()) ~seed () =
     [ qs; e; qsb ]
 
 let render_small ~seed suites = render ~benchmark:"OO7" ~database:"small" ~seed ~hot_reps:3 suites
+
+(* The batched-I/O configuration of the second baseline: fault-time
+   page-run prefetch plus WAL group commit. *)
+let prefetch_config =
+  { Quickstore.Qs_config.default with
+    Quickstore.Qs_config.prefetch_run_max = 8
+  ; Quickstore.Qs_config.group_commit = true }
+
+let small_prefetch_ops = Exp.traversal_ops @ Exp.update_ops
+
+(* The second bench-shape baseline ([BENCH_oo7_prefetch.json]): QS with
+   prefetch + group commit against a stock E control, traversals and
+   updates only (queries are index-driven and gain nothing from run
+   prefetch), hot_reps 1 — hot passes fault nothing, so one rep is
+   enough to pin their shape. E runs untouched: prefetch lives in
+   QuickStore's fault handler and group commit is enabled per-store, so
+   any drift in E's numbers between the two baselines is a bug. *)
+let small_prefetch_suites ?(progress = fun (_ : string) -> ()) ~seed () =
+  progress "building small databases (QS+prefetch, E control)...";
+  let qs = System.make_qs ~config:prefetch_config Oo7.Params.small ~seed in
+  let e = System.make_e Oo7.Params.small ~seed in
+  List.map
+    (fun (sys : System.t) ->
+      progress (Printf.sprintf "running prefetch operations on %s..." sys.System.name);
+      Exp.run_suite ~seed ~hot_reps:1 sys ~ops:small_prefetch_ops)
+    [ qs; e ]
+
+let render_small_prefetch ~seed suites =
+  render ~benchmark:"OO7+prefetch" ~database:"small" ~seed ~hot_reps:1 suites

@@ -26,11 +26,25 @@ type t = {
   commit_flush_page_us : float;  (** per dirty page: ship back + amortized install *)
   net_timeout_us : float;  (** waiting out a lost request before retrying *)
   retry_backoff_us : float;  (** base client backoff between retries (doubles per attempt) *)
+  disk_seek_us : float;
+      (** positioning cost of a disk batch: seek + rotational delay,
+          paid once per contiguous run ([disk_seek_us] +
+          [disk_transfer_page_us] = [server_disk_read_us], so a
+          one-page run costs exactly a single-page read) *)
+  disk_transfer_page_us : float;  (** media transfer per 8 KB page within a run *)
+  group_commit_window_us : float;
+      (** WAL group commit: a log force arriving within this window of
+          the previous force, with no new full log page to write,
+          rides the in-flight disk force for free *)
   (* --- virtual-memory machinery (QuickStore) --- *)
   page_fault_us : float;  (** detect illegal access, enter handler *)
   min_fault_us : float;  (** one min fault (cache remap, no I/O) *)
   min_faults_per_data_fault : int;  (** §3.2: dual address ranges flush the virtual cache *)
   mmap_us : float;  (** one protection-change system call *)
+  mmap_frame_us : float;
+      (** per-frame page-table/TLB maintenance inside a batched
+          protection change ([protect_all]): the syscall is paid once
+          ([mmap_us]) plus this per frame flipped *)
   fault_misc_us : float;  (** table lookup + status checks per fault *)
   map_entry_us : float;  (** processing one mapping-object entry *)
   swizzle_ptr_us : float;  (** examining/updating one pointer during relocation *)
@@ -68,10 +82,14 @@ let default =
   ; commit_flush_page_us = 8_000.0
   ; net_timeout_us = 100_000.0
   ; retry_backoff_us = 25_000.0
+  ; disk_seek_us = 15_000.0
+  ; disk_transfer_page_us = 4_500.0
+  ; group_commit_window_us = 50_000.0
   ; page_fault_us = 800.0
   ; min_fault_us = 450.0
   ; min_faults_per_data_fault = 4
   ; mmap_us = 800.0
+  ; mmap_frame_us = 25.0
   ; fault_misc_us = 500.0
   ; map_entry_us = 15.0
   ; swizzle_ptr_us = 1.0

@@ -12,6 +12,20 @@ let set_u32 b off v =
   set_u16 b off (v land 0xffff);
   set_u16 b (off + 2) ((v lsr 16) land 0xffff)
 
+(* Unchecked u32 accessors for the Vmsim protected-access fast path
+   (lint rule QS009 confines [Bytes.unsafe_*] to lib/vmsim and
+   lib/util). The caller must guarantee [0 <= off && off + 4 <=
+   Bytes.length b]. *)
+let unsafe_get_u32 b off =
+  let u8 i = Char.code (Bytes.unsafe_get b i) in
+  u8 off lor (u8 (off + 1) lsl 8) lor (u8 (off + 2) lsl 16) lor (u8 (off + 3) lsl 24)
+
+let unsafe_set_u32 b off v =
+  Bytes.unsafe_set b off (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set b (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set b (off + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set b (off + 3) (Char.unsafe_chr ((v lsr 24) land 0xff))
+
 let get_i64 b off = Bytes.get_int64_le b off
 let set_i64 b off v = Bytes.set_int64_le b off v
 let get_string b off len = Bytes.sub_string b off len

@@ -18,6 +18,14 @@ val set_u16 : bytes -> int -> int -> unit
 val get_u32 : bytes -> int -> int
 val set_u32 : bytes -> int -> int -> unit
 
+(** Unchecked variants of [get_u32]/[set_u32] for the Vmsim
+    protected-access fast path. The caller must guarantee
+    [0 <= off && off + 4 <= Bytes.length b]; lint rule QS009 confines
+    [Bytes.unsafe_*] use to [lib/vmsim] and [lib/util]. *)
+
+val unsafe_get_u32 : bytes -> int -> int
+val unsafe_set_u32 : bytes -> int -> int -> unit
+
 val get_i64 : bytes -> int -> int64
 val set_i64 : bytes -> int -> int64 -> unit
 

@@ -14,7 +14,15 @@
     per fault; protection changes charge [mmap_us] per call. What the
     handler does (I/O, swizzling, min-fault cache effects) is charged
     by the handler. Successful accesses are free, as on real hardware
-    — the whole point of the memory-mapped scheme. *)
+    — the whole point of the memory-mapped scheme.
+
+    Wall-clock fast path: a direct-mapped software TLB (frame ->
+    mapping) serves protected no-fault accesses without touching the
+    hashtable, and the scalar accessors use unchecked [Bytes] reads
+    unless {!set_checked} is on (QSan). Both are pure host-CPU
+    optimizations — a TLB hit can occur only where the slow path would
+    have succeeded without charging, so every simulated clock reading
+    is bit-identical with and without them. *)
 
 type t
 
@@ -25,6 +33,14 @@ val frame_size : int
 val frame_count : int  (** 2^19 frames = a 4 GB 32-bit space *)
 
 val create : clock:Simclock.Clock.t -> cm:Simclock.Cost_model.t -> unit -> t
+
+(** [set_checked t true] routes the scalar accessors through
+    bounds-checked [Bytes] operations (QSan installs this together with
+    its post-fault validation hook); [false] (the default) uses the
+    unchecked fast path, which is safe because {!map} only binds
+    buffers of exactly [frame_size] bytes and every access is
+    span-checked within the frame. Charges nothing either way. *)
+val set_checked : t -> bool -> unit
 
 (** {2 Address arithmetic} *)
 
@@ -55,7 +71,8 @@ val prot : t -> frame:int -> prot
 
 (** Revoke access on every mapped frame with a single call — the one
     big mmap of QuickStore's simplified clock (§3.5). Charges one mmap
-    call. *)
+    call ([mmap_us]) plus [mmap_frame_us] per mapped frame, so
+    end-of-transaction unmapping cost scales with the working set. *)
 val protect_all : t -> unit
 
 (** Mapped frames with their protections (diagnostics/tests). *)

@@ -132,6 +132,22 @@ let test_qs008 () =
   check_rules "allow attribute" [] ~path:"lib/core/foo.ml"
     "let f c = (Simclock.Clock.charge c cat 1.0 [@qs_lint.allow \"QS008\"])\n"
 
+(* --- QS009: unsafe byte access outside the Vmsim fast path --- *)
+
+let test_qs009 () =
+  check_rules "unsafe_get in lib/core" [ "QS009" ] ~path:"lib/core/foo.ml"
+    "let f b = Bytes.unsafe_get b 0\n";
+  check_rules "unsafe_set in lib/esm" [ "QS009" ] ~path:"lib/esm/foo.ml"
+    "let f b = Bytes.unsafe_set b 0 'x'\n";
+  check_rules "unsafe_blit too" [ "QS009" ] ~path:"lib/core/foo.ml"
+    "let f a b = Bytes.unsafe_blit a 0 b 0 8\n";
+  check_rules "vmsim exempt" [] ~path:"lib/vmsim/vmsim.ml" "let f b = Bytes.unsafe_get b 0\n";
+  check_rules "util exempt" [] ~path:"lib/util/codec.ml" "let f b = Bytes.unsafe_get b 0\n";
+  check_rules "allow attribute" [] ~path:"lib/core/foo.ml"
+    "let f b = (Bytes.unsafe_get b 0 [@qs_lint.allow \"QS009\"])\n";
+  check_rules "safe Bytes ops are QS001's business" [ "QS001" ] ~path:"lib/core/foo.ml"
+    "let f b = Bytes.get b 0\n"
+
 (* --- QS000: parse errors --- *)
 
 let test_qs000 () =
@@ -159,7 +175,14 @@ let test_path_policy () =
     (Lint.rule_applies ~path:"lib/simclock/clock.ml" "QS008");
   Alcotest.(check bool) "QS008 off in obs" false
     (Lint.rule_applies ~path:"lib/obs/qs_trace.ml" "QS008");
-  Alcotest.(check bool) "QS008 off in bin" false (Lint.rule_applies ~path:"bin/qs_prof.ml" "QS008")
+  Alcotest.(check bool) "QS008 off in bin" false (Lint.rule_applies ~path:"bin/qs_prof.ml" "QS008");
+  Alcotest.(check bool) "QS009 off in vmsim" false
+    (Lint.rule_applies ~path:"lib/vmsim/vmsim.ml" "QS009");
+  Alcotest.(check bool) "QS009 off in util" false
+    (Lint.rule_applies ~path:"lib/util/codec.ml" "QS009");
+  Alcotest.(check bool) "QS009 on in core" true
+    (Lint.rule_applies ~path:"lib/core/store.ml" "QS009");
+  Alcotest.(check bool) "QS009 on in bench" true (Lint.rule_applies ~path:"bench/main.ml" "QS009")
 
 let test_report_format () =
   match Lint.lint_source ~path:"lib/core/foo.ml" ~contents:"let f b =\n  Bytes.get b 0\n" with
@@ -178,7 +201,7 @@ let test_all_rules_listed () =
         (String.length r = 5 && String.sub r 0 2 = "QS"))
     Lint.all_rules;
   (* QS000 (parse error) is a pseudo-rule, not an enforceable one. *)
-  Alcotest.(check int) "eight enforceable rules" 8 (List.length Lint.all_rules);
+  Alcotest.(check int) "nine enforceable rules" 9 (List.length Lint.all_rules);
   Alcotest.(check bool) "QS000 not listed" false (List.mem "QS000" Lint.all_rules)
 
 let () =
@@ -192,6 +215,7 @@ let () =
         ; Alcotest.test_case "QS006 stringly failure" `Quick test_qs006
         ; Alcotest.test_case "QS007 direct disk io" `Quick test_qs007
         ; Alcotest.test_case "QS008 untraced charge" `Quick test_qs008
+        ; Alcotest.test_case "QS009 unsafe bytes" `Quick test_qs009
         ; Alcotest.test_case "QS000 parse error" `Quick test_qs000 ] )
     ; ( "plumbing"
       , [ Alcotest.test_case "path policy" `Quick test_path_policy

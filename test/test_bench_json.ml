@@ -1,17 +1,21 @@
-(* Bench-shape gate: regenerate BENCH_oo7.json (the committed OO7
-   small-database baseline: per-op times, I/O counts, fault counts and
-   win/loss orderings) and fail on any byte of drift. The simulation is
-   deterministic, so times are compared exactly, not within a
-   tolerance — any change to the committed file must be a deliberate,
-   reviewed re-baseline (dune exec bench/main.exe -- quick no-bech --json).
+(* Bench-shape gate: regenerate the committed OO7 small-database
+   baselines (per-op times, I/O counts, fault counts and win/loss
+   orderings) and fail on any byte of drift. Two baselines:
+   BENCH_oo7.json is the stock configuration; BENCH_oo7_prefetch.json
+   is QS with fault-time page-run prefetch + group commit against a
+   stock E control, pinning both the batched savings and E's
+   non-participation. The simulation is deterministic, so times are
+   compared exactly, not within a tolerance — any change to a committed
+   file must be a deliberate, reviewed re-baseline
+   (dune exec bench/main.exe -- quick no-bech --json).
 
    Runs as a plain executable test: exit 0 on match, exit 1 with the
    first differing line otherwise. *)
 
-(* Under [dune runtest] the cwd is [_build/default/test] (the baseline
-   is a declared dep one level up); under [dune exec] from the repo
+(* Under [dune runtest] the cwd is [_build/default/test] (the baselines
+   are declared deps one level up); under [dune exec] from the repo
    root it is the root itself. *)
-let baseline_candidates = [ "../BENCH_oo7.json"; "BENCH_oo7.json" ]
+let candidates name = [ "../" ^ name; name ]
 
 let read_file path =
   let ic = open_in_bin path in
@@ -30,25 +34,22 @@ let first_diff a b =
   in
   go 1 la lb
 
-let () =
+let check ~name regenerated =
   let baseline =
-    match List.find_opt Sys.file_exists baseline_candidates with
+    match List.find_opt Sys.file_exists (candidates name) with
     | Some path -> read_file path
     | None ->
-      prerr_endline "test_bench_json: committed baseline BENCH_oo7.json not found";
+      Printf.eprintf "test_bench_json: committed baseline %s not found\n" name;
       exit 1
   in
-  let seed = 1234 in
-  let suites =
-    Harness.Bench_json.small_suites ~progress:(fun m -> Printf.printf "%s\n%!" m) ~seed ()
-  in
-  let regenerated = Harness.Bench_json.render_small ~seed suites in
   if String.equal baseline regenerated then
-    print_endline "test_bench_json: BENCH_oo7.json matches the regenerated benchmark byte-for-byte"
+    Printf.printf "test_bench_json: %s matches the regenerated benchmark byte-for-byte\n" name
   else begin
-    prerr_endline "test_bench_json: BENCH SHAPE DRIFT — regenerated OO7 output differs from the";
-    prerr_endline "committed BENCH_oo7.json. If the change is intentional, re-baseline with:";
-    prerr_endline "  dune exec bench/main.exe -- quick no-bech --json";
+    Printf.eprintf
+      "test_bench_json: BENCH SHAPE DRIFT — regenerated OO7 output differs from the\n\
+       committed %s. If the change is intentional, re-baseline with:\n\
+      \  dune exec bench/main.exe -- quick no-bech --json\n"
+      name;
     (match first_diff baseline regenerated with
      | Some (line, was, now) ->
        Printf.eprintf "first difference at line %d:\n  baseline:    %s\n  regenerated: %s\n" line
@@ -58,3 +59,12 @@ let () =
          (String.length baseline) (String.length regenerated));
     exit 1
   end
+
+let () =
+  let seed = 1234 in
+  let progress m = Printf.printf "%s\n%!" m in
+  let suites = Harness.Bench_json.small_suites ~progress ~seed () in
+  check ~name:"BENCH_oo7.json" (Harness.Bench_json.render_small ~seed suites);
+  let prefetch_suites = Harness.Bench_json.small_prefetch_suites ~progress ~seed () in
+  check ~name:"BENCH_oo7_prefetch.json"
+    (Harness.Bench_json.render_small_prefetch ~seed prefetch_suites)

@@ -50,7 +50,7 @@ let test_fault_handler_enables () =
   Alcotest.(check int) "still one fault" 1 !handled;
   Alcotest.(check int) "fault counter" 1 (Vmsim.fault_count vm)
 
-let test_protect_all_one_charge () =
+let test_protect_all_per_frame_charge () =
   let clock, vm = mk () in
   for f = 1 to 50 do
     Vmsim.map vm ~frame:f ~buf:(buf 'x');
@@ -58,10 +58,20 @@ let test_protect_all_one_charge () =
   done;
   Clock.reset clock;
   Vmsim.protect_all vm;
-  Alcotest.(check int) "one mmap call" 1 (Clock.category_events clock Cat.Mmap_call);
+  (* One syscall event plus one per-frame event batch: the flat mmap_us
+     charge and 50 frames' worth of mmap_frame_us. *)
+  Alcotest.(check int) "call + per-frame events" 51 (Clock.category_events clock Cat.Mmap_call);
+  let cm = Simclock.Cost_model.default in
+  Alcotest.(check (float 1e-6)) "per-frame cost"
+    (cm.Simclock.Cost_model.mmap_us +. (50.0 *. cm.Simclock.Cost_model.mmap_frame_us))
+    (Clock.category_us clock Cat.Mmap_call);
   Vmsim.iter_mapped
     (fun ~frame:_ ~prot -> Alcotest.(check bool) "revoked" true (prot = Vmsim.Prot_none))
-    vm
+    vm;
+  (* An empty address space charges only the flat call cost. *)
+  let clock2, vm2 = mk () in
+  Vmsim.protect_all vm2;
+  Alcotest.(check int) "empty: one event" 1 (Clock.category_events clock2 Cat.Mmap_call)
 
 let test_frame_boundary_guard () =
   let _clock, vm = mk () in
@@ -95,6 +105,115 @@ let test_trap_charging () =
   Alcotest.(check bool) "no charge on plain access" true
     (Clock.category_us clock Cat.Page_fault = before)
 
+(* --- software-TLB invalidation: a hit must never outlive the mapping
+   or serve an access the current protection forbids. Each test primes
+   the TLB with a successful access, then changes the address space and
+   asserts the stale entry is not honoured. --- *)
+
+let prime vm frame =
+  Alcotest.(check int) "primed" (Char.code 'x') (Vmsim.read_u8 vm (frame * 8192))
+
+let test_tlb_unmap_no_stale () =
+  let _clock, vm = mk () in
+  Vmsim.map vm ~frame:6 ~buf:(buf 'x');
+  Vmsim.set_prot vm ~frame:6 Vmsim.Prot_read;
+  prime vm 6;
+  Vmsim.unmap vm ~frame:6;
+  match Vmsim.read_u8 vm (6 * 8192) with
+  | _ -> Alcotest.fail "stale TLB entry served an unmapped frame"
+  | exception Vmsim.Unhandled_fault _ -> ()
+
+let test_tlb_downgrade_no_stale () =
+  let _clock, vm = mk () in
+  Vmsim.map vm ~frame:8 ~buf:(buf 'x');
+  Vmsim.set_prot vm ~frame:8 Vmsim.Prot_write;
+  Vmsim.write_u8 vm (8 * 8192) (Char.code 'x');
+  (* write access is cached; downgrading to read-only must fault the
+     next write even though the mapping record is still live. *)
+  Vmsim.set_prot vm ~frame:8 Vmsim.Prot_read;
+  (match Vmsim.write_u8 vm (8 * 8192) 1 with
+   | () -> Alcotest.fail "stale TLB entry allowed a write after downgrade"
+   | exception Vmsim.Unhandled_fault { access = Vmsim.Write; _ } -> ());
+  (* and the free (uncharged) variant must behave identically *)
+  Vmsim.set_prot vm ~frame:8 Vmsim.Prot_write;
+  Vmsim.write_u8 vm (8 * 8192) (Char.code 'x');
+  Vmsim.set_prot_free vm ~frame:8 Vmsim.Prot_none;
+  match Vmsim.read_u8 vm (8 * 8192) with
+  | _ -> Alcotest.fail "stale TLB entry survived set_prot_free"
+  | exception Vmsim.Unhandled_fault _ -> ()
+
+let test_tlb_protect_all_no_stale () =
+  let _clock, vm = mk () in
+  for f = 1 to 5 do
+    Vmsim.map vm ~frame:f ~buf:(buf 'x');
+    Vmsim.set_prot_free vm ~frame:f Vmsim.Prot_read;
+    prime vm f
+  done;
+  Vmsim.protect_all vm;
+  for f = 1 to 5 do
+    match Vmsim.read_u8 vm (f * 8192) with
+    | _ -> Alcotest.fail "stale TLB entry survived protect_all"
+    | exception Vmsim.Unhandled_fault _ -> ()
+  done
+
+let test_tlb_clear_no_stale () =
+  let _clock, vm = mk () in
+  Vmsim.map vm ~frame:11 ~buf:(buf 'x');
+  Vmsim.set_prot vm ~frame:11 Vmsim.Prot_read;
+  prime vm 11;
+  Vmsim.clear vm;
+  match Vmsim.read_u8 vm (11 * 8192) with
+  | _ -> Alcotest.fail "stale TLB entry survived clear"
+  | exception Vmsim.Unhandled_fault _ -> ()
+
+let test_tlb_rebind_no_stale () =
+  let _clock, vm = mk () in
+  Vmsim.map vm ~frame:13 ~buf:(buf 'a');
+  Vmsim.set_prot vm ~frame:13 Vmsim.Prot_read;
+  Alcotest.(check int) "old buffer" (Char.code 'a') (Vmsim.read_u8 vm (13 * 8192));
+  (* Rebinding the frame to a different buffer must not serve reads
+     from the old one. *)
+  Vmsim.map vm ~frame:13 ~buf:(buf 'b');
+  Vmsim.set_prot vm ~frame:13 Vmsim.Prot_read;
+  Alcotest.(check int) "new buffer" (Char.code 'b') (Vmsim.read_u8 vm (13 * 8192))
+
+let test_tlb_index_aliasing () =
+  (* Frames that collide in the direct-mapped TLB (same low index bits)
+     must evict each other cleanly, and invalidating one alias must not
+     disturb the other's mapping. *)
+  let _clock, vm = mk () in
+  let f1 = 3 and f2 = 3 + 64 and f3 = 3 + 128 in
+  List.iter
+    (fun f ->
+      Vmsim.map vm ~frame:f ~buf:(buf 'x');
+      Vmsim.set_prot vm ~frame:f Vmsim.Prot_read)
+    [ f1; f2; f3 ];
+  prime vm f1;
+  prime vm f2;
+  (* f2 now owns the slot; f1 must still resolve via the slow path *)
+  prime vm f1;
+  Vmsim.unmap vm ~frame:f1;
+  (* unmapping f1 while f1 happens to own the slot must not break f2/f3 *)
+  prime vm f2;
+  prime vm f3;
+  match Vmsim.read_u8 vm (f1 * 8192) with
+  | _ -> Alcotest.fail "unmapped alias still readable"
+  | exception Vmsim.Unhandled_fault _ -> ()
+
+let test_checked_mode_roundtrip () =
+  (* The sanitizer's bounds-checked path must agree with the default
+     unchecked path bit for bit. *)
+  let _clock, vm = mk () in
+  Vmsim.set_checked vm true;
+  Vmsim.map vm ~frame:4 ~buf:(buf '\000');
+  Vmsim.set_prot vm ~frame:4 Vmsim.Prot_write;
+  Vmsim.write_u32 vm ((4 * 8192) + 12) 0xCAFE1234;
+  Alcotest.(check int) "u32 checked" 0xCAFE1234 (Vmsim.read_u32 vm ((4 * 8192) + 12));
+  Vmsim.write_u8 vm ((4 * 8192) + 7) 200;
+  Alcotest.(check int) "u8 checked" 200 (Vmsim.read_u8 vm ((4 * 8192) + 7));
+  Vmsim.set_checked vm false;
+  Alcotest.(check int) "u32 unchecked agrees" 0xCAFE1234 (Vmsim.read_u32 vm ((4 * 8192) + 12))
+
 let test_u32_roundtrip_via_vm () =
   let _clock, vm = mk () in
   Vmsim.map vm ~frame:4 ~buf:(buf '\000');
@@ -109,8 +228,16 @@ let () =
         ; Alcotest.test_case "read protection" `Quick test_read_requires_protection
         ; Alcotest.test_case "write protection" `Quick test_write_requires_write_prot
         ; Alcotest.test_case "fault handler retry" `Quick test_fault_handler_enables
-        ; Alcotest.test_case "protect_all is one mmap" `Quick test_protect_all_one_charge
+        ; Alcotest.test_case "protect_all per-frame charge" `Quick test_protect_all_per_frame_charge
         ; Alcotest.test_case "frame boundary" `Quick test_frame_boundary_guard
         ; Alcotest.test_case "unmap revokes" `Quick test_unmap_revokes
         ; Alcotest.test_case "trap charging" `Quick test_trap_charging
-        ; Alcotest.test_case "u32 roundtrip" `Quick test_u32_roundtrip_via_vm ] ) ]
+        ; Alcotest.test_case "u32 roundtrip" `Quick test_u32_roundtrip_via_vm ] )
+    ; ( "tlb"
+      , [ Alcotest.test_case "unmap invalidates" `Quick test_tlb_unmap_no_stale
+        ; Alcotest.test_case "prot downgrade invalidates" `Quick test_tlb_downgrade_no_stale
+        ; Alcotest.test_case "protect_all invalidates" `Quick test_tlb_protect_all_no_stale
+        ; Alcotest.test_case "clear invalidates" `Quick test_tlb_clear_no_stale
+        ; Alcotest.test_case "rebind invalidates" `Quick test_tlb_rebind_no_stale
+        ; Alcotest.test_case "index aliasing" `Quick test_tlb_index_aliasing
+        ; Alcotest.test_case "checked mode roundtrip" `Quick test_checked_mode_roundtrip ] ) ]
