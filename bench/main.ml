@@ -354,6 +354,59 @@ let () =
        (cold e_ctrl "T1" /. 1000.0)
    | _ -> ());
 
+  section "Diff shipping (commit ships modified byte regions, pipelined with the WAL force)";
+  let diffship_suites =
+    Harness.Bench_json.small_diffship_suites ~progress:(fun m -> Printf.printf "%s\n%!" m) ~seed ()
+  in
+  validate diffship_suites;
+  if emit_json then begin
+    let path = "BENCH_oo7_diffship.json" in
+    let oc = open_out_bin path in
+    output_string oc (Harness.Bench_json.render_small_diffship ~seed diffship_suites);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end;
+  print_newline ();
+  (match (small_suites, diffship_suites) with
+   | qs_plain :: e_plain :: _, [ qs_ds; e_ctrl ] ->
+     let cold s op = (Exp.get s op).Sys_.cold.Harness.Measure.ms in
+     let commit_m s op =
+       match (Exp.get s op).Sys_.commit with Some c -> c | None -> Harness.Measure.zero
+     in
+     let page = Esm.Page.page_size in
+     let row op =
+       let cp = commit_m qs_plain op and cd = commit_m qs_ds op in
+       (* What the same commit would have shipped whole-page vs what the
+          region ships actually put on the wire (Fig 11's "amount of
+          recovery data" axis). *)
+       let whole_equiv =
+         (cd.Harness.Measure.client_writes + cd.Harness.Measure.region_ships) * page
+       in
+       let shipped = (cd.Harness.Measure.client_writes * page) + cd.Harness.Measure.region_bytes in
+       [ op
+       ; Harness.Report.seconds cp.Harness.Measure.ms
+       ; Harness.Report.seconds cd.Harness.Measure.ms
+       ; string_of_int (whole_equiv / 1024)
+       ; string_of_int (shipped / 1024)
+       ; (if shipped > 0 then
+            Printf.sprintf "%.1fx" (float_of_int whole_equiv /. float_of_int shipped)
+          else "-") ]
+     in
+     print_endline
+       (Harness.Report.render
+          ~title:
+            "QS commit with diff_ship: modified byte regions vs whole-page ships (small DB); E \
+             control untouched"
+          ~header:[ "op"; "commit (s)"; "commit+ds (s)"; "whole-equiv KB"; "shipped KB"; "ratio" ]
+          ~rows:(List.map row Exp.update_ops));
+     (* Diff shipping is a per-store QuickStore commit path; E must not
+        move at all. As with the prefetch baseline, cold T1 is the one
+        bit-comparable run (first op on a freshly built system). *)
+     Printf.printf "E control cold T1 %s the stock E baseline (%.1f s)\n"
+       (if cold e_ctrl "T1" = cold e_plain "T1" then "matches" else "DIVERGES FROM")
+       (cold e_ctrl "T1" /. 1000.0)
+   | _ -> ());
+
   if not quick then begin
     section "Medium database";
     let medium = build_medium () in

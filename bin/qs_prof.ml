@@ -32,10 +32,10 @@ let params_of_db = function
   | "medium" -> Params.medium
   | db -> die "unknown database %S (tiny|small|medium)" db
 
-let build ~sysname ~db ~seed ~prefetch ~group_commit =
+let build ~sysname ~db ~seed ~prefetch ~group_commit ~diff_ship =
   let params = params_of_db db in
   let with_batching base =
-    { base with Qs_config.prefetch_run_max = prefetch; Qs_config.group_commit }
+    { base with Qs_config.prefetch_run_max = prefetch; Qs_config.group_commit; Qs_config.diff_ship }
   in
   match sysname with
   | "qs" -> Sys_.make_qs ~config:(with_batching Qs_config.default) params ~seed
@@ -46,6 +46,8 @@ let build ~sysname ~db ~seed ~prefetch ~group_commit =
   | "e" ->
     if prefetch > 1 || group_commit then
       die "--prefetch/--group-commit are QuickStore fault-handler knobs; E has no fault-time batching";
+    if diff_ship then
+      die "--diff-ship is QuickStore's commit-time diff pass; E ships whole pages by design";
     Sys_.make_e params ~seed
   | s -> die "unknown system %S (qs|e|qsb)" s
 
@@ -147,6 +149,39 @@ let batched_io_summary (m : Qs_metrics.t) =
    | Some _ | None -> ());
   if !printed then print_newline ()
 
+(* Attribution of the diff-shipping savings: region vs whole-page
+   commit ships (from the server's counters) and the span rollups of
+   the two ship paths plus the commit-pipeline credit. *)
+let diff_ship_summary (sys : Sys_.t) (m : Qs_metrics.t) =
+  let c = Esm.Server.counters sys.Sys_.server in
+  let printed = ref false in
+  if c.Esm.Server.client_region_ships > 0 then begin
+    printed := true;
+    Printf.printf "diff ship: %d pages shipped as regions, %d payload bytes (%.1fx vs whole pages)\n"
+      c.Esm.Server.client_region_ships c.Esm.Server.region_bytes_shipped
+      (float_of_int (c.Esm.Server.client_region_ships * Esm.Page.page_size)
+      /. float_of_int (max 1 c.Esm.Server.region_bytes_shipped))
+  end;
+  (match Qs_metrics.find_span m "ship.diff" with
+   | Some row when row.Qs_metrics.sr_count > 0 ->
+     printed := true;
+     Printf.printf "ship.diff: %d region ships, %.1f ms commit flush inside them\n"
+       row.Qs_metrics.sr_count (span_ms row Cat.Commit_flush)
+   | Some _ | None -> ());
+  (match Qs_metrics.find_span m "ship.page" with
+   | Some row when row.Qs_metrics.sr_count > 0 ->
+     printed := true;
+     Printf.printf "ship.page: %d whole-page ships (fallbacks, evictions, non-diff commits)\n"
+       row.Qs_metrics.sr_count
+   | Some _ | None -> ());
+  (match Qs_metrics.find_span m "commit.pipeline" with
+   | Some row when row.Qs_metrics.sr_count > 0 ->
+     printed := true;
+     Printf.printf "commit.pipeline: %d WAL forces overlapped with commit ships\n"
+       row.Qs_metrics.sr_count
+   | Some _ | None -> ());
+  if !printed then print_newline ()
+
 let () =
   let sysname = ref "qs"
   and db = ref "tiny"
@@ -155,6 +190,7 @@ let () =
   and hot = ref 0
   and prefetch = ref 1
   and group_commit = ref false
+  and diff_ship = ref false
   and out = ref ""
   and charges = ref false
   and verify = ref false in
@@ -166,6 +202,7 @@ let () =
     ; ("--hot", Arg.Set_int hot, "N hot repetitions (default 0)")
     ; ("--prefetch", Arg.Set_int prefetch, "N fault-time fetch runs of up to N pages (default 1 = off)")
     ; ("--group-commit", Arg.Set group_commit, " coalesce adjacent WAL forces (charging only)")
+    ; ("--diff-ship", Arg.Set diff_ship, " commit ships modified byte regions, pipelined with the WAL force")
     ; ("--out", Arg.Set_string out, "FILE write Chrome trace_event JSON")
     ; ("--charges", Arg.Set charges, " include every clock charge in the Chrome export")
     ; ("--verify", Arg.Set verify, " also run disarmed; clock readings must be bit-identical") ]
@@ -174,11 +211,15 @@ let () =
     (fun a -> die "unexpected argument %S" a)
     "qs_prof: §5.2 cost decomposition from the Qs_trace stream";
 
-  Printf.printf "qs_prof: %s %s on the %s database, seed %d, hot_reps %d%s%s\n%!" !sysname !op !db
+  Printf.printf "qs_prof: %s %s on the %s database, seed %d, hot_reps %d%s\n%!" !sysname !op !db
     !seed !hot
-    (if !prefetch > 1 then Printf.sprintf ", prefetch %d" !prefetch else "")
-    (if !group_commit then ", group commit" else "");
-  let sys = build ~sysname:!sysname ~db:!db ~seed:!seed ~prefetch:!prefetch ~group_commit:!group_commit in
+    ((if !prefetch > 1 then Printf.sprintf ", prefetch %d" !prefetch else "")
+    ^ (if !group_commit then ", group commit" else "")
+    ^ if !diff_ship then ", diff ship" else "");
+  let sys =
+    build ~sysname:!sysname ~db:!db ~seed:!seed ~prefetch:!prefetch ~group_commit:!group_commit
+      ~diff_ship:!diff_ship
+  in
   let r, trace, clock = run_traced sys ~op:!op ~seed:!seed ~hot_reps:!hot in
   Printf.printf "%d trace events; cold %.1f ms, %d faults%s\n\n" (Qs_trace.length trace)
     r.Sys_.cold.Harness.Measure.ms r.Sys_.cold_faults
@@ -192,6 +233,7 @@ let () =
   (match fault_decomposition ~op:!op m with Some s -> print_endline s | None -> ());
   (match commit_decomposition ~op:!op m with Some s -> print_endline s | None -> ());
   batched_io_summary m;
+  diff_ship_summary sys m;
 
   (* The acceptance check: the decomposition regenerated from the
      trace stream must equal the clock's own totals exactly. *)
@@ -214,7 +256,7 @@ let () =
   if !verify then begin
     let sys2 =
       build ~sysname:!sysname ~db:!db ~seed:!seed ~prefetch:!prefetch
-        ~group_commit:!group_commit
+        ~group_commit:!group_commit ~diff_ship:!diff_ship
     in
     let _, clock2 = run_plain sys2 ~op:!op ~seed:!seed ~hot_reps:!hot in
     let bad = ref [] in

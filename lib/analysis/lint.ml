@@ -2,7 +2,8 @@ open Parsetree
 
 type finding = { file : string; line : int; col : int; rule : string; msg : string }
 
-let all_rules = [ "QS001"; "QS002"; "QS003"; "QS004"; "QS005"; "QS006"; "QS007"; "QS008"; "QS009" ]
+let all_rules =
+  [ "QS001"; "QS002"; "QS003"; "QS004"; "QS005"; "QS006"; "QS007"; "QS008"; "QS009"; "QS010" ]
 
 let to_string f = Printf.sprintf "%s:%d: %s %s" f.file f.line f.rule f.msg
 
@@ -41,6 +42,13 @@ let rule_applies ~path rule =
     (* Unchecked byte access is confined to the Vmsim fast path and its
        codec helpers, where map/span_check establish the bounds. *)
     not (has_prefix ~prefix:"lib/vmsim/" path || has_prefix ~prefix:"lib/util/" path)
+  | "QS010" ->
+    (* Mutating a server page — whole ([Server.write_page]) or by byte
+       regions ([Server.apply_regions]) — is the ESM client's business:
+       it owns the retry/backoff machinery, the ship sequence numbers
+       that make region applies idempotent, and the commit bookkeeping.
+       Anything above lib/esm must ship through Client. *)
+    has_prefix ~prefix:"lib/" path && not (has_prefix ~prefix:"lib/esm/" path)
   | _ -> true
 
 (* ------------------------------------------------------------------ *)
@@ -169,6 +177,12 @@ let check_ident ctx ~loc comps =
            last);
     if last = "failwith" then
       report ctx ~loc "QS006" "stringly failure in library code: raise a typed exception";
+    if penult = Some "Server" && (last = "write_page" || last = "apply_regions") then
+      report ctx ~loc "QS010"
+        (Printf.sprintf
+           "direct Server.%s outside lib/esm: server pages are mutated through Client \
+            (ship_regions / commit), which owns retries and ship sequence numbers"
+           last);
     if penult = Some "Disk" && (last = "read" || last = "write") then
       report ctx ~loc "QS007"
         (Printf.sprintf

@@ -60,6 +60,18 @@ type t = {
           new full log page rides the in-flight disk force for free
           (durability is unchanged — only the charge coalesces). Off
           by default. *)
+  diff_ship : bool;
+      (** Diff-shipping commit: reuse the commit-time diff regions
+          (already computed for the WAL) to patch the server's copy of
+          each dirty page in place via [Client.ship_regions], instead
+          of shipping the whole page — falling back adaptively to a
+          whole-page ship when the estimated region cost exceeds the
+          full-page cost or the diff covers most of the page. Also
+          pipelines commit-time ships with the WAL force (the log
+          records are already appended when the ships start, so the
+          disk force overlaps the network ships). Off by default —
+          every dirty page ships whole, as in the paper's measured
+          configuration. *)
 }
 
 let default =
@@ -73,6 +85,7 @@ let default =
   ; diff_gap = Esm.Wal.header_bytes / 2
   ; sanitize = false
   ; prefetch_run_max = 1
-  ; group_commit = false }
+  ; group_commit = false
+  ; diff_ship = false }
 
 let reloc_fraction = function No_reloc -> 0.0 | Continual f | One_time f -> f

@@ -37,6 +37,10 @@ type stats = {
   mutable pages_diffed : int;
   mutable diff_log_records : int;
   mutable rec_buffer_overflows : int;
+  mutable pages_region_shipped : int;
+  mutable region_bytes_shipped : int;
+  mutable pages_ship_fallback : int;
+  mutable pages_ship_skipped : int;
 }
 
 let fresh_stats () =
@@ -51,7 +55,11 @@ let fresh_stats () =
   ; mapping_objects_updated = 0
   ; pages_diffed = 0
   ; diff_log_records = 0
-  ; rec_buffer_overflows = 0 }
+  ; rec_buffer_overflows = 0
+  ; pages_region_shipped = 0
+  ; region_bytes_shipped = 0
+  ; pages_ship_fallback = 0
+  ; pages_ship_skipped = 0 }
 
 type t = {
   config : Qs_config.t;
@@ -77,6 +85,14 @@ type t = {
   reloc_choice : (int, bool) Hashtbl.t;
   indices : (string, Btree.t) Hashtbl.t;
   mutable to_disk_format : page_id:int -> bytes -> bytes;
+  diff_ship_unsafe : (int, unit) Hashtbl.t;
+      (* pages whose recovery-buffer baseline is NOT the server's
+         current copy — the frame already carried unshipped logged
+         writes (object creation, update_object) when the snapshot was
+         taken, or a rec-buffer overflow consumed the snapshot without
+         a ship. Patching diff regions onto the server's base would
+         lose those earlier bytes, so these pages always ship whole.
+         Cleared at end of transaction. *)
   stats : stats;
 }
 
@@ -99,7 +115,11 @@ let reset_stats t =
   d.mapping_objects_updated <- 0;
   d.pages_diffed <- 0;
   d.diff_log_records <- 0;
-  d.rec_buffer_overflows <- 0
+  d.rec_buffer_overflows <- 0;
+  d.pages_region_shipped <- 0;
+  d.region_bytes_shipped <- 0;
+  d.pages_ship_fallback <- 0;
+  d.pages_ship_skipped <- 0
 
 let system_name t =
   match (t.config.Qs_config.ptr_format, t.config.Qs_config.mode, t.config.Qs_config.reloc) with
@@ -369,7 +389,9 @@ let current_base t entry =
    the page-offsets pointer format both images are converted to disk
    format first so that log records never contain session-local
    virtual addresses. The conversion closure is installed by the
-   format-specific setup below (identity for VM addresses). *)
+   format-specific setup below (identity for VM addresses). Returns
+   the regions and the disk-format current image so the diff-shipping
+   commit can reuse the pass it already paid for. *)
 let diff_and_log t ~page_id ~frame ~baseline =
   let current = t.to_disk_format ~page_id (Client.page_bytes t.client ~frame) in
   let baseline = t.to_disk_format ~page_id baseline in
@@ -393,11 +415,64 @@ let diff_and_log t ~page_id ~frame ~baseline =
       Client.log_update t.client ~page_id ~frame ~off ~old_data:(Bytes.sub baseline off len)
         ~new_data:(Bytes.sub current off len))
     regions;
-  t.stats.pages_diffed <- t.stats.pages_diffed + 1
+  t.stats.pages_diffed <- t.stats.pages_diffed + 1;
+  (current, regions)
+
+(* Diff-shipping commit (Qs_config.diff_ship): reuse the regions the
+   diff pass just logged to patch the server's copy of the page in
+   place, instead of shipping all 8 KB. Sound only when the server's
+   current copy equals the diff baseline — guaranteed for pages that
+   were clean in the client pool when their snapshot was taken (every
+   ship path keeps the server in step with what the client loaded);
+   [diff_ship_unsafe] holds the rest, which ship whole. Falls back
+   adaptively when the estimated region cost reaches the whole-page
+   cost or the diff covers most of the page. Returns true when the
+   page no longer needs a whole-page ship. *)
+let try_region_ship t ~page_id ~frame ~current ~regions =
+  let pool = Client.pool t.client in
+  match regions with
+  | [] ->
+    (* Write-faulted but byte-identical to its snapshot: nothing to
+       log, nothing to ship. *)
+    Buf_pool.clear_dirty pool frame;
+    t.stats.pages_ship_skipped <- t.stats.pages_ship_skipped + 1;
+    true
+  | _ ->
+    let nregions = List.length regions in
+    let nbytes = List.fold_left (fun acc (_, len) -> acc + len) 0 regions in
+    let est =
+      (float_of_int (nregions + 1) *. t.cm.CM.ship_region_us)
+      +. (float_of_int (nbytes + 8) *. t.cm.CM.ship_byte_us)
+    in
+    if est >= t.cm.CM.commit_flush_page_us || 2 * nbytes > Page.page_size then begin
+      t.stats.pages_ship_fallback <- t.stats.pages_ship_fallback + 1;
+      false
+    end
+    else begin
+      (* The log records just appended stamped the live page's LSN;
+         [current] was captured before. Stamp it too, and ship the LSN
+         header field as an extra region, so the patched server page
+         equals the client page byte-for-byte (whole-page ships keep
+         the LSN in step the same way). *)
+      let live = Client.page_bytes t.client ~frame in
+      Page.set_lsn (Page.attach current) (Page.lsn (Page.attach live));
+      let payload =
+        (8, Bytes.sub current 8 8)
+        :: List.map (fun (off, len) -> (off, Bytes.sub current off len)) regions
+      in
+      let check = if sanitize_on t then Some current else None in
+      Client.ship_regions t.client ~page_id ?check payload;
+      Buf_pool.clear_dirty pool frame;
+      t.stats.pages_region_shipped <- t.stats.pages_region_shipped + 1;
+      t.stats.region_bytes_shipped <- t.stats.region_bytes_shipped + nbytes + 8;
+      true
+    end
 
 (* Diff and release every snapshot whose page is still resident
    (stolen pages were diffed at eviction). [reprotect] downgrades the
-   pages to read-only — the mid-transaction overflow path. *)
+   pages to read-only — the mid-transaction overflow path, which
+   leaves the pages dirty and therefore unsafe for a later region
+   ship (their next snapshot would no longer match the server). *)
 let flush_rec_buffer t ~reprotect =
   let entries = ref [] in
   Rec_buffer.iter (fun ~page_id ~baseline -> entries := (page_id, baseline) :: !entries) t.rec_buf;
@@ -405,7 +480,11 @@ let flush_rec_buffer t ~reprotect =
     (fun (page_id, baseline) ->
       match Client.frame_of_page t.client page_id with
       | Some frame ->
-        diff_and_log t ~page_id ~frame ~baseline;
+        let current, regions = diff_and_log t ~page_id ~frame ~baseline in
+        if
+          t.config.Qs_config.diff_ship && not reprotect
+          && not (Hashtbl.mem t.diff_ship_unsafe page_id)
+        then ignore (try_region_ship t ~page_id ~frame ~current ~regions);
         ignore (Rec_buffer.take t.rec_buf page_id);
         (match Hashtbl.find_opt t.resident page_id with
          | Some d ->
@@ -426,6 +505,13 @@ let snapshot_page t d ~page_id ~frame =
         Qs_trace.instant t.clock ~cat:"qs" ~args:[] "recbuf.overflow";
       flush_rec_buffer t ~reprotect:true
     end;
+    (* A frame already dirty here carries logged-but-unshipped writes
+       (object creation, update_object, a consumed overflow snapshot):
+       the snapshot about to be taken is ahead of the server's copy,
+       so the commit-time diff must not be patched onto the server's
+       base — the page ships whole. *)
+    if t.config.Qs_config.diff_ship && Buf_pool.is_dirty (Client.pool t.client) frame then
+      Hashtbl.replace t.diff_ship_unsafe page_id ();
     Rec_buffer.add t.rec_buf page_id (Client.page_bytes t.client ~frame);
     if Qs_trace.enabled t.clock then
       Qs_trace.instant t.clock ~cat:"qs" ~args:[ Qs_trace.A_int ("page", page_id) ] "recbuf.snapshot";
@@ -844,7 +930,10 @@ let on_evict t ~frame ~page_id =
   | Some d ->
     (match Rec_buffer.take t.rec_buf page_id with
      | Some baseline ->
-       diff_and_log t ~page_id ~frame ~baseline;
+       (* The steal path stays whole-page: the eviction write-back that
+          follows this hook ships the full frame, which also restores
+          the server-equals-baseline invariant for a later refetch. *)
+       ignore (diff_and_log t ~page_id ~frame ~baseline);
        d.MT.snapshot_taken <- false
      | None -> ());
     (* A page swizzled without write-back reverts to its disk image on
@@ -1022,10 +1111,12 @@ let mk ~config ~server ~meta_page ~schema ~frame_counter =
     ; reloc_choice = Hashtbl.create 256
     ; indices = Hashtbl.create 8
     ; to_disk_format = (fun ~page_id b -> ignore page_id; b)
+    ; diff_ship_unsafe = Hashtbl.create 64
     ; stats = fresh_stats () }
   in
   Vmsim.set_fault_handler vm (fun ~frame ~access -> handle_fault t ~frame ~access);
   if config.Qs_config.group_commit then Server.set_group_commit server true;
+  if config.Qs_config.diff_ship then Server.set_commit_pipeline server true;
   if config.Qs_config.sanitize then begin
     Vmsim.set_post_fault_hook vm (fun ~frame:_ -> validate t);
     (* QSan also re-enables the bounds-checked access path. *)
@@ -1136,6 +1227,7 @@ let end_of_txn t =
   Vmsim.protect_all t.vm;
   Rec_buffer.clear t.rec_buf;
   Hashtbl.reset t.pending_map_update;
+  Hashtbl.reset t.diff_ship_unsafe;
   MT.iter
     (fun d ->
       d.MT.read_this_txn <- false;

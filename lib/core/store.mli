@@ -138,6 +138,17 @@ type stats = {
   mutable pages_diffed : int;
   mutable diff_log_records : int;
   mutable rec_buffer_overflows : int;
+  mutable pages_region_shipped : int;
+      (** dirty pages whose commit ship was the diff regions, not the
+          whole page ([Qs_config.diff_ship]) *)
+  mutable region_bytes_shipped : int;  (** payload bytes of those region ships *)
+  mutable pages_ship_fallback : int;
+      (** diff-ship candidates that shipped whole anyway (estimated
+          region cost at or above the full-page cost, or the diff
+          covered most of the page) *)
+  mutable pages_ship_skipped : int;
+      (** write-faulted pages that ended the transaction byte-identical
+          to their snapshot: nothing logged, nothing shipped *)
 }
 
 val stats : t -> stats

@@ -20,7 +20,11 @@ val frame_bytes : t -> int -> bytes
 val lookup : t -> int -> int option
 val page_of_frame : t -> int -> int option
 
-(** A frame currently holding no page, if any. *)
+(** A frame currently holding no page, if any — O(1) (a LIFO free
+    list, not a scan): the most recently {!evict}ed frame first.
+    [create] and {!clear} reset the list so frames come out in
+    ascending index order, matching the historical lowest-empty-frame
+    scan on a pure fill. *)
 val free_frame : t -> int option
 
 (** [install t ~frame ~page_id] binds the page to the frame (the caller

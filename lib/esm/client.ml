@@ -8,6 +8,9 @@ type t = {
   mutable pre_evict : (frame:int -> page_id:int -> unit) option;
   mutable pre_ship : (page_id:int -> bytes -> bytes) option;
   mutable txn : int option;
+  mutable ship_seq : int;
+      (* region-ship sequence numbers, assigned once per ship before
+         any retry so the server can recognize re-deliveries *)
 }
 
 and victim_policy = Traditional | External of (t -> int)
@@ -28,7 +31,8 @@ let create ?(frames = 1536) server =
   ; policy = Traditional
   ; pre_evict = None
   ; pre_ship = None
-  ; txn = None }
+  ; txn = None
+  ; ship_seq = 0 }
 
 let set_victim_policy t p = t.policy <- p
 let server t = t.server
@@ -114,9 +118,25 @@ let mark_dirty t ~frame = Buf_pool.mark_dirty t.pool frame
    retries resend the same bytes. *)
 let ship_page t ~txn ~at_commit page_id bytes =
   let b = ship_bytes t page_id bytes in
-  rpc t ~op:"write_page" ~page:page_id (fun () ->
-      net_request t ~op:"write_page" ~page:page_id (fun () ->
-          Server.write_page t.server ~txn ~at_commit page_id b))
+  Qs_trace.with_span (Server.clock t.server) ~cat:"esm" "ship.page" (fun () ->
+      rpc t ~op:"write_page" ~page:page_id (fun () ->
+          net_request t ~op:"write_page" ~page:page_id (fun () ->
+              Server.write_page t.server ~txn ~at_commit page_id b)))
+
+(* Diff-shipping commit: ship only the modified (offset, bytes) regions
+   of a dirty page; the server patches them onto its copy in place
+   ([Server.apply_regions]). The sequence number is assigned once, so a
+   retried or duplicated delivery is recognized and not re-applied.
+   [check] (QSan) is the client's disk-format image of the whole page;
+   the patched server page must equal it. *)
+let ship_regions t ~page_id ?check regions =
+  let txn = txn_id t in
+  let seq = t.ship_seq in
+  t.ship_seq <- seq + 1;
+  Qs_trace.with_span (Server.clock t.server) ~cat:"esm" "ship.diff" (fun () ->
+      rpc t ~op:"ship_regions" ~page:page_id (fun () ->
+          net_request t ~op:"ship_regions" ~page:page_id (fun () ->
+              Server.apply_regions t.server ~txn ~seq ?check page_id regions)))
 
 (* Ship a dirty frame back to the server mid-transaction (steal). *)
 let write_back t ~at_commit frame =

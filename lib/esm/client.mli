@@ -125,6 +125,19 @@ val lock_file : t -> int -> Lock_mgr.mode -> unit
     applied the new bytes (or will). *)
 val log_update : t -> page_id:int -> frame:int -> off:int -> old_data:bytes -> new_data:bytes -> unit
 
+(** [ship_regions t ~page_id ?check regions] — the diff-shipping
+    commit's client half ([Qs_config.diff_ship]): ship only the
+    modified [(offset, bytes)] regions of a dirty page through the
+    faultable network path (same retry/backoff machinery as a
+    whole-page ship); the server patches them onto its copy in place
+    ({!Server.apply_regions}). Each ship carries a sequence number
+    assigned once, before any retry, so a duplicated or retried
+    delivery is never applied twice. [check] (QSan) is the client's
+    disk-format image of the whole page; the patched server page must
+    equal it byte-for-byte. The caller clears the frame's dirty bit on
+    success so {!commit} does not also ship the whole page. *)
+val ship_regions : t -> page_id:int -> ?check:bytes -> (int * bytes) list -> unit
+
 (** {2 Objects} *)
 
 exception Dangling_reference of Oid.t

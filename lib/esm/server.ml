@@ -8,6 +8,8 @@ type counters = {
   mutable client_reads_map : int;
   mutable client_reads_index : int;
   mutable client_writes : int;
+  mutable client_region_ships : int;  (* pages patched via apply_regions (dups excluded) *)
+  mutable region_bytes_shipped : int;  (* payload bytes of those patches *)
   mutable server_pool_hits : int;
 }
 
@@ -36,6 +38,17 @@ type t = {
       (* simulated time of the last charged log force and the count of
          full log pages durable at that point; a force inside the
          group-commit window that adds no full page rides it for free *)
+  mutable pipeline_commit : bool;
+      (* overlap commit-time ships with the WAL force: the force's disk
+         charge is reduced by the time already spent shipping this
+         transaction's pages/regions (the records were appended before
+         the ships started, so the disk and the network proceed in
+         parallel) *)
+  mutable txn_ships : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (* per-txn set of region-ship sequence numbers already applied: a
+         retried or duplicated ship RPC must not patch twice *)
+  mutable txn_ship_us : (int, float ref) Hashtbl.t;
+      (* per-txn commit-ship time eligible for the pipeline credit *)
 }
 
 let create_with_disk ?(frames = 4608) ?fault ~disk ~clock ~cm () =
@@ -54,6 +67,8 @@ let create_with_disk ?(frames = 4608) ?fault ~disk ~clock ~cm () =
       ; client_reads_map = 0
       ; client_reads_index = 0
       ; client_writes = 0
+      ; client_region_ships = 0
+      ; region_bytes_shipped = 0
       ; server_pool_hits = 0 }
   ; next_txn = 1
   ; active = Hashtbl.create 8
@@ -63,13 +78,17 @@ let create_with_disk ?(frames = 4608) ?fault ~disk ~clock ~cm () =
   ; fail_after_writes = None
   ; fault
   ; group_commit = false
-  ; last_force = None }
+  ; last_force = None
+  ; pipeline_commit = false
+  ; txn_ships = Hashtbl.create 8
+  ; txn_ship_us = Hashtbl.create 8 }
 
 let create ?frames ?fault ~clock ~cm () =
   create_with_disk ?frames ?fault ~disk:(Disk.create ()) ~clock ~cm ()
 
 let fault_injector t = t.fault
 let set_group_commit t b = t.group_commit <- b
+let set_commit_pipeline t b = t.pipeline_commit <- b
 
 let disk t = t.disk
 let clock t = t.clock
@@ -84,6 +103,8 @@ let reset_counters t =
   c.client_reads_map <- 0;
   c.client_reads_index <- 0;
   c.client_writes <- 0;
+  c.client_region_ships <- 0;
+  c.region_bytes_shipped <- 0;
   c.server_pool_hits <- 0
 
 (* A server whose scheduled crash has fired is dead until [crash] takes
@@ -244,6 +265,14 @@ let note_txn_dirty t txn page_id =
   | Some h -> Hashtbl.replace h page_id ()
   | None -> ()
 
+(* Commit-ship time eligible for the pipeline credit (tracked only when
+   pipelining is on, so the default path allocates nothing). *)
+let note_ship_us t txn us =
+  if t.pipeline_commit then
+    match Hashtbl.find_opt t.txn_ship_us txn with
+    | Some r -> r := !r +. us
+    | None -> Hashtbl.replace t.txn_ship_us txn (ref us)
+
 let write_page t ~txn ~at_commit page_id src =
   check_active t txn "write_page";
   (match t.fail_after_writes with
@@ -254,8 +283,10 @@ let write_page t ~txn ~at_commit page_id src =
     (if at_commit then Qs_fault.Point.commit_ship_page else Qs_fault.Point.evict_steal_write);
   t.counters.client_writes <- t.counters.client_writes + 1;
   let cm = t.cm in
-  if at_commit then
-    Qs_trace.charge t.clock Simclock.Category.Commit_flush cm.Simclock.Cost_model.commit_flush_page_us
+  if at_commit then begin
+    Qs_trace.charge t.clock Simclock.Category.Commit_flush cm.Simclock.Cost_model.commit_flush_page_us;
+    note_ship_us t txn cm.Simclock.Cost_model.commit_flush_page_us
+  end
   else Qs_trace.charge t.clock Simclock.Category.Data_io cm.Simclock.Cost_model.net_ship_us;
   if Qs_trace.enabled t.clock then
     Qs_trace.instant t.clock ~cat:"esm"
@@ -273,6 +304,94 @@ let write_page t ~txn ~at_commit page_id src =
   Buf_pool.mark_dirty t.pool f;
   Buf_pool.set_ref_bit t.pool f true;
   note_txn_dirty t txn page_id
+
+(* Diff-shipping commit: patch [regions] — (offset, bytes) pairs diffed
+   by the client against its recovery-buffer snapshot — onto the
+   server's copy of the page in place, reading the base page from disk
+   first (charged) when it is not server-resident. The base page is
+   valid to patch because every ship path (commit ship, mid-transaction
+   steal, abort undo) leaves the server's copy equal to the image the
+   client snapshotted at write-fault time.
+
+   Idempotency: the client assigns each ship a per-client sequence
+   number once, before any retry, and the server records it (per
+   transaction) only after every region of the ship has been applied.
+   A retried or duplicated delivery of an applied ship charges its
+   wire cost again but patches nothing, so Net_dup / retry-after-drop
+   cannot double-apply — not that a double apply of absolute bytes
+   would change the page, but the guard keeps the protocol honest and
+   QSan checks it. [check], passed under QSan, is the client's own
+   disk-format page image; the patched server page must equal it
+   byte-for-byte. *)
+let apply_regions t ~txn ~seq ?check page_id regions =
+  check_active t txn "apply_regions";
+  Qs_fault.hit t.fault Qs_fault.Point.commit_ship_region;
+  let cm = t.cm in
+  let nregions = List.length regions in
+  let nbytes =
+    List.fold_left
+      (fun acc (off, data) ->
+        let len = Bytes.length data in
+        if off < 0 || len < 0 || off + len > Page.page_size then
+          invalid_arg "Server.apply_regions: region out of page bounds";
+        acc + len)
+      0 regions
+  in
+  Qs_trace.charge_n t.clock Simclock.Category.Commit_flush nregions
+    cm.Simclock.Cost_model.ship_region_us;
+  Qs_trace.charge t.clock Simclock.Category.Commit_flush
+    (float_of_int nbytes *. cm.Simclock.Cost_model.ship_byte_us);
+  note_ship_us t txn
+    ((float_of_int nregions *. cm.Simclock.Cost_model.ship_region_us)
+    +. (float_of_int nbytes *. cm.Simclock.Cost_model.ship_byte_us));
+  let f, _hit = resident_bytes t ~cat:Simclock.Category.Commit_flush ~charge_miss:true page_id in
+  let b = Buf_pool.frame_bytes t.pool f in
+  let applied =
+    match Hashtbl.find_opt t.txn_ships txn with
+    | Some seqs -> seqs
+    | None ->
+      let seqs = Hashtbl.create 16 in
+      Hashtbl.replace t.txn_ships txn seqs;
+      seqs
+  in
+  let duplicate = Hashtbl.mem applied seq in
+  if not duplicate then begin
+    (* commit.region_torn: the apply dies partway — only a seeded
+       prefix of the regions lands in the (volatile) server pool, and
+       the sequence number is never recorded, so a restarted commit
+       re-applies from scratch. *)
+    Qs_fault.hit t.fault Qs_fault.Point.commit_region_torn ~on_fire:(fun ~frac ->
+        let keep = int_of_float (frac *. float_of_int nregions) in
+        List.iteri
+          (fun i (off, data) ->
+            if i < keep then Bytes.blit data 0 b off (Bytes.length data))
+          regions;
+        Buf_pool.mark_dirty t.pool f);
+    List.iter (fun (off, data) -> Bytes.blit data 0 b off (Bytes.length data)) regions;
+    Hashtbl.replace applied seq ();
+    t.counters.client_region_ships <- t.counters.client_region_ships + 1;
+    t.counters.region_bytes_shipped <- t.counters.region_bytes_shipped + nbytes
+  end;
+  Buf_pool.mark_dirty t.pool f;
+  Buf_pool.set_ref_bit t.pool f true;
+  note_txn_dirty t txn page_id;
+  if Qs_trace.enabled t.clock then
+    Qs_trace.instant t.clock ~cat:"esm"
+      ~args:
+        [ Qs_trace.A_int ("page", page_id)
+        ; Qs_trace.A_int ("regions", nregions)
+        ; Qs_trace.A_int ("bytes", nbytes)
+        ; Qs_trace.A_int ("dup", if duplicate then 1 else 0) ]
+      "ship.regions";
+  match check with
+  | None -> ()
+  | Some expect ->
+    if not (Bytes.equal b expect) then
+      Qs_util.Sanitizer.fail ~check:"region-apply"
+        ~subject:(Printf.sprintf "page %d" page_id)
+        "patched server page differs from the client's image (%d regions, %d bytes%s)"
+        nregions nbytes
+        (if duplicate then ", duplicate ship" else "")
 
 let alloc_page t =
   Qs_trace.charge t.clock Simclock.Category.Lock_acquire t.cm.Simclock.Cost_model.lock_us;
@@ -337,7 +456,7 @@ let log_index t ~txn record =
 
 let set_index_undo t f = t.index_undo <- f
 
-let force_log t =
+let force_log ?(overlap_us = 0.0) t =
   (* wal.force_partial: the force is cut mid-stream — a seeded fraction
      of the unforced tail becomes durable, then the process dies. *)
   Qs_fault.hit t.fault Qs_fault.Point.wal_force_partial ~on_fire:(fun ~frac ->
@@ -367,6 +486,24 @@ let force_log t =
         "group_commit"
         (fun () -> ())
   end
+  else if overlap_us > 0.0 && pages > 0 then begin
+    (* Pipelined commit: the records being forced were appended before
+       the transaction's commit-time ships, so the disk force and the
+       network ships overlap — the force only costs what the ships did
+       not already cover. Durability is unchanged: the records are
+       forced above either way; only the charge shrinks. *)
+    let base = float_of_int pages *. t.cm.Simclock.Cost_model.server_disk_write_us in
+    let credit = Float.min base overlap_us in
+    Qs_trace.charge t.clock Simclock.Category.Commit_flush (base -. credit);
+    if Qs_trace.enabled t.clock then
+      Qs_trace.with_span t.clock ~cat:"esm"
+        ~args:
+          [ Qs_trace.A_int ("pages", pages); Qs_trace.A_int ("saved_us", int_of_float credit) ]
+        "commit.pipeline"
+        (fun () -> ());
+    t.last_force <-
+      Some (Simclock.Clock.total_us t.clock, Wal.forced_bytes t.wal / Page.page_size)
+  end
   else begin
     Qs_trace.charge_n t.clock Simclock.Category.Commit_flush pages
       t.cm.Simclock.Cost_model.server_disk_write_us;
@@ -395,14 +532,21 @@ let finish_txn t txn =
   Lock_mgr.release_all t.locks ~txn;
   Hashtbl.remove t.active txn;
   Hashtbl.remove t.txn_updates txn;
-  Hashtbl.remove t.txn_dirty txn
+  Hashtbl.remove t.txn_dirty txn;
+  Hashtbl.remove t.txn_ships txn;
+  Hashtbl.remove t.txn_ship_us txn
 
 let commit t ~txn =
   check_active t txn "commit";
   Qs_fault.hit t.fault Qs_fault.Point.commit_pre_log;
   ignore (Wal.append t.wal (Wal.Commit txn));
   Qs_fault.hit t.fault Qs_fault.Point.commit_pre_flush;
-  force_log t;
+  let overlap_us =
+    if t.pipeline_commit then
+      match Hashtbl.find_opt t.txn_ship_us txn with Some r -> !r | None -> 0.0
+    else 0.0
+  in
+  force_log ~overlap_us t;
   flush_txn_pages ~point:Qs_fault.Point.commit_mid_flush t txn;
   Qs_fault.hit t.fault Qs_fault.Point.commit_post_flush;
   finish_txn t txn
@@ -478,6 +622,8 @@ let crash t =
   t.active <- Hashtbl.create 8;
   t.txn_updates <- Hashtbl.create 8;
   t.txn_dirty <- Hashtbl.create 8;
+  t.txn_ships <- Hashtbl.create 8;
+  t.txn_ship_us <- Hashtbl.create 8;
   t.fail_after_writes <- None;
   t.last_force <- None;
   (* The failure is taken: the restarted server may serve again. *)
@@ -495,4 +641,5 @@ let fork_crashed t =
   s.wal <- Wal.survive_crash t.wal;
   s.next_txn <- t.next_txn;
   s.group_commit <- t.group_commit;
+  s.pipeline_commit <- t.pipeline_commit;
   s

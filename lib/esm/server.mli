@@ -36,10 +36,11 @@ val create_with_disk :
 (** The server's fault injector (disarmed and free unless a harness
     arms it). Crash points instrumented here: [commit.pre_log],
     [commit.pre_flush], [commit.mid_flush], [commit.post_flush],
-    [commit.ship_page], [evict.steal_write], [wal.force_partial],
-    [prepare.pre_log], [prepare.post_log], [prepare.mid_flush],
-    [abort.mid_undo], [checkpoint.mid_flush]; the shared disk adds
-    [disk.torn_write] plus transient I/O errors. *)
+    [commit.ship_page], [commit.ship_region], [commit.region_torn],
+    [evict.steal_write], [wal.force_partial], [prepare.pre_log],
+    [prepare.post_log], [prepare.mid_flush], [abort.mid_undo],
+    [checkpoint.mid_flush]; the shared disk adds [disk.torn_write]
+    plus transient I/O errors. *)
 val fault_injector : t -> Qs_fault.t
 
 val disk : t -> Disk.t
@@ -92,6 +93,28 @@ val read_page_run : t -> txn:int -> kind:io_kind -> (int * bytes) list -> unit
     commit-flush cost; otherwise it is a mid-transaction write-back
     (network ship now, disk write when the server pool evicts it). *)
 val write_page : t -> txn:int -> at_commit:bool -> int -> bytes -> unit
+
+(** [apply_regions t ~txn ~seq ?check page_id regions] is the
+    diff-shipping commit's server half ([Qs_config.diff_ship]): patch
+    the [(offset, bytes)] regions — the same regions the client's
+    commit-time diff logged to the WAL — onto the server's copy of the
+    page in place, reading the base page from disk first (charged to
+    Commit_flush) when it is not server-resident. Charges
+    [ship_region_us] per region plus [ship_byte_us] per payload byte.
+
+    [seq] is the client-assigned ship sequence number, fixed before
+    any retry: a ship already applied for this transaction (a
+    duplicated or retried delivery) charges its wire cost again but
+    patches nothing. [check], passed under QSan, is the client's own
+    disk-format image of the page; after the patch the server page
+    must equal it byte-for-byte or
+    [Qs_util.Sanitizer.Sanitizer_violation] is raised.
+
+    Crash points: [commit.ship_region] (before anything is applied)
+    and [commit.region_torn] (a seeded prefix of the regions lands in
+    the volatile pool, the sequence number is not recorded). *)
+val apply_regions :
+  t -> txn:int -> seq:int -> ?check:bytes -> int -> (int * bytes) list -> unit
 
 val alloc_page : t -> int
 val free_page : t -> int -> unit
@@ -157,6 +180,15 @@ val wal : t -> Wal.t
     default (bit-identical to the paper's per-commit force). *)
 val set_group_commit : t -> bool -> unit
 
+(** Commit pipelining ([Qs_config.diff_ship]): when on, the commit's
+    log force charges only what the transaction's commit-time ships
+    ({!write_page} with [at_commit:true] and {!apply_regions}) did not
+    already cover — the records were appended before the ships
+    started, so the disk force overlaps the network ships. Durability
+    is unchanged. Off by default (the force serializes after the
+    ships, as in the paper's measured configuration). *)
+val set_commit_pipeline : t -> bool -> unit
+
 (** {2 Counters} *)
 
 type counters = {
@@ -164,7 +196,11 @@ type counters = {
   mutable client_reads_data : int;
   mutable client_reads_map : int;
   mutable client_reads_index : int;
-  mutable client_writes : int;  (** pages shipped back by clients *)
+  mutable client_writes : int;  (** whole pages shipped back by clients *)
+  mutable client_region_ships : int;
+      (** pages patched in place via {!apply_regions} (duplicate
+          deliveries excluded) *)
+  mutable region_bytes_shipped : int;  (** payload bytes of those patches *)
   mutable server_pool_hits : int;
 }
 

@@ -6,6 +6,8 @@ module Point = struct
   let commit_mid_flush = "commit.mid_flush"
   let commit_post_flush = "commit.post_flush"
   let commit_ship_page = "commit.ship_page"
+  let commit_ship_region = "commit.ship_region"
+  let commit_region_torn = "commit.region_torn"
   let wal_force_partial = "wal.force_partial"
   let prepare_pre_log = "prepare.pre_log"
   let prepare_post_log = "prepare.post_log"
@@ -20,6 +22,7 @@ module Point = struct
 
   let all =
     [ commit_pre_log; commit_pre_flush; commit_mid_flush; commit_post_flush; commit_ship_page
+    ; commit_ship_region; commit_region_torn
     ; wal_force_partial; prepare_pre_log; prepare_post_log; prepare_mid_flush; abort_mid_undo
     ; evict_steal_write; checkpoint_mid_flush; disk_torn_write; dist_pre_prepare
     ; dist_pre_decision; dist_mid_decision ]

@@ -34,6 +34,10 @@ module Point : sig
 
   val commit_ship_page : string  (** client→server page ship of the commit flush *)
 
+  val commit_ship_region : string  (** client→server region ship of a diff-shipping commit *)
+
+  val commit_region_torn : string  (** region apply cut partway: a prefix of the regions lands *)
+
   val wal_force_partial : string  (** log force cut mid-stream: a prefix survives *)
 
   val prepare_pre_log : string  (** before the Prepare record is appended *)

@@ -21,13 +21,16 @@ let json_float f =
 
 let json_string s = "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\""
 
-let op_json (op, (r : System.run_result)) =
+(* [extra] appends suite-specific "key":value pairs to each op object
+   (the diff-ship baseline adds its region-ship counters); the default
+   appends nothing, so the shared baselines' bytes are untouched. *)
+let op_json ?(extra = fun (_ : System.run_result) -> []) (op, (r : System.run_result)) =
   let m = r.System.cold in
   let field k v = Printf.sprintf "\"%s\":%s" k v in
   let opt_ms = function Some (m : Measure.t) -> json_float m.Measure.ms | None -> "null" in
   "{"
   ^ String.concat ","
-      [ field "op" (json_string op)
+      ([ field "op" (json_string op)
       ; field "cold_ms" (json_float m.Measure.ms)
       ; field "hot_ms" (opt_ms r.System.hot)
       ; field "commit_ms" (opt_ms r.System.commit)
@@ -41,13 +44,14 @@ let op_json (op, (r : System.run_result)) =
           (string_of_int
              (match r.System.commit with Some c -> c.Measure.client_writes | None -> 0))
       ; field "faults" (string_of_int r.System.cold_faults) ]
+       @ extra r)
   ^ "}"
 
-let suite_json (s : Exp.suite) =
+let suite_json ?extra (s : Exp.suite) =
   Printf.sprintf "{\"name\":%s,\"db_mb\":%s,\"ops\":[%s]}"
     (json_string s.Exp.sys.System.name)
     (json_float (s.Exp.sys.System.db_size_mb ()))
-    (String.concat "," (List.map op_json s.Exp.results))
+    (String.concat "," (List.map (op_json ?extra) s.Exp.results))
 
 (* Fastest-to-slowest by total response (cold + commit); ties keep the
    suite order. These are the paper's win/loss relationships — the
@@ -60,12 +64,12 @@ let ordering_json (suites : Exp.suite list) op =
   Printf.sprintf "{\"op\":%s,\"fastest_to_slowest\":[%s]}" (json_string op)
     (String.concat "," (List.map (fun (n, _) -> json_string n) sorted))
 
-let render ~benchmark ~database ~seed ~hot_reps (suites : Exp.suite list) =
+let render ?extra ~benchmark ~database ~seed ~hot_reps (suites : Exp.suite list) =
   let ops = match suites with [] -> [] | s :: _ -> List.map fst s.Exp.results in
   Printf.sprintf
     "{\"benchmark\":%s,\"database\":%s,\"seed\":%d,\"hot_reps\":%d,\"systems\":[%s],\"orderings\":[%s]}\n"
     (json_string benchmark) (json_string database) seed hot_reps
-    (String.concat "," (List.map suite_json suites))
+    (String.concat "," (List.map (suite_json ?extra) suites))
     (String.concat "," (List.map (ordering_json suites) ops))
 
 let small_ops = Exp.traversal_ops @ Exp.query_ops @ Exp.update_ops
@@ -119,3 +123,43 @@ let small_prefetch_suites ?(progress = fun (_ : string) -> ()) ~seed () =
 
 let render_small_prefetch ~seed suites =
   render ~benchmark:"OO7+prefetch" ~database:"small" ~seed ~hot_reps:1 suites
+
+(* The diff-shipping configuration of the third baseline: commit ships
+   modified byte regions and pipelines them with the WAL force. *)
+let diffship_config =
+  { Quickstore.Qs_config.default with Quickstore.Qs_config.diff_ship = true }
+
+(* T1 rides along as a read-mostly control (its only commit traffic is
+   mapping maintenance); the update operations are where the sparse
+   writes live. *)
+let small_diffship_ops = "T1" :: Exp.update_ops
+
+(* The third bench-shape baseline ([BENCH_oo7_diffship.json]): QS with
+   diff shipping against a stock E control, hot_reps 1. As with the
+   prefetch baseline, E runs untouched — diff shipping is a per-store
+   QuickStore commit path — so E's cold T1 here must stay bit-identical
+   to the small-database baseline. *)
+let small_diffship_suites ?(progress = fun (_ : string) -> ()) ~seed () =
+  progress "building small databases (QS+diffship, E control)...";
+  let qs = System.make_qs ~config:diffship_config Oo7.Params.small ~seed in
+  let e = System.make_e Oo7.Params.small ~seed in
+  List.map
+    (fun (sys : System.t) ->
+      progress (Printf.sprintf "running diff-ship operations on %s..." sys.System.name);
+      Exp.run_suite ~seed ~hot_reps:1 sys ~ops:small_diffship_ops)
+    [ qs; e ]
+
+(* The region-ship counters this baseline exists to pin: how many dirty
+   pages the commit shipped as regions and how many payload bytes that
+   took (0 for E and for read-only ops). *)
+let diffship_extra (r : System.run_result) =
+  let ships, bytes =
+    match r.System.commit with
+    | Some c -> (c.Measure.region_ships, c.Measure.region_bytes)
+    | None -> (0, 0)
+  in
+  [ Printf.sprintf "\"commit_region_ships\":%d" ships
+  ; Printf.sprintf "\"commit_region_bytes\":%d" bytes ]
+
+let render_small_diffship ~seed suites =
+  render ~extra:diffship_extra ~benchmark:"OO7+diffship" ~database:"small" ~seed ~hot_reps:1 suites

@@ -9,6 +9,8 @@ type t = {
   reads_map : int;
   reads_index : int;
   client_writes : int;
+  region_ships : int;  (** dirty pages shipped as byte regions ([Qs_config.diff_ship]) *)
+  region_bytes : int;  (** payload bytes of those region ships *)
   snapshot : Clock.snapshot;  (** per-category detail for Tables 6/7, Fig 11 *)
   result : int;  (** operation return value (cross-system validation) *)
 }
@@ -21,7 +23,9 @@ let phase ~clock ~server f =
   and data0 = c0.Esm.Server.client_reads_data
   and map0 = c0.Esm.Server.client_reads_map
   and idx0 = c0.Esm.Server.client_reads_index
-  and writes0 = c0.Esm.Server.client_writes in
+  and writes0 = c0.Esm.Server.client_writes
+  and rships0 = c0.Esm.Server.client_region_ships
+  and rbytes0 = c0.Esm.Server.region_bytes_shipped in
   let result = f () in
   let s = Clock.since clock snap in
   let c = Esm.Server.counters server in
@@ -31,6 +35,8 @@ let phase ~clock ~server f =
   ; reads_map = c.Esm.Server.client_reads_map - map0
   ; reads_index = c.Esm.Server.client_reads_index - idx0
   ; client_writes = c.Esm.Server.client_writes - writes0
+  ; region_ships = c.Esm.Server.client_region_ships - rships0
+  ; region_bytes = c.Esm.Server.region_bytes_shipped - rbytes0
   ; snapshot = s
   ; result }
 
@@ -43,5 +49,7 @@ let zero =
   ; reads_map = 0
   ; reads_index = 0
   ; client_writes = 0
+  ; region_ships = 0
+  ; region_bytes = 0
   ; snapshot = Clock.snapshot (Clock.create ())
   ; result = 0 }

@@ -108,7 +108,8 @@ let check_in_flight ~seed ~what ~model ~expect in_flight reads =
 
 let single_points =
   [ F.Point.commit_pre_log; F.Point.commit_pre_flush; F.Point.commit_mid_flush
-  ; F.Point.commit_post_flush; F.Point.commit_ship_page; F.Point.wal_force_partial
+  ; F.Point.commit_post_flush; F.Point.commit_ship_page; F.Point.commit_ship_region
+  ; F.Point.commit_region_torn; F.Point.wal_force_partial
   ; F.Point.abort_mid_undo; F.Point.evict_steal_write; F.Point.checkpoint_mid_flush
   ; F.Point.disk_torn_write ]
 
@@ -120,7 +121,10 @@ let crash_exn = function
 
 let hit_bound ~rng point =
   let bound =
-    if point = F.Point.commit_mid_flush || point = F.Point.commit_ship_page then 20
+    if
+      point = F.Point.commit_mid_flush || point = F.Point.commit_ship_page
+      || point = F.Point.commit_ship_region || point = F.Point.commit_region_torn
+    then 20
     else if point = F.Point.disk_torn_write then 25
     else if point = F.Point.evict_steal_write then 15
     else if point = F.Point.wal_force_partial then 12
@@ -140,11 +144,37 @@ let expectation ~entered_abort fired =
     else if
       point = F.Point.commit_pre_log || point = F.Point.commit_pre_flush
       || point = F.Point.commit_ship_page
+      || point = F.Point.commit_ship_region || point = F.Point.commit_region_torn
       || point = F.Point.evict_steal_write
       || point = F.Point.abort_mid_undo
     then `Old
     else if point = F.Point.commit_mid_flush || point = F.Point.commit_post_flush then `New
     else `Either (* wal.force_partial, disk.torn_write: depends on the cut *)
+
+(* Region-shipping commit path, used when the armed crash point lives
+   in [Server.apply_regions]: ship every unpinned dirty page as four
+   byte regions that together cover the whole page (so the patched
+   server copy equals the client copy no matter what base the server
+   held), then clear its dirty bit so [Client.commit] does not ship it
+   again whole. The ships ride the same faultable RPC as whole-page
+   ships, so the schedule's transient dups/drops also exercise the
+   seq-based idempotent re-apply. *)
+let region_ship_dirty client =
+  List.iter
+    (fun (page_id, frame) ->
+      if Buf_pool.pin_count (Client.pool client) frame = 0 then begin
+        let b = Client.page_bytes client ~frame in
+        let quarter = Bytes.length b / 4 in
+        let regions =
+          List.init 4 (fun i ->
+              let off = i * quarter in
+              let len = if i = 3 then Bytes.length b - off else quarter in
+              (off, Bytes.sub b off len))
+        in
+        Client.ship_regions client ~page_id ~check:(Bytes.copy b) regions;
+        Buf_pool.clear_dirty (Client.pool client) frame
+      end)
+    (Buf_pool.dirty_pages (Client.pool client))
 
 let run_single ~seed ~point =
   let rng = Rng.create (seed * 2 + 1) in
@@ -199,6 +229,8 @@ let run_single ~seed ~point =
             Client.abort client
           end
           else begin
+            if point = F.Point.commit_ship_region || point = F.Point.commit_region_torn
+            then region_ship_dirty client;
             Client.commit client;
             List.iter (fun (idx, newv) -> model.(idx) <- newv) in_flight
           end;

@@ -36,6 +36,15 @@ type t = {
       (** WAL group commit: a log force arriving within this window of
           the previous force, with no new full log page to write,
           rides the in-flight disk force for free *)
+  ship_region_us : float;
+      (** per-region overhead of a diff-shipping commit: marshalling
+          one (offset, length, bytes) patch into the ship RPC and
+          applying it at the server *)
+  ship_byte_us : float;
+      (** per-byte wire + apply cost of a shipped region; calibrated so
+          a whole page shipped as one region costs about as much as
+          [commit_flush_page_us] — region shipping wins exactly when
+          the diff is sparse *)
   (* --- virtual-memory machinery (QuickStore) --- *)
   page_fault_us : float;  (** detect illegal access, enter handler *)
   min_fault_us : float;  (** one min fault (cache remap, no I/O) *)
@@ -85,6 +94,8 @@ let default =
   ; disk_seek_us = 15_000.0
   ; disk_transfer_page_us = 4_500.0
   ; group_commit_window_us = 50_000.0
+  ; ship_region_us = 250.0
+  ; ship_byte_us = 0.9
   ; page_fault_us = 800.0
   ; min_fault_us = 450.0
   ; min_faults_per_data_fault = 4

@@ -148,6 +148,26 @@ let test_qs009 () =
   check_rules "safe Bytes ops are QS001's business" [ "QS001" ] ~path:"lib/core/foo.ml"
     "let f b = Bytes.get b 0\n"
 
+(* --- QS010: server page mutation outside lib/esm --- *)
+
+let test_qs010 () =
+  check_rules "Server.write_page in lib/core" [ "QS010" ] ~path:"lib/core/foo.ml"
+    "let f s b = Esm.Server.write_page s ~txn:1 ~at_commit:true 3 b\n";
+  check_rules "Server.apply_regions in lib/harness" [ "QS010" ] ~path:"lib/harness/foo.ml"
+    "let f s r = Server.apply_regions s ~txn:1 ~seq:0 3 r\n";
+  check_rules "lib/esm exempt" [] ~path:"lib/esm/client.ml"
+    "let f s b = Server.write_page s ~txn:1 ~at_commit:true 3 b\n";
+  check_rules "bin tools exempt" [] ~path:"bin/qs_dump.ml"
+    "let f s b = Esm.Server.write_page s ~txn:1 ~at_commit:false 3 b\n";
+  check_rules "tests exempt" [] ~path:"test/test_foo.ml"
+    "let f s r = Esm.Server.apply_regions s ~txn:1 ~seq:0 3 r\n";
+  check_rules "allow attribute" [] ~path:"lib/core/foo.ml"
+    "let f s r = (Esm.Server.apply_regions s ~txn:1 ~seq:0 3 r [@qs_lint.allow \"QS010\"])\n";
+  check_rules "read path passes" [] ~path:"lib/core/foo.ml"
+    "let f s b = Esm.Server.read_page s ~kind:Esm.Server.Data 3 b\n";
+  check_rules "Client ships are the fix" [] ~path:"lib/core/foo.ml"
+    "let f c r = Esm.Client.ship_regions c ~page_id:3 r\n"
+
 (* --- QS000: parse errors --- *)
 
 let test_qs000 () =
@@ -182,7 +202,15 @@ let test_path_policy () =
     (Lint.rule_applies ~path:"lib/util/codec.ml" "QS009");
   Alcotest.(check bool) "QS009 on in core" true
     (Lint.rule_applies ~path:"lib/core/store.ml" "QS009");
-  Alcotest.(check bool) "QS009 on in bench" true (Lint.rule_applies ~path:"bench/main.ml" "QS009")
+  Alcotest.(check bool) "QS009 on in bench" true (Lint.rule_applies ~path:"bench/main.ml" "QS009");
+  Alcotest.(check bool) "QS010 off in lib/esm" false
+    (Lint.rule_applies ~path:"lib/esm/client.ml" "QS010");
+  Alcotest.(check bool) "QS010 on in lib/core" true
+    (Lint.rule_applies ~path:"lib/core/store.ml" "QS010");
+  Alcotest.(check bool) "QS010 on in lib/harness" true
+    (Lint.rule_applies ~path:"lib/harness/torture.ml" "QS010");
+  Alcotest.(check bool) "QS010 off in bin" false
+    (Lint.rule_applies ~path:"bin/qs_prof.ml" "QS010")
 
 let test_report_format () =
   match Lint.lint_source ~path:"lib/core/foo.ml" ~contents:"let f b =\n  Bytes.get b 0\n" with
@@ -201,7 +229,7 @@ let test_all_rules_listed () =
         (String.length r = 5 && String.sub r 0 2 = "QS"))
     Lint.all_rules;
   (* QS000 (parse error) is a pseudo-rule, not an enforceable one. *)
-  Alcotest.(check int) "nine enforceable rules" 9 (List.length Lint.all_rules);
+  Alcotest.(check int) "ten enforceable rules" 10 (List.length Lint.all_rules);
   Alcotest.(check bool) "QS000 not listed" false (List.mem "QS000" Lint.all_rules)
 
 let () =
@@ -216,6 +244,7 @@ let () =
         ; Alcotest.test_case "QS007 direct disk io" `Quick test_qs007
         ; Alcotest.test_case "QS008 untraced charge" `Quick test_qs008
         ; Alcotest.test_case "QS009 unsafe bytes" `Quick test_qs009
+        ; Alcotest.test_case "QS010 server page mutation" `Quick test_qs010
         ; Alcotest.test_case "QS000 parse error" `Quick test_qs000 ] )
     ; ( "plumbing"
       , [ Alcotest.test_case "path policy" `Quick test_path_policy

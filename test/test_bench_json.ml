@@ -1,10 +1,13 @@
 (* Bench-shape gate: regenerate the committed OO7 small-database
    baselines (per-op times, I/O counts, fault counts and win/loss
-   orderings) and fail on any byte of drift. Two baselines:
+   orderings) and fail on any byte of drift. Three baselines:
    BENCH_oo7.json is the stock configuration; BENCH_oo7_prefetch.json
    is QS with fault-time page-run prefetch + group commit against a
    stock E control, pinning both the batched savings and E's
-   non-participation. The simulation is deterministic, so times are
+   non-participation; BENCH_oo7_diffship.json is QS with the
+   diff-shipping commit (region ships + WAL-force pipelining) against
+   the same stock E control, pinning the region-ship byte savings.
+   The simulation is deterministic, so times are
    compared exactly, not within a tolerance — any change to a committed
    file must be a deliberate, reviewed re-baseline
    (dune exec bench/main.exe -- quick no-bech --json).
@@ -67,4 +70,7 @@ let () =
   check ~name:"BENCH_oo7.json" (Harness.Bench_json.render_small ~seed suites);
   let prefetch_suites = Harness.Bench_json.small_prefetch_suites ~progress ~seed () in
   check ~name:"BENCH_oo7_prefetch.json"
-    (Harness.Bench_json.render_small_prefetch ~seed prefetch_suites)
+    (Harness.Bench_json.render_small_prefetch ~seed prefetch_suites);
+  let diffship_suites = Harness.Bench_json.small_diffship_suites ~progress ~seed () in
+  check ~name:"BENCH_oo7_diffship.json"
+    (Harness.Bench_json.render_small_diffship ~seed diffship_suites)
