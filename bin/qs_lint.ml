@@ -1,10 +1,24 @@
 (* qs_lint: enforce QuickStore's project invariants over the source
-   tree. Usage: qs_lint [DIR|FILE ...] (default: lib bin bench
-   examples). Prints one `file:line: RULE message` per violation and
-   exits non-zero if any were found. See lib/analysis/lint.mli for the
-   rule list and DESIGN.md "Invariants and enforcement". *)
+   tree.
+
+   Usage:
+     qs_lint [DIR|FILE ...]          per-file rules (QS001–QS010) over
+                                     the given roots (default: lib bin
+                                     bench examples), plus the
+                                     whole-program rules QS011–QS014
+                                     over every .ml under lib/
+     qs_lint --effects [FILE]        write the effects baseline
+                                     (default ANALYSIS_effects.json;
+                                     `-` for stdout) and exit
+     qs_lint --report                human-readable effect summaries
+                                     and the lock-order graph
+
+   Prints one `file:line: RULE message` per violation and exits
+   non-zero if any were found. See lib/analysis/lint.mli for the rule
+   list and DESIGN.md "Invariants and enforcement". *)
 
 module Lint = Qs_analysis.Lint
+module Qs_deps = Qs_analysis.Qs_deps
 
 let rec collect path acc =
   if Sys.is_directory path then
@@ -32,15 +46,20 @@ let normalize root =
   else root
 
 let () =
-  let roots =
-    match List.map normalize (List.tl (Array.to_list Sys.argv)) with
-    | [] -> [ "lib"; "bin"; "bench"; "examples" ]
-    | roots -> roots
+  let args = List.map normalize (List.tl (Array.to_list Sys.argv)) in
+  let mode, roots =
+    match args with
+    | "--effects" :: rest ->
+      let out, rest = match rest with o :: r when o <> "" && o.[0] <> '-' -> (o, r) | r -> ("ANALYSIS_effects.json", r) in
+      (`Effects out, rest)
+    | "--report" :: rest -> (`Report, rest)
+    | rest -> (`Lint, rest)
   in
+  let explicit = roots <> [] in
+  let roots = if roots = [] then [ "lib"; "bin"; "bench"; "examples" ] else roots in
   (* A misspelled root must not read as "clean": only the default
      roots may be absent (bench/ or examples/ can legitimately be
      missing in a cut-down checkout). *)
-  let explicit = Array.length Sys.argv > 1 in
   let files =
     List.sort compare
       (List.concat_map
@@ -53,10 +72,33 @@ let () =
            else [])
          roots)
   in
-  let findings = List.concat_map Lint.lint_file files in
-  List.iter (fun f -> print_endline (Lint.to_string f)) findings;
-  if findings <> [] then begin
-    Printf.eprintf "qs_lint: %d violation(s) in %d file(s) scanned\n" (List.length findings)
-      (List.length files);
-    exit 1
-  end
+  (* The whole-program analyzer covers lib/ — the call graph is over
+     the library layout; tools and tests are not part of it. *)
+  let lib_files =
+    List.filter
+      (fun p -> String.length p >= 4 && String.sub p 0 4 = "lib/")
+      files
+  in
+  match mode with
+  | `Effects out ->
+    let r = Qs_deps.analyze_paths lib_files in
+    let json = Qs_deps.effects_json r in
+    if out = "-" then print_string json
+    else begin
+      let oc = open_out_bin out in
+      output_string oc json;
+      close_out oc
+    end
+  | `Report ->
+    let r = Qs_deps.analyze_paths lib_files in
+    print_string (Qs_deps.report r)
+  | `Lint ->
+    let findings = List.concat_map Lint.lint_file files in
+    let deps = (Qs_deps.analyze_paths lib_files).Qs_deps.findings in
+    let findings = findings @ deps in
+    List.iter (fun f -> print_endline (Lint.to_string f)) findings;
+    if findings <> [] then begin
+      Printf.eprintf "qs_lint: %d violation(s) in %d file(s) scanned\n" (List.length findings)
+        (List.length files);
+      exit 1
+    end

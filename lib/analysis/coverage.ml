@@ -1,0 +1,148 @@
+(* Pass 3b: crash-point coverage (QS013) and resource safety (QS014)
+   over the effect summaries.
+
+   QS013: every *direct* durable write — a [Wal.force]/[force_upto] or
+   [Disk.write] call site — must be preceded, in the same function
+   body, by an event whose transitive effects include a [Qs_fault]
+   crash surface (a [hit] or gate), or carry one itself ([Disk.write]
+   gates internally). Otherwise the write is invisible to the torture
+   rotation: no seed can cut the process at that point, so its
+   recovery path is never exercised. The WAL/Disk primitive layer
+   itself is exempt by path policy (it *is* the mechanism).
+
+   QS014: a function that both acquires a resource (a lock, or a
+   buffer-pool frame pin) and releases it must not leave an
+   exceptional path on which the release is skipped: if any event
+   between the acquisition and an unprotected release can raise, and
+   no release sits in a [Fun.protect ~finally] or an exception
+   handler, the resource leaks on that path. Functions that acquire
+   without releasing (escaping pins like [fix_page]) are clean by
+   design — their caller owns the release. *)
+
+let qs013 (cg : Callgraph.t) (sums : Effects.summaries) : Lint.finding list =
+  let findings = ref [] in
+  Callgraph.iter_funcs
+    (fun f ->
+      if Lint.rule_applies ~path:f.Callgraph.fn_file "QS013" then begin
+        let covered = ref false in
+        List.iter
+          (fun ev ->
+            let s = Effects.event_summary cg sums ~caller:f ev in
+            let d = Effects.direct_of ev in
+            if
+              (d.Effects.d_wal_force || d.Effects.d_disk_write)
+              && (not !covered)
+              && (not s.Effects.crash_surface)
+              && (not (List.mem "QS013" ev.Callgraph.ev_allows))
+              && not (List.mem "QS013" f.Callgraph.fn_allows)
+            then
+              findings :=
+                { Lint.file = f.Callgraph.fn_file
+                ; line = ev.Callgraph.ev_line
+                ; col = ev.Callgraph.ev_col
+                ; rule = "QS013"
+                ; msg =
+                    Printf.sprintf
+                      "%s reaches this durable write with no Qs_fault crash point before it: the \
+                       torture rotation cannot cut the process here, so the recovery path is \
+                       untested (add a Qs_fault.hit, or annotate with [@qs_lint.allow \"QS013\"])"
+                      (Callgraph.display f) }
+                :: !findings;
+            if s.Effects.crash_surface then covered := true)
+          f.Callgraph.events
+      end)
+    cg;
+  List.rev !findings
+
+type kind = Lock | Frame
+
+let qs014 (cg : Callgraph.t) (sums : Effects.summaries) : Lint.finding list =
+  let findings = ref [] in
+  Callgraph.iter_funcs
+    (fun f ->
+      if Lint.rule_applies ~path:f.Callgraph.fn_file "QS014" then begin
+        let events = Array.of_list f.Callgraph.events in
+        let n = Array.length events in
+        let directs = Array.map Effects.direct_of events in
+        let raisy =
+          Array.map
+            (fun ev ->
+              let s = Effects.event_summary cg sums ~caller:f ev in
+              not (Effects.SS.is_empty s.Effects.raises))
+            events
+        in
+        let is_acq k d =
+          match k with
+          | Lock -> d.Effects.d_lock_acquire
+          | Frame -> d.Effects.d_frame_acquire
+        in
+        let is_rel k d =
+          match k with
+          | Lock -> d.Effects.d_lock_release
+          | Frame -> d.Effects.d_frame_release
+        in
+        let protected_ (ev : Callgraph.event) =
+          ev.Callgraph.in_protect || ev.Callgraph.in_handler
+        in
+        List.iter
+          (fun k ->
+            (* Any protected release in the body covers the exceptional
+               paths for this resource kind (the common shape is an
+               unprotected success-path release plus a handler that
+               releases and re-raises). *)
+            let any_protected =
+              Array.exists2 (fun d ev -> is_rel k d && protected_ ev) directs events
+            in
+            if not any_protected then
+              for i = 0 to n - 1 do
+                if is_acq k directs.(i) then begin
+                  (* First matching release after the acquisition that
+                     can lie on the same execution path (a release in a
+                     sibling match arm is a different code path, not
+                     this acquisition's release). *)
+                  let rel = ref None in
+                  (try
+                     for j = i + 1 to n - 1 do
+                       if is_rel k directs.(j) && Callgraph.same_path events.(i) events.(j) then begin
+                         rel := Some j;
+                         raise Exit
+                       end
+                     done
+                   with Exit -> ());
+                  match !rel with
+                  | None -> ()  (* escaping acquisition: the caller owns the release *)
+                  | Some j ->
+                    let risky = ref false in
+                    for m = i + 1 to j - 1 do
+                      if
+                        raisy.(m)
+                        && Callgraph.same_path events.(i) events.(m)
+                        && Callgraph.same_path events.(m) events.(j)
+                      then risky := true
+                    done;
+                    let ev = events.(i) in
+                    if
+                      !risky
+                      && (not (List.mem "QS014" ev.Callgraph.ev_allows))
+                      && not (List.mem "QS014" f.Callgraph.fn_allows)
+                    then
+                      findings :=
+                        { Lint.file = f.Callgraph.fn_file
+                        ; line = ev.Callgraph.ev_line
+                        ; col = ev.Callgraph.ev_col
+                        ; rule = "QS014"
+                        ; msg =
+                            Printf.sprintf
+                              "%s acquires a %s here and releases it later, but an event in \
+                               between can raise and the release is not under Fun.protect or an \
+                               exception handler — the %s leaks on that path"
+                              (Callgraph.display f)
+                              (match k with Lock -> "lock" | Frame -> "buffer frame")
+                              (match k with Lock -> "lock" | Frame -> "pinned frame") }
+                        :: !findings
+                end
+              done)
+          [ Lock; Frame ]
+      end)
+    cg;
+  List.rev !findings

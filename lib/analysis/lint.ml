@@ -3,7 +3,8 @@ open Parsetree
 type finding = { file : string; line : int; col : int; rule : string; msg : string }
 
 let all_rules =
-  [ "QS001"; "QS002"; "QS003"; "QS004"; "QS005"; "QS006"; "QS007"; "QS008"; "QS009"; "QS010" ]
+  [ "QS001"; "QS002"; "QS003"; "QS004"; "QS005"; "QS006"; "QS007"; "QS008"; "QS009"; "QS010"
+  ; "QS011"; "QS012"; "QS013"; "QS014" ]
 
 let to_string f = Printf.sprintf "%s:%d: %s %s" f.file f.line f.rule f.msg
 
@@ -49,6 +50,23 @@ let rule_applies ~path rule =
        that make region applies idempotent, and the commit bookkeeping.
        Anything above lib/esm must ship through Client. *)
     has_prefix ~prefix:"lib/" path && not (has_prefix ~prefix:"lib/esm/" path)
+  (* QS011–QS014 are whole-program rules (lib/analysis/qs_deps.ml): the
+     analyzer walks every .ml under lib/, and this policy says where
+     its findings are enforced. The analyzer itself is exempt (it
+     names the primitives it models), as is the torture harness (its
+     whole job is holding crash machinery in unusual ways). *)
+  | "QS011" | "QS014" ->
+    has_prefix ~prefix:"lib/" path && not (has_prefix ~prefix:"lib/analysis/" path)
+  | "QS012" ->
+    has_prefix ~prefix:"lib/" path
+    && (not (has_prefix ~prefix:"lib/analysis/" path))
+    && not (has_prefix ~prefix:"lib/harness/" path)
+  | "QS013" ->
+    (* The WAL and disk primitives are the mechanism under test, not
+       its subjects. *)
+    has_prefix ~prefix:"lib/" path
+    && (not (has_prefix ~prefix:"lib/analysis/" path))
+    && path <> "lib/esm/wal.ml" && path <> "lib/esm/disk.ml"
   | _ -> true
 
 (* ------------------------------------------------------------------ *)
@@ -226,7 +244,12 @@ let scan_structure ctx str =
       | _ -> ())
     str;
   let expr self e =
-    ctx.allow_stack <- allows_of_attrs e.pexp_attributes :: ctx.allow_stack;
+    (* Several [@qs_lint.allow] attributes on one expression (or the
+       same rule repeated) union and deduplicate — earlier versions
+       pushed each payload verbatim, so a repeated attribute shadowed
+       nothing but bloated the stack. *)
+    ctx.allow_stack <-
+      List.sort_uniq String.compare (allows_of_attrs e.pexp_attributes) :: ctx.allow_stack;
     (match e.pexp_desc with
      | Pexp_ident { txt; _ } -> check_ident ctx ~loc:e.pexp_loc (Longident.flatten txt)
      | Pexp_apply (fn, args) -> check_apply ctx ~loc:e.pexp_loc fn args
@@ -269,7 +292,20 @@ let lint_source ~path ~contents =
        | Syntaxerr.Error e -> (Syntaxerr.location_of_error e).Location.loc_start.Lexing.pos_lnum
        | _ -> lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum
      in
-     ctx.findings <- [ { file = path; line; col = 0; rule = "QS000"; msg = "parse error" } ]);
+     (* Report the parser's actual message, flattened to one line so
+        the finding stays a single `file:line: RULE msg` record. *)
+     let msg =
+       match Location.error_of_exn exn with
+       | Some (`Ok r) ->
+         let raw = Format.asprintf "%t" r.Location.main.Location.txt in
+         let flat =
+           String.concat " "
+             (List.filter (fun s -> s <> "") (String.split_on_char '\n' (String.trim raw)))
+         in
+         if flat = "" then "parse error" else "parse error: " ^ flat
+       | Some `Already_displayed | None -> "parse error"
+     in
+     ctx.findings <- [ { file = path; line; col = 0; rule = "QS000"; msg } ]);
   List.sort (fun a b -> compare (a.line, a.col, a.rule) (b.line, b.col, b.rule)) ctx.findings
 
 let lint_file path =

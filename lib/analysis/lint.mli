@@ -43,7 +43,28 @@
       (any [Bytes.unsafe_*]) outside [lib/vmsim/] and [lib/util/] — the
       unchecked access path is justified only where [Vmsim.map]'s
       buffer-length validation and [span_check] establish the bounds.
-    - {b QS000}: the file failed to parse.
+    - {b QS000}: the file failed to parse (the finding carries the
+      parser's message).
+
+    {2 Whole-program rules}
+
+    QS011–QS014 are enforced by the interprocedural analyzer
+    ({!Qs_deps}, passes over {!Callgraph} and {!Effects}), not by the
+    per-expression scan — they appear in {!all_rules} and share the
+    path policy and allow attribute:
+
+    - {b QS011} [lock-order-cycle]: the global lock-class
+      acquisition-order graph must be acyclic.
+    - {b QS012} [lock-across-charge]: no lock held across a clock
+      charge without an allow annotation (every charge is a preemption
+      point under the planned scheduler).
+    - {b QS013} [uncovered-durable-write]: every direct
+      [Wal.force]/[Disk.write] site must be preceded by a [Qs_fault]
+      crash surface in the same body, so the torture rotation can cut
+      the process there.
+    - {b QS014} [resource-leak-on-raise]: a lock/frame acquired and
+      released in one body must release under [Fun.protect] or a
+      handler when something in between can raise.
 
     {2 Allowlisting}
 
@@ -56,11 +77,16 @@ type finding = {
   file : string;
   line : int;
   col : int;
-  rule : string;  (** "QS001" .. "QS009", or "QS000" for parse errors *)
+  rule : string;  (** "QS001" .. "QS014", or "QS000" for parse errors *)
   msg : string;
 }
 
 val all_rules : string list
+
+(** The [qs_lint.allow] rule ids carried by an attribute list — shared
+    with the whole-program analyzer so both layers honour the same
+    annotations. Duplicates are preserved here; callers deduplicate. *)
+val allows_of_attrs : Parsetree.attributes -> string list
 
 (** [rule_applies ~path rule] is false when the built-in path policy
     exempts [path] (repo-relative, '/'-separated) from [rule]. *)

@@ -1,0 +1,163 @@
+(* Pass 3a: lock-order (QS011) and lock-across-charge (QS012) rules
+   over the effect summaries.
+
+   QS011 builds the global lock-class acquisition-order graph: walking
+   each function's events in syntactic order with the set of classes
+   known to be held, every acquisition of class [c] while [h] is held
+   adds an edge [h -> c]. A cycle in the graph is a deadlock risk for
+   the planned multi-client scheduler (ROADMAP item 1): two clients
+   acquiring the same classes in opposite orders can block each other
+   forever once requests interleave. Only the concrete classes (Page,
+   File) are vertices — an Unknown-class acquisition cannot assert an
+   order.
+
+   QS012 flags a *direct* lock acquisition (a call to
+   [Lock_mgr.acquire] / [Server.lock] / [Client.lock_page]/[lock_file])
+   that is followed, before any release, by an event that charges the
+   clock: once every charge is a scheduler preemption point, that
+   window holds the lock across a potential context switch. Strict 2PL
+   holds locks to commit by design, so intentional windows carry an
+   expression-level [@qs_lint.allow "QS012"] with a rationale. *)
+
+type edge = {
+  e_from : string;  (** held class *)
+  e_to : string;  (** acquired class *)
+  via : string;  (** "Module.fn" that asserts the order *)
+  e_file : string;
+  e_line : int;
+  e_allows : string list;  (** allows in scope at the acquisition site *)
+}
+
+let class_strings (s : Effects.summary) =
+  (if s.Effects.acq_page then [ "Page" ] else []) @ if s.Effects.acq_file then [ "File" ] else []
+
+(* All acquisition-order edges, sorted and deduplicated. *)
+let edges (cg : Callgraph.t) (sums : Effects.summaries) =
+  let acc = ref [] in
+  Callgraph.iter_funcs
+    (fun f ->
+      let held = ref [] in
+      List.iter
+        (fun ev ->
+          let s = Effects.event_summary cg sums ~caller:f ev in
+          let acquired = class_strings s in
+          List.iter
+            (fun c ->
+              List.iter
+                (fun h ->
+                  if h <> c then
+                    acc :=
+                      { e_from = h
+                      ; e_to = c
+                      ; via = Callgraph.display f
+                      ; e_file = f.Callgraph.fn_file
+                      ; e_line = ev.Callgraph.ev_line
+                      ; e_allows =
+                          List.sort_uniq String.compare
+                            (ev.Callgraph.ev_allows @ f.Callgraph.fn_allows) }
+                      :: !acc)
+                !held)
+            acquired;
+          held := List.sort_uniq String.compare (acquired @ !held);
+          if s.Effects.releases then held := [])
+        f.Callgraph.events)
+    cg;
+  List.sort_uniq compare !acc
+
+(* Cycles among the classes: for the tiny class graph a transitive
+   reachability check suffices — a class on a cycle reaches itself. *)
+let cycles edge_list =
+  let verts =
+    List.sort_uniq String.compare (List.concat_map (fun e -> [ e.e_from; e.e_to ]) edge_list)
+  in
+  let succs v =
+    List.sort_uniq String.compare
+      (List.filter_map (fun e -> if e.e_from = v then Some e.e_to else None) edge_list)
+  in
+  let reaches_self v =
+    let seen = Hashtbl.create 8 in
+    let rec go u =
+      List.exists
+        (fun w ->
+          w = v
+          || (not (Hashtbl.mem seen w))
+             &&
+             (Hashtbl.replace seen w ();
+              go w))
+        (succs u)
+    in
+    go v
+  in
+  List.filter reaches_self verts
+
+let qs011 (cg : Callgraph.t) (sums : Effects.summaries) : Lint.finding list =
+  let edge_list = edges cg sums in
+  match cycles edge_list with
+  | [] -> []
+  | cyc ->
+    (* One finding per edge participating in the cycle, anchored at the
+       acquisition site that asserts the order — each site is a place a
+       developer can break the cycle. *)
+    List.filter_map
+      (fun e ->
+        if
+          List.mem e.e_from cyc && List.mem e.e_to cyc
+          && Lint.rule_applies ~path:e.e_file "QS011"
+          && not (List.mem "QS011" e.e_allows)
+        then
+          Some
+            { Lint.file = e.e_file
+            ; line = e.e_line
+            ; col = 0
+            ; rule = "QS011"
+            ; msg =
+                Printf.sprintf
+                  "lock-order cycle through {%s}: %s acquires %s while holding %s — a second \
+                   client acquiring in the opposite order deadlocks under the planned scheduler"
+                  (String.concat ", " cyc) e.via e.e_to e.e_from }
+        else None)
+      edge_list
+
+let qs012 (cg : Callgraph.t) (sums : Effects.summaries) : Lint.finding list =
+  let findings = ref [] in
+  Callgraph.iter_funcs
+    (fun f ->
+      (* Direct acquisitions armed since the last release; each is
+         reported at most once, at its own site. *)
+      let armed = ref [] in
+      List.iter
+        (fun ev ->
+          let s = Effects.event_summary cg sums ~caller:f ev in
+          let d = Effects.direct_of ev in
+          if s.Effects.charges then begin
+            List.iter
+              (fun (line, col, allows) ->
+                if
+                  Lint.rule_applies ~path:f.Callgraph.fn_file "QS012"
+                  && (not (List.mem "QS012" allows))
+                  && not (List.mem "QS012" f.Callgraph.fn_allows)
+                then
+                  findings :=
+                    { Lint.file = f.Callgraph.fn_file
+                    ; line
+                    ; col
+                    ; rule = "QS012"
+                    ; msg =
+                        Printf.sprintf
+                          "%s holds this lock across a clock charge: every charge becomes a \
+                           preemption point under the planned scheduler (annotate with \
+                           [@qs_lint.allow \"QS012\"] if the hold is 2PL-intentional)"
+                          (Callgraph.display f) }
+                    :: !findings)
+              (List.rev !armed);
+            armed := []
+          end;
+          (* The acquisition arms *after* the charge check: an event
+             that both acquires and charges (e.g. [Server.lock], which
+             charges the lock cost itself) is atomic at this level. *)
+          if d.Effects.d_lock_acquire then
+            armed := (ev.Callgraph.ev_line, ev.Callgraph.ev_col, ev.Callgraph.ev_allows) :: !armed;
+          if s.Effects.releases then armed := [])
+        f.Callgraph.events)
+    cg;
+  List.rev !findings

@@ -819,7 +819,9 @@ let swizzle_check t d ~page_id ~frame =
     (match t.config.Qs_config.reloc with
      | Qs_config.One_time _ ->
        snapshot_page t d ~page_id ~frame;
-       Client.lock_page t.client page_id Esm.Lock_mgr.Exclusive;
+       (* QS012: strict 2PL — the rewrite lock is held to commit; the
+          per-pointer swizzle charges below happen under it. *)
+       (Client.lock_page t.client page_id Esm.Lock_mgr.Exclusive [@qs_lint.allow "QS012"]);
        Client.mark_dirty t.client ~frame;
        Hashtbl.replace t.pending_map_update page_id ()
      | Qs_config.No_reloc | Qs_config.Continual _ -> d.MT.cr_swizzled <- true);
@@ -868,7 +870,9 @@ let read_fault t d =
          else if not d.MT.read_this_txn then swizzle_check t d ~page_id ~frame
        | MT.Large_range _ -> ());
       d.MT.read_this_txn <- true;
-      Client.lock_page t.client page_id Esm.Lock_mgr.Shared;
+      (* QS012: strict 2PL — the read lock is held to commit; the
+         mmap/protection charges in enable_access follow under it. *)
+      (Client.lock_page t.client page_id Esm.Lock_mgr.Shared [@qs_lint.allow "QS012"]);
       enable_access t d)
 
 let write_fault t d =
@@ -880,7 +884,9 @@ let write_fault t d =
     (fun () ->
       snapshot_page t d ~page_id ~frame;
       charge t Category.Lock_acquire t.cm.CM.lock_upgrade_us;
-      Client.lock_page t.client page_id Esm.Lock_mgr.Exclusive;
+      (* QS012: strict 2PL — the write lock is held to commit; the
+         protection-flip charges in enable_access follow under it. *)
+      (Client.lock_page t.client page_id Esm.Lock_mgr.Exclusive [@qs_lint.allow "QS012"]);
       Client.mark_dirty t.client ~frame;
       Hashtbl.replace t.pending_map_update page_id ();
       d.MT.write_enabled <- true;
@@ -1438,7 +1444,9 @@ let new_data_page t =
   Fun.protect
     ~finally:(fun () -> Client.unfix_page t.client ~frame)
     (fun () ->
-      Client.lock_page t.client page_id Esm.Lock_mgr.Exclusive;
+      (* QS012: strict 2PL — the new page's lock is held to commit; the
+         meta-object installation below charges under it. *)
+      (Client.lock_page t.client page_id Esm.Lock_mgr.Exclusive [@qs_lint.allow "QS012"]);
       let vf = alloc_frames t 1 in
       let d = new_desc ~vframe:vf ~nframes:1 ~phys:(MT.Small_page page_id) in
       MT.add t.table d;

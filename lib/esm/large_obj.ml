@@ -31,14 +31,16 @@ let create client ~size =
   Fun.protect
     ~finally:(fun () -> Client.unfix_page client ~frame:hframe)
     (fun () ->
-      Client.lock_page client header_id Lock_mgr.Exclusive;
+      (* QS012: strict 2PL — the header and part-page locks are held to
+         commit; the part allocations and log writes charge under them. *)
+      (Client.lock_page client header_id Lock_mgr.Exclusive [@qs_lint.allow "QS012"]);
       let hb = Client.page_bytes client ~frame:hframe in
       Qs_util.Codec.set_u32 hb 32 size;
       Qs_util.Codec.set_u32 hb 36 npages;
       for i = 0 to npages - 1 do
         let page_id, frame = Client.new_page client ~kind:Page.Large_part in
         Qs_util.Codec.set_u32 hb (40 + (4 * i)) page_id;
-        Client.lock_page client page_id Lock_mgr.Exclusive;
+        (Client.lock_page client page_id Lock_mgr.Exclusive [@qs_lint.allow "QS012"]);
         Client.mark_dirty client ~frame;
         Client.unfix_page client ~frame
       done;
@@ -91,7 +93,8 @@ let write client oid ~off data =
       Fun.protect
         ~finally:(fun () -> Client.unfix_page client ~frame)
         (fun () ->
-          Client.lock_page client page_id Lock_mgr.Exclusive;
+          (* QS012: strict 2PL — held to commit; see create. *)
+          (Client.lock_page client page_id Lock_mgr.Exclusive [@qs_lint.allow "QS012"]);
           let b = Client.page_bytes client ~frame in
           let old_data = Bytes.sub b (32 + page_off) n in
           Bytes.blit data buf_off b (32 + page_off) n;

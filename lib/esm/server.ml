@@ -164,7 +164,11 @@ let flush_frame ?(charged = true) t frame =
          records are durable — the eviction may be stealing uncommitted
          bytes whose before-images must survive a crash. The force
          piggybacks on this sequential write and is not charged
-         separately. *)
+         separately. wal.force_partial: this force too can be cut
+         mid-stream (QS013) — a seeded fraction of the unforced tail
+         becomes durable, then the process dies before the page write. *)
+      Qs_fault.hit t.fault Qs_fault.Point.wal_force_partial ~on_fire:(fun ~frac ->
+          ignore (Wal.force_upto t.wal (int_of_float (frac *. float_of_int (Wal.unforced t.wal)))));
       ignore (Wal.force t.wal);
       disk_write_retrying t page_id (Buf_pool.frame_bytes t.pool frame);
       if charged then

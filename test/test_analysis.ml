@@ -171,7 +171,31 @@ let test_qs010 () =
 (* --- QS000: parse errors --- *)
 
 let test_qs000 () =
-  check_rules "unclosed paren" [ "QS000" ] ~path:"lib/core/foo.ml" "let f = (\n"
+  check_rules "unclosed paren" [ "QS000" ] ~path:"lib/core/foo.ml" "let f = (\n";
+  (* The finding carries the parser's actual diagnostic, not a bare
+     "parse error" stub. *)
+  match Lint.lint_source ~path:"lib/core/foo.ml" ~contents:"let f = (\n" with
+  | [ f ] ->
+    let prefix = "parse error: " in
+    Alcotest.(check bool) "message has parse-error prefix" true
+      (String.length f.Lint.msg > String.length prefix
+      && String.sub f.Lint.msg 0 (String.length prefix) = prefix)
+  | fs -> Alcotest.fail (Printf.sprintf "expected one finding, got %d" (List.length fs))
+
+(* --- allow-attribute stacking --- *)
+
+let test_allow_dedup () =
+  (* Duplicate allows on one node are deduped, and nested duplicates
+     unwind correctly: the inner scope's exit must not strip the rule
+     while the outer duplicate is still live. *)
+  check_rules "duplicate attrs on one node" [ "QS001" ] ~path:"lib/core/foo.ml"
+    "let f b = (Bytes.get b 0 [@qs_lint.allow \"QS001\"] [@qs_lint.allow \"QS001\"])\n\
+     let g b = Bytes.get b 1\n";
+  check_rules "nested duplicate attrs" [ "QS001" ] ~path:"lib/core/foo.ml"
+    "let f b = ((Bytes.get b 0 [@qs_lint.allow \"QS001\"]) [@qs_lint.allow \"QS001\"])\n\
+     let g b = Bytes.get b 1\n";
+  check_rules "one attr, several rules" [] ~path:"lib/core/foo.ml"
+    "let f b = (Bytes.unsafe_get (Obj.magic b) 0 [@qs_lint.allow \"QS002\" \"QS009\"])\n"
 
 (* --- plumbing --- *)
 
@@ -210,7 +234,27 @@ let test_path_policy () =
   Alcotest.(check bool) "QS010 on in lib/harness" true
     (Lint.rule_applies ~path:"lib/harness/torture.ml" "QS010");
   Alcotest.(check bool) "QS010 off in bin" false
-    (Lint.rule_applies ~path:"bin/qs_prof.ml" "QS010")
+    (Lint.rule_applies ~path:"bin/qs_prof.ml" "QS010");
+  Alcotest.(check bool) "QS011 on in lib/esm" true
+    (Lint.rule_applies ~path:"lib/esm/client.ml" "QS011");
+  Alcotest.(check bool) "QS011 off in lib/analysis" false
+    (Lint.rule_applies ~path:"lib/analysis/lint.ml" "QS011");
+  Alcotest.(check bool) "QS011 off in bin" false
+    (Lint.rule_applies ~path:"bin/qs_dump.ml" "QS011");
+  Alcotest.(check bool) "QS012 on in lib/core" true
+    (Lint.rule_applies ~path:"lib/core/store.ml" "QS012");
+  Alcotest.(check bool) "QS012 off in lib/harness" false
+    (Lint.rule_applies ~path:"lib/harness/torture.ml" "QS012");
+  Alcotest.(check bool) "QS013 on in lib/esm server" true
+    (Lint.rule_applies ~path:"lib/esm/server.ml" "QS013");
+  Alcotest.(check bool) "QS013 off in the wal primitive" false
+    (Lint.rule_applies ~path:"lib/esm/wal.ml" "QS013");
+  Alcotest.(check bool) "QS013 off in the disk primitive" false
+    (Lint.rule_applies ~path:"lib/esm/disk.ml" "QS013");
+  Alcotest.(check bool) "QS014 on in lib/core" true
+    (Lint.rule_applies ~path:"lib/core/store.ml" "QS014");
+  Alcotest.(check bool) "QS014 off in test" false
+    (Lint.rule_applies ~path:"test/test_foo.ml" "QS014")
 
 let test_report_format () =
   match Lint.lint_source ~path:"lib/core/foo.ml" ~contents:"let f b =\n  Bytes.get b 0\n" with
@@ -229,8 +273,172 @@ let test_all_rules_listed () =
         (String.length r = 5 && String.sub r 0 2 = "QS"))
     Lint.all_rules;
   (* QS000 (parse error) is a pseudo-rule, not an enforceable one. *)
-  Alcotest.(check int) "ten enforceable rules" 10 (List.length Lint.all_rules);
+  Alcotest.(check int) "fourteen enforceable rules" 14 (List.length Lint.all_rules);
   Alcotest.(check bool) "QS000 not listed" false (List.mem "QS000" Lint.all_rules)
+
+(* ================================================================== *)
+(* Whole-program analyzer (qs_deps): QS011–QS014 on synthetic trees.   *)
+
+module Deps = Qs_analysis.Qs_deps
+module Effects = Qs_analysis.Effects
+module Lockorder = Qs_analysis.Lockorder
+
+let deps_rules files =
+  List.map (fun f -> f.Lint.rule) (Deps.analyze files).Deps.findings
+
+let check_deps name expected files =
+  Alcotest.(check (list string)) name expected (deps_rules files)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* --- QS011: lock-order cycle --- *)
+
+let ab_src =
+  "let f t p q =\n\
+  \  lock_page t p Lock_mgr.Exclusive;\n\
+  \  lock_file t q Lock_mgr.Shared\n"
+
+let ba_src =
+  "let g t p q =\n\
+  \  lock_file t q Lock_mgr.Shared;\n\
+  \  lock_page t p Lock_mgr.Exclusive\n"
+
+let test_qs011_cycle () =
+  (* Opposite acquisition orders in two modules: Page -> File and
+     File -> Page close a cycle; each asserting site is flagged. *)
+  check_deps "cycle flagged at both sites" [ "QS011"; "QS011" ]
+    [ ("lib/esm/fake_ab.ml", ab_src); ("lib/esm/fake_ba.ml", ba_src) ];
+  (* A consistent global order is acyclic: edges exist, no findings. *)
+  let r = Deps.analyze [ ("lib/esm/fake_ab.ml", ab_src) ] in
+  Alcotest.(check int) "one order edge" 1 (List.length r.Deps.edges);
+  Alcotest.(check (list string)) "consistent order is clean" [] (Lockorder.cycles r.Deps.edges);
+  (* File-level allows on both sides silence the cycle. *)
+  check_deps "allowlisted cycle is silent" []
+    [ ("lib/esm/fake_ab.ml", "[@@@qs_lint.allow \"QS011\"]\n" ^ ab_src)
+    ; ("lib/esm/fake_ba.ml", "[@@@qs_lint.allow \"QS011\"]\n" ^ ba_src) ]
+
+(* --- QS012: lock held across a charge boundary --- *)
+
+let help_src = "let bill c = Qs_trace.charge c Simclock.Category.Diff 1.0\n"
+
+let test_qs012_window () =
+  (* The charge is reached transitively through a cross-module helper:
+     only interprocedural propagation can see it. *)
+  check_deps "transitive charge under lock" [ "QS012" ]
+    [ ("lib/esm/fake_help.ml", help_src)
+    ; ( "lib/esm/fake_use.ml"
+      , "let f t c p =\n  lock_page t p Lock_mgr.Exclusive;\n  Fake_help.bill c\n" ) ];
+  check_deps "allowlisted window is silent" []
+    [ ("lib/esm/fake_help.ml", help_src)
+    ; ( "lib/esm/fake_use.ml"
+      , "let f t c p =\n\
+        \  (lock_page t p Lock_mgr.Exclusive [@qs_lint.allow \"QS012\"]);\n\
+        \  Fake_help.bill c\n" ) ];
+  check_deps "charge before the acquisition is clean" []
+    [ ("lib/esm/fake_help.ml", help_src)
+    ; ("lib/esm/fake_use.ml", "let g t c p =\n  Fake_help.bill c;\n  lock_page t p Lock_mgr.Exclusive\n")
+    ];
+  check_deps "release closes the window" []
+    [ ("lib/esm/fake_help.ml", help_src)
+    ; ( "lib/esm/fake_use.ml"
+      , "let h t c p =\n\
+        \  lock_page t p Lock_mgr.Exclusive;\n\
+        \  Lock_mgr.release_all t;\n\
+        \  Fake_help.bill c\n" ) ]
+
+(* --- QS013: durable write with no crash point before it --- *)
+
+let test_qs013_coverage () =
+  check_deps "bare force flagged" [ "QS013" ]
+    [ ("lib/esm/fake_flush.ml", "let flush w = ignore (Wal.force w)\n") ];
+  check_deps "direct hit covers" []
+    [ ( "lib/esm/fake_flush.ml"
+      , "let flush t w =\n\
+        \  Qs_fault.hit t Qs_fault.Point.commit_pre_flush;\n\
+        \  ignore (Wal.force w)\n" ) ];
+  (* Coverage through a helper: the hit is inside [guard], and the
+     effect summary carries the crash surface to the call site. *)
+  check_deps "transitive hit covers" []
+    [ ( "lib/esm/fake_flush.ml"
+      , "let guard t = Qs_fault.hit t Qs_fault.Point.commit_pre_flush\n\
+         let flush t w =\n\
+        \  guard t;\n\
+        \  ignore (Wal.force w)\n" ) ];
+  check_deps "allowlisted force is silent" []
+    [ ("lib/esm/fake_flush.ml", "let flush w = ignore (Wal.force w [@qs_lint.allow \"QS013\"])\n") ]
+
+(* --- QS014: resource leak on an exceptional path --- *)
+
+let leak_prelude = "exception Boom\nlet risky () = raise Boom\n"
+
+let test_qs014_leak () =
+  check_deps "unprotected pin across a raiser" [ "QS014" ]
+    [ ( "lib/esm/fake_leak.ml"
+      , leak_prelude
+        ^ "let f c p =\n\
+          \  let frame = Client.fix_page c ~kind:Server.Data p in\n\
+          \  risky ();\n\
+          \  Client.unfix_page c ~frame\n" ) ];
+  check_deps "Fun.protect finally is safe" []
+    [ ( "lib/esm/fake_leak.ml"
+      , leak_prelude
+        ^ "let g c p =\n\
+          \  let frame = Client.fix_page c ~kind:Server.Data p in\n\
+          \  Fun.protect ~finally:(fun () -> Client.unfix_page c ~frame) (fun () -> risky ())\n" )
+    ];
+  check_deps "handler release is safe" []
+    [ ( "lib/esm/fake_leak.ml"
+      , leak_prelude
+        ^ "let h c p =\n\
+          \  let frame = Client.fix_page c ~kind:Server.Data p in\n\
+          \  (try risky () with Boom -> Client.unfix_page c ~frame; raise Boom);\n\
+          \  Client.unfix_page c ~frame\n" ) ];
+  (* Acquire and release in sibling match arms are different execution
+     paths: no pair, hence an escaping pin, hence clean. *)
+  check_deps "sibling-arm release does not pair" []
+    [ ( "lib/esm/fake_leak.ml"
+      , leak_prelude
+        ^ "let k c p frames =\n\
+          \  match frames with\n\
+          \  | [] -> Client.fix_page c ~kind:Server.Data p\n\
+          \  | fr :: _ ->\n\
+          \    risky ();\n\
+          \    Client.unfix_page c ~frame:fr;\n\
+          \    fr\n" ) ];
+  check_deps "allowlisted pin is silent" []
+    [ ( "lib/esm/fake_leak.ml"
+      , leak_prelude
+        ^ "let f c p =\n\
+          \  let frame = (Client.fix_page c ~kind:Server.Data p [@qs_lint.allow \"QS014\"]) in\n\
+          \  risky ();\n\
+          \  Client.unfix_page c ~frame\n" ) ]
+
+(* --- fixpoint termination and effect propagation --- *)
+
+let mutual_src =
+  "let rec even n c = if n = 0 then Qs_trace.charge c Simclock.Category.Diff 1.0 else odd (n - 1) c\n\
+   and odd n c = if n = 0 then () else even (n - 1) c\n"
+
+let test_fixpoint_mutual () =
+  (* Mutually recursive functions: the fixpoint must terminate, and the
+     charge effect must propagate around the even/odd loop. *)
+  let r = Deps.analyze [ ("lib/esm/fake_mutual.ml", mutual_src) ] in
+  Alcotest.(check bool) "even charges" true
+    (Effects.get r.Deps.summaries "lib/esm/fake_mutual.ml:Fake_mutual.even").Effects.charges;
+  Alcotest.(check bool) "odd charges transitively" true
+    (Effects.get r.Deps.summaries "lib/esm/fake_mutual.ml:Fake_mutual.odd").Effects.charges;
+  Alcotest.(check (list string)) "no findings" [] (deps_rules [ ("lib/esm/fake_mutual.ml", mutual_src) ])
+
+let test_effects_json () =
+  let files = [ ("lib/esm/fake_help.ml", help_src); ("lib/esm/fake_mutual.ml", mutual_src) ] in
+  let j1 = Deps.effects_json (Deps.analyze files) in
+  let j2 = Deps.effects_json (Deps.analyze files) in
+  Alcotest.(check string) "two runs are byte-identical" j1 j2;
+  Alcotest.(check bool) "helper row present" true (contains j1 "\"function\":\"Fake_help.bill\"");
+  Alcotest.(check bool) "charge flag serialized" true (contains j1 "\"charges\":true")
 
 let () =
   Alcotest.run "analysis"
@@ -245,7 +453,15 @@ let () =
         ; Alcotest.test_case "QS008 untraced charge" `Quick test_qs008
         ; Alcotest.test_case "QS009 unsafe bytes" `Quick test_qs009
         ; Alcotest.test_case "QS010 server page mutation" `Quick test_qs010
-        ; Alcotest.test_case "QS000 parse error" `Quick test_qs000 ] )
+        ; Alcotest.test_case "QS000 parse error" `Quick test_qs000
+        ; Alcotest.test_case "allow dedup" `Quick test_allow_dedup ] )
+    ; ( "qs_deps"
+      , [ Alcotest.test_case "QS011 lock-order cycle" `Quick test_qs011_cycle
+        ; Alcotest.test_case "QS012 lock across charge" `Quick test_qs012_window
+        ; Alcotest.test_case "QS013 crash-point coverage" `Quick test_qs013_coverage
+        ; Alcotest.test_case "QS014 exception-path leak" `Quick test_qs014_leak
+        ; Alcotest.test_case "fixpoint on mutual recursion" `Quick test_fixpoint_mutual
+        ; Alcotest.test_case "effects json determinism" `Quick test_effects_json ] )
     ; ( "plumbing"
       , [ Alcotest.test_case "path policy" `Quick test_path_policy
         ; Alcotest.test_case "report format" `Quick test_report_format
