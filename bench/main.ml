@@ -407,6 +407,35 @@ let () =
        (cold e_ctrl "T1" /. 1000.0)
    | _ -> ());
 
+  section "Multi-user contention (deterministic scheduler, hot-page skew)";
+  let multi_runs =
+    Harness.Bench_json.multi_runs ~progress:(fun m -> Printf.printf "%s\n%!" m) ~seed ()
+  in
+  if emit_json then begin
+    let path = "BENCH_oo7_multi.json" in
+    let oc = open_out_bin path in
+    output_string oc (Harness.Bench_json.render_multi ~seed multi_runs);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end;
+  print_newline ();
+  print_endline
+    (Harness.Report.render
+       ~title:
+         "N simulated clients on one server, same seed: committed work, deadlock retries and \
+          lock waits (trace digest pins the interleaving)"
+       ~header:[ "clients"; "committed"; "retries"; "lock waits"; "lock wait (s)"; "total (s)" ]
+       ~rows:
+         (List.map
+            (fun (s : Harness.Mc.stats) ->
+              [ string_of_int s.Harness.Mc.clients
+              ; string_of_int s.Harness.Mc.committed
+              ; string_of_int s.Harness.Mc.deadlock_retries
+              ; string_of_int s.Harness.Mc.lock_waits
+              ; Harness.Report.seconds s.Harness.Mc.lock_wait_ms
+              ; Harness.Report.seconds s.Harness.Mc.total_ms ])
+            multi_runs));
+
   if not quick then begin
     section "Medium database";
     let medium = build_medium () in

@@ -28,6 +28,27 @@ let make_system name params seed reloc sanitize =
     Sys_.make_e params ~seed
   | s -> invalid_arg (Printf.sprintf "unknown system %S (qs|qs-b|qs-w|qs-or|e)" s)
 
+(* Multi-user mode: N simulated clients under the deterministic
+   scheduler on one server (Harness.Mc). Everything printed derives
+   from the seed — run it twice with the same seed and the output,
+   including the trace digest, is byte-identical. *)
+let run_multi ~clients ~seed =
+  let s = Harness.Mc.run ~clients ~seed () in
+  Printf.printf "multi-user contention run: %d clients x %d txns, seed %d\n" s.Harness.Mc.clients
+    s.Harness.Mc.txns_per_client s.Harness.Mc.seed;
+  Printf.printf "  committed=%d deadlock_retries=%d lock_waits=%d\n" s.Harness.Mc.committed
+    s.Harness.Mc.deadlock_retries s.Harness.Mc.lock_waits;
+  Printf.printf "  lock_wait=%.3fms retry=%.3fms total=%.3fms\n" s.Harness.Mc.lock_wait_ms
+    s.Harness.Mc.retry_ms s.Harness.Mc.total_ms;
+  Printf.printf "  server reads=%d writes=%d trace_events=%d\n" s.Harness.Mc.reads
+    s.Harness.Mc.writes s.Harness.Mc.trace_events;
+  List.iter
+    (fun (c : Harness.Mc.client_stats) ->
+      Printf.printf "  %s: committed=%d retries=%d\n" c.Harness.Mc.cs_name
+        c.Harness.Mc.cs_committed c.Harness.Mc.cs_retries)
+    s.Harness.Mc.per_client;
+  Printf.printf "  trace digest: %s\n%!" s.Harness.Mc.trace_digest
+
 let print_measure label (m : Measure.t) =
   Printf.printf "  %-8s %10.1f ms   reads=%d (data=%d map=%d index=%d) writes=%d result=%d\n" label
     m.Measure.ms m.Measure.client_reads m.Measure.reads_data m.Measure.reads_map
@@ -36,7 +57,9 @@ let print_measure label (m : Measure.t) =
 let print_breakdown (m : Measure.t) =
   Format.printf "  breakdown:@.%a@." Clock.pp_snapshot m.Measure.snapshot
 
-let run system size ops seed hot_reps reloc sanitize faults verbose save =
+let run system size ops seed hot_reps reloc sanitize faults verbose save clients =
+  if clients > 1 then run_multi ~clients ~seed
+  else begin
   let params = params_of_size size in
   Printf.printf "building %s database for %s...\n%!" params.Params.name system;
   if sanitize then Printf.printf "QSan on: validating the address space at every fault and commit\n%!";
@@ -78,6 +101,7 @@ let run system size ops seed hot_reps reloc sanitize faults verbose save =
           point hit;
         exit 2)
     ops
+  end
 
 open Cmdliner
 
@@ -123,12 +147,21 @@ let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print the co
 let save_arg =
   Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc:"save the volume image after building")
 
+let clients_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "clients" ] ~docv:"N"
+        ~doc:
+          "run N simulated clients against one server under the deterministic scheduler \
+           (contention mode; ignores the OO7 operation flags). Output is a pure function of \
+           the seed.")
+
 let cmd =
   let doc = "run OO7 benchmark operations on the QuickStore reproduction" in
   Cmd.v
     (Cmd.info "oo7_run" ~doc)
     Term.(
       const run $ system_arg $ size_arg $ ops_arg $ seed_arg $ hot_arg $ reloc_arg $ sanitize_arg
-      $ faults_arg $ verbose_arg $ save_arg)
+      $ faults_arg $ verbose_arg $ save_arg $ clients_arg)
 
 let () = exit (Cmd.eval cmd)

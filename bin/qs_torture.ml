@@ -5,9 +5,9 @@
 
 module Torture = Harness.Torture
 
-let run seeds first verbose =
+let run seeds first clients verbose =
   let log = if verbose then print_endline else fun _ -> () in
-  let s = Torture.run_range ~log ~first ~count:seeds () in
+  let s = Torture.run_range ~log ?clients ~first ~count:seeds () in
   Printf.printf "torture: %d schedules (seeds %d..%d), %d transient faults injected\n" s.Torture.total
     first
     (first + seeds - 1)
@@ -21,9 +21,11 @@ let run seeds first verbose =
     s.Torture.coverage;
   List.iter
     (fun o ->
-      Printf.printf "FAIL seed %d [%s]: %s\n  repro: %s\n" o.Torture.seed o.Torture.point
+      Printf.printf "FAIL seed %d [%s, %d clients]: %s\n  repro: %s\n" o.Torture.seed
+        o.Torture.point o.Torture.clients
         (match o.Torture.failure with Some m -> m | None -> "")
-        (Printf.sprintf "qs_torture --first-seed %d --seeds 1" o.Torture.seed))
+        (Printf.sprintf "qs_torture --first-seed %d --seeds 1 --clients %d" o.Torture.seed
+           o.Torture.clients))
     s.Torture.failed;
   (match !unfired with
    | [] -> ()
@@ -45,10 +47,19 @@ let seeds =
 let first_seed =
   Arg.(value & opt int 0 & info [ "first-seed" ] ~docv:"SEED" ~doc:"First seed of the range.")
 
+let clients =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "clients" ] ~docv:"N"
+        ~doc:
+          "Concurrent clients for single-server schedules (default: 2-4 rotating with the seed; \
+           1 = the single-client schedule).")
+
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print one line per schedule.")
 
 let cmd =
   let doc = "crash-point torture: seeded fault schedules with recovery consistency checks" in
-  Cmd.v (Cmd.info "qs_torture" ~doc) Term.(const run $ seeds $ first_seed $ verbose)
+  Cmd.v (Cmd.info "qs_torture" ~doc) Term.(const run $ seeds $ first_seed $ clients $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -22,6 +22,7 @@ type summary = {
   frame_acq : bool;  (** pins a buffer-pool frame *)
   frame_rel : bool;  (** unpins a buffer-pool frame *)
   charges : bool;  (** charges the simulated clock *)
+  blocks : bool;  (** can suspend on the scheduler ([Sched.block_on] / a blocking acquire) *)
   disk_read : bool;
   disk_write : bool;
   wal_append : bool;
@@ -39,6 +40,7 @@ let empty =
   ; frame_acq = false
   ; frame_rel = false
   ; charges = false
+  ; blocks = false
   ; disk_read = false
   ; disk_write = false
   ; wal_append = false
@@ -55,6 +57,7 @@ let union a b =
   ; frame_acq = a.frame_acq || b.frame_acq
   ; frame_rel = a.frame_rel || b.frame_rel
   ; charges = a.charges || b.charges
+  ; blocks = a.blocks || b.blocks
   ; disk_read = a.disk_read || b.disk_read
   ; disk_write = a.disk_write || b.disk_write
   ; wal_append = a.wal_append || b.wal_append
@@ -66,7 +69,7 @@ let union a b =
 let equal a b =
   a.acq_page = b.acq_page && a.acq_file = b.acq_file && a.acq_unknown = b.acq_unknown
   && a.releases = b.releases && a.frame_acq = b.frame_acq && a.frame_rel = b.frame_rel
-  && a.charges = b.charges && a.disk_read = b.disk_read && a.disk_write = b.disk_write
+  && a.charges = b.charges && a.blocks = b.blocks && a.disk_read = b.disk_read && a.disk_write = b.disk_write
   && a.wal_append = b.wal_append && a.wal_force = b.wal_force
   && a.crash_surface = b.crash_surface && SS.equal a.points b.points
   && SS.equal a.raises b.raises
@@ -98,19 +101,30 @@ let no_direct =
   ; d_wal_force = false
   ; d_disk_write = false }
 
-let acquire_summary (lock_arg : Callgraph.lock_class option) =
+(* A blocking acquisition ([Lock_mgr.acquire_blocking], and [Server.lock]
+   through it) parks the task on the scheduler until the grant and can
+   be wound out of a waits-for cycle, so it also raises [Deadlock]. *)
+let acquire_summary ?(blocking = false) (lock_arg : Callgraph.lock_class option) =
+  let raises =
+    if blocking then SS.of_list [ "Conflict"; "Deadlock" ] else SS.singleton "Conflict"
+  in
+  let base = { empty with blocks = blocking; raises } in
   match lock_arg with
-  | Some Callgraph.Page -> { empty with acq_page = true; raises = SS.singleton "Conflict" }
-  | Some Callgraph.File -> { empty with acq_file = true; raises = SS.singleton "Conflict" }
-  | None -> { empty with acq_unknown = true; raises = SS.singleton "Conflict" }
+  | Some Callgraph.Page -> { base with acq_page = true }
+  | Some Callgraph.File -> { base with acq_file = true }
+  | None -> { base with acq_unknown = true }
 
 (* [intrinsic ev] is [Some (summary, direct)] when the event's
    identifier names a known primitive, [None] otherwise. The table
    mirrors the project APIs:
 
-   - locks: [Lock_mgr.acquire] (leaf), [Server.lock] (server entry),
+   - locks: [Lock_mgr.acquire] (leaf), [Lock_mgr.acquire_blocking] and
+     [Server.lock] (blocking entries — these also park on the
+     scheduler and can be wound with [Deadlock]),
      [Client.lock_page]/[lock_file] (client entry — these fix the
      class); [Lock_mgr.release_all];
+   - scheduler: [Sched.block_on] suspends the task until its condition
+     resolves (or raises [Timeout]);
    - frames: [Buf_pool.pin]/[unpin] (leaf),
      [Client.fix_page]/[fix_page_run]/[new_page]/[unfix_page];
    - clock: [Qs_trace.charge]/[charge_n] and the (QS008-restricted)
@@ -124,8 +138,14 @@ let intrinsic (ev : Callgraph.event) =
   let last, penult = Callgraph.last_two ev.Callgraph.comps in
   let point_set = match ev.Callgraph.point_arg with Some p -> SS.singleton p | None -> SS.empty in
   match (penult, last) with
-  | Some "Lock_mgr", Some "acquire" | Some "Server", Some "lock" ->
+  | Some "Lock_mgr", Some "acquire" ->
     Some (acquire_summary ev.Callgraph.lock_arg, { no_direct with d_lock_acquire = true })
+  | Some "Lock_mgr", Some "acquire_blocking" | Some "Server", Some "lock" ->
+    Some
+      ( acquire_summary ~blocking:true ev.Callgraph.lock_arg
+      , { no_direct with d_lock_acquire = true } )
+  | Some "Sched", Some "block_on" ->
+    Some ({ empty with blocks = true; raises = SS.singleton "Timeout" }, no_direct)
   (* Unqualified matches too: [lock_page p m] inside client.ml is the
      same acquisition as [Client.lock_page] outside it. *)
   | _, Some "lock_page" ->
@@ -246,6 +266,7 @@ let summary_json ~name ~file ~line s =
   if s.frame_acq then Buffer.add_string b ",\"pins\":true";
   if s.frame_rel then Buffer.add_string b ",\"unpins\":true";
   if s.charges then Buffer.add_string b ",\"charges\":true";
+  if s.blocks then Buffer.add_string b ",\"blocks\":true";
   let io =
     (if s.disk_read then [ "disk_read" ] else [])
     @ (if s.disk_write then [ "disk_write" ] else [])

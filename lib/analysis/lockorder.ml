@@ -4,20 +4,28 @@
    QS011 builds the global lock-class acquisition-order graph: walking
    each function's events in syntactic order with the set of classes
    known to be held, every acquisition of class [c] while [h] is held
-   adds an edge [h -> c]. A cycle in the graph is a deadlock risk for
-   the planned multi-client scheduler (ROADMAP item 1): two clients
-   acquiring the same classes in opposite orders can block each other
-   forever once requests interleave. Only the concrete classes (Page,
-   File) are vertices — an Unknown-class acquisition cannot assert an
-   order.
+   adds an edge [h -> c]. A cycle in the graph is a deadlock risk
+   under the multi-client scheduler (lib/sched): two clients acquiring
+   the same classes in opposite orders can block each other forever
+   once requests interleave. Only the concrete classes (Page, File)
+   are vertices — an Unknown-class acquisition cannot assert an order.
 
    QS012 flags a *direct* lock acquisition (a call to
    [Lock_mgr.acquire] / [Server.lock] / [Client.lock_page]/[lock_file])
    that is followed, before any release, by an event that charges the
-   clock: once every charge is a scheduler preemption point, that
-   window holds the lock across a potential context switch. Strict 2PL
-   holds locks to commit by design, so intentional windows carry an
-   expression-level [@qs_lint.allow "QS012"] with a rationale. *)
+   clock: every charge is a scheduler preemption point, so that window
+   holds the lock across a potential context switch. Strict 2PL holds
+   locks to commit by design, so intentional windows carry an
+   expression-level [@qs_lint.allow "QS012"] with a rationale.
+
+   Both rules treat a blocking point ([Sched.block_on], or a blocking
+   acquisition reaching it) as a release point for their tracked
+   state. Once a code path parks on the scheduler, the static
+   straight-line order stops being the deadlock story: the lock
+   manager's waits-for graph watches the wait dynamically, detects any
+   cycle at park time and wounds a victim, so the silent-deadlock and
+   silent-preemption hazards these rules exist for are already
+   surfaced at runtime as typed [Deadlock] aborts. *)
 
 type edge = {
   e_from : string;  (** held class *)
@@ -59,7 +67,7 @@ let edges (cg : Callgraph.t) (sums : Effects.summaries) =
                 !held)
             acquired;
           held := List.sort_uniq String.compare (acquired @ !held);
-          if s.Effects.releases then held := [])
+          if s.Effects.releases || s.Effects.blocks then held := [])
         f.Callgraph.events)
     cg;
   List.sort_uniq compare !acc
@@ -157,7 +165,7 @@ let qs012 (cg : Callgraph.t) (sums : Effects.summaries) : Lint.finding list =
              charges the lock cost itself) is atomic at this level. *)
           if d.Effects.d_lock_acquire then
             armed := (ev.Callgraph.ev_line, ev.Callgraph.ev_col, ev.Callgraph.ev_allows) :: !armed;
-          if s.Effects.releases then armed := [])
+          if s.Effects.releases || s.Effects.blocks then armed := [])
         f.Callgraph.events)
     cg;
   List.rev !findings

@@ -317,6 +317,51 @@ let with_txn t f =
     if in_txn t then abort t;
     raise e
 
+(* Deadlock victims re-run: the wound (or lock-wait timeout) surfaces
+   as [Lock_mgr.Deadlock] from whichever lock request lost, the
+   transaction aborts — releasing everything so the cycle's survivors
+   proceed — backs off through the same exponential Retry charge the
+   network retry path uses, and the whole body is re-executed under a
+   fresh (younger) transaction id. Any other exception aborts and
+   propagates unchanged, exactly like {!with_txn}. *)
+let with_txn_retrying ?(max_attempts = 8) ?(on_retry = fun ~attempt:_ -> ()) t f =
+  (* The first attempt's txn id is the work's birth stamp: every retry
+     re-registers it with the lock manager so victim selection sees the
+     transaction's true age (wound-wait is starvation-free only with
+     inherited timestamps). *)
+  let birth = ref None in
+  let rec go attempt =
+    begin_txn t;
+    (match !birth with
+     | None -> birth := Some (txn_id t)
+     | Some age -> Server.set_txn_age t.server ~txn:(txn_id t) ~age);
+    (* The commit is inside the handler: a wound can land while the
+       commit flush is still acquiring or holding locks, and that abort
+       is as retryable as one from the body. *)
+    match
+      let v = f () in
+      commit t;
+      v
+    with
+    | v -> v
+    | exception e -> (
+      if in_txn t then abort t;
+      match e with
+      | Lock_mgr.Deadlock { cycle; _ } when attempt + 1 < max_attempts ->
+        charge_retry t
+          ((cost_model t).Simclock.Cost_model.retry_backoff_us *. float_of_int (1 lsl attempt));
+        if Qs_trace.enabled (Server.clock t.server) then
+          Qs_trace.instant (Server.clock t.server) ~cat:"esm"
+            ~args:
+              [ Qs_trace.A_int ("attempt", attempt + 1)
+              ; Qs_trace.A_int ("cycle_len", List.length cycle) ]
+            "retry.deadlock";
+        on_retry ~attempt:(attempt + 1);
+        go (attempt + 1)
+      | e -> raise e)
+  in
+  go 0
+
 (* --- object layer --- *)
 
 let with_fixed t ~kind page_id f =

@@ -84,6 +84,20 @@ val commit_prepared : t -> unit
 val in_txn : t -> bool
 val with_txn : t -> (unit -> 'a) -> 'a
 
+(** [with_txn_retrying t f] is {!with_txn} that additionally treats a
+    [Lock_mgr.Deadlock] abort (wound or lock-wait timeout under the
+    multi-client scheduler) as retryable: the transaction aborts —
+    releasing its locks so the cycle's survivors proceed — charges the
+    standard exponential backoff to [Category.Retry], and re-runs [f]
+    under a fresh transaction id, up to [max_attempts] executions.
+    [on_retry] is called before each re-execution with the 1-based
+    retry number. [f] must therefore be idempotent in the usual
+    transactional sense: all its effects go through the transaction.
+    Any other exception (and deadlock exhaustion) aborts and
+    propagates unchanged. *)
+val with_txn_retrying :
+  ?max_attempts:int -> ?on_retry:(attempt:int -> unit) -> t -> (unit -> 'a) -> 'a
+
 (** {2 Page access} *)
 
 (** [fix_page t ~kind page_id] ensures residency and pins; returns the

@@ -19,7 +19,10 @@ let abort t =
 (* Abort that survives participant failures: a participant that
    crashed (or keeps failing) cannot execute the abort now — its
    restart will roll the transaction back from the log (or leave it
-   in-doubt to be resolved with the Abort decision). *)
+   in-doubt to be resolved with the Abort decision). A participant
+   wounded as a deadlock victim under the multi-client scheduler is
+   already rolling back server-side, so its Deadlock is absorbed the
+   same way. *)
 let abort_surviving t =
   List.iter
     (fun c ->
@@ -27,7 +30,7 @@ let abort_surviving t =
         try Client.abort c
         with
         | Qs_fault.Injected_crash _ | Qs_fault.Io_error _ | Qs_fault.Net_error _
-        | Server.Server_down | Client.Degraded _ ->
+        | Server.Server_down | Client.Degraded _ | Lock_mgr.Deadlock _ ->
           ())
     t.clients;
   t.clients <- []

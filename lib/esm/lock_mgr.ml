@@ -2,13 +2,38 @@ type resource = Page_lock of int | File_lock of int
 type mode = Shared | Exclusive
 
 exception Conflict of { resource : resource; holder : int; requester : int }
+exception Deadlock of { victim : int; requester : int; resource : resource; cycle : int list }
+
+type waiter = { w_resource : resource; w_mode : mode; w_seq : int }
 
 type t = {
   table : (resource, (int, mode) Hashtbl.t) Hashtbl.t;  (* resource -> holders *)
   by_txn : (int, resource list ref) Hashtbl.t;
+  waiting : (int, waiter) Hashtbl.t;  (* txn -> the one request it is blocked on *)
+  wounded : (int, resource * int list) Hashtbl.t;  (* victim -> (contested resource, cycle) *)
+  ages : (int, int) Hashtbl.t;  (* txn -> birth stamp, when older than the txn id *)
+  mutable wait_seq : int;  (* FIFO arrival order of parked requests *)
 }
 
-let create () = { table = Hashtbl.create 1024; by_txn = Hashtbl.create 16 }
+let create () =
+  { table = Hashtbl.create 1024
+  ; by_txn = Hashtbl.create 16
+  ; waiting = Hashtbl.create 16
+  ; wounded = Hashtbl.create 16
+  ; ages = Hashtbl.create 16
+  ; wait_seq = 0 }
+
+(* Birth stamp used for victim selection: by default a txn's own id
+   (ids are assigned in begin order, so higher id = younger). A
+   transaction restarted after a deadlock abort re-registers its
+   original stamp ({!set_age}), so it ages across retries instead of
+   looking brand-new every time — without this, a wounded victim
+   re-enters the same cycle with the highest id and is wounded again,
+   forever (wound-wait is only starvation-free with inherited
+   timestamps). *)
+let age t txn = match Hashtbl.find_opt t.ages txn with Some a -> a | None -> txn
+
+let set_age t ~txn ~age = if age < txn then Hashtbl.replace t.ages txn age
 
 let holders t resource =
   match Hashtbl.find_opt t.table resource with
@@ -29,46 +54,197 @@ let note_held t ~txn resource =
   in
   l := resource :: !l
 
+(* Holders incompatible with [txn] requesting [mode], ascending txn
+   order so waits-for edges (and therefore cycle discovery) are
+   deterministic regardless of hash-table iteration order. *)
+let blockers t ~txn resource mode =
+  match Hashtbl.find_opt t.table resource with
+  | None -> []
+  | Some h ->
+    if Hashtbl.find_opt h txn = Some Exclusive then []
+    else
+      Hashtbl.fold
+        (fun other m acc ->
+          if other = txn then acc
+          else
+            match (mode, m) with
+            | Shared, Shared -> acc
+            | Shared, Exclusive | Exclusive, Shared | Exclusive, Exclusive -> other :: acc)
+        h []
+      |> List.sort compare
+
+let compat a b = match (a, b) with Shared, Shared -> true | _ -> false
+
+let holds_any t ~txn resource =
+  match Hashtbl.find_opt t.table resource with None -> false | Some h -> Hashtbl.mem h txn
+
+(* Everything a request must wait behind: the incompatible holders,
+   plus — unless [txn] already holds the resource (an upgrade defers to
+   holders only; deferring to a waiter that is itself blocked on our
+   hold would manufacture a deadlock out of thin air) — incompatible
+   requests parked earlier on the same resource. The FIFO half is what
+   keeps the grant fair: without it a parked writer is barged past
+   forever by a stream of later readers, each arriving while the
+   writer's wake-up poll is still pending. Ascending txn order so
+   waits-for edges (and cycle discovery) are deterministic regardless
+   of hash-table iteration order. *)
+let obstacles t ~txn ~seq resource mode =
+  let hold = blockers t ~txn resource mode in
+  let queued =
+    if holds_any t ~txn resource then []
+    else
+      Hashtbl.fold
+        (fun w wt acc ->
+          if w <> txn && wt.w_resource = resource && wt.w_seq < seq && not (compat wt.w_mode mode)
+          then w :: acc
+          else acc)
+        t.waiting []
+  in
+  List.sort_uniq compare (hold @ queued)
+
 let acquire t ~txn resource mode =
   let h = holders t resource in
   let mine = Hashtbl.find_opt h txn in
-  let compatible () =
-    Hashtbl.iter
-      (fun other m ->
-        if other <> txn then begin
-          match (mode, m) with
-          | Shared, Shared -> ()
-          | Shared, Exclusive | Exclusive, Shared | Exclusive, Exclusive ->
-            raise (Conflict { resource; holder = other; requester = txn })
-        end)
-      h
+  let check_free () =
+    match blockers t ~txn resource mode with
+    | [] -> ()
+    | holder :: _ -> raise (Conflict { resource; holder; requester = txn })
   in
   match (mine, mode) with
   | Some Exclusive, _ -> ()
   | Some Shared, Shared -> ()
   | Some Shared, Exclusive ->
-    compatible ();
+    check_free ();
     Hashtbl.replace h txn Exclusive
   | None, _ ->
-    compatible ();
+    check_free ();
     Hashtbl.replace h txn mode;
     note_held t ~txn resource
+
+(* Waits-for cycle through [start]: follow each waiting txn to the
+   obstacles blocking its pending request. Every node on a cycle is
+   necessarily waiting (the requester included — its tentative request
+   is registered before we search). Depth-first with an explicit path,
+   children in ascending txn order, so the first cycle found is a
+   deterministic function of the lock-table state. Txns already chosen
+   as wound victims are skipped: they are as good as aborted, so edges
+   through them are about to vanish. *)
+let find_cycle t start =
+  let rec dfs path visited txn =
+    match Hashtbl.find_opt t.waiting txn with
+    | None -> (visited, None)
+    | Some w ->
+      let succs = obstacles t ~txn ~seq:w.w_seq w.w_resource w.w_mode in
+      let rec walk visited = function
+        | [] -> (visited, None)
+        | s :: rest ->
+          if Hashtbl.mem t.wounded s then walk visited rest
+          else if s = start then (visited, Some (List.rev (txn :: path)))
+          else if List.mem s visited then walk visited rest
+          else
+            let visited, found = dfs (txn :: path) (s :: visited) s in
+            (match found with Some _ -> (visited, found) | None -> walk visited rest)
+      in
+      walk visited succs
+  in
+  snd (dfs [] [ start ] start)
+
+let acquire_blocking t ~txn ~wait resource mode =
+  let what =
+    let r = match resource with Page_lock p -> "page " ^ string_of_int p | File_lock f -> "file " ^ string_of_int f in
+    let m = match mode with Shared -> "S" | Exclusive -> "X" in
+    Printf.sprintf "lock %s (%s) txn %d" r m txn
+  in
+  (* The queue position is taken once, at first park, and kept across
+     wake-and-recheck rounds: a waiter that loses a race back to the
+     lock does not also lose its place in line. *)
+  let seq = t.wait_seq in
+  t.wait_seq <- seq + 1;
+  let rec attempt () =
+    match obstacles t ~txn ~seq resource mode with
+    | [] ->
+      Hashtbl.remove t.waiting txn;
+      acquire t ~txn resource mode
+    | _ :: _ ->
+      Hashtbl.replace t.waiting txn { w_resource = resource; w_mode = mode; w_seq = seq };
+      (* A new request can close several distinct cycles at once (every
+         new edge leaves the requester, so all of them pass through
+         it), and the parks that formed the other arcs are already past
+         their own detection — this is the last chance to see them.
+         Wound until no cycle through the requester remains; the DFS
+         skips wounded txns, so each round finds a genuinely different
+         cycle and the loop terminates. *)
+      let rec break_cycles () =
+        match find_cycle t txn with
+        | None -> ()
+        | Some cycle ->
+          (* youngest-txn wound: the cycle member with the highest
+             (birth stamp, id) — the most recently begun transaction —
+             is chosen as victim, so the choice is deterministic and
+             the oldest work survives. Retried victims carry their
+             original stamp and so eventually stop being youngest. *)
+          let victim =
+            List.fold_left
+              (fun v c -> if (age t c, c) > (age t v, v) then c else v)
+              (List.hd cycle) cycle
+          in
+          if victim = txn then begin
+            Hashtbl.remove t.waiting txn;
+            raise (Deadlock { victim; requester = txn; resource; cycle })
+          end
+          else begin
+            Hashtbl.replace t.wounded victim (resource, cycle);
+            break_cycles ()
+          end
+      in
+      break_cycles ();
+      let check () =
+        match Hashtbl.find_opt t.wounded txn with
+        | Some (r, cycle) ->
+          Hashtbl.remove t.wounded txn;
+          Sched.Cancel (Deadlock { victim = txn; requester = txn; resource = r; cycle })
+        | None -> if obstacles t ~txn ~seq resource mode = [] then Sched.Ready else Sched.Wait
+      in
+      let cleanup () = Hashtbl.remove t.waiting txn in
+      (match wait ~what ~check with
+       | (_ : float) -> ()
+       | exception Sched.Timeout _ ->
+         (* presumed deadlock: an empty cycle marks a timeout-induced
+            abort as opposed to a detected wait cycle *)
+         cleanup ();
+         raise (Deadlock { victim = txn; requester = txn; resource; cycle = [] })
+       | exception e ->
+         cleanup ();
+         raise e);
+      (* deliberately still registered here: the waiting entry (and its
+         seq) holds our queue position until the grant actually lands *)
+      attempt ()
+  in
+  attempt ()
 
 let held t ~txn resource =
   match Hashtbl.find_opt t.table resource with None -> None | Some h -> Hashtbl.find_opt h txn
 
 let release_all t ~txn =
-  match Hashtbl.find_opt t.by_txn txn with
-  | None -> ()
-  | Some l ->
-    List.iter
-      (fun resource ->
-        match Hashtbl.find_opt t.table resource with
-        | None -> ()
-        | Some h ->
-          Hashtbl.remove h txn;
-          if Hashtbl.length h = 0 then Hashtbl.remove t.table resource)
-      !l;
-    Hashtbl.remove t.by_txn txn
+  (match Hashtbl.find_opt t.by_txn txn with
+   | None -> ()
+   | Some l ->
+     List.iter
+       (fun resource ->
+         match Hashtbl.find_opt t.table resource with
+         | None -> ()
+         | Some h ->
+           Hashtbl.remove h txn;
+           if Hashtbl.length h = 0 then Hashtbl.remove t.table resource)
+       !l);
+  (* Unconditionally: a txn that only ever waited (or was wounded
+     before it got anything granted) still has registry entries, and
+     an aborted txn must stop appearing in waits-for edges. *)
+  Hashtbl.remove t.by_txn txn;
+  Hashtbl.remove t.waiting txn;
+  Hashtbl.remove t.wounded txn;
+  Hashtbl.remove t.ages txn
 
 let outstanding t = Hashtbl.fold (fun _ h acc -> acc + Hashtbl.length h) t.table 0
+let waiting t = Hashtbl.length t.waiting
+let tracked t = Hashtbl.length t.by_txn

@@ -3,13 +3,30 @@
     ESM "provides locking at the page and file levels with a special
     non-2PL protocol for index pages"; index latches are therefore
     short (acquired and released per node) while page/file locks are
-    held to transaction end. The benchmarks are single-client, so
-    conflicts abort immediately (no-wait) rather than block. *)
+    held to transaction end.
+
+    Two front doors: {!acquire} is the historical no-wait path
+    (single-client harnesses; conflicts raise {!Conflict} immediately)
+    and {!acquire_blocking} is the multi-client path — the requester
+    parks on a caller-supplied wait primitive while the request is
+    registered in a waits-for graph. Cycles are detected at block
+    time; the youngest transaction on the cycle (highest birth stamp,
+    see {!set_age}) is wounded and aborts with a typed {!Deadlock},
+    which the client
+    retry machinery turns into backoff-and-rerun. A wait that exceeds
+    its timeout is treated as a presumed deadlock (empty cycle). *)
 
 type resource = Page_lock of int | File_lock of int
 type mode = Shared | Exclusive
 
+(** No-wait conflict: [holder] is the lowest-id incompatible holder. *)
 exception Conflict of { resource : resource; holder : int; requester : int }
+
+(** Typed deadlock abort. [victim] is always the transaction the
+    exception is delivered to; [cycle] lists the transactions on the
+    detected waits-for cycle in discovery order, or is empty for a
+    lock-wait timeout (presumed deadlock). *)
+exception Deadlock of { victim : int; requester : int; resource : resource; cycle : int list }
 
 type t
 
@@ -19,11 +36,46 @@ val create : unit -> t
     already-held locks. Raises {!Conflict} on incompatibility. *)
 val acquire : t -> txn:int -> resource -> mode -> unit
 
+(** [acquire_blocking t ~txn ~wait resource mode] grants like
+    {!acquire} but parks the requester on [wait] instead of raising on
+    conflict. [wait ~what ~check] must suspend until [check] answers
+    [Ready] (then return the microseconds waited) — in practice it is
+    a thin wrapper over [Sched.block_on] that also charges the wait to
+    [Category.Lock_wait]. [check] also delivers wounds: if this txn is
+    chosen as a deadlock victim while parked, [check] cancels the wait
+    with {!Deadlock}. A [Sched.Timeout] from [wait] is converted to a
+    presumed-deadlock {!Deadlock} with an empty cycle. *)
+val acquire_blocking :
+  t ->
+  txn:int ->
+  wait:(what:string -> check:(unit -> Sched.verdict) -> float) ->
+  resource ->
+  mode ->
+  unit
+
+(** [set_age t ~txn ~age] registers an inherited birth stamp for victim
+    selection: a transaction restarted after a deadlock abort passes
+    the txn id of its first attempt, so it looks as old as the work it
+    is redoing instead of brand-new. Without inherited stamps,
+    youngest-wound starves a retrier forever (its fresh id is always
+    the highest on the cycle). Stamps [>= txn] are ignored; cleared by
+    {!release_all}. *)
+val set_age : t -> txn:int -> age:int -> unit
+
 (** [held t ~txn resource] is the mode currently held, if any. *)
 val held : t -> txn:int -> resource -> mode option
 
-(** Release everything the transaction holds (commit/abort). *)
+(** Release everything the transaction holds (commit/abort), and drop
+    its waits-for / wound / held-set registry entries even if it never
+    acquired anything. *)
 val release_all : t -> txn:int -> unit
 
 (** Number of distinct (txn, resource) grants outstanding. *)
 val outstanding : t -> int
+
+(** Number of transactions currently parked on a lock request. *)
+val waiting : t -> int
+
+(** Number of transactions with a held-set registry entry (post
+    [release_all] this must drop to zero for the released txn). *)
+val tracked : t -> int

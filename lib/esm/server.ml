@@ -112,7 +112,16 @@ let reset_counters t =
    would see a crashed participant. *)
 let check_up t = if Qs_fault.halted t.fault then raise Server_down
 
+(* Every server entry point is one RPC: under the multi-client
+   scheduler it must mutate server state without another client's
+   request interleaving mid-way, exactly as a real server would handle
+   one request at a time. [Sched.atomically] masks charge-boundary
+   preemption for the duration (a no-op in single-client harnesses);
+   blocking lock waits inside remain legal suspension points. *)
+let serve f = Sched.atomically f
+
 let begin_txn t =
+  serve @@ fun () ->
   check_up t;
   let txn = t.next_txn in
   t.next_txn <- txn + 1;
@@ -123,6 +132,12 @@ let begin_txn t =
   txn
 
 let is_active t txn = Hashtbl.mem t.active txn
+let active_txns t = Hashtbl.length t.active
+
+let set_txn_age t ~txn ~age =
+  serve @@ fun () ->
+  check_up t;
+  Lock_mgr.set_age t.locks ~txn ~age
 
 let check_active t txn op =
   check_up t;
@@ -204,6 +219,7 @@ let resident_bytes t ~cat ~charge_miss page_id =
     (f, false)
 
 let read_page t ~txn ~kind page_id dst =
+  serve @@ fun () ->
   check_active t txn "read_page";
   let c = t.counters in
   c.client_reads <- c.client_reads + 1;
@@ -234,6 +250,7 @@ let read_page t ~txn ~kind page_id dst =
    installed in the server pool, so the client's retry is idempotent
    (re-served pages become hits). *)
 let read_page_run t ~txn ~kind pages =
+  serve @@ fun () ->
   check_active t txn "read_page_run";
   let c = t.counters in
   let cat = category_of_kind kind in
@@ -278,6 +295,7 @@ let note_ship_us t txn us =
     | None -> Hashtbl.replace t.txn_ship_us txn (ref us)
 
 let write_page t ~txn ~at_commit page_id src =
+  serve @@ fun () ->
   check_active t txn "write_page";
   (match t.fail_after_writes with
    | Some 0 -> raise Injected_crash
@@ -328,6 +346,7 @@ let write_page t ~txn ~at_commit page_id src =
    disk-format page image; the patched server page must equal it
    byte-for-byte. *)
 let apply_regions t ~txn ~seq ?check page_id regions =
+  serve @@ fun () ->
   check_active t txn "apply_regions";
   Qs_fault.hit t.fault Qs_fault.Point.commit_ship_region;
   let cm = t.cm in
@@ -398,10 +417,12 @@ let apply_regions t ~txn ~seq ?check page_id regions =
         (if duplicate then ", duplicate ship" else "")
 
 let alloc_page t =
+  serve @@ fun () ->
   Qs_trace.charge t.clock Simclock.Category.Lock_acquire t.cm.Simclock.Cost_model.lock_us;
   Disk.alloc t.disk
 
 let free_page t page_id =
+  serve @@ fun () ->
   (match Buf_pool.lookup t.pool page_id with
    | Some f ->
      Buf_pool.clear_dirty t.pool f;
@@ -410,6 +431,7 @@ let free_page t page_id =
   Disk.free t.disk page_id
 
 let lock t ~txn resource mode =
+  serve @@ fun () ->
   check_active t txn "lock";
   (* Charge only when the request actually goes to the lock manager
      (repeat requests on held locks are free client-side checks). *)
@@ -432,11 +454,42 @@ let lock t ~txn resource mode =
           ]
         "lock.acquire"
   end;
-  Lock_mgr.acquire t.locks ~txn resource mode
+  if Sched.active () then
+    (* Multi-client: park the requester instead of failing fast. The
+       wait suspends inside this (masked) RPC — a legal scheduling
+       point — and is charged to Lock_wait when it resumes. A crash of
+       this server while the requester is parked cancels the wait with
+       Server_down rather than letting it sit out the full timeout. *)
+    Lock_mgr.acquire_blocking t.locks ~txn resource mode ~wait:(fun ~what ~check ->
+        let check () = if Qs_fault.halted t.fault then Sched.Cancel Server_down else check () in
+        if Qs_trace.enabled t.clock then
+          Qs_trace.instant t.clock ~cat:"esm"
+            ~args:
+              [ (match resource with
+                 | Lock_mgr.Page_lock p -> Qs_trace.A_int ("page", p)
+                 | Lock_mgr.File_lock f -> Qs_trace.A_int ("file", f))
+              ; Qs_trace.A_int ("txn", txn) ]
+            "lock.block";
+        match
+          Sched.block_on ~timeout_us:t.cm.Simclock.Cost_model.lock_wait_timeout_us ~what check
+        with
+        | us ->
+          (* The wake already advanced this task's vt across the wait;
+             the charge records it in the breakdown and the rebate
+             keeps it from advancing vt twice. *)
+          Qs_trace.charge t.clock Simclock.Category.Lock_wait us;
+          Sched.rebate us;
+          us
+        | exception (Sched.Timeout { waited_us; _ } as e) ->
+          Qs_trace.charge t.clock Simclock.Category.Lock_wait waited_us;
+          Sched.rebate waited_us;
+          raise e)
+  else Lock_mgr.acquire t.locks ~txn resource mode
 
 let lock_held t ~txn resource = Lock_mgr.held t.locks ~txn resource
 
 let log_update t ~txn ~page ~off ~old_data ~new_data =
+  serve @@ fun () ->
   check_active t txn "log_update";
   Qs_trace.charge t.clock Simclock.Category.Log_write t.cm.Simclock.Cost_model.log_record_cpu_us;
   let lsn = Wal.append t.wal (Wal.Update { txn; page; off; old_data; new_data }) in
@@ -446,6 +499,7 @@ let log_update t ~txn ~page ~off ~old_data ~new_data =
   lsn
 
 let log_index t ~txn record =
+  serve @@ fun () ->
   check_active t txn "log_index";
   (match record with
    | Wal.Index_insert _ | Wal.Index_delete _ -> ()
@@ -541,6 +595,7 @@ let finish_txn t txn =
   Hashtbl.remove t.txn_ship_us txn
 
 let commit t ~txn =
+  serve @@ fun () ->
   check_active t txn "commit";
   Qs_fault.hit t.fault Qs_fault.Point.commit_pre_log;
   ignore (Wal.append t.wal (Wal.Commit txn));
@@ -559,6 +614,7 @@ let commit t ~txn =
    durable and vote yes. The transaction stays active (locks held)
    until the coordinator's decision arrives via [commit] or [abort]. *)
 let prepare t ~txn =
+  serve @@ fun () ->
   check_active t txn "prepare";
   Qs_fault.hit t.fault Qs_fault.Point.prepare_pre_log;
   ignore (Wal.append t.wal (Wal.Prepare txn));
@@ -568,6 +624,7 @@ let prepare t ~txn =
   flush_txn_pages ~point:Qs_fault.Point.prepare_mid_flush t txn
 
 let abort t ~txn =
+  serve @@ fun () ->
   check_active t txn "abort";
   let updates = match Hashtbl.find_opt t.txn_updates txn with Some l -> !l | None -> [] in
   (* Apply before-images newest-first, logging each as a compensation
@@ -603,6 +660,7 @@ let abort t ~txn =
 (* Checkpoint: make everything durable and drop the log. Requires no
    active transactions. *)
 let checkpoint t =
+  serve @@ fun () ->
   if Hashtbl.length t.active > 0 then invalid_arg "Server.checkpoint: transactions active";
   Buf_pool.iter_frames
     (fun ~frame ~page_id:_ ->

@@ -52,6 +52,17 @@ val cost_model : t -> Simclock.Cost_model.t
 val begin_txn : t -> int
 val is_active : t -> int -> bool
 
+(** Number of transactions currently active (multi-client harnesses
+    gate checkpoints on this reaching zero). *)
+val active_txns : t -> int
+
+(** [set_txn_age t ~txn ~age] passes an inherited deadlock-victim
+    birth stamp to the lock manager ({!Lock_mgr.set_age}): a client
+    retrying after a {!Lock_mgr.Deadlock} registers the txn id of its
+    first attempt so the retry ages instead of staying forever the
+    youngest (and forever the victim). *)
+val set_txn_age : t -> txn:int -> age:int -> unit
+
 (** [commit t ~txn] logs the commit, forces the log (charged to
     Commit_flush), writes the transaction's dirty server-side pages to
     disk, and releases locks. The client must have shipped its dirty
@@ -121,7 +132,17 @@ val free_page : t -> int -> unit
 
 (** {2 Locks and logging} *)
 
+(** Acquire (or upgrade) a page/file lock. Single-client (no scheduler
+    active): no-wait, conflicts raise [Lock_mgr.Conflict]. Under the
+    multi-client scheduler the request blocks via
+    [Lock_mgr.acquire_blocking]: the wait is charged to
+    [Category.Lock_wait], a detected waits-for cycle wounds the
+    youngest transaction on it, and a wait past
+    [lock_wait_timeout_us] is a presumed deadlock — both surface as
+    [Lock_mgr.Deadlock], which {!Client.with_txn_retrying} turns into
+    abort-backoff-rerun. *)
 val lock : t -> txn:int -> Lock_mgr.resource -> Lock_mgr.mode -> unit
+
 val lock_held : t -> txn:int -> Lock_mgr.resource -> Lock_mgr.mode option
 
 (** Append an update record on behalf of a client; returns its LSN.

@@ -163,3 +163,50 @@ let diffship_extra (r : System.run_result) =
 
 let render_small_diffship ~seed suites =
   render ~extra:diffship_extra ~benchmark:"OO7+diffship" ~database:"small" ~seed ~hot_reps:1 suites
+
+(* The multi-user contention baseline ([BENCH_oo7_multi.json]): the
+   hot-page-skew workload of [Mc] at 1, 2 and 4 simulated clients under
+   the deterministic scheduler, one seed. Unlike the single-user
+   baselines this pins scheduler behavior end to end — commit, retry
+   and lock-wait counts AND the md5 of the Chrome trace — so any drift
+   in the interleaving itself, not just the totals, fails the
+   bench-shape gate. *)
+let multi_client_counts = [ 1; 2; 4 ]
+
+let multi_runs ?(progress = fun (_ : string) -> ()) ~seed () =
+  List.map
+    (fun clients ->
+      progress (Printf.sprintf "running multi-user contention with %d client(s)..." clients);
+      Mc.run ~clients ~seed ())
+    multi_client_counts
+
+let multi_run_json (s : Mc.stats) =
+  let field k v = Printf.sprintf "\"%s\":%s" k v in
+  let per_client =
+    List.map
+      (fun (c : Mc.client_stats) ->
+        Printf.sprintf "{\"name\":%s,\"committed\":%d,\"retries\":%d}" (json_string c.Mc.cs_name)
+          c.Mc.cs_committed c.Mc.cs_retries)
+      s.Mc.per_client
+  in
+  "{"
+  ^ String.concat ","
+      [ field "clients" (string_of_int s.Mc.clients)
+      ; field "txns_per_client" (string_of_int s.Mc.txns_per_client)
+      ; field "committed" (string_of_int s.Mc.committed)
+      ; field "deadlock_retries" (string_of_int s.Mc.deadlock_retries)
+      ; field "lock_waits" (string_of_int s.Mc.lock_waits)
+      ; field "lock_wait_ms" (json_float s.Mc.lock_wait_ms)
+      ; field "retry_ms" (json_float s.Mc.retry_ms)
+      ; field "total_ms" (json_float s.Mc.total_ms)
+      ; field "reads" (string_of_int s.Mc.reads)
+      ; field "writes" (string_of_int s.Mc.writes)
+      ; field "per_client" ("[" ^ String.concat "," per_client ^ "]")
+      ; field "trace_events" (string_of_int s.Mc.trace_events)
+      ; field "trace_digest" (json_string s.Mc.trace_digest) ]
+  ^ "}"
+
+let render_multi ~seed runs =
+  Printf.sprintf "{\"benchmark\":%s,\"database\":%s,\"seed\":%d,\"runs\":[%s]}\n"
+    (json_string "OO7-multi") (json_string "mc-hotskew") seed
+    (String.concat "," (List.map multi_run_json runs))

@@ -1,0 +1,168 @@
+(* Multi-user contention benchmark: N simulated clients on one ESM
+   server under the deterministic scheduler (lib/sched), hammering a
+   small object world with hot-page skew.
+
+   This is the OO7 multi-user shape — §6 of the paper leaves
+   multi-client QuickStore to future work, so the workload here is the
+   contention substrate, not a paper figure: most transactions touch a
+   small hot set of pages (readers crossing into other clients'
+   write partitions), so S/X conflicts, blocking lock waits, wound
+   deadlock aborts and client retries all occur at a measurable rate
+   while every page keeps a single writer-owner.
+
+   Everything derives from the seed. Same seed, byte-identical
+   schedule: the committed BENCH_oo7_multi.json baseline pins the
+   commit/retry/wait counts AND the md5 of the Chrome trace, so any
+   drift in the interleaving itself — not just the totals — fails the
+   bench-shape gate.
+
+   Client caches are dropped at every transaction start: without
+   callback locking (ROADMAP item) an inter-transaction cached page
+   could serve stale bytes once another client commits to it. *)
+
+module F = Qs_fault
+module Server = Esm.Server
+module Client = Esm.Client
+module Rng = Qs_util.Rng
+module Clock = Simclock.Clock
+module Category = Simclock.Category
+
+type client_stats = {
+  cs_name : string;
+  cs_committed : int;
+  cs_retries : int;  (* deadlock/timeout aborts that were re-run *)
+}
+
+type stats = {
+  clients : int;
+  seed : int;
+  txns_per_client : int;
+  committed : int;
+  deadlock_retries : int;
+  lock_waits : int;  (* Lock_wait charge events *)
+  lock_wait_ms : float;
+  retry_ms : float;
+  total_ms : float;
+  reads : int;  (* server read RPCs over the contended phase *)
+  writes : int;
+  per_client : client_stats list;
+  trace_events : int;
+  trace_digest : string;  (* md5 of the Chrome trace: pins the interleaving *)
+}
+
+let obj_len = 96
+let objs_per_page = 4
+
+let value ~seed ~idx ~version =
+  let tag = Printf.sprintf "mc%d-o%d-v%d." seed idx version in
+  Bytes.init obj_len (fun i -> tag.[i mod String.length tag])
+
+(* Skewed pick: [hot_pct]% of draws land uniformly in the hot prefix,
+   the rest uniformly anywhere. *)
+let pick_skewed rng ~hot ~n ~hot_pct =
+  if Rng.int rng 100 < hot_pct then Rng.int rng hot else Rng.int rng n
+
+let distinct_picks ~k ~pick =
+  let picked = ref [] in
+  let guard = ref 0 in
+  while List.length !picked < k && !guard < 1000 do
+    incr guard;
+    let idx = pick () in
+    if not (List.mem idx !picked) then picked := idx :: !picked
+  done;
+  List.rev !picked
+
+let run ?(clients = 2) ?(txns_per_client = 18) ?(seed = 42) () =
+  if clients < 1 then invalid_arg "Mc.run: clients must be >= 1";
+  let cm = Simclock.Cost_model.default in
+  let clock = Clock.create () in
+  let server = Server.create ~frames:128 ~clock ~cm () in
+  let cls = Array.init clients (fun c -> ignore c; Client.create ~frames:12 server) in
+  (* World: [pages] pages x [objs_per_page] objects, built single-client
+     by client 0. The first two pages are the hot set. *)
+  let pages = 12 in
+  let nobj = pages * objs_per_page in
+  let hot = 2 * objs_per_page in
+  let oids = Array.make nobj None in
+  Client.with_txn cls.(0) (fun () ->
+      for p = 0 to pages - 1 do
+        let page_id, frame = Client.new_page cls.(0) ~kind:Esm.Page.Small_obj in
+        Client.unfix_page cls.(0) ~frame;
+        for s = 0 to objs_per_page - 1 do
+          let idx = (p * objs_per_page) + s in
+          let v = value ~seed ~idx ~version:0 in
+          oids.(idx) <-
+            Some
+              (match Client.create_object cls.(0) ~page_id v with
+               | Some oid -> oid
+               | None -> Client.create_object_new_page cls.(0) v)
+        done
+      done);
+  let oid idx = match oids.(idx) with Some o -> o | None -> invalid_arg "Mc.run: no oid" in
+  Client.reset_cache cls.(0);
+  (* Contended phase: fresh counters, a trace sink armed for the
+     digest, and one task per client. *)
+  Server.reset_counters server;
+  let before = Clock.snapshot clock in
+  let sink = Qs_trace.create ~clock () in
+  Qs_trace.arm sink;
+  let committed = Array.make clients 0 in
+  let retries = Array.make clients 0 in
+  let sched = Sched.create ~seed ~clocks:[ clock ] () in
+  for c = 0 to clients - 1 do
+    Sched.spawn sched ~name:(Printf.sprintf "client-%d" c) (fun () ->
+        let cl = cls.(c) in
+        let rng = Rng.create ((seed * 131) + (c * 17) + 7) in
+        for i = 1 to txns_per_client do
+          (* Writes stay in this client's partition (idx mod clients);
+             reads range over everyone's, skewed to the hot pages, so
+             contention is read-write and deadlocks are S->X cycles. *)
+          let own p = (p - (p mod clients) + c) mod nobj in
+          let wr =
+            distinct_picks ~k:2 ~pick:(fun () -> own (pick_skewed rng ~hot ~n:nobj ~hot_pct:50))
+          in
+          let rd = distinct_picks ~k:3 ~pick:(fun () -> pick_skewed rng ~hot ~n:nobj ~hot_pct:60) in
+          let rd = List.filter (fun idx -> not (List.mem idx wr)) rd in
+          Client.reset_cache cl;
+          Client.with_txn_retrying ~max_attempts:8
+            ~on_retry:(fun ~attempt:_ ->
+              retries.(c) <- retries.(c) + 1;
+              Client.reset_cache cl)
+            cl
+            (fun () ->
+              List.iter (fun idx -> ignore (Client.read_object cl (oid idx))) rd;
+              List.iter
+                (fun idx ->
+                  Client.update_object cl (oid idx) ~off:0
+                    (value ~seed ~idx ~version:((i * clients) + c)))
+                wr);
+          committed.(c) <- committed.(c) + 1
+        done)
+  done;
+  let outcomes = Sched.run sched in
+  List.iter
+    (fun (name, e) ->
+      match e with
+      | None -> ()
+      | Some e -> raise (Invalid_argument (Printf.sprintf "Mc.run: task %s died: %s" name (Printexc.to_string e))))
+    outcomes;
+  let snap = Clock.since clock before in
+  let counters = Server.counters server in
+  { clients
+  ; seed
+  ; txns_per_client
+  ; committed = Array.fold_left ( + ) 0 committed
+  ; deadlock_retries = Array.fold_left ( + ) 0 retries
+  ; lock_waits = Clock.snap_category_events snap Category.Lock_wait
+  ; lock_wait_ms = Clock.snap_category_us snap Category.Lock_wait /. 1000.0
+  ; retry_ms = Clock.snap_category_us snap Category.Retry /. 1000.0
+  ; total_ms = Clock.snap_total_ms snap
+  ; reads = counters.Server.client_reads
+  ; writes = counters.Server.client_writes
+  ; per_client =
+      List.init clients (fun c ->
+          { cs_name = Printf.sprintf "client-%d" c
+          ; cs_committed = committed.(c)
+          ; cs_retries = retries.(c) })
+  ; trace_events = Qs_trace.length sink
+  ; trace_digest = Digest.to_hex (Digest.string (Qs_trace.to_chrome sink)) }

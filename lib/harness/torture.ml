@@ -19,12 +19,18 @@
      to BOTH decisions (checked on forked volumes) before the real
      decision is applied everywhere and checked for global atomicity.
 
+   Single-server schedules run with 2-4 concurrent clients by default
+   (rotating with the seed; [--clients 1] restores the pre-scheduler
+   single-client schedule), so the crash also lands amid blocking lock
+   waits, wound-wait deadlock aborts and client retries.
+
    Everything — world, workload, fault plan — derives from the seed,
    so a failing schedule reproduces from its printed one-line repro. *)
 
 module F = Qs_fault
 module Server = Esm.Server
 module Client = Esm.Client
+module Lock_mgr = Esm.Lock_mgr
 module Recovery = Esm.Recovery
 module Dist_txn = Esm.Dist_txn
 module Buf_pool = Esm.Buf_pool
@@ -34,11 +40,14 @@ module Clock = Simclock.Clock
 exception Check_failed of string
 
 let failf fmt = Printf.ksprintf (fun s -> raise (Check_failed s)) fmt
-let repro ~seed = Printf.sprintf "qs_torture --first-seed %d --seeds 1" seed
+
+let repro ~seed ~clients =
+  Printf.sprintf "qs_torture --first-seed %d --seeds 1 --clients %d" seed clients
 
 type outcome = {
   seed : int;
   point : string;  (* the armed crash point *)
+  clients : int;  (* concurrent clients in the schedule (1 = pre-scheduler path) *)
   fired : bool;
   txns : int;  (* transactions attempted before the crash *)
   transients : int;  (* transient faults injected (and retried) *)
@@ -270,6 +279,245 @@ let run_single ~seed ~point =
   | e -> failure := Some (Printf.sprintf "seed %d: unexpected %s" seed (Printexc.to_string e)));
   { seed
   ; point
+  ; clients = 1
+  ; fired = F.fired fault <> None
+  ; txns = !txns
+  ; transients = F.transients_injected fault
+  ; failure = !failure }
+
+(* ------------------------------------------------------------------ *)
+(* Multi-client single-server schedule.                                *)
+
+(* N simulated clients share the server under the deterministic
+   scheduler (lib/sched) while the crash plan is armed, so blocking
+   page locks, wound-wait deadlock aborts and client retries now
+   interleave with the transient faults and the scheduled crash.
+   Writes stay partitioned — every object has exactly one writer-owner
+   — so the model array stays exact for owned reads; cross-partition
+   reads supply the S/X contention and the deadlock cycles.
+
+   When the injected crash fires in one client's RPC the fault halts
+   the server: every other task's next RPC raises [Server_down] at
+   entry (and parked lock waiters are cancelled with it), so the tasks
+   drain on their own and recovery runs once the scheduler returns.
+
+   Direction expectations after restart:
+   - the client whose RPC took the injected crash (the one that caught
+     [Injected_crash]) is held to the same per-point table as the
+     single-client schedule — its own WAL state at the crash point is
+     unaffected by concurrency;
+   - a client felled by [Server_down] can never have committed (the
+     halt check precedes the RPC's first action), and one that ended
+     on a deadlock abort rolled back, so both must come back all-old;
+   - a client that died of transient-retry exhaustion is [`Either]: a
+     commit ack can be lost after the commit record is durable. *)
+
+(* Cross-partition reads race the owner's commit, so the check is
+   structural rather than against the model: the bytes must be exactly
+   [value ~seed ~idx ~version] for the version the leading tag itself
+   claims — torn or mixed-version reads fail, any committed version
+   passes. *)
+let check_cross_read ~seed ~client ~idx v =
+  let fail () =
+    failf "seed %d: client %d cross-read of object %d returned torn bytes %S" seed client idx
+      (Bytes.to_string v)
+  in
+  let s = Bytes.to_string v in
+  match String.index_opt s '.' with
+  | None -> fail ()
+  | Some dot -> (
+    match Scanf.sscanf_opt (String.sub s 0 (dot + 1)) "s%d-o%d-v%d." (fun s o ver -> (s, o, ver)) with
+    | Some (s', o', ver)
+      when s' = seed && o' = idx && Bytes.equal v (value ~seed ~idx ~version:ver) ->
+      ()
+    | Some _ | None | (exception Scanf.Scan_failure _) -> fail ())
+
+let run_single_mc ~seed ~clients ~point =
+  let rng = Rng.create (seed * 2 + 1) in
+  let cm = Simclock.Cost_model.default in
+  let fault = F.create () in
+  let clock = Clock.create () in
+  let server = Server.create ~frames:64 ~fault ~clock ~cm () in
+  let cls = Array.init clients (fun _ -> Client.create ~frames:6 server) in
+  let nobj = 12 in
+  let model = Array.init nobj (fun idx -> value ~seed ~idx ~version:0) in
+  let oids =
+    Array.init nobj (fun idx ->
+        Client.with_txn cls.(0) (fun () -> Client.create_object_new_page cls.(0) model.(idx)))
+  in
+  Client.reset_cache cls.(0);
+  F.arm fault { (transient_plan ~seed) with F.crash_point = Some (point, hit_bound ~rng point) };
+  let txns = ref 0 in
+  let crashed = ref false in
+  let failure = ref None in
+  let in_flight = Array.make clients [] in
+  let entered_abort = Array.make clients false in
+  let died = Array.make clients None in
+  let sched = Sched.create ~seed ~clocks:[ clock ] () in
+  for c = 0 to clients - 1 do
+    Sched.spawn sched ~name:(Printf.sprintf "client-%d" c) (fun () ->
+        let cl = cls.(c) in
+        let rng = Rng.create ((seed * 131) + (c * 17) + 9) in
+        let own p = (p - (p mod clients) + c) mod nobj in
+        let i = ref 0 in
+        while (not !crashed) && !i < 30 && died.(c) = None do
+          incr i;
+          incr txns;
+          let k = 2 + Rng.int rng 2 in
+          let wr = ref [] in
+          while List.length !wr < k do
+            let idx = own (Rng.int rng nobj) in
+            if not (List.mem idx !wr) then wr := idx :: !wr
+          done;
+          let cross =
+            List.filter
+              (fun idx -> not (List.mem idx !wr))
+              (List.sort_uniq compare [ Rng.int rng nobj; Rng.int rng nobj ])
+          in
+          let fl =
+            List.map (fun idx -> (idx, value ~seed ~idx ~version:((!i * clients) + c + 1))) !wr
+          in
+          (* Hand-rolled deadlock retry (rather than [with_txn_retrying])
+             because abort iterations and the model bookkeeping live
+             inside the attempt; the birth stamp is re-registered so the
+             transaction ages across retries exactly as the helper does. *)
+          let birth = ref None in
+          let rec go attempt =
+            (* no callback locking yet: drop inter-txn cached pages *)
+            Client.reset_cache cl;
+            Client.begin_txn cl;
+            (match !birth with
+             | None -> birth := Some (Client.txn_id cl)
+             | Some age -> Server.set_txn_age server ~txn:(Client.txn_id cl) ~age);
+            match
+              in_flight.(c) <- fl;
+              entered_abort.(c) <- false;
+              List.iter
+                (fun (idx, newv) ->
+                  let got = Client.read_object cl oids.(idx) in
+                  if not (Bytes.equal got model.(idx)) then
+                    failf "seed %d: client %d txn %d read stale own object %d" seed c !i idx;
+                  Client.update_object cl oids.(idx) ~off:0 newv)
+                fl;
+              List.iter
+                (fun idx -> check_cross_read ~seed ~client:c ~idx (Client.read_object cl oids.(idx)))
+                cross;
+              (* Force a mid-transaction steal so evict.steal_write and
+                 the WAL rule stay exercised under contention. *)
+              (match
+                 List.find_opt
+                   (fun (_, f) -> Buf_pool.pin_count (Client.pool cl) f = 0)
+                   (Buf_pool.dirty_pages (Client.pool cl))
+               with
+              | Some (_, f) -> Client.evict_page cl ~frame:f
+              | None -> ());
+              if !i mod 4 = 3 then begin
+                entered_abort.(c) <- true;
+                Client.abort cl
+              end
+              else begin
+                if point = F.Point.commit_ship_region || point = F.Point.commit_region_torn then
+                  region_ship_dirty cl;
+                Client.commit cl;
+                List.iter (fun (idx, newv) -> model.(idx) <- newv) fl
+              end;
+              (* Checkpoints need quiescence; check-and-checkpoint under
+                 one preemption mask so no one begins a transaction in
+                 between. *)
+              if c = 0 && !i mod 5 = 0 then
+                Sched.atomically (fun () ->
+                    if Server.active_txns server = 0 then Server.checkpoint server)
+            with
+            | () -> in_flight.(c) <- []
+            | exception (Lock_mgr.Deadlock _ as e) ->
+              (try if Client.in_txn cl then Client.abort cl
+               with e' when crash_exn e' -> raise e');
+              if attempt + 1 < 8 then go (attempt + 1) else raise e
+            | exception (Check_failed _ as e) ->
+              (* release locks so the other tasks can drain *)
+              (try if Client.in_txn cl then Client.abort cl with _ -> ());
+              raise e
+          in
+          try go 0 with
+          | e when crash_exn e ->
+            crashed := true;
+            died.(c) <- Some e;
+            (* A client-side death (transient exhaustion) leaves the
+               server up with our locks held: roll back so the others
+               are not parked behind a corpse. *)
+            (try if Client.in_txn cl then Client.abort cl with _ -> ())
+          | Lock_mgr.Deadlock _ as e when !crashed ->
+            (* retry exhaustion in the post-crash drain window: every
+               attempt was rolled back, so the direction is pinned old *)
+            died.(c) <- Some e
+        done)
+  done;
+  (try
+     let outcomes = Sched.run sched in
+     List.iter
+       (fun (name, e) ->
+         match e with
+         | None -> ()
+         | Some (Check_failed msg) -> raise (Check_failed msg)
+         | Some e -> failf "seed %d: task %s: unexpected %s" seed name (Printexc.to_string e))
+       outcomes;
+     if !crashed then begin
+       let fired = F.fired fault in
+       F.disarm fault;
+       Array.iter Client.crash cls;
+       Server.crash server;
+       let stats = Recovery.restart ~sanitize:true server in
+       if stats.Recovery.in_doubt <> [] then
+         failf "seed %d: unexpected in-doubt transactions on a single server" seed;
+       let primary = ref None in
+       Array.iteri
+         (fun c e ->
+           match e with
+           | Some (F.Injected_crash _ | Server.Injected_crash) when !primary = None ->
+             primary := Some c
+           | _ -> ())
+         died;
+       let reads = read_all cls.(0) oids in
+       let skip = List.concat_map (List.map fst) (Array.to_list in_flight) in
+       check_intact ~seed ~what:"post-restart" ~model ~skip reads;
+       for c = 0 to clients - 1 do
+         let expect =
+           if !primary = Some c then expectation ~entered_abort:entered_abort.(c) fired
+           else
+             match died.(c) with
+             | Some Server.Server_down | Some (Lock_mgr.Deadlock _) | None -> `Old
+             | Some _ -> `Either
+         in
+         ignore
+           (check_in_flight ~seed
+              ~what:(Printf.sprintf "post-restart client %d" c)
+              ~model ~expect in_flight.(c) reads)
+       done
+     end;
+     (* Post-crash (or fault-free) epilogue: the store must still work
+        single-threaded through client 0. The contended phase is over,
+        so drop every client cache first — without callback locking a
+        page cached before another client's commit is legitimately
+        stale, and the epilogue checks demand current bytes. *)
+     F.disarm fault;
+     Array.iter Client.reset_cache cls;
+     for v = 1000 to 1001 do
+       Client.with_txn cls.(0) (fun () ->
+           let idx = v - 1000 in
+           Client.update_object cls.(0) oids.(idx) ~off:0 (value ~seed ~idx ~version:v);
+           model.(idx) <- value ~seed ~idx ~version:v)
+     done;
+     check_intact ~seed ~what:"epilogue" ~model ~skip:[] (read_all cls.(0) oids);
+     Array.iter Client.crash cls;
+     Server.crash server;
+     ignore (Recovery.restart ~sanitize:true server);
+     check_intact ~seed ~what:"second restart" ~model ~skip:[] (read_all cls.(0) oids)
+   with
+  | Check_failed msg -> failure := Some msg
+  | e -> failure := Some (Printf.sprintf "seed %d: unexpected %s" seed (Printexc.to_string e)));
+  { seed
+  ; point
+  ; clients
   ; fired = F.fired fault <> None
   ; txns = !txns
   ; transients = F.transients_injected fault
@@ -443,6 +691,7 @@ let run_dist ~seed ~point =
   | e -> failure := Some (Printf.sprintf "seed %d: unexpected %s" seed (Printexc.to_string e)));
   { seed
   ; point
+  ; clients = 1
   ; fired = F.fired armed <> None
   ; txns = !txns
   ; transients = F.transients_injected f1 + F.transients_injected f2
@@ -454,9 +703,20 @@ let run_dist ~seed ~point =
 let points = F.Point.all
 let point_of_seed seed = List.nth points (seed mod List.length points)
 
-let run_seed ~seed =
+(* Concurrency of a single-server schedule: 2..4 clients, rotating
+   with the seed so a contiguous sweep covers every width at every
+   crash point. [?clients] pins it instead; 1 selects the exact
+   pre-scheduler single-client schedule. 2PC schedules stay
+   single-client per site regardless. *)
+let clients_of_seed seed = 2 + (seed mod 3)
+
+let run_seed ?clients ~seed () =
   let point = point_of_seed seed in
-  if List.mem point single_points then run_single ~seed ~point else run_dist ~seed ~point
+  if List.mem point single_points then begin
+    let n = match clients with Some n -> n | None -> clients_of_seed seed in
+    if n <= 1 then run_single ~seed ~point else run_single_mc ~seed ~clients:n ~point
+  end
+  else run_dist ~seed ~point
 
 type summary = {
   total : int;
@@ -465,7 +725,7 @@ type summary = {
   transients_total : int;
 }
 
-let run_range ?(log = fun _ -> ()) ~first ~count () =
+let run_range ?(log = fun _ -> ()) ?clients ~first ~count () =
   let sched = Hashtbl.create 16 and fire = Hashtbl.create 16 in
   List.iter
     (fun p ->
@@ -476,17 +736,21 @@ let run_range ?(log = fun _ -> ()) ~first ~count () =
   let failed = ref [] in
   let transients = ref 0 in
   for seed = first to first + count - 1 do
-    let o = run_seed ~seed in
+    let o = run_seed ?clients ~seed () in
     bump sched o.point;
     if o.fired then bump fire o.point;
     transients := !transients + o.transients;
     (match o.failure with
      | Some msg ->
        failed := o :: !failed;
-       log (Printf.sprintf "FAIL seed %d [%s] %s; repro: %s" o.seed o.point msg (repro ~seed:o.seed))
+       log
+         (Printf.sprintf "FAIL seed %d [%s] %s; repro: %s" o.seed o.point msg
+            (repro ~seed:o.seed ~clients:o.clients))
      | None ->
        log
-         (Printf.sprintf "ok   seed %d [%s] %s after %d txns, %d transient faults" o.seed o.point
+         (Printf.sprintf "ok   seed %d [%s, %d client%s] %s after %d txns, %d transient faults"
+            o.seed o.point o.clients
+            (if o.clients = 1 then "" else "s")
             (if o.fired then "fired" else "no fire")
             o.txns o.transients))
   done;

@@ -1,0 +1,295 @@
+open Effect
+open Effect.Deep
+
+type verdict = Ready | Wait | Cancel of exn
+
+exception Timeout of { what : string; waited_us : float }
+exception Stuck of { blocked : string list }
+
+type block_req = { r_what : string; r_check : unit -> verdict; r_timeout : float option }
+
+type _ Effect.t += Yield : unit Effect.t | Block : block_req -> float Effect.t
+
+type task = {
+  id : int;
+  name : string;
+  mutable vt : float;  (* virtual time consumed, plus the seeded start offset *)
+  tie : int;  (* seeded tie-break rank *)
+  mutable mask : int;  (* preemption-mask nesting depth *)
+  mutable st : st;
+}
+
+and st =
+  | Fresh of (unit -> unit)
+  | Runnable of (unit, unit) continuation
+  | Waking of float * (float, unit) continuation  (* resume with microseconds waited *)
+  | Doomed of exn * (float, unit) continuation  (* discontinue with the exception *)
+  | Blocked of blocked
+  | Done of exn option
+
+and blocked = {
+  b_what : string;
+  b_check : unit -> verdict;
+  b_vt : float;  (* waiter's vt when it suspended *)
+  b_deadline : float option;  (* absolute vt deadline, if a timeout was given *)
+  b_k : (float, unit) continuation;
+}
+
+type t = {
+  clocks : Simclock.Clock.t list;
+  rng : Qs_util.Rng.t;
+  mutable tasks : task list;  (* reverse spawn order *)
+  mutable cur : task option;
+  mutable now : float;  (* vt of the most recently running task; wake timestamp *)
+  mutable running : bool;
+}
+
+(* The ambient scheduler. One domain, one simulation at a time; the
+   primitives below are no-ops when nothing is installed, which is how
+   single-client harnesses keep their exact pre-scheduler behavior. *)
+let ambient : t option ref = ref None
+
+let create ?(seed = 0) ~clocks () =
+  { clocks
+  ; rng = Qs_util.Rng.create (0x5eed + (seed * 2654435761))
+  ; tasks = []
+  ; cur = None
+  ; now = 0.0
+  ; running = false }
+
+let spawn t ~name f =
+  if t.running then invalid_arg "Sched.spawn: scheduler already running";
+  let task =
+    { id = List.length t.tasks
+    ; name
+    ; (* a seeded start offset (not charged to any clock) staggers the
+         first instructions of each task so the seed reorders even the
+         opening lock requests *)
+      vt = Qs_util.Rng.float t.rng 50.0
+    ; tie = Qs_util.Rng.int t.rng 1_000_000
+    ; mask = 0
+    ; st = Fresh f }
+  in
+  t.tasks <- task :: t.tasks
+
+let key task = (task.vt, task.tie, task.id)
+
+let runnable task =
+  match task.st with
+  | Fresh _ | Runnable _ | Waking _ | Doomed _ -> true
+  | Blocked _ | Done _ -> false
+
+let active () = match !ambient with Some t -> t.cur <> None | None -> false
+let current () = match !ambient with Some { cur = Some task; _ } -> Some task.name | _ -> None
+
+(* Poll blocked tasks in task-id order and promote any whose condition
+   resolved. Wake time is [t.now], the vt frontier of whichever task
+   just ran: a waiter never resumes earlier than the event that
+   unblocked it. *)
+let poll_blocked t =
+  List.iter
+    (fun task ->
+      match task.st with
+      | Blocked b -> (
+        match b.b_check () with
+        | Wait -> ()
+        | Ready ->
+          let waited = Float.max 0.0 (t.now -. b.b_vt) in
+          task.vt <- Float.max task.vt t.now;
+          task.st <- Waking (waited, b.b_k)
+        | Cancel e ->
+          task.vt <- Float.max task.vt t.now;
+          task.st <- Doomed (e, b.b_k))
+      | _ -> ())
+    (List.rev t.tasks)
+
+(* Preempt the running task if, at this charge boundary, some other
+   runnable task is strictly behind it in (vt, tie, id) order. *)
+let exists_better t cur_task =
+  let k = key cur_task in
+  List.exists (fun task -> task != cur_task && runnable task && key task < k) t.tasks
+
+let on_charge t us =
+  match t.cur with
+  | None -> ()
+  | Some task ->
+    task.vt <- task.vt +. us;
+    t.now <- task.vt;
+    if task.mask = 0 then begin
+      poll_blocked t;
+      if exists_better t task then perform Yield
+    end
+
+let step t task =
+  t.cur <- Some task;
+  let handler =
+    { retc = (fun () -> task.st <- Done None)
+    ; exnc = (fun e -> task.st <- Done (Some e))
+    ; effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                task.st <- Runnable k)
+          | Block r ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                match r.r_check () with
+                | Ready -> continue k 0.0
+                | Cancel e -> discontinue k e
+                | Wait ->
+                  task.st <-
+                    Blocked
+                      { b_what = r.r_what
+                      ; b_check = r.r_check
+                      ; b_vt = task.vt
+                      ; b_deadline = Option.map (fun d -> task.vt +. d) r.r_timeout
+                      ; b_k = k })
+          | _ -> None) }
+  in
+  (match task.st with
+   | Fresh f ->
+     t.now <- task.vt;
+     match_with f () handler
+   | Runnable k ->
+     t.now <- task.vt;
+     continue k ()
+   | Waking (waited, k) ->
+     t.now <- task.vt;
+     continue k waited
+   | Doomed (e, k) ->
+     t.now <- task.vt;
+     discontinue k e
+   | Blocked _ | Done _ -> assert false);
+  t.cur <- None
+
+(* Earliest (deadline, tie, id) among blocked tasks with a timeout. *)
+let next_deadline t =
+  List.fold_left
+    (fun acc task ->
+      match task.st with
+      | Blocked { b_deadline = Some d; _ } -> (
+        let cand = ((d, task.tie, task.id), task) in
+        match acc with
+        | Some (best, _) when best <= fst cand -> acc
+        | _ -> Some cand)
+      | _ -> acc)
+    None t.tasks
+
+let fire_timeout task =
+  match task.st with
+  | Blocked ({ b_deadline = Some d; _ } as b) ->
+    let waited = Float.max 0.0 (d -. b.b_vt) in
+    task.vt <- Float.max task.vt d;
+    task.st <- Doomed (Timeout { what = b.b_what; waited_us = waited }, b.b_k)
+  | _ -> assert false
+
+let run t =
+  if t.running then invalid_arg "Sched.run: already running";
+  (match !ambient with
+   | Some _ -> invalid_arg "Sched.run: another scheduler is active"
+   | None -> ());
+  t.running <- true;
+  ambient := Some t;
+  List.iter (fun c -> Simclock.Clock.set_sched_hook c (Some (on_charge t))) t.clocks;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun c -> Simclock.Clock.set_sched_hook c None) t.clocks;
+      ambient := None;
+      t.cur <- None;
+      t.running <- false)
+    (fun () ->
+      let rec loop () =
+        poll_blocked t;
+        let best =
+          List.fold_left
+            (fun acc task ->
+              if runnable task then
+                match acc with
+                | Some b when key b <= key task -> acc
+                | _ -> Some task
+              else acc)
+            None t.tasks
+        in
+        match (best, next_deadline t) with
+        | None, None ->
+          let blocked =
+            List.filter_map
+              (fun task -> match task.st with Blocked b -> Some (task.name ^ ": " ^ b.b_what) | _ -> None)
+              (List.rev t.tasks)
+          in
+          if blocked <> [] then raise (Stuck { blocked })
+        | None, Some (_, btask) ->
+          (* nothing runnable: advance virtual time to the earliest
+             timeout and deliver it *)
+          fire_timeout btask;
+          t.now <- Float.max t.now btask.vt;
+          loop ()
+        | Some task, Some ((d, dtie, did), btask) when (d, dtie, did) < key task ->
+          (* the next scheduled event is a timeout expiry *)
+          fire_timeout btask;
+          t.now <- Float.max t.now btask.vt;
+          loop ()
+        | Some task, _ ->
+          step t task;
+          loop ()
+      in
+      loop ();
+      List.rev_map
+        (fun task -> (task.name, match task.st with Done e -> e | _ -> None))
+        t.tasks)
+
+let yield () =
+  match !ambient with
+  | Some { cur = Some task; _ } when task.mask = 0 -> perform Yield
+  | _ -> ()
+
+let atomically f =
+  match !ambient with
+  | Some ({ cur = Some task; _ } as t) ->
+    task.mask <- task.mask + 1;
+    (match f () with
+     | v ->
+       task.mask <- task.mask - 1;
+       (* Leaving the outermost masked section is the deferred charge
+          boundary: every charge accumulated inside advanced vt without
+          being allowed to preempt, so check now. Only on the normal
+          return path — an exception unwinds without yielding, keeping
+          crash/abort propagation a single uninterrupted step. *)
+       if task.mask = 0 then begin
+         poll_blocked t;
+         if exists_better t task then perform Yield
+       end;
+       v
+     | exception e ->
+       task.mask <- task.mask - 1;
+       raise e)
+  | _ -> f ()
+
+(* Undo the virtual-time advance of a charge that records time the
+   task has already spent suspended. Waking from [block_on] sets the
+   waiter's vt to the scheduler frontier — the wait is elapsed. The
+   caller still charges the waited interval to the clock so it appears
+   in the cost breakdown, but that charge must not advance vt a second
+   time: double-counting compounds (each failed wait pushes the task
+   further behind every competitor), which starves chronically
+   contended waiters. *)
+let rebate us =
+  match !ambient with
+  | Some ({ cur = Some task; _ } as t) ->
+    task.vt <- Float.max 0.0 (task.vt -. us);
+    t.now <- task.vt
+  | _ -> ()
+
+let block_on ?timeout_us ~what check =
+  match !ambient with
+  | Some { cur = Some _; _ } ->
+    perform (Block { r_what = what; r_check = check; r_timeout = timeout_us })
+  | _ -> (
+    (* off-task: the condition must already hold; there is no one to
+       advance time while we wait *)
+    match check () with
+    | Ready -> 0.0
+    | Cancel e -> raise e
+    | Wait -> invalid_arg ("Sched.block_on: no scheduler active for wait on " ^ what))

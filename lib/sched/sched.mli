@@ -1,0 +1,90 @@
+(** Deterministic discrete-event scheduler for simulated clients.
+
+    The reproduction's concurrency is cooperative and virtual: each
+    spawned task carries a virtual-time accumulator (vt), and every
+    microsecond a task charges to a {!Simclock.Clock.t} (via the
+    clock's scheduler hook) advances its vt. At each charge boundary
+    the scheduler may preempt: if another runnable task is behind in
+    virtual time, control switches to it. All ties are broken by a
+    seeded per-task rank, so a run is a pure function of (program,
+    seed) — same seed, byte-identical interleaving, byte-identical
+    Qs_trace output.
+
+    Tasks are OCaml 5 effect-based coroutines in a single domain;
+    there is no parallelism and no wall-clock dependence anywhere.
+
+    Blocking is explicit: {!block_on} suspends the current task until
+    a caller-supplied readiness check passes (polled deterministically
+    at every context switch), a timeout expires in virtual time, or
+    the check cancels the wait with an exception — the lock manager
+    delivers deadlock wounds this way. *)
+
+type t
+
+(** Result of a readiness poll for {!block_on}. *)
+type verdict =
+  | Ready  (** condition holds; resume the waiter *)
+  | Wait  (** keep waiting *)
+  | Cancel of exn  (** abandon the wait; raise inside the waiter *)
+
+(** Raised inside a task when a {!block_on} timeout expires;
+    [waited_us] is the full simulated wait. *)
+exception Timeout of { what : string; waited_us : float }
+
+(** Raised by {!run} when every remaining task is blocked with no
+    timeout — a genuine hang, never expected in a correct schedule. *)
+exception Stuck of { blocked : string list }
+
+(** [create ~seed ~clocks ()] makes a scheduler whose preemption
+    decisions are driven by charges to [clocks]. The seed perturbs
+    per-task start offsets and tie-break ranks (and nothing else). *)
+val create : ?seed:int -> clocks:Simclock.Clock.t list -> unit -> t
+
+(** Register a task. Tasks start when {!run} is called, in seeded
+    virtual-time order. *)
+val spawn : t -> name:string -> (unit -> unit) -> unit
+
+(** Drive all spawned tasks to completion and return, in spawn order,
+    each task's name and terminal exception (if it died). Installs the
+    scheduler hook on the clocks for the duration. Raises [Stuck] if
+    the system wedges; raises [Invalid_argument] if a scheduler is
+    already running. *)
+val run : t -> (string * exn option) list
+
+(** Whether the calling code is executing inside a scheduled task.
+    Off-task code (and all single-client harnesses) sees [false] and
+    every primitive below degrades to a cheap no-op. *)
+val active : unit -> bool
+
+(** Name of the currently running task, for trace annotations. *)
+val current : unit -> string option
+
+(** Voluntary scheduling point (no virtual time passes). *)
+val yield : unit -> unit
+
+(** [atomically f] runs [f] with preemption masked: charges still
+    accumulate and advance vt, but no context switch happens until the
+    mask is released. Masks nest; [block_on] remains a legal (and
+    masked-preserving) suspension point inside a masked region. Server
+    entry points use this so an RPC mutates server state without
+    interleaving. *)
+val atomically : (unit -> 'a) -> 'a
+
+(** [block_on ?timeout_us ~what check] suspends the current task until
+    [check] answers [Ready] (returning the simulated microseconds
+    waited — the caller decides which category to charge them to),
+    answers [Cancel e] (raising [e] here), or the timeout expires in
+    virtual time (raising {!Timeout}). [check] must be pure apart from
+    deterministic bookkeeping; it is polled at context switches in
+    task-id order. Raises [Invalid_argument] when called outside a
+    task and the condition does not already hold. *)
+val block_on : ?timeout_us:float -> what:string -> (unit -> verdict) -> float
+
+(** [rebate us] subtracts [us] from the current task's virtual time.
+    Use after charging an interval the task already spent suspended in
+    {!block_on} (waking set vt to the frontier, so the wait is already
+    elapsed): the charge puts the wait in the clock's cost breakdown,
+    the rebate stops it advancing vt a second time — double-counting
+    compounds across failed waits and starves chronically contended
+    waiters. No-op off-task. *)
+val rebate : float -> unit

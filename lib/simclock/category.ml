@@ -29,11 +29,12 @@ type t =
   | App_deref  (** raw pointer dereferences in application code *)
   | App_work  (** other per-datum application CPU (compares, counts) *)
   | Retry  (** client backoff and request timeouts under injected faults *)
+  | Lock_wait  (** blocked in the lock manager waiting for a conflicting holder *)
 
 let all =
   [ Data_io; Map_io; Page_fault; Min_fault; Mmap_call; Swizzle; Fault_misc; Write_fault_copy
   ; Lock_acquire; Diff; Log_write; Map_update; Commit_flush; Interp; Residency_check; Index_op
-  ; App_malloc; App_set; App_traverse; App_deref; App_work; Retry ]
+  ; App_malloc; App_set; App_traverse; App_deref; App_work; Retry; Lock_wait ]
 
 let index = function
   | Data_io -> 0
@@ -58,8 +59,9 @@ let index = function
   | App_deref -> 19
   | App_work -> 20
   | Retry -> 21
+  | Lock_wait -> 22
 
-let count = 22
+let count = 23
 
 let name = function
   | Data_io -> "data I/O"
@@ -84,3 +86,4 @@ let name = function
   | App_deref -> "pointer deref"
   | App_work -> "app work"
   | Retry -> "retry/timeout"
+  | Lock_wait -> "lock wait"

@@ -5,28 +5,41 @@ type t = {
      trace layer (Qs_trace) installs it when armed; [None] costs one
      immediate-match per charge and allocates nothing. *)
   mutable obs : (Category.t -> int -> float -> unit) option;
+  (* Scheduler hook called after each accumulation (and after [obs])
+     with the total microseconds just charged. The discrete-event
+     scheduler (lib/sched) installs it while driving simulated clients
+     so charges advance the running task's virtual time and mark
+     preemption points; [None] is free. Kept separate from [obs] so
+     tracing and scheduling can be armed independently. *)
+  mutable sched : (float -> unit) option;
 }
 
 type snapshot = { s_us : float array; s_events : int array }
 
 let create () =
-  { us = Array.make Category.count 0.0; events = Array.make Category.count 0; obs = None }
+  { us = Array.make Category.count 0.0
+  ; events = Array.make Category.count 0
+  ; obs = None
+  ; sched = None }
 
 let set_observer t o = t.obs <- o
 let observed t = t.obs <> None
+let set_sched_hook t h = t.sched <- h
 
 let charge t cat us =
   let i = Category.index cat in
   t.us.(i) <- t.us.(i) +. us;
   t.events.(i) <- t.events.(i) + 1;
-  match t.obs with None -> () | Some f -> f cat 1 us
+  (match t.obs with None -> () | Some f -> f cat 1 us);
+  match t.sched with None -> () | Some f -> f us
 
 let charge_n t cat n us =
   if n > 0 then begin
     let i = Category.index cat in
     t.us.(i) <- t.us.(i) +. (float_of_int n *. us);
     t.events.(i) <- t.events.(i) + n;
-    match t.obs with None -> () | Some f -> f cat n us
+    (match t.obs with None -> () | Some f -> f cat n us);
+    match t.sched with None -> () | Some f -> f (float_of_int n *. us)
   end
 
 let total_us t = Array.fold_left ( +. ) 0.0 t.us

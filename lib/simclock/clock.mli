@@ -23,6 +23,14 @@ val set_observer : t -> (Category.t -> int -> float -> unit) option -> unit
 (** Whether an observer is currently installed. *)
 val observed : t -> bool
 
+(** Install (or remove) the scheduler hook, called after every
+    accumulation — and after the observer, so trace events land before
+    any context switch — with the total microseconds just charged.
+    The discrete-event scheduler ([Sched]) uses it to advance the
+    running task's virtual time and to preempt at charge boundaries.
+    One hook at a time, independent of the observer slot. *)
+val set_sched_hook : t -> (float -> unit) option -> unit
+
 (** [charge t cat us] adds [us] microseconds (and one event) to [cat]. *)
 val charge : t -> Category.t -> float -> unit
 

@@ -26,6 +26,11 @@ type t = {
   commit_flush_page_us : float;  (** per dirty page: ship back + amortized install *)
   net_timeout_us : float;  (** waiting out a lost request before retrying *)
   retry_backoff_us : float;  (** base client backoff between retries (doubles per attempt) *)
+  lock_wait_timeout_us : float;
+      (** give up a blocked lock request after this much simulated wait
+          and treat it as a presumed deadlock (typed [Lock_mgr.Deadlock]
+          with an empty cycle); the wait itself is charged to
+          [Category.Lock_wait] *)
   disk_seek_us : float;
       (** positioning cost of a disk batch: seek + rotational delay,
           paid once per contiguous run ([disk_seek_us] +
@@ -91,6 +96,7 @@ let default =
   ; commit_flush_page_us = 8_000.0
   ; net_timeout_us = 100_000.0
   ; retry_backoff_us = 25_000.0
+  ; lock_wait_timeout_us = 10_000_000.0
   ; disk_seek_us = 15_000.0
   ; disk_transfer_page_us = 4_500.0
   ; group_commit_window_us = 50_000.0

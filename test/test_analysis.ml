@@ -347,6 +347,23 @@ let test_qs012_window () =
       , "let h t c p =\n\
         \  lock_page t p Lock_mgr.Exclusive;\n\
         \  Lock_mgr.release_all t;\n\
+        \  Fake_help.bill c\n" ) ];
+  (* A blocking point also closes the window: once the path parks on
+     the scheduler, the lock manager's waits-for graph watches the
+     wait dynamically, so the hold is no longer a silent hazard. *)
+  check_deps "a block closes the window" []
+    [ ("lib/esm/fake_help.ml", help_src)
+    ; ( "lib/esm/fake_use.ml"
+      , "let b t c p w =\n\
+        \  lock_page t p Lock_mgr.Exclusive;\n\
+        \  ignore (Sched.block_on ~what:w check);\n\
+        \  Fake_help.bill c\n" ) ];
+  (* A blocking acquisition never arms at all. *)
+  check_deps "blocking acquire is not a window" []
+    [ ("lib/esm/fake_help.ml", help_src)
+    ; ( "lib/esm/fake_use.ml"
+      , "let a t txn c r m w =\n\
+        \  Lock_mgr.acquire_blocking t ~txn ~wait:w r m;\n\
         \  Fake_help.bill c\n" ) ]
 
 (* --- QS013: durable write with no crash point before it --- *)

@@ -6,8 +6,11 @@
    stock E control, pinning both the batched savings and E's
    non-participation; BENCH_oo7_diffship.json is QS with the
    diff-shipping commit (region ships + WAL-force pipelining) against
-   the same stock E control, pinning the region-ship byte savings.
-   The simulation is deterministic, so times are
+   the same stock E control, pinning the region-ship byte savings;
+   BENCH_oo7_multi.json is the multi-user hot-page-skew workload at 1,
+   2 and 4 simulated clients under the deterministic scheduler,
+   pinning commit/retry/lock-wait counts and the trace digest (i.e.
+   the interleaving itself). The simulation is deterministic, so times are
    compared exactly, not within a tolerance — any change to a committed
    file must be a deliberate, reviewed re-baseline
    (dune exec bench/main.exe -- quick no-bech --json).
@@ -73,4 +76,6 @@ let () =
     (Harness.Bench_json.render_small_prefetch ~seed prefetch_suites);
   let diffship_suites = Harness.Bench_json.small_diffship_suites ~progress ~seed () in
   check ~name:"BENCH_oo7_diffship.json"
-    (Harness.Bench_json.render_small_diffship ~seed diffship_suites)
+    (Harness.Bench_json.render_small_diffship ~seed diffship_suites);
+  let multi_runs = Harness.Bench_json.multi_runs ~progress ~seed () in
+  check ~name:"BENCH_oo7_multi.json" (Harness.Bench_json.render_multi ~seed multi_runs)

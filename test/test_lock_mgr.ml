@@ -1,0 +1,276 @@
+(* lib/esm/lock_mgr: strict 2PL lock table, no-wait and blocking paths.
+
+   The no-wait tests exercise the compatibility matrix and the typed
+   [Conflict] payload directly, with no scheduler. The blocking tests
+   run under lib/sched and cover the waits-for machinery: grant after
+   release, cycle detection with youngest-victim wound (including the
+   wound of an already-parked non-requester), inherited birth stamps
+   flipping the victim, and the timeout backstop. The final group
+   scripts a genuine 3-client deadlock through the full Server/Client
+   stack and checks the wound-retry-commit cycle is deterministic. *)
+
+module Lock_mgr = Esm.Lock_mgr
+module Server = Esm.Server
+module Client = Esm.Client
+module Page = Esm.Page
+module Clock = Simclock.Clock
+
+let p0 = Lock_mgr.Page_lock 0
+let f0 = Lock_mgr.File_lock 0
+
+let mode = Alcotest.testable (fun fmt m -> Format.pp_print_string fmt (match m with Lock_mgr.Shared -> "S" | Lock_mgr.Exclusive -> "X")) ( = )
+
+(* --- no-wait path ------------------------------------------------- *)
+
+let test_share () =
+  let t = Lock_mgr.create () in
+  Lock_mgr.acquire t ~txn:1 p0 Shared;
+  Lock_mgr.acquire t ~txn:2 p0 Shared;
+  Alcotest.(check int) "two grants" 2 (Lock_mgr.outstanding t);
+  Alcotest.(check (option mode)) "txn1 holds S" (Some Lock_mgr.Shared) (Lock_mgr.held t ~txn:1 p0)
+
+let test_conflict_payload () =
+  let t = Lock_mgr.create () in
+  Lock_mgr.acquire t ~txn:1 p0 Exclusive;
+  Alcotest.check_raises "X/X conflicts, lowest holder named"
+    (Lock_mgr.Conflict { resource = p0; holder = 1; requester = 2 })
+    (fun () -> Lock_mgr.acquire t ~txn:2 p0 Exclusive);
+  Alcotest.check_raises "S/X conflicts too"
+    (Lock_mgr.Conflict { resource = p0; holder = 1; requester = 3 })
+    (fun () -> Lock_mgr.acquire t ~txn:3 p0 Shared)
+
+let test_upgrade () =
+  let t = Lock_mgr.create () in
+  Lock_mgr.acquire t ~txn:1 p0 Shared;
+  Lock_mgr.acquire t ~txn:1 p0 Exclusive;
+  Alcotest.(check (option mode)) "sole S holder upgrades" (Some Lock_mgr.Exclusive)
+    (Lock_mgr.held t ~txn:1 p0);
+  let t = Lock_mgr.create () in
+  Lock_mgr.acquire t ~txn:1 p0 Shared;
+  Lock_mgr.acquire t ~txn:2 p0 Shared;
+  Alcotest.check_raises "upgrade blocked by a second S holder"
+    (Lock_mgr.Conflict { resource = p0; holder = 2; requester = 1 })
+    (fun () -> Lock_mgr.acquire t ~txn:1 p0 Exclusive)
+
+let test_reentrant () =
+  let t = Lock_mgr.create () in
+  Lock_mgr.acquire t ~txn:1 f0 Exclusive;
+  Lock_mgr.acquire t ~txn:1 f0 Exclusive;
+  Lock_mgr.acquire t ~txn:1 f0 Shared;
+  (* re-request in a weaker mode must not downgrade *)
+  Alcotest.(check (option mode)) "idempotent, no downgrade" (Some Lock_mgr.Exclusive)
+    (Lock_mgr.held t ~txn:1 f0);
+  Alcotest.(check int) "one grant" 1 (Lock_mgr.outstanding t)
+
+let test_release_all_untracked () =
+  let t = Lock_mgr.create () in
+  Lock_mgr.release_all t ~txn:99;
+  Alcotest.(check int) "no waiters" 0 (Lock_mgr.waiting t);
+  Alcotest.(check int) "no registry residue" 0 (Lock_mgr.tracked t);
+  Lock_mgr.acquire t ~txn:1 p0 Shared;
+  Lock_mgr.release_all t ~txn:1;
+  Alcotest.(check int) "grant released" 0 (Lock_mgr.outstanding t);
+  Alcotest.(check int) "registry cleared" 0 (Lock_mgr.tracked t)
+
+(* --- blocking path, bare scheduler -------------------------------- *)
+
+let wait ~what ~check = Sched.block_on ~what check
+let wait_100 ~what ~check = Sched.block_on ~timeout_us:100.0 ~what check
+
+(* Run named tasks under a fresh scheduler; return the outcomes. *)
+let sched_run tasks =
+  let clock = Clock.create () in
+  let sched = Sched.create ~seed:5 ~clocks:[ clock ] () in
+  List.iter (fun (name, f) -> Sched.spawn sched ~name f) tasks;
+  Sched.run sched
+
+let test_blocking_grant () =
+  let t = Lock_mgr.create () in
+  Lock_mgr.acquire t ~txn:1 p0 Exclusive;
+  let a_done = ref false and b_got = ref false in
+  let outcomes =
+    sched_run
+      [ ( "a"
+        , fun () ->
+            Sched.yield ();
+            Lock_mgr.release_all t ~txn:1;
+            a_done := true )
+      ; ( "b"
+        , fun () ->
+            (* parks: X is held by txn 1 until task a releases *)
+            Lock_mgr.acquire_blocking t ~txn:2 ~wait p0 Lock_mgr.Exclusive;
+            Alcotest.(check bool) "granted only after release" true !a_done;
+            b_got := true )
+      ]
+  in
+  List.iter (fun (_, e) -> Alcotest.(check bool) "no deaths" true (e = None)) outcomes;
+  Alcotest.(check bool) "waiter got the lock" true !b_got;
+  Alcotest.(check (option mode)) "held X" (Some Lock_mgr.Exclusive) (Lock_mgr.held t ~txn:2 p0)
+
+let p1 = Lock_mgr.Page_lock 1
+
+(* Two transactions each hold one page and request the other's: the
+   youngest (higher txn id) on the cycle is wounded. [young] says which
+   side gets the high id, so we cover wound-the-requester and
+   wound-the-parked-holder; [age] optionally backdates the young txn. *)
+let two_txn_cycle ~young ?age () =
+  let t = Lock_mgr.create () in
+  let ta, tb = if young = `A then (5, 2) else (2, 5) in
+  (match age with Some a -> Lock_mgr.set_age t ~txn:5 ~age:a | None -> ());
+  Lock_mgr.acquire t ~txn:ta p0 Exclusive;
+  Lock_mgr.acquire t ~txn:tb p1 Exclusive;
+  let dead = ref [] in
+  let record txn e = dead := (txn, e) :: !dead in
+  let outcomes =
+    sched_run
+      [ ( "a"
+        , fun () ->
+            try Lock_mgr.acquire_blocking t ~txn:ta ~wait p1 Lock_mgr.Exclusive
+            with Lock_mgr.Deadlock _ as e ->
+              record ta e;
+              Lock_mgr.release_all t ~txn:ta )
+      ; ( "b"
+        , fun () ->
+            Sched.yield ();
+            try Lock_mgr.acquire_blocking t ~txn:tb ~wait p0 Lock_mgr.Exclusive
+            with Lock_mgr.Deadlock _ as e ->
+              record tb e;
+              Lock_mgr.release_all t ~txn:tb )
+      ]
+  in
+  List.iter
+    (fun (n, e) ->
+      match e with
+      | None -> ()
+      | Some e -> Alcotest.failf "task %s died: %s" n (Printexc.to_string e))
+    outcomes;
+  !dead
+
+let test_cycle_wounds_youngest_requester () =
+  (* txn 5 requests last, is youngest: the requester itself aborts *)
+  match two_txn_cycle ~young:`B () with
+  | [ (5, Lock_mgr.Deadlock { victim; requester; cycle; _ }) ] ->
+    Alcotest.(check int) "victim" 5 victim;
+    Alcotest.(check int) "requester is the victim here" 5 requester;
+    Alcotest.(check (list int)) "cycle members" [ 2; 5 ] (List.sort compare cycle)
+  | other ->
+    Alcotest.failf "expected exactly txn 5 wounded, got %d deadlocks" (List.length other)
+
+let test_cycle_wounds_parked_holder () =
+  (* txn 5 parked first; txn 2's request closes the cycle and the wound
+     is delivered to 5 through its in-flight wait, not to the requester *)
+  match two_txn_cycle ~young:`A () with
+  | [ (5, Lock_mgr.Deadlock { victim; requester; cycle; _ }) ] ->
+    Alcotest.(check int) "victim" 5 victim;
+    Alcotest.(check int) "requester names the victim's own parked request" 5 requester;
+    Alcotest.(check (list int)) "cycle members" [ 2; 5 ] (List.sort compare cycle)
+  | other -> Alcotest.failf "expected exactly txn 5 wounded, got %d deadlocks" (List.length other)
+
+let test_inherited_stamp_flips_victim () =
+  (* Same shape as the previous test, but txn 5 carries the birth stamp
+     of a prior incarnation (age 1 < 2): now txn 2 is the youngest. *)
+  match two_txn_cycle ~young:`A ~age:1 () with
+  | [ (2, Lock_mgr.Deadlock { victim; _ }) ] -> Alcotest.(check int) "victim" 2 victim
+  | other -> Alcotest.failf "expected txn 2 wounded, got %d deadlocks" (List.length other)
+
+let test_timeout_presumed_deadlock () =
+  let t = Lock_mgr.create () in
+  Lock_mgr.acquire t ~txn:1 p0 Exclusive;
+  let got = ref None in
+  let outcomes =
+    sched_run
+      [ ( "b"
+        , fun () ->
+            try Lock_mgr.acquire_blocking t ~txn:2 ~wait:wait_100 p0 Lock_mgr.Exclusive
+            with Lock_mgr.Deadlock { victim; cycle; _ } -> got := Some (victim, cycle) )
+      ]
+  in
+  List.iter (fun (_, e) -> Alcotest.(check bool) "no deaths" true (e = None)) outcomes;
+  match !got with
+  | None -> Alcotest.fail "timeout did not surface as Deadlock"
+  | Some (victim, cycle) ->
+    Alcotest.(check int) "victim is the waiter" 2 victim;
+    Alcotest.(check (list int)) "presumed: no known cycle" [] cycle
+
+(* --- scripted 3-client deadlock through the full stack ------------ *)
+
+(* Three clients, three pages; client [c] X-locks page [c], barriers
+   until all three hold, then requests page [(c+1) mod 3] — a perfect
+   3-cycle. Exactly one wound fires; the victim's retry (with_txn_
+   retrying) commits. Returns (commits, retry log) for determinism
+   comparison. *)
+let deadlock_scenario ~seed =
+  let cm = Simclock.Cost_model.default in
+  let clock = Clock.create () in
+  let server = Server.create ~frames:64 ~clock ~cm () in
+  let cls = Array.init 3 (fun _ -> Client.create ~frames:6 server) in
+  let pages = Array.make 3 0 in
+  Client.with_txn cls.(0) (fun () ->
+      for i = 0 to 2 do
+        let page_id, _frame = Client.new_page cls.(0) ~kind:Page.Small_obj in
+        pages.(i) <- page_id
+      done);
+  let arrived = ref 0 in
+  let commits = ref 0 in
+  let retry_log = ref [] in
+  let sched = Sched.create ~seed ~clocks:[ clock ] () in
+  for c = 0 to 2 do
+    Sched.spawn sched ~name:(Printf.sprintf "client%d" c) (fun () ->
+        let cl = cls.(c) in
+        Client.with_txn_retrying ~max_attempts:8
+          ~on_retry:(fun ~attempt -> retry_log := (c, attempt) :: !retry_log)
+          cl
+          (fun () ->
+            Client.lock_page cl pages.(c) Lock_mgr.Exclusive;
+            incr arrived;
+            (* one-shot barrier: monotonic, so a wounded retry that
+               re-increments [arrived] sails through *)
+            ignore (Sched.block_on ~what:"barrier" (fun () -> if !arrived >= 3 then Sched.Ready else Sched.Wait));
+            Client.lock_page cl pages.((c + 1) mod 3) Lock_mgr.Exclusive);
+        incr commits)
+  done;
+  let outcomes = Sched.run sched in
+  List.iter
+    (fun (n, e) ->
+      match e with
+      | None -> ()
+      | Some e -> Alcotest.failf "%s died: %s" n (Printexc.to_string e))
+    outcomes;
+  (!commits, List.rev !retry_log)
+
+let test_scripted_deadlock () =
+  List.iter
+    (fun seed ->
+      let commits, retries = deadlock_scenario ~seed in
+      Alcotest.(check int) (Printf.sprintf "seed %d: all three commit" seed) 3 commits;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: the cycle wounded someone" seed)
+        true
+        (List.length retries >= 1);
+      let commits', retries' = deadlock_scenario ~seed in
+      Alcotest.(check int) "rerun commits" commits commits';
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "seed %d: victim and retry pattern reproduce" seed)
+        retries retries')
+    [ 1; 2; 3 ]
+
+let () =
+  Alcotest.run "lock_mgr"
+    [ ( "no-wait"
+      , [ Alcotest.test_case "S/S shares" `Quick test_share
+        ; Alcotest.test_case "conflict payload" `Quick test_conflict_payload
+        ; Alcotest.test_case "upgrade" `Quick test_upgrade
+        ; Alcotest.test_case "re-entrant" `Quick test_reentrant
+        ; Alcotest.test_case "release_all without acquire" `Quick test_release_all_untracked ] )
+    ; ( "blocking"
+      , [ Alcotest.test_case "grant after release" `Quick test_blocking_grant
+        ; Alcotest.test_case "cycle wounds youngest requester" `Quick
+            test_cycle_wounds_youngest_requester
+        ; Alcotest.test_case "cycle wounds parked holder" `Quick test_cycle_wounds_parked_holder
+        ; Alcotest.test_case "inherited stamp flips victim" `Quick
+            test_inherited_stamp_flips_victim
+        ; Alcotest.test_case "timeout is presumed deadlock" `Quick test_timeout_presumed_deadlock
+        ] )
+    ; ( "end-to-end"
+      , [ Alcotest.test_case "scripted 3-client deadlock" `Quick test_scripted_deadlock ] )
+    ]
