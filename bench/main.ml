@@ -436,6 +436,46 @@ let () =
               ; Harness.Report.seconds s.Harness.Mc.total_ms ])
             multi_runs));
 
+  section "Callback locking (inter-transaction caching vs reset-per-txn)";
+  let callback_runs =
+    Harness.Bench_json.callback_runs ~progress:(fun m -> Printf.printf "%s\n%!" m) ~seed ()
+  in
+  if emit_json then begin
+    let path = "BENCH_oo7_callback.json" in
+    let oc = open_out_bin path in
+    output_string oc (Harness.Bench_json.render_callback ~seed callback_runs);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end;
+  print_newline ();
+  print_endline
+    (Harness.Report.render
+       ~title:
+         "4 clients, same seed, both cache regimes: retained hits replace server page reads; \
+          recalls and group-commit rides are what the copy table costs/earns"
+       ~header:
+         [ "regime"; "committed"; "reads"; "retained hits"; "recalls"; "deferred"; "gc rides" ]
+       ~rows:
+         (List.map
+            (fun (s : Harness.Mc.stats) ->
+              [ (if s.Harness.Mc.callbacks then "callback" else "reset")
+              ; string_of_int s.Harness.Mc.committed
+              ; string_of_int s.Harness.Mc.reads
+              ; string_of_int s.Harness.Mc.retained_hits
+              ; string_of_int s.Harness.Mc.callbacks_sent
+              ; string_of_int s.Harness.Mc.callbacks_deferred
+              ; string_of_int s.Harness.Mc.gc_rides ])
+            callback_runs));
+  (match callback_runs with
+   | [ off; on ] when off.Harness.Mc.reads > on.Harness.Mc.reads ->
+     Printf.printf "callback locking re-reads %d fewer server pages (%d -> %d)\n"
+       (off.Harness.Mc.reads - on.Harness.Mc.reads)
+       off.Harness.Mc.reads on.Harness.Mc.reads
+   | [ off; on ] ->
+     Printf.printf "WARNING: callback locking saved no server reads (%d -> %d)\n"
+       off.Harness.Mc.reads on.Harness.Mc.reads
+   | _ -> ());
+
   if not quick then begin
     section "Medium database";
     let medium = build_medium () in

@@ -32,16 +32,25 @@ let make_system name params seed reloc sanitize =
    scheduler on one server (Harness.Mc). Everything printed derives
    from the seed — run it twice with the same seed and the output,
    including the trace digest, is byte-identical. *)
-let run_multi ~clients ~seed =
-  let s = Harness.Mc.run ~clients ~seed () in
-  Printf.printf "multi-user contention run: %d clients x %d txns, seed %d\n" s.Harness.Mc.clients
-    s.Harness.Mc.txns_per_client s.Harness.Mc.seed;
+let run_multi ~clients ~seed ~callbacks =
+  let s = Harness.Mc.run ~clients ~seed ~callbacks () in
+  Printf.printf "multi-user contention run: %d clients x %d txns, seed %d%s\n" s.Harness.Mc.clients
+    s.Harness.Mc.txns_per_client s.Harness.Mc.seed
+    (if callbacks then " (callback locking)" else "");
   Printf.printf "  committed=%d deadlock_retries=%d lock_waits=%d\n" s.Harness.Mc.committed
     s.Harness.Mc.deadlock_retries s.Harness.Mc.lock_waits;
   Printf.printf "  lock_wait=%.3fms retry=%.3fms total=%.3fms\n" s.Harness.Mc.lock_wait_ms
     s.Harness.Mc.retry_ms s.Harness.Mc.total_ms;
   Printf.printf "  server reads=%d writes=%d trace_events=%d\n" s.Harness.Mc.reads
     s.Harness.Mc.writes s.Harness.Mc.trace_events;
+  (* Extra lines only in callback mode, so the historical reset-mode
+     output — pinned byte-for-byte by the CI determinism gate — is
+     untouched. *)
+  if callbacks then
+    Printf.printf
+      "  retained_hits=%d callbacks_sent=%d deferred=%d gc_rides=%d gc_cross_rides=%d\n"
+      s.Harness.Mc.retained_hits s.Harness.Mc.callbacks_sent s.Harness.Mc.callbacks_deferred
+      s.Harness.Mc.gc_rides s.Harness.Mc.gc_cross_rides;
   List.iter
     (fun (c : Harness.Mc.client_stats) ->
       Printf.printf "  %s: committed=%d retries=%d\n" c.Harness.Mc.cs_name
@@ -57,9 +66,10 @@ let print_measure label (m : Measure.t) =
 let print_breakdown (m : Measure.t) =
   Format.printf "  breakdown:@.%a@." Clock.pp_snapshot m.Measure.snapshot
 
-let run system size ops seed hot_reps reloc sanitize faults verbose save clients =
-  if clients > 1 then run_multi ~clients ~seed
+let run system size ops seed hot_reps reloc sanitize faults verbose save clients callbacks =
+  if clients > 1 then run_multi ~clients ~seed ~callbacks
   else begin
+  if callbacks then prerr_endline "note: --callbacks applies to multi-client mode only; ignored";
   let params = params_of_size size in
   Printf.printf "building %s database for %s...\n%!" params.Params.name system;
   if sanitize then Printf.printf "QSan on: validating the address space at every fault and commit\n%!";
@@ -156,12 +166,22 @@ let clients_arg =
            (contention mode; ignores the OO7 operation flags). Output is a pure function of \
            the seed.")
 
+let callbacks_arg =
+  Arg.(
+    value & flag
+    & info [ "callbacks" ]
+        ~doc:
+          "with --clients N: enable callback locking — clients keep clean pages cached across \
+           transactions (QSan-verified byte-exact against the server), the server recalls \
+           copies before exclusive grants, and group commit batches forces across clients. \
+           Recall delivery is part of the deterministic interleaving digest.")
+
 let cmd =
   let doc = "run OO7 benchmark operations on the QuickStore reproduction" in
   Cmd.v
     (Cmd.info "oo7_run" ~doc)
     Term.(
       const run $ system_arg $ size_arg $ ops_arg $ seed_arg $ hot_arg $ reloc_arg $ sanitize_arg
-      $ faults_arg $ verbose_arg $ save_arg $ clients_arg)
+      $ faults_arg $ verbose_arg $ save_arg $ clients_arg $ callbacks_arg)
 
 let () = exit (Cmd.eval cmd)

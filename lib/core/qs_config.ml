@@ -72,6 +72,15 @@ type t = {
           disk force overlaps the network ships). Off by default —
           every dirty page ships whole, as in the paper's measured
           configuration. *)
+  callback_locking : bool;
+      (** Callback locking ([Client.enable_callbacks]): clean pages —
+          with their virtual-frame mappings and swizzled pointers —
+          survive across transactions; the server's copy table recalls
+          them from other clients before an exclusive page grant.
+          Under [sanitize], every retained hit is verified byte- and
+          LSN-exact against the server's copy. Off by default: the
+          paper's measured configuration discards the client cache
+          between cold runs, and single-client runs gain nothing. *)
 }
 
 let default =
@@ -86,6 +95,7 @@ let default =
   ; sanitize = false
   ; prefetch_run_max = 1
   ; group_commit = false
-  ; diff_ship = false }
+  ; diff_ship = false
+  ; callback_locking = false }
 
 let reloc_fraction = function No_reloc -> 0.0 | Continual f | One_time f -> f

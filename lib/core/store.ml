@@ -1128,6 +1128,13 @@ let mk ~config ~server ~meta_page ~schema ~frame_counter =
     (* QSan also re-enables the bounds-checked access path. *)
     Vmsim.set_checked vm true
   end;
+  (* Callback locking: clean pages survive across transactions with
+     their mappings and swizzled pointers intact; server recalls route
+     through the pre-evict hook below, so an invalidated page is
+     unmapped exactly like an evicted one. Under QSan every retained
+     hit is crosschecked byte-exact against the server. *)
+  if config.Qs_config.callback_locking then
+    Client.enable_callbacks ~sanitize:config.Qs_config.sanitize client;
   if offsets_mode t then begin
     (match config.Qs_config.reloc with
      | Qs_config.No_reloc -> ()

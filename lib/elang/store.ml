@@ -20,9 +20,10 @@ let ptr_equal = Oid.equal
 
 type cluster = { mutable fill : int option }
 type field = { fl_layout : Schema.layout; fl_off : int; fl_kind : Schema.field_kind }
-type config = { side_buffer_bytes : int; client_frames : int }
+type config = { side_buffer_bytes : int; client_frames : int; callback_locking : bool }
 
-let default_config = { side_buffer_bytes = 4 * 1024 * 1024; client_frames = 1536 }
+let default_config =
+  { side_buffer_bytes = 4 * 1024 * 1024; client_frames = 1536; callback_locking = false }
 
 type stats = {
   mutable interp_derefs : int;
@@ -98,6 +99,11 @@ let mk ~cfg ~server ~meta_page ~schema ~wire =
     ; stats = fresh_stats () }
   in
   wire t;
+  (* E has no mapped frames to protect, but inter-transaction caching
+     pays the same way: clean pages (and their side-buffer-free hash
+     entries) survive, recalled by the server when another client
+     writes. *)
+  if cfg.callback_locking then Client.enable_callbacks t.client;
   t
 
 let register_class t def =

@@ -36,7 +36,14 @@ val ptr_id : t -> ptr -> int
 
 (** {2 Lifecycle} *)
 
-type config = { side_buffer_bytes : int; client_frames : int }
+type config = {
+  side_buffer_bytes : int;
+  client_frames : int;
+  callback_locking : bool;
+      (** keep clean pages cached across transactions under the
+          server's callback-locking protocol (off: the paper's
+          reset-per-run discipline) *)
+}
 
 val default_config : config
 val create_db : ?config:config -> Esm.Server.t -> t

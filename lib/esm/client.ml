@@ -11,6 +11,22 @@ type t = {
   mutable ship_seq : int;
       (* region-ship sequence numbers, assigned once per ship before
          any retry so the server can recognize re-deliveries *)
+  (* --- callback locking (inter-transaction caching) --- *)
+  mutable cb_id : int option;  (* server-assigned client id once registered *)
+  mutable cb_gen : int;
+      (* bumped on crash so a recall through a stale registration
+         answers [Recall_dead] instead of touching the fresh pool *)
+  mutable cb_sanitize : bool;
+  pending_recall : (int, unit) Hashtbl.t;
+      (* pages recalled while dirty/pinned in the active transaction:
+         deferred, then dropped before the server releases our locks *)
+  installed_epoch : (int, int) Hashtbl.t;
+      (* page -> cache_epoch at install; a clean hit from an earlier
+         epoch is a retained inter-transaction hit *)
+  mutable cache_epoch : int;  (* bumped at every transaction end *)
+  mutable retained_hits : int;
+  mutable recalls_dropped : int;
+  mutable recalls_deferred : int;
 }
 
 and victim_policy = Traditional | External of (t -> int)
@@ -22,6 +38,8 @@ type degradation = { op : string; page : int; attempts : int; cause : exn }
 
 exception Degraded of degradation
 
+type cb_stats = { retained_hits : int; recalls_dropped : int; recalls_deferred : int }
+
 let max_retries = 5
 
 let create ?(frames = 1536) server =
@@ -32,7 +50,16 @@ let create ?(frames = 1536) server =
   ; pre_evict = None
   ; pre_ship = None
   ; txn = None
-  ; ship_seq = 0 }
+  ; ship_seq = 0
+  ; cb_id = None
+  ; cb_gen = 0
+  ; cb_sanitize = false
+  ; pending_recall = Hashtbl.create 8
+  ; installed_epoch = Hashtbl.create 64
+  ; cache_epoch = 0
+  ; retained_hits = 0
+  ; recalls_dropped = 0
+  ; recalls_deferred = 0 }
 
 let set_victim_policy t p = t.policy <- p
 let server t = t.server
@@ -45,6 +72,91 @@ let set_pre_ship_hook t f = t.pre_ship <- Some f
 let ship_bytes t page_id b =
   match t.pre_ship with Some f -> f ~page_id b | None -> b
 let in_txn t = t.txn <> None
+
+(* --- callback locking: copy-table bookkeeping --- *)
+
+let callbacks_enabled t = t.cb_id <> None
+let client_id t = t.cb_id
+
+let callback_stats (t : t) =
+  { retained_hits = t.retained_hits
+  ; recalls_dropped = t.recalls_dropped
+  ; recalls_deferred = t.recalls_deferred }
+
+(* Tell the server we now cache the page (piggybacked on the read
+   reply — no charge) and stamp the install epoch for retained-hit
+   accounting. If the server refuses to track the copy (a foreign
+   writer already holds the page exclusively, so no recall will ever
+   reach us) the page is marked recall-pending: usable this
+   transaction, dropped at its end. No-ops when callbacks are off. *)
+let cb_note_cached t page_id =
+  match t.cb_id with
+  | None -> ()
+  | Some id ->
+    if Server.note_cached t.server ~client:id page_id then
+      Hashtbl.replace t.installed_epoch page_id t.cache_epoch
+    else begin
+      Hashtbl.remove t.installed_epoch page_id;
+      Hashtbl.replace t.pending_recall page_id ()
+    end
+
+(* Tell the server the copy is gone (eviction, discard, abort-drop);
+   any pending recall of the page is thereby answered. *)
+let cb_note_dropped t page_id =
+  match t.cb_id with
+  | None -> ()
+  | Some id ->
+    Server.note_dropped t.server ~client:id page_id;
+    Hashtbl.remove t.installed_epoch page_id;
+    Hashtbl.remove t.pending_recall page_id
+
+(* A clean cache hit on a page installed in an earlier transaction is
+   the protocol's payoff: a retained inter-transaction hit. Under QSan
+   the retained bytes must equal the server's authoritative copy —
+   byte equality covers the page LSN, so retained pages are verified
+   byte- and LSN-exact. (Pages under a pending recall are excluded:
+   they are deferred precisely because this transaction is still
+   changing them.) The epoch re-stamp counts each page at most once
+   per transaction. *)
+let cb_on_hit t frame page_id =
+  if
+    t.cb_id <> None
+    && (not (Buf_pool.is_dirty t.pool frame))
+    && not (Hashtbl.mem t.pending_recall page_id)
+  then
+    match Hashtbl.find_opt t.installed_epoch page_id with
+    | Some e when e < t.cache_epoch ->
+      t.retained_hits <- t.retained_hits + 1;
+      Hashtbl.replace t.installed_epoch page_id t.cache_epoch;
+      if t.cb_sanitize then begin
+        let expect = Bytes.create Page.page_size in
+        Server.peek_page t.server page_id expect;
+        (* Compare in disk format: a store may keep the frame swizzled
+           in memory (clean, yet legitimately different bytes), and
+           [ship_bytes] is exactly the canonicalization a commit-time
+           ship would apply. Raw clients have no hook, so this is the
+           frame itself. *)
+        let mine = ship_bytes t page_id (Buf_pool.frame_bytes t.pool frame) in
+        if not (Bytes.equal mine expect) then begin
+          let diff = ref (-1) in
+          (try
+             for i = 0 to Page.page_size - 1 do
+               if Bytes.get mine i <> Bytes.get expect i then begin
+                 diff := i;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          Qs_util.Sanitizer.fail ~check:"retained-page"
+            ~subject:(Printf.sprintf "page %d" page_id)
+            "retained clean page differs from the server's copy (cached epoch %d, now %d; \
+             first diff at offset %d, lsn %Ld vs server %Ld)"
+            e t.cache_epoch !diff
+            (Page.lsn (Page.attach mine))
+            (Page.lsn (Page.attach expect))
+        end
+      end
+    | _ -> ()
 
 (* --- robustness layer: every client↔server request goes through here ---
 
@@ -107,7 +219,7 @@ let txn_id t = match t.txn with Some id -> id | None -> raise No_transaction
 
 let begin_txn t =
   if in_txn t then invalid_arg "Client.begin_txn: transaction already active";
-  t.txn <- Some (Server.begin_txn t.server)
+  t.txn <- Some (Server.begin_txn ?client:t.cb_id t.server)
 
 let page_bytes t ~frame = Buf_pool.frame_bytes t.pool frame
 let frame_of_page t page_id = Buf_pool.lookup t.pool page_id
@@ -149,11 +261,91 @@ let write_back t ~at_commit frame =
     end
 
 let evict_frame t frame =
-  (match (t.pre_evict, Buf_pool.page_of_frame t.pool frame) with
+  let page = Buf_pool.page_of_frame t.pool frame in
+  (match (t.pre_evict, page) with
    | Some hook, Some page_id -> hook ~frame ~page_id
    | _, _ -> ());
   write_back t ~at_commit:false frame;
-  Buf_pool.evict t.pool frame
+  Buf_pool.evict t.pool frame;
+  match page with Some page_id -> cb_note_dropped t page_id | None -> ()
+
+(* Server→client recall RPC (callback locking). Runs synchronously on
+   the requester's task, inside the server's masked lock RPC, so it
+   must answer from the pool's current state without blocking:
+   - not cached (or already evicted): [Recall_dropped];
+   - dirty or pinned in our active transaction: [Recall_deferred] —
+     never a silent invalidation; the copy is dropped when the
+     transaction finishes, before the server releases its locks
+     ([cb_drop_pending]);
+   - clean and unpinned: invalidate now, running the pre-evict hook so
+     a mapped store unmaps the frame first. No [note_dropped] round
+     trip: the server removes the copy entry on the [Recall_dropped]
+     answer itself.
+   A recall through a stale registration (we crashed since) answers
+   [Recall_dead] without touching the fresh pool. *)
+let on_recall t ~gen page_id =
+  if gen <> t.cb_gen then Server.Recall_dead
+  else
+    match Buf_pool.lookup t.pool page_id with
+    | None ->
+      Hashtbl.remove t.installed_epoch page_id;
+      Hashtbl.remove t.pending_recall page_id;
+      t.recalls_dropped <- t.recalls_dropped + 1;
+      Server.Recall_dropped
+    | Some frame ->
+      if Buf_pool.is_dirty t.pool frame || Buf_pool.pin_count t.pool frame > 0 then begin
+        Hashtbl.replace t.pending_recall page_id ();
+        t.recalls_deferred <- t.recalls_deferred + 1;
+        Server.Recall_deferred
+      end
+      else begin
+        (match t.pre_evict with Some hook -> hook ~frame ~page_id | None -> ());
+        Buf_pool.evict t.pool frame;
+        Hashtbl.remove t.installed_epoch page_id;
+        Hashtbl.remove t.pending_recall page_id;
+        t.recalls_dropped <- t.recalls_dropped + 1;
+        Server.Recall_dropped
+      end
+
+(* Opt this client into callback locking: register a recall endpoint
+   and start caching clean pages across transactions (callers stop
+   issuing per-transaction [reset_cache]). [sanitize] arms the QSan
+   retained-page crosscheck on every retained hit. *)
+let enable_callbacks ?(sanitize = false) t =
+  if in_txn t then invalid_arg "Client.enable_callbacks: transaction active";
+  t.cb_sanitize <- sanitize;
+  match t.cb_id with
+  | Some _ -> ()
+  | None ->
+    let gen = t.cb_gen in
+    t.cb_id <- Some (Server.register_client t.server (fun page_id -> on_recall t ~gen page_id))
+
+(* Drop every deferred-recall page. Called after the transaction's
+   dirty pages are shipped (so the frames are clean) and *before* the
+   server's commit/abort releases our locks: a recalling writer parked
+   in [Lock_mgr] must find the copy gone by the time its exclusive
+   lock is granted. *)
+let cb_drop_pending t =
+  if Hashtbl.length t.pending_recall > 0 then begin
+    let pages =
+      List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) t.pending_recall [])
+    in
+    List.iter
+      (fun page_id ->
+        match Buf_pool.lookup t.pool page_id with
+        | Some frame when Buf_pool.pin_count t.pool frame = 0 -> evict_frame t frame
+        | Some _ ->
+          (* still pinned at transaction end: caller bug, same class as
+             [Client.abort: dirty page still pinned] *)
+          invalid_arg "Client: recalled page still pinned at transaction end"
+        | None -> cb_note_dropped t page_id)
+      pages
+  end
+
+(* Transaction epilogue for the callback protocol: deferred recalls
+   are honored and the cache epoch advances so surviving clean pages
+   count as retained on their next hit. *)
+let cb_end_txn t = if t.cb_id <> None then t.cache_epoch <- t.cache_epoch + 1
 
 let take_frame t =
   match Buf_pool.free_frame t.pool with
@@ -166,20 +358,33 @@ let take_frame t =
     evict_frame t f;
     f
 
+(* Under callback locking the read reply, the frame install and the
+   copy-table registration must form one atomic step: a preemption
+   between them would let a foreign writer win its exclusive lock —
+   running its recalls while this copy does not exist yet — and commit,
+   leaving the bytes about to be installed stale and forever
+   untracked. [Sched.atomically] masks nest, so the server's own
+   masked serve section composes with this one. Off-protocol it is a
+   plain call, keeping baseline interleavings byte-identical. *)
+let cb_atomic t f = if t.cb_id <> None then Sched.atomically f else f ()
+
 let fix_page t ~kind page_id =
   let txn = txn_id t in
   match Buf_pool.lookup t.pool page_id with
   | Some f ->
+    cb_on_hit t f page_id;
     Buf_pool.pin t.pool f;
     Buf_pool.set_ref_bit t.pool f true;
     f
   | None ->
     let f = take_frame t in
-    rpc t ~op:"read_page" ~page:page_id (fun () ->
-        net_request t ~op:"read_page" ~page:page_id (fun () ->
-            Server.read_page t.server ~txn ~kind page_id (Buf_pool.frame_bytes t.pool f)));
-    Buf_pool.install t.pool ~frame:f ~page_id;
-    Buf_pool.pin t.pool f;
+    cb_atomic t (fun () ->
+        rpc t ~op:"read_page" ~page:page_id (fun () ->
+            net_request t ~op:"read_page" ~page:page_id (fun () ->
+                Server.read_page t.server ~txn ~kind page_id (Buf_pool.frame_bytes t.pool f)));
+        Buf_pool.install t.pool ~frame:f ~page_id;
+        Buf_pool.pin t.pool f;
+        cb_note_cached t page_id);
     f
 
 (* Fault-time prefetch: fix a whole run of pages with one server round
@@ -203,6 +408,7 @@ let fix_page_run t ~kind page_ids =
         (fun page_id ->
           match Buf_pool.lookup t.pool page_id with
           | Some f ->
+            cb_on_hit t f page_id;
             Buf_pool.pin t.pool f;
             Buf_pool.set_ref_bit t.pool f true;
             pinned := f :: !pinned;
@@ -221,9 +427,13 @@ let fix_page_run t ~kind page_ids =
      | to_fetch ->
        let run = List.rev_map (fun (p, f) -> (p, Buf_pool.frame_bytes t.pool f)) to_fetch in
        let first = match page_ids with p :: _ -> p | [] -> -1 in
-       rpc t ~op:"read_run" ~page:first (fun () ->
-           net_request t ~op:"read_run" ~page:first (fun () ->
-               Server.read_page_run t.server ~txn ~kind run)));
+       (* Reply bytes and copy-table registration are one atomic step;
+          see [cb_atomic] at [fix_page]. *)
+       cb_atomic t (fun () ->
+           rpc t ~op:"read_run" ~page:first (fun () ->
+               net_request t ~op:"read_run" ~page:first (fun () ->
+                   Server.read_page_run t.server ~txn ~kind run));
+           List.iter (fun (p, _) -> cb_note_cached t p) to_fetch));
     fixed
   with e ->
     List.iter (fun f -> Buf_pool.unpin t.pool f) !pinned;
@@ -241,6 +451,7 @@ let new_page t ~kind =
   Buf_pool.install t.pool ~frame:f ~page_id;
   Buf_pool.pin t.pool f;
   Buf_pool.mark_dirty t.pool f;
+  cb_note_cached t page_id;
   (* Log the header initialization so redo can rebuild the page
      structure from a zeroed disk image. *)
   let lsn =
@@ -255,8 +466,10 @@ let evict_page t ~frame =
   if Buf_pool.pin_count t.pool frame > 0 then invalid_arg "Client.evict_page: pinned";
   evict_frame t frame
 
-let lock_page t page_id mode = Server.lock t.server ~txn:(txn_id t) (Lock_mgr.Page_lock page_id) mode
-let lock_file t file_id mode = Server.lock t.server ~txn:(txn_id t) (Lock_mgr.File_lock file_id) mode
+let lock_page t page_id mode =
+  Server.lock ?client:t.cb_id t.server ~txn:(txn_id t) (Lock_mgr.Page_lock page_id) mode
+let lock_file t file_id mode =
+  Server.lock ?client:t.cb_id t.server ~txn:(txn_id t) (Lock_mgr.File_lock file_id) mode
 
 let log_update t ~page_id ~frame ~off ~old_data ~new_data =
   let lsn = Server.log_update t.server ~txn:(txn_id t) ~page:page_id ~off ~old_data ~new_data in
@@ -277,8 +490,10 @@ let prepare ?(before_flush = fun () -> ()) t =
 
 let commit_prepared t =
   let txn = txn_id t in
+  cb_drop_pending t;
   Server.commit t.server ~txn;
-  t.txn <- None
+  t.txn <- None;
+  cb_end_txn t
 
 let commit ?(before_flush = fun () -> ()) t =
   let txn = txn_id t in
@@ -288,8 +503,13 @@ let commit ?(before_flush = fun () -> ()) t =
       ship_page t ~txn ~at_commit:true page_id (Buf_pool.frame_bytes t.pool frame);
       Buf_pool.clear_dirty t.pool frame)
     (Buf_pool.dirty_pages t.pool);
+  (* Deferred recalls drop here — the frames are clean now, and the
+     server has not yet released this transaction's locks, so a parked
+     writer cannot see the copy after its exclusive grant. *)
+  cb_drop_pending t;
   Server.commit t.server ~txn;
-  t.txn <- None
+  t.txn <- None;
+  cb_end_txn t
 
 let abort t =
   let txn = txn_id t in
@@ -301,11 +521,16 @@ let abort t =
        | Some hook, Some pid -> hook ~frame ~page_id:pid
        | _, _ -> ());
       Buf_pool.clear_dirty t.pool frame;
-      if Buf_pool.pin_count t.pool frame = 0 then Buf_pool.evict t.pool frame
+      if Buf_pool.pin_count t.pool frame = 0 then begin
+        Buf_pool.evict t.pool frame;
+        cb_note_dropped t page_id
+      end
       else invalid_arg "Client.abort: dirty page still pinned")
     (Buf_pool.dirty_pages t.pool);
+  cb_drop_pending t;
   Server.abort t.server ~txn;
-  t.txn <- None
+  t.txn <- None;
+  cb_end_txn t
 
 let with_txn t f =
   begin_txn t;
@@ -488,14 +713,30 @@ let discard_page t page_id =
     if Buf_pool.pin_count t.pool frame > 0 then invalid_arg "Client.discard_page: pinned";
     (match t.pre_evict with Some hook -> hook ~frame ~page_id | None -> ());
     Buf_pool.clear_dirty t.pool frame;
-    Buf_pool.evict t.pool frame
+    Buf_pool.evict t.pool frame;
+    cb_note_dropped t page_id
 
 let reset_cache t =
   if in_txn t then invalid_arg "Client.reset_cache: transaction active";
+  (match t.cb_id with
+   | Some id ->
+     Server.drop_all_copies t.server ~client:id;
+     Hashtbl.reset t.pending_recall;
+     Hashtbl.reset t.installed_epoch
+   | None -> ());
   Buf_pool.clear t.pool
 
 let crash t =
   t.pool <- Buf_pool.create ~frames:t.frames;
-  t.txn <- None
+  t.txn <- None;
+  (* The registration dies with the cache: a recall through the old
+     endpoint answers [Recall_dead] (generation mismatch) and the
+     server forgets this client's stale copy-table entries. Surviving
+     the crash, the client may {!enable_callbacks} again and gets a
+     fresh id. *)
+  t.cb_gen <- t.cb_gen + 1;
+  t.cb_id <- None;
+  Hashtbl.reset t.pending_recall;
+  Hashtbl.reset t.installed_epoch
 
 let attempt f = match f () with v -> Ok v | exception Degraded d -> Error d

@@ -178,13 +178,49 @@ val delete_object : t -> Oid.t -> unit
 (** Drop a page's frame without write-back (page deletion). *)
 val discard_page : t -> int -> unit
 
-(** {2 Cache control} *)
+(** {2 Cache control and callback locking} *)
+
+(** Opt into callback locking: register a recall endpoint with the
+    server ({!Server.register_client}) and keep clean pages cached
+    across transactions — callers stop issuing per-transaction
+    {!reset_cache}. A recall for a page that is dirty or pinned in the
+    active transaction is {e deferred} (never a silent invalidation):
+    the page is dropped at transaction end, before the server releases
+    the transaction's locks, so the recalling writer finds the copy
+    gone by the time its exclusive lock is granted. Clean unpinned
+    pages are invalidated on the spot, running the pre-evict hook so a
+    mapped store unmaps them first.
+
+    [sanitize] arms the QSan retained-page crosscheck: every clean hit
+    on a page cached in an earlier transaction is compared
+    byte-for-byte (hence LSN-exact) against the server's authoritative
+    copy ({!Server.peek_page}). Idempotent; must be called outside a
+    transaction. *)
+val enable_callbacks : ?sanitize:bool -> t -> unit
+
+val callbacks_enabled : t -> bool
+
+(** The server-assigned client id, once {!enable_callbacks} ran (and
+    until {!crash} voids the registration). *)
+val client_id : t -> int option
+
+type cb_stats = {
+  retained_hits : int;  (** clean hits on pages cached in an earlier transaction *)
+  recalls_dropped : int;  (** recalls answered by invalidating on the spot *)
+  recalls_deferred : int;  (** recalls deferred to transaction end (page busy) *)
+}
+
+val callback_stats : t -> cb_stats
 
 (** Drop all (clean) frames — cold-run protocol. Requires no active
-    transaction. *)
+    transaction. With callbacks enabled, also clears this client's
+    copy-table entries at the server. *)
 val reset_cache : t -> unit
 
-(** Client crash: everything volatile is gone. The server keeps running
-    and will eventually abort the orphaned transaction; tests drive
-    that through {!Server.crash} / {!Recovery.restart}. *)
+(** Client crash: everything volatile is gone, including the callback
+    registration — a later recall through the stale endpoint answers
+    [Recall_dead] and the server forgets this client's copy-table
+    entries. The server keeps running and will eventually abort the
+    orphaned transaction; tests drive that through {!Server.crash} /
+    {!Recovery.restart}. *)
 val crash : t -> unit

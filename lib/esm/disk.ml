@@ -92,6 +92,13 @@ let write t id src =
     in
     raise (Qs_fault.Injected_crash { point = Qs_fault.Point.disk_torn_write; hit })
 
+(* Sanitizer back door: no fault gate (a peek must never advance the
+   injector's RNG or hit a crash point) and no counter bump (peeks are
+   not part of the workload being measured). *)
+let peek t id dst =
+  check t id "peek";
+  Bytes.blit t.pages.(id) 0 dst 0 Page.page_size
+
 let reads t = t.reads
 let writes t = t.writes
 

@@ -38,6 +38,12 @@ val read : t -> int -> bytes -> unit
 (** [write t id src] copies [src] (8 KB) onto the page. *)
 val write : t -> int -> bytes -> unit
 
+(** [peek t id dst] copies the page into [dst] like {!read}, but
+    bypasses the fault injector and the operation counters: for
+    sanitizer crosschecks and debugging only, so that observing a page
+    can never perturb fault determinism or the measured I/O counts. *)
+val peek : t -> int -> bytes -> unit
+
 val reads : t -> int
 val writes : t -> int
 val reset_counters : t -> unit

@@ -73,6 +73,26 @@ let blockers t ~txn resource mode =
         h []
       |> List.sort compare
 
+(* At most one exclusive holder can exist, so the fold needs no
+   ordering to be deterministic. *)
+let exclusive_holder t resource =
+  match Hashtbl.find_opt t.table resource with
+  | None -> None
+  | Some h ->
+    Hashtbl.fold
+      (fun txn m acc -> match m with Exclusive -> Some txn | Shared -> acc)
+      h None
+
+(* Lowest-txn parked exclusive request on [resource], if any (minimum
+   for determinism under hash-table iteration order). *)
+let exclusive_waiter t resource =
+  Hashtbl.fold
+    (fun txn w acc ->
+      if w.w_resource = resource && w.w_mode = Exclusive then
+        match acc with Some best when best < txn -> acc | _ -> Some txn
+      else acc)
+    t.waiting None
+
 let compat a b = match (a, b) with Shared, Shared -> true | _ -> false
 
 let holds_any t ~txn resource =

@@ -65,6 +65,20 @@ val set_age : t -> txn:int -> age:int -> unit
 (** [held t ~txn resource] is the mode currently held, if any. *)
 val held : t -> txn:int -> resource -> mode option
 
+(** The transaction holding [resource] in {!Exclusive} mode, if any
+    (there can be at most one). Used by the callback-locking copy
+    table to refuse tracking a page fetched while a foreign writer
+    already holds it exclusively — that writer's recalls already ran,
+    so a copy formed now would go stale unnoticed. *)
+val exclusive_holder : t -> resource -> int option
+
+(** The lowest-numbered transaction parked on an {!Exclusive} request
+    for [resource], if any. Same consumer as {!exclusive_holder}: a
+    copy formed while a writer is already waiting would miss the
+    recall sweep that ran before the writer parked, so the copy table
+    refuses to track it. *)
+val exclusive_waiter : t -> resource -> int option
+
 (** Release everything the transaction holds (commit/abort), and drop
     its waits-for / wound / held-set registry entries even if it never
     acquired anything. *)

@@ -2,6 +2,8 @@
 
 type io_kind = Data | Map | Index
 
+type recall_verdict = Recall_dropped | Recall_deferred | Recall_dead
+
 type counters = {
   mutable client_reads : int;
   mutable client_reads_data : int;
@@ -11,6 +13,10 @@ type counters = {
   mutable client_region_ships : int;  (* pages patched via apply_regions (dups excluded) *)
   mutable region_bytes_shipped : int;  (* payload bytes of those patches *)
   mutable server_pool_hits : int;
+  mutable callbacks_sent : int;  (* recall RPCs issued before an exclusive page grant *)
+  mutable callbacks_deferred : int;  (* recalls answered Deferred (page busy at the holder) *)
+  mutable gc_rides : int;  (* log forces that rode the in-flight group-commit write *)
+  mutable gc_cross_rides : int;  (* rides whose committer differs from the force owner *)
 }
 
 exception Injected_crash
@@ -49,6 +55,25 @@ type t = {
          retried or duplicated ship RPC must not patch twice *)
   mutable txn_ship_us : (int, float ref) Hashtbl.t;
       (* per-txn commit-ship time eligible for the pipeline credit *)
+  (* --- callback locking (inter-transaction client caching) --- *)
+  mutable next_client : int;
+  mutable registered : (int, int -> recall_verdict) Hashtbl.t;
+      (* client id -> recall RPC endpoint; only registered clients
+         cache pages across transactions *)
+  mutable copies : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (* copy table: page id -> ids of registered clients caching it.
+         Invariant: before any exclusive page grant, every *other*
+         holder listed here has answered a recall — Dropped holders are
+         removed, Deferred holders still hold a conflicting lock of
+         their own, so the requester blocks in [Lock_mgr] until the
+         holder finishes and drops the page. *)
+  mutable txn_owner : (int, int) Hashtbl.t;  (* txn -> client id (registered clients only) *)
+  mutable last_force_by : int option;
+      (* owner of the force charged at [last_force]; a ride by a
+         different owner is a cross-client group commit *)
+  mutable gc_credit : (int, float ref) Hashtbl.t;
+      (* client id -> disk-write microseconds saved by riding another
+         force (each committer's share of the group-commit win) *)
 }
 
 let create_with_disk ?(frames = 4608) ?fault ~disk ~clock ~cm () =
@@ -69,7 +94,11 @@ let create_with_disk ?(frames = 4608) ?fault ~disk ~clock ~cm () =
       ; client_writes = 0
       ; client_region_ships = 0
       ; region_bytes_shipped = 0
-      ; server_pool_hits = 0 }
+      ; server_pool_hits = 0
+      ; callbacks_sent = 0
+      ; callbacks_deferred = 0
+      ; gc_rides = 0
+      ; gc_cross_rides = 0 }
   ; next_txn = 1
   ; active = Hashtbl.create 8
   ; txn_updates = Hashtbl.create 8
@@ -81,7 +110,13 @@ let create_with_disk ?(frames = 4608) ?fault ~disk ~clock ~cm () =
   ; last_force = None
   ; pipeline_commit = false
   ; txn_ships = Hashtbl.create 8
-  ; txn_ship_us = Hashtbl.create 8 }
+  ; txn_ship_us = Hashtbl.create 8
+  ; next_client = 1
+  ; registered = Hashtbl.create 8
+  ; copies = Hashtbl.create 64
+  ; txn_owner = Hashtbl.create 8
+  ; last_force_by = None
+  ; gc_credit = Hashtbl.create 8 }
 
 let create ?frames ?fault ~clock ~cm () =
   create_with_disk ?frames ?fault ~disk:(Disk.create ()) ~clock ~cm ()
@@ -105,7 +140,11 @@ let reset_counters t =
   c.client_writes <- 0;
   c.client_region_ships <- 0;
   c.region_bytes_shipped <- 0;
-  c.server_pool_hits <- 0
+  c.server_pool_hits <- 0;
+  c.callbacks_sent <- 0;
+  c.callbacks_deferred <- 0;
+  c.gc_rides <- 0;
+  c.gc_cross_rides <- 0
 
 (* A server whose scheduled crash has fired is dead until [crash] takes
    the failure: further requests bounce, exactly as a real coordinator
@@ -120,7 +159,7 @@ let check_up t = if Qs_fault.halted t.fault then raise Server_down
    blocking lock waits inside remain legal suspension points. *)
 let serve f = Sched.atomically f
 
-let begin_txn t =
+let begin_txn ?client t =
   serve @@ fun () ->
   check_up t;
   let txn = t.next_txn in
@@ -128,8 +167,144 @@ let begin_txn t =
   Hashtbl.replace t.active txn ();
   Hashtbl.replace t.txn_updates txn (ref []);
   Hashtbl.replace t.txn_dirty txn (Hashtbl.create 32);
+  (match client with Some c -> Hashtbl.replace t.txn_owner txn c | None -> ());
   ignore (Wal.append t.wal (Wal.Begin txn));
   txn
+
+(* --- callback locking: copy table and recall endpoints --- *)
+
+let register_client t recall =
+  let id = t.next_client in
+  t.next_client <- id + 1;
+  Hashtbl.replace t.registered id recall;
+  id
+
+let drop_all_copies t ~client =
+  Hashtbl.iter (fun _ holders -> Hashtbl.remove holders client) t.copies
+
+let forget_client t client =
+  Hashtbl.remove t.registered client;
+  drop_all_copies t ~client
+
+let note_cached t ~client page_id =
+  (* Piggybacks on the read reply: no separate network charge. Only
+     registered clients are tracked, so with callbacks off the copy
+     table stays empty and the protocol costs nothing.
+
+     Refuses ([false]) when a foreign transaction already holds — or
+     is parked waiting for — the page exclusively: clients fetch
+     before they lock, and the writer's recall sweep ran when its
+     request arrived, before this copy existed, so nothing would ever
+     invalidate the copy when the writer commits. The fetched bytes
+     stay usable for the current transaction (same read-skew window
+     the reset-per-txn regime has) but must not be retained past
+     it. *)
+  if Hashtbl.mem t.registered client then begin
+    let foreign = function
+      | None -> false
+      | Some h -> Hashtbl.find_opt t.txn_owner h <> Some client
+    in
+    let resource = Lock_mgr.Page_lock page_id in
+    let foreign_writer =
+      foreign (Lock_mgr.exclusive_holder t.locks resource)
+      || foreign (Lock_mgr.exclusive_waiter t.locks resource)
+    in
+    if foreign_writer then false
+    else begin
+      let holders =
+        match Hashtbl.find_opt t.copies page_id with
+        | Some h -> h
+        | None ->
+          let h = Hashtbl.create 4 in
+          Hashtbl.replace t.copies page_id h;
+          h
+      in
+      Hashtbl.replace holders client ();
+      true
+    end
+  end
+  else false
+
+let note_dropped t ~client page_id =
+  match Hashtbl.find_opt t.copies page_id with
+  | None -> ()
+  | Some holders ->
+    Hashtbl.remove holders client;
+    if Hashtbl.length holders = 0 then Hashtbl.remove t.copies page_id
+
+let copies_of t page_id =
+  match Hashtbl.find_opt t.copies page_id with
+  | None -> []
+  | Some holders -> List.sort compare (Hashtbl.fold (fun c () acc -> c :: acc) holders [])
+
+(* Sanitizer back door: the server's authoritative bytes for a page
+   (pool if resident, else the volume via [Disk.peek]), with no charge,
+   no counter bump, and no fault draw — observing a page for a QSan
+   crosscheck must never perturb the run. *)
+let peek_page t page_id dst =
+  match Buf_pool.lookup t.pool page_id with
+  | Some f -> Bytes.blit (Buf_pool.frame_bytes t.pool f) 0 dst 0 Page.page_size
+  | None -> Disk.peek t.disk page_id dst
+
+let gc_credit_us t ~client =
+  match Hashtbl.find_opt t.gc_credit client with Some r -> !r | None -> 0.0
+
+(* Before an exclusive page grant, recall the page from every *other*
+   registered holder. Runs synchronously inside the requester's (masked)
+   RPC in sorted holder order, each recall charged to
+   [Category.Callback] — so delivery order and its clock advance are a
+   deterministic function of the seed and show up in the interleaving
+   digest. A holder that answers:
+   - [Recall_dropped] invalidated the clean copy; remove it here.
+   - [Recall_deferred] has the page dirty or pinned inside its own
+     active transaction, protected by its own conflicting lock, so the
+     requester blocks in [Lock_mgr] right after this — never a silent
+     invalidation. The copy entry stays until the holder finishes and
+     notes the drop.
+   - [Recall_dead] is a crashed/re-registered client (stale endpoint):
+     forget it entirely. *)
+let issue_callbacks t ?client resource mode =
+  match (resource, mode) with
+  | Lock_mgr.Page_lock page_id, Lock_mgr.Exclusive when Hashtbl.length t.registered > 0 -> (
+    match Hashtbl.find_opt t.copies page_id with
+    | None -> ()
+    | Some holders ->
+      let others =
+        Hashtbl.fold
+          (fun cid () acc ->
+            if match client with Some me -> cid <> me | None -> true then cid :: acc else acc)
+          holders []
+        |> List.sort compare
+      in
+      List.iter
+        (fun cid ->
+          match Hashtbl.find_opt t.registered cid with
+          | None -> Hashtbl.remove holders cid
+          | Some recall ->
+            t.counters.callbacks_sent <- t.counters.callbacks_sent + 1;
+            Qs_trace.charge t.clock Simclock.Category.Callback
+              t.cm.Simclock.Cost_model.callback_us;
+            let verdict = recall page_id in
+            if Qs_trace.enabled t.clock then
+              Qs_trace.instant t.clock ~cat:"esm"
+                ~args:
+                  [ Qs_trace.A_int ("page", page_id)
+                  ; Qs_trace.A_int ("holder", cid)
+                  ; Qs_trace.A_str
+                      ( "verdict"
+                      , match verdict with
+                        | Recall_dropped -> "dropped"
+                        | Recall_deferred -> "deferred"
+                        | Recall_dead -> "dead" ) ]
+                "callback.recall";
+            (match verdict with
+             | Recall_dropped -> Hashtbl.remove holders cid
+             | Recall_deferred ->
+               t.counters.callbacks_deferred <- t.counters.callbacks_deferred + 1
+             | Recall_dead -> forget_client t cid))
+        others;
+      if Hashtbl.length holders = 0 then Hashtbl.remove t.copies page_id)
+  | _ -> ()
 
 let is_active t txn = Hashtbl.mem t.active txn
 let active_txns t = Hashtbl.length t.active
@@ -430,7 +605,7 @@ let free_page t page_id =
    | None -> ());
   Disk.free t.disk page_id
 
-let lock t ~txn resource mode =
+let lock ?client t ~txn resource mode =
   serve @@ fun () ->
   check_active t txn "lock";
   (* Charge only when the request actually goes to the lock manager
@@ -442,6 +617,11 @@ let lock t ~txn resource mode =
     | Some Lock_mgr.Shared, Lock_mgr.Exclusive | None, _ -> false
   in
   if not already then begin
+    (* Callback locking: recall the page from other caching clients
+       before the exclusive request reaches the lock manager. (Once
+       this txn holds X, no other client can form a new copy — a read
+       needs S — so repeat X requests need no recalls.) *)
+    issue_callbacks t ?client resource mode;
     Qs_trace.charge t.clock Simclock.Category.Lock_acquire t.cm.Simclock.Cost_model.lock_us;
     if Qs_trace.enabled t.clock then
       Qs_trace.instant t.clock ~cat:"esm"
@@ -514,7 +694,7 @@ let log_index t ~txn record =
 
 let set_index_undo t f = t.index_undo <- f
 
-let force_log ?(overlap_us = 0.0) t =
+let force_log ?(overlap_us = 0.0) ?committer t =
   (* wal.force_partial: the force is cut mid-stream — a seeded fraction
      of the unforced tail becomes durable, then the process dies. *)
   Qs_fault.hit t.fault Qs_fault.Point.wal_force_partial ~on_fire:(fun ~frac ->
@@ -538,6 +718,20 @@ let force_log ?(overlap_us = 0.0) t =
         | None -> false)
   in
   if coalesced then begin
+    (* Credit the rider its share of the saved disk write; a ride whose
+       owner differs from the charged force's owner is the cross-client
+       batching the copy-table era makes common (different clients
+       committing inside one window). *)
+    t.counters.gc_rides <- t.counters.gc_rides + 1;
+    (match committer with
+     | Some c ->
+       if t.last_force_by <> None && t.last_force_by <> Some c then
+         t.counters.gc_cross_rides <- t.counters.gc_cross_rides + 1;
+       let saved = t.cm.Simclock.Cost_model.server_disk_write_us in
+       (match Hashtbl.find_opt t.gc_credit c with
+        | Some r -> r := !r +. saved
+        | None -> Hashtbl.replace t.gc_credit c (ref saved))
+     | None -> ());
     if Qs_trace.enabled t.clock then
       Qs_trace.with_span t.clock ~cat:"esm"
         ~args:[ Qs_trace.A_int ("pages_saved", pages) ]
@@ -560,14 +754,17 @@ let force_log ?(overlap_us = 0.0) t =
         "commit.pipeline"
         (fun () -> ());
     t.last_force <-
-      Some (Simclock.Clock.total_us t.clock, Wal.forced_bytes t.wal / Page.page_size)
+      Some (Simclock.Clock.total_us t.clock, Wal.forced_bytes t.wal / Page.page_size);
+    t.last_force_by <- committer
   end
   else begin
     Qs_trace.charge_n t.clock Simclock.Category.Commit_flush pages
       t.cm.Simclock.Cost_model.server_disk_write_us;
-    if pages > 0 then
+    if pages > 0 then begin
       t.last_force <-
-        Some (Simclock.Clock.total_us t.clock, Wal.forced_bytes t.wal / Page.page_size)
+        Some (Simclock.Clock.total_us t.clock, Wal.forced_bytes t.wal / Page.page_size);
+      t.last_force_by <- committer
+    end
   end;
   if Qs_trace.enabled t.clock then
     Qs_trace.instant t.clock ~cat:"esm" ~args:[ Qs_trace.A_int ("pages", pages) ] "wal.force"
@@ -592,7 +789,8 @@ let finish_txn t txn =
   Hashtbl.remove t.txn_updates txn;
   Hashtbl.remove t.txn_dirty txn;
   Hashtbl.remove t.txn_ships txn;
-  Hashtbl.remove t.txn_ship_us txn
+  Hashtbl.remove t.txn_ship_us txn;
+  Hashtbl.remove t.txn_owner txn
 
 let commit t ~txn =
   serve @@ fun () ->
@@ -605,7 +803,7 @@ let commit t ~txn =
       match Hashtbl.find_opt t.txn_ship_us txn with Some r -> !r | None -> 0.0
     else 0.0
   in
-  force_log ~overlap_us t;
+  force_log ~overlap_us ?committer:(Hashtbl.find_opt t.txn_owner txn) t;
   flush_txn_pages ~point:Qs_fault.Point.commit_mid_flush t txn;
   Qs_fault.hit t.fault Qs_fault.Point.commit_post_flush;
   finish_txn t txn
@@ -653,7 +851,7 @@ let abort t ~txn =
       | Wal.Begin _ | Wal.Prepare _ | Wal.Commit _ | Wal.Abort _ -> ())
     updates;
   ignore (Wal.append t.wal (Wal.Abort txn));
-  force_log t;
+  force_log ?committer:(Hashtbl.find_opt t.txn_owner txn) t;
   flush_txn_pages t txn;
   finish_txn t txn
 
@@ -688,6 +886,15 @@ let crash t =
   t.txn_ship_us <- Hashtbl.create 8;
   t.fail_after_writes <- None;
   t.last_force <- None;
+  t.last_force_by <- None;
+  (* The copy table and recall endpoints are volatile: a restarted
+     server knows nothing about client caches (the classic stale
+     copy-table problem), so surviving clients must crash/re-register
+     before caching across transactions again. *)
+  t.registered <- Hashtbl.create 8;
+  t.copies <- Hashtbl.create 64;
+  t.txn_owner <- Hashtbl.create 8;
+  t.gc_credit <- Hashtbl.create 8;
   (* The failure is taken: the restarted server may serve again. *)
   Qs_fault.clear_halt t.fault
 

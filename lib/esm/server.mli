@@ -49,7 +49,11 @@ val cost_model : t -> Simclock.Cost_model.t
 
 (** {2 Transactions} *)
 
-val begin_txn : t -> int
+(** [begin_txn ?client t] opens a transaction. [client], passed by
+    callback-registered clients, records the owner so group-commit
+    rides can be credited to the committer ({!gc_credit_us}). *)
+val begin_txn : ?client:int -> t -> int
+
 val is_active : t -> int -> bool
 
 (** Number of transactions currently active (multi-client harnesses
@@ -140,10 +144,79 @@ val free_page : t -> int -> unit
     youngest transaction on it, and a wait past
     [lock_wait_timeout_us] is a presumed deadlock — both surface as
     [Lock_mgr.Deadlock], which {!Client.with_txn_retrying} turns into
-    abort-backoff-rerun. *)
-val lock : t -> txn:int -> Lock_mgr.resource -> Lock_mgr.mode -> unit
+    abort-backoff-rerun.
+
+    An exclusive page request first recalls the page from every other
+    registered copy-holder (callback locking, see
+    {!register_client}); [client] identifies the requester so its own
+    copy is not recalled. *)
+val lock : ?client:int -> t -> txn:int -> Lock_mgr.resource -> Lock_mgr.mode -> unit
 
 val lock_held : t -> txn:int -> Lock_mgr.resource -> Lock_mgr.mode option
+
+(** {2 Callback locking}
+
+    Inter-transaction client caching with server-side invalidation
+    (the classic client-server OODB callback-locking protocol): the
+    server keeps a {e copy table} of which registered clients cache
+    which pages, and recalls a page from every other holder before
+    granting an exclusive page lock. A recall runs synchronously
+    inside the requester's RPC, in sorted holder order, each charged
+    [callback_us] to [Category.Callback] — delivery order is a
+    deterministic function of the seed and lands in the interleaving
+    digest. Unregistered clients cost nothing: the copy table stays
+    empty and every path below is a no-op. *)
+
+(** A holder's answer to a recall of one page. *)
+type recall_verdict =
+  | Recall_dropped  (** clean copy invalidated (or not cached at all) *)
+  | Recall_deferred
+      (** the page is dirty or pinned in the holder's active
+          transaction; the holder's own conflicting lock makes the
+          requester block in [Lock_mgr], and the copy is dropped when
+          that transaction finishes — never a silent invalidation *)
+  | Recall_dead  (** stale endpoint: the holder crashed or re-registered *)
+
+(** [register_client t recall] enrolls a caching client and returns
+    its client id. [recall page_id] is the server→client recall RPC
+    endpoint. *)
+val register_client : t -> (int -> recall_verdict) -> int
+
+(** Remove a client's registration and every copy-table entry naming
+    it (also done lazily when a recall answers [Recall_dead]). *)
+val forget_client : t -> int -> unit
+
+(** [note_cached t ~client page_id] records that a registered client
+    holds a copy (piggybacked on the read reply: no charge) and
+    returns [true]. Returns [false] — copy {e not} tracked — for
+    unknown clients, or when a foreign transaction currently holds the
+    page exclusively: that writer's recalls ran before this copy
+    existed, so tracking it now would let it go stale unnoticed at the
+    writer's commit. A [false] means the client must not retain the
+    page past its current transaction. *)
+val note_cached : t -> client:int -> int -> bool
+
+(** [note_dropped t ~client page_id] removes one copy-table entry
+    (client-initiated drop: eviction, abort, discard). *)
+val note_dropped : t -> client:int -> int -> unit
+
+(** Remove every copy-table entry for [client] (cache reset). *)
+val drop_all_copies : t -> client:int -> unit
+
+(** Registered clients currently listed as caching the page, sorted
+    (test/debug observability of the copy-table invariant). *)
+val copies_of : t -> int -> int list
+
+(** [peek_page t page_id dst] copies the server's authoritative bytes
+    for the page — buffer pool if resident, else the volume via
+    [Disk.peek] — with no charge, no counter bump and no fault draw.
+    QSan uses it to verify retained client pages byte-exact. *)
+val peek_page : t -> int -> bytes -> unit
+
+(** Disk-write microseconds saved for this committer by riding another
+    force inside the group-commit window (its share of the
+    cross-client batching win). *)
+val gc_credit_us : t -> client:int -> float
 
 (** Append an update record on behalf of a client; returns its LSN.
     Charges log-record CPU. *)
@@ -223,6 +296,12 @@ type counters = {
           deliveries excluded) *)
   mutable region_bytes_shipped : int;  (** payload bytes of those patches *)
   mutable server_pool_hits : int;
+  mutable callbacks_sent : int;  (** recalls issued before exclusive page grants *)
+  mutable callbacks_deferred : int;  (** recalls answered [Recall_deferred] *)
+  mutable gc_rides : int;  (** log forces that rode the in-flight group-commit write *)
+  mutable gc_cross_rides : int;
+      (** rides whose committer differs from the owner of the force
+          they rode (cross-client group commit) *)
 }
 
 val counters : t -> counters

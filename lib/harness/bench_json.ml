@@ -210,3 +210,62 @@ let render_multi ~seed runs =
   Printf.sprintf "{\"benchmark\":%s,\"database\":%s,\"seed\":%d,\"runs\":[%s]}\n"
     (json_string "OO7-multi") (json_string "mc-hotskew") seed
     (String.concat "," (List.map multi_run_json runs))
+
+(* The callback-locking baseline ([BENCH_oo7_callback.json]): the same
+   4-client hot-page workload under both cache-consistency regimes —
+   reset-per-transaction first, then callback locking — so the file
+   quantifies exactly what inter-transaction caching buys: retained
+   hits, server page reads avoided (and the bytes they would have
+   shipped), against what it costs (recall traffic). Both trace
+   digests are pinned, so the gate catches interleaving drift in
+   either regime. *)
+let callback_clients = 4
+
+let callback_runs ?(progress = fun (_ : string) -> ()) ~seed () =
+  List.map
+    (fun callbacks ->
+      progress
+        (Printf.sprintf "running %d-client contention, callback locking %s..." callback_clients
+           (if callbacks then "on" else "off"));
+      Mc.run ~clients:callback_clients ~seed ~callbacks ())
+    [ false; true ]
+
+let callback_run_json (s : Mc.stats) =
+  let field k v = Printf.sprintf "\"%s\":%s" k v in
+  "{"
+  ^ String.concat ","
+      [ field "mode" (json_string (if s.Mc.callbacks then "callback" else "reset"))
+      ; field "clients" (string_of_int s.Mc.clients)
+      ; field "committed" (string_of_int s.Mc.committed)
+      ; field "deadlock_retries" (string_of_int s.Mc.deadlock_retries)
+      ; field "reads" (string_of_int s.Mc.reads)
+      ; field "writes" (string_of_int s.Mc.writes)
+      ; field "retained_hits" (string_of_int s.Mc.retained_hits)
+      ; field "callbacks_sent" (string_of_int s.Mc.callbacks_sent)
+      ; field "callbacks_deferred" (string_of_int s.Mc.callbacks_deferred)
+      ; field "gc_rides" (string_of_int s.Mc.gc_rides)
+      ; field "gc_cross_rides" (string_of_int s.Mc.gc_cross_rides)
+      ; field "total_ms" (json_float s.Mc.total_ms)
+      ; field "trace_digest" (json_string s.Mc.trace_digest) ]
+  ^ "}"
+
+let render_callback ~seed runs =
+  let find mode =
+    match List.find_opt (fun (s : Mc.stats) -> s.Mc.callbacks = mode) runs with
+    | Some s -> s
+    | None -> invalid_arg "Bench_json.render_callback: need one run per regime"
+  in
+  let off = find false and on = find true in
+  let reads_saved = off.Mc.reads - on.Mc.reads in
+  let summary =
+    String.concat ","
+      [ Printf.sprintf "\"reads_saved\":%d" reads_saved
+      ; Printf.sprintf "\"read_bytes_saved\":%d" (reads_saved * Esm.Page.page_size)
+      ; Printf.sprintf "\"retained_hit_rate\":%s"
+          (json_float
+             (float_of_int on.Mc.retained_hits
+             /. float_of_int (on.Mc.retained_hits + on.Mc.reads))) ]
+  in
+  Printf.sprintf "{\"benchmark\":%s,\"database\":%s,\"seed\":%d,%s,\"runs\":[%s]}\n"
+    (json_string "OO7-callback") (json_string "mc-hotskew") seed summary
+    (String.concat "," (List.map callback_run_json runs))

@@ -16,9 +16,18 @@
    drift in the interleaving itself — not just the totals — fails the
    bench-shape gate.
 
-   Client caches are dropped at every transaction start: without
-   callback locking (ROADMAP item) an inter-transaction cached page
-   could serve stale bytes once another client commits to it. *)
+   Two cache-consistency regimes, selected per run: with
+   [callbacks:false] (the default, byte-identical to the historical
+   baseline) client caches are dropped at every transaction start —
+   without callback locking an inter-transaction cached page could
+   serve stale bytes once another client commits to it. With
+   [callbacks:true] every client registers with the server's
+   callback-locking protocol instead: clean pages survive across
+   transactions (QSan verifies each retained hit byte-exact against
+   the server), the server recalls pages from other holders before
+   exclusive grants, and recall delivery is charged traffic — part of
+   the deterministic interleaving and therefore of the trace
+   digest. *)
 
 module F = Qs_fault
 module Server = Esm.Server
@@ -48,6 +57,12 @@ type stats = {
   per_client : client_stats list;
   trace_events : int;
   trace_digest : string;  (* md5 of the Chrome trace: pins the interleaving *)
+  callbacks : bool;  (* cache regime: callback locking vs reset-per-txn *)
+  retained_hits : int;  (* clean hits on pages cached in an earlier txn (all clients) *)
+  callbacks_sent : int;  (* server recalls issued before exclusive grants *)
+  callbacks_deferred : int;  (* recalls deferred (page busy at the holder) *)
+  gc_rides : int;  (* log forces riding the in-flight group-commit write *)
+  gc_cross_rides : int;  (* rides committed by a different client than the force owner *)
 }
 
 let obj_len = 96
@@ -72,11 +87,16 @@ let distinct_picks ~k ~pick =
   done;
   List.rev !picked
 
-let run ?(clients = 2) ?(txns_per_client = 18) ?(seed = 42) () =
+let run ?(clients = 2) ?(txns_per_client = 18) ?(seed = 42) ?(callbacks = false) () =
   if clients < 1 then invalid_arg "Mc.run: clients must be >= 1";
   let cm = Simclock.Cost_model.default in
   let clock = Clock.create () in
   let server = Server.create ~frames:128 ~clock ~cm () in
+  (* Callback mode also turns on group commit: with inter-transaction
+     caching, different clients' commits land close enough for their
+     forces to ride one window (the cross-client batching the copy
+     table era is meant to exercise). *)
+  if callbacks then Server.set_group_commit server true;
   let cls = Array.init clients (fun c -> ignore c; Client.create ~frames:12 server) in
   (* World: [pages] pages x [objs_per_page] objects, built single-client
      by client 0. The first two pages are the hot set. *)
@@ -100,6 +120,10 @@ let run ?(clients = 2) ?(txns_per_client = 18) ?(seed = 42) () =
       done);
   let oid idx = match oids.(idx) with Some o -> o | None -> invalid_arg "Mc.run: no oid" in
   Client.reset_cache cls.(0);
+  (* Registration happens after the cold reset, so the contended phase
+     starts from an empty cache either way; the QSan retained-page
+     crosscheck is armed on every client. *)
+  if callbacks then Array.iter (fun cl -> Client.enable_callbacks ~sanitize:true cl) cls;
   (* Contended phase: fresh counters, a trace sink armed for the
      digest, and one task per client. *)
   Server.reset_counters server;
@@ -123,11 +147,14 @@ let run ?(clients = 2) ?(txns_per_client = 18) ?(seed = 42) () =
           in
           let rd = distinct_picks ~k:3 ~pick:(fun () -> pick_skewed rng ~hot ~n:nobj ~hot_pct:60) in
           let rd = List.filter (fun idx -> not (List.mem idx wr)) rd in
-          Client.reset_cache cl;
+          (* Reset-per-txn regime only: under callback locking, clean
+             pages stay hot across transactions and across deadlock
+             retries (an abort already dropped the dirty ones). *)
+          if not callbacks then Client.reset_cache cl;
           Client.with_txn_retrying ~max_attempts:8
             ~on_retry:(fun ~attempt:_ ->
               retries.(c) <- retries.(c) + 1;
-              Client.reset_cache cl)
+              if not callbacks then Client.reset_cache cl)
             cl
             (fun () ->
               List.iter (fun idx -> ignore (Client.read_object cl (oid idx))) rd;
@@ -165,4 +192,13 @@ let run ?(clients = 2) ?(txns_per_client = 18) ?(seed = 42) () =
           ; cs_committed = committed.(c)
           ; cs_retries = retries.(c) })
   ; trace_events = Qs_trace.length sink
-  ; trace_digest = Digest.to_hex (Digest.string (Qs_trace.to_chrome sink)) }
+  ; trace_digest = Digest.to_hex (Digest.string (Qs_trace.to_chrome sink))
+  ; callbacks
+  ; retained_hits =
+      Array.fold_left
+        (fun acc cl -> acc + (Client.callback_stats cl).Client.retained_hits)
+        0 cls
+  ; callbacks_sent = counters.Server.callbacks_sent
+  ; callbacks_deferred = counters.Server.callbacks_deferred
+  ; gc_rides = counters.Server.gc_rides
+  ; gc_cross_rides = counters.Server.gc_cross_rides }

@@ -30,11 +30,12 @@ type t =
   | App_work  (** other per-datum application CPU (compares, counts) *)
   | Retry  (** client backoff and request timeouts under injected faults *)
   | Lock_wait  (** blocked in the lock manager waiting for a conflicting holder *)
+  | Callback  (** callback-locking recall round trips (server asks a client to drop a cached page) *)
 
 let all =
   [ Data_io; Map_io; Page_fault; Min_fault; Mmap_call; Swizzle; Fault_misc; Write_fault_copy
   ; Lock_acquire; Diff; Log_write; Map_update; Commit_flush; Interp; Residency_check; Index_op
-  ; App_malloc; App_set; App_traverse; App_deref; App_work; Retry; Lock_wait ]
+  ; App_malloc; App_set; App_traverse; App_deref; App_work; Retry; Lock_wait; Callback ]
 
 let index = function
   | Data_io -> 0
@@ -60,8 +61,9 @@ let index = function
   | App_work -> 20
   | Retry -> 21
   | Lock_wait -> 22
+  | Callback -> 23
 
-let count = 23
+let count = 24
 
 let name = function
   | Data_io -> "data I/O"
@@ -87,3 +89,4 @@ let name = function
   | App_work -> "app work"
   | Retry -> "retry/timeout"
   | Lock_wait -> "lock wait"
+  | Callback -> "callbacks"

@@ -26,6 +26,11 @@ type t = {
   commit_flush_page_us : float;  (** per dirty page: ship back + amortized install *)
   net_timeout_us : float;  (** waiting out a lost request before retrying *)
   retry_backoff_us : float;  (** base client backoff between retries (doubles per attempt) *)
+  callback_us : float;
+      (** one callback-locking recall round trip: the server asks a
+          caching client to invalidate (or defer invalidating) a page
+          before an exclusive lock is granted — a small control
+          message, far cheaper than a page ship *)
   lock_wait_timeout_us : float;
       (** give up a blocked lock request after this much simulated wait
           and treat it as a presumed deadlock (typed [Lock_mgr.Deadlock]
@@ -96,6 +101,7 @@ let default =
   ; commit_flush_page_us = 8_000.0
   ; net_timeout_us = 100_000.0
   ; retry_backoff_us = 25_000.0
+  ; callback_us = 400.0
   ; lock_wait_timeout_us = 10_000_000.0
   ; disk_seek_us = 15_000.0
   ; disk_transfer_page_us = 4_500.0

@@ -10,7 +10,10 @@
    BENCH_oo7_multi.json is the multi-user hot-page-skew workload at 1,
    2 and 4 simulated clients under the deterministic scheduler,
    pinning commit/retry/lock-wait counts and the trace digest (i.e.
-   the interleaving itself). The simulation is deterministic, so times are
+   the interleaving itself); BENCH_oo7_callback.json runs the 4-client
+   workload under both cache-consistency regimes, pinning the retained
+   hits and server reads saved by callback locking next to the reset
+   baseline. The simulation is deterministic, so times are
    compared exactly, not within a tolerance — any change to a committed
    file must be a deliberate, reviewed re-baseline
    (dune exec bench/main.exe -- quick no-bech --json).
@@ -78,4 +81,6 @@ let () =
   check ~name:"BENCH_oo7_diffship.json"
     (Harness.Bench_json.render_small_diffship ~seed diffship_suites);
   let multi_runs = Harness.Bench_json.multi_runs ~progress ~seed () in
-  check ~name:"BENCH_oo7_multi.json" (Harness.Bench_json.render_multi ~seed multi_runs)
+  check ~name:"BENCH_oo7_multi.json" (Harness.Bench_json.render_multi ~seed multi_runs);
+  let callback_runs = Harness.Bench_json.callback_runs ~progress ~seed () in
+  check ~name:"BENCH_oo7_callback.json" (Harness.Bench_json.render_callback ~seed callback_runs)

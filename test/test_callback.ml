@@ -1,0 +1,294 @@
+(* Callback locking (lib/esm copy table + client recall handling):
+   inter-transaction caching must never serve stale bytes.
+
+   Covers the protocol's race corners directly, without the scheduler
+   where possible (recalls are synchronous calls, so two clients on one
+   server exercise them single-threaded): retained hits with QSan
+   byte-exactness both ways (positive and a poked-bytes negative),
+   recall-before-exclusive-grant invalidation, deferral when the
+   target page is dirty inside the holder's active transaction (never
+   a silent invalidation), recalls to a crashed client (generation
+   mismatch -> [Recall_dead] -> server forgets it), callback-induced
+   deadlock under the deterministic scheduler with wound-wait
+   recovery, and recovery replay with a stale copy table. The
+   end-to-end soak of the same protocol lives in the mc/torture
+   harnesses; this file pins the per-transition semantics. *)
+
+module Server = Esm.Server
+module Client = Esm.Client
+module Recovery = Esm.Recovery
+module Lock_mgr = Esm.Lock_mgr
+module Page = Esm.Page
+module Clock = Simclock.Clock
+
+let mk () =
+  let s = Server.create ~frames:128 ~clock:(Clock.create ()) ~cm:Simclock.Cost_model.default () in
+  (s, Client.create ~frames:16 s)
+
+let reconnect s = Client.create ~frames:16 s
+
+let v tag = Bytes.of_string (Printf.sprintf "%-16s" tag)
+
+(* One page with one object on it, committed, cache dropped: both
+   clients start cold with the world durable. *)
+let seed_object s c =
+  let page = ref (-1) in
+  let oid = ref None in
+  Client.with_txn c (fun () ->
+      let page_id, frame = Client.new_page c ~kind:Page.Small_obj in
+      Client.unfix_page c ~frame;
+      page := page_id;
+      oid := Client.create_object c ~page_id (v "v0"));
+  Client.reset_cache c;
+  ignore s;
+  match !oid with Some o -> (!page, o) | None -> Alcotest.fail "seed object did not fit"
+
+let retained_hits c = (Client.callback_stats c).Client.retained_hits
+
+(* --- retained hits and QSan byte-exactness ------------------------ *)
+
+let test_retained_hit_counted () =
+  let s, a = mk () in
+  let _page, oid = seed_object s a in
+  Client.enable_callbacks ~sanitize:true a;
+  Client.with_txn a (fun () -> ignore (Client.read_object a oid));
+  Alcotest.(check int) "first touch is a fetch, not a retained hit" 0 (retained_hits a);
+  let reads_before = (Server.counters s).Server.client_reads in
+  Client.with_txn a (fun () -> ignore (Client.read_object a oid));
+  Client.with_txn a (fun () -> ignore (Client.read_object a oid));
+  Alcotest.(check int) "two later transactions, two retained hits" 2 (retained_hits a);
+  Alcotest.(check int)
+    "no server read behind a retained hit" reads_before
+    (Server.counters s).Server.client_reads
+
+let test_retained_hit_sanitizer_catches_poke () =
+  let s, a = mk () in
+  let page, oid = seed_object s a in
+  Client.enable_callbacks ~sanitize:true a;
+  Client.with_txn a (fun () -> ignore (Client.read_object a oid));
+  (* Corrupt the cached frame without marking it dirty: the copy is
+     now clean-but-wrong, exactly what the retained-page crosscheck
+     exists to catch on the next inter-transaction hit. *)
+  (match Client.frame_of_page a page with
+   | Some frame -> Bytes.set (Client.page_bytes a ~frame) (Page.page_size - 1) '!'
+   | None -> Alcotest.fail "page not cached");
+  (match Client.with_txn a (fun () -> ignore (Client.read_object a oid)) with
+   | () -> Alcotest.fail "sanitizer missed a stale retained page"
+   | exception Qs_util.Sanitizer.Sanitizer_violation viol ->
+     Alcotest.(check string) "check id" "retained-page" viol.Qs_util.Sanitizer.check);
+  ignore s
+
+(* --- recall before an exclusive grant ----------------------------- *)
+
+let test_recall_invalidates_before_write () =
+  let s, a = mk () in
+  let page, oid = seed_object s a in
+  let b = reconnect s in
+  Client.enable_callbacks ~sanitize:true a;
+  Client.enable_callbacks ~sanitize:true b;
+  let a_id = match Client.client_id a with Some id -> id | None -> Alcotest.fail "no id" in
+  Client.with_txn a (fun () -> ignore (Client.read_object a oid));
+  Alcotest.(check (list int)) "copy table lists the caching client" [ a_id ]
+    (Server.copies_of s page);
+  Client.with_txn b (fun () -> Client.update_object b oid ~off:0 (v "v1"));
+  Alcotest.(check int) "one recall went out" 1 (Server.counters s).Server.callbacks_sent;
+  Alcotest.(check bool) "clean copy evicted at the holder" true
+    (Client.frame_of_page a page = None);
+  Alcotest.(check bool) "holder no longer in the copy table" false
+    (List.mem a_id (Server.copies_of s page));
+  (* The refetch sees the new bytes (and is a fetch, not a hit). *)
+  Client.with_txn a (fun () ->
+      Alcotest.(check bytes) "refetched current bytes" (v "v1") (Client.read_object a oid));
+  Alcotest.(check int) "invalidation never counts as retention" 0 (retained_hits a)
+
+let test_recall_deferred_while_dirty () =
+  let s, a = mk () in
+  let _page, oid = seed_object s a in
+  let b = reconnect s in
+  Client.enable_callbacks ~sanitize:true a;
+  Client.enable_callbacks ~sanitize:true b;
+  (* A updates the page inside a still-open transaction: the frame is
+     dirty and X-locked at A. B's write must find the recall deferred
+     and the lock refused — never a silent invalidation of dirty
+     work. *)
+  Client.begin_txn a;
+  Client.update_object a oid ~off:0 (v "a-dirty");
+  (match Client.with_txn b (fun () -> Client.update_object b oid ~off:0 (v "b")) with
+   | () -> Alcotest.fail "conflicting write slipped past the holder's lock"
+   | exception Lock_mgr.Conflict _ -> ());
+  Alcotest.(check int) "recall was deferred, not honored" 1
+    (Server.counters s).Server.callbacks_deferred;
+  Alcotest.(check int) "deferral recorded at the holder" 1
+    (Client.callback_stats a).Client.recalls_deferred;
+  Alcotest.(check bytes) "dirty bytes untouched" (v "a-dirty") (Client.read_object a oid);
+  Client.commit a;
+  (* The deferred copy drops with A's commit; B can now write and no
+     stale copy of the page survives anywhere. *)
+  Client.with_txn b (fun () -> Client.update_object b oid ~off:0 (v "b"));
+  Client.with_txn a (fun () ->
+      Alcotest.(check bytes) "holder rereads B's bytes" (v "b") (Client.read_object a oid))
+
+let test_recall_to_crashed_client_is_dead () =
+  let s, a = mk () in
+  let page, oid = seed_object s a in
+  let b = reconnect s in
+  Client.enable_callbacks ~sanitize:true a;
+  Client.enable_callbacks ~sanitize:true b;
+  let a_id = match Client.client_id a with Some id -> id | None -> Alcotest.fail "no id" in
+  Client.with_txn a (fun () -> ignore (Client.read_object a oid));
+  (* A crashes without deregistering: the server still has its recall
+     endpoint and copy-table entry. The generation check turns the
+     next recall into [Recall_dead] and the server forgets A. *)
+  Client.crash a;
+  Client.with_txn b (fun () -> Client.update_object b oid ~off:0 (v "v1"));
+  Alcotest.(check int) "recall reached the stale registration" 1
+    (Server.counters s).Server.callbacks_sent;
+  Alcotest.(check bool) "dead client purged from the copy table" false
+    (List.mem a_id (Server.copies_of s page));
+  (* Forgotten means no further recalls to A either. *)
+  Client.with_txn b (fun () -> Client.update_object b oid ~off:0 (v "v2"));
+  Alcotest.(check int) "no recall to a forgotten client" 1
+    (Server.counters s).Server.callbacks_sent
+
+(* --- callback-induced deadlock under the scheduler ---------------- *)
+
+let test_callback_mode_deadlock_wound_wait () =
+  (* Two clients, two objects on two pages, opposite update order,
+     charges between the updates so the scheduler interleaves the lock
+     acquisitions: the S->X / X->S cycle must be wounded and both
+     transactions must eventually commit under callback locking. *)
+  let s, c0 = mk () in
+  let clock = Server.clock s in
+  let page0 = ref (-1) and page1 = ref (-1) in
+  let o = Array.make 2 None in
+  Client.with_txn c0 (fun () ->
+      let p0, f0 = Client.new_page c0 ~kind:Page.Small_obj in
+      Client.unfix_page c0 ~frame:f0;
+      let p1, f1 = Client.new_page c0 ~kind:Page.Small_obj in
+      Client.unfix_page c0 ~frame:f1;
+      page0 := p0;
+      page1 := p1;
+      o.(0) <- Client.create_object c0 ~page_id:p0 (v "o0-v0");
+      o.(1) <- Client.create_object c0 ~page_id:p1 (v "o1-v0"));
+  Client.reset_cache c0;
+  let oid i = match o.(i) with Some x -> x | None -> Alcotest.fail "seed" in
+  let cls = [| c0; reconnect s |] in
+  Array.iter (fun c -> Client.enable_callbacks ~sanitize:true c) cls;
+  let retried = ref 0 in
+  let sched = Sched.create ~seed:11 ~clocks:[ clock ] () in
+  for c = 0 to 1 do
+    Sched.spawn sched ~name:(Printf.sprintf "client-%d" c) (fun () ->
+        let mine = c and theirs = 1 - c in
+        Client.with_txn_retrying ~max_attempts:8
+          ~on_retry:(fun ~attempt:_ -> incr retried)
+          cls.(c)
+          (fun () ->
+            Client.update_object cls.(c) (oid mine) ~off:0 (v (Printf.sprintf "c%d-first" c));
+            Clock.charge clock Simclock.Category.App_work 500.0;
+            Client.update_object cls.(c) (oid theirs) ~off:0 (v (Printf.sprintf "c%d-second" c))))
+  done;
+  List.iter
+    (fun (name, e) ->
+      match e with
+      | None -> ()
+      | Some e -> Alcotest.failf "task %s died: %s" name (Printexc.to_string e))
+    (Sched.run sched);
+  Alcotest.(check bool) "the cross order deadlocked at least once" true (!retried > 0);
+  (* Both committed: each object carries some committed "-second" or
+     "-first" tag, and the copy table agrees with the client pools —
+     every listed holder really caches the page, nobody else does. *)
+  List.iter
+    (fun page ->
+      let holders = Server.copies_of s page in
+      Array.iteri
+        (fun i c ->
+          match Client.client_id c with
+          | None -> Alcotest.fail "client lost its registration"
+          | Some id ->
+            Alcotest.(check bool)
+              (Printf.sprintf "copy table matches pool (client %d, page %d)" i page)
+              (List.mem id holders)
+              (Client.frame_of_page c page <> None))
+        cls)
+    [ !page0; !page1 ];
+  Client.with_txn cls.(0) (fun () ->
+      List.iter (fun i -> ignore (Client.read_object cls.(0) (oid i))) [ 0; 1 ])
+
+(* --- recovery with a stale copy table ----------------------------- *)
+
+let test_restart_discards_copy_table () =
+  let s, a = mk () in
+  let page, oid = seed_object s a in
+  let b = reconnect s in
+  Client.enable_callbacks ~sanitize:true a;
+  Client.enable_callbacks ~sanitize:true b;
+  Client.with_txn a (fun () -> ignore (Client.read_object a oid));
+  Client.with_txn b (fun () -> Client.update_object b oid ~off:0 (v "committed"));
+  (* Crash with a populated copy table (B holds a copy of its own
+     write). Restart replays the log; the copy table must come back
+     empty — no recall endpoint survives a server crash. *)
+  Client.crash a;
+  Client.crash b;
+  Server.crash s;
+  ignore (Recovery.restart ~sanitize:true s);
+  Alcotest.(check (list int)) "copy table empty after restart" [] (Server.copies_of s page);
+  Alcotest.(check bool) "crashed client is deregistered" true (Client.client_id a = None);
+  (* Re-registration starts a fresh protocol incarnation: caching,
+     retained hits and recalls all work against the replayed state. *)
+  Client.enable_callbacks ~sanitize:true a;
+  Client.with_txn a (fun () ->
+      Alcotest.(check bytes) "replayed bytes" (v "committed") (Client.read_object a oid));
+  Client.with_txn a (fun () -> ignore (Client.read_object a oid));
+  Alcotest.(check int) "retention works after restart" 1 (retained_hits a);
+  let b2 = reconnect s in
+  Client.enable_callbacks ~sanitize:true b2;
+  Client.with_txn b2 (fun () -> Client.update_object b2 oid ~off:0 (v "post-restart"));
+  Alcotest.(check bool) "recalls work after restart" true
+    ((Server.counters s).Server.callbacks_sent > 0);
+  Client.with_txn a (fun () ->
+      Alcotest.(check bytes) "refetched post-restart bytes" (v "post-restart")
+        (Client.read_object a oid))
+
+(* --- cross-client group commit ------------------------------------ *)
+
+let test_mc_callback_mode_counters () =
+  (* The 4-client contention harness in callback mode is the
+     integration surface: retained hits occur, recalls go out, and at
+     least one log force ride is credited to a different client than
+     the force owner (cross-client group commit). The reset-mode run
+     must stay byte-identical to history, so compare reads too. *)
+  let on = Harness.Mc.run ~clients:4 ~seed:42 ~callbacks:true () in
+  let off = Harness.Mc.run ~clients:4 ~seed:42 ~callbacks:false () in
+  Alcotest.(check int) "both regimes commit everything" off.Harness.Mc.committed
+    on.Harness.Mc.committed;
+  Alcotest.(check bool) "retained hits occurred" true (on.Harness.Mc.retained_hits > 0);
+  Alcotest.(check bool) "recalls went out" true (on.Harness.Mc.callbacks_sent > 0);
+  Alcotest.(check bool) "some recalls deferred" true (on.Harness.Mc.callbacks_deferred > 0);
+  Alcotest.(check bool) "strictly fewer server page reads with callbacks" true
+    (on.Harness.Mc.reads < off.Harness.Mc.reads);
+  Alcotest.(check bool) "cross-client group-commit rides happened" true
+    (on.Harness.Mc.gc_cross_rides > 0);
+  Alcotest.(check int) "reset mode reports no callback activity" 0
+    (off.Harness.Mc.retained_hits + off.Harness.Mc.callbacks_sent)
+
+let () =
+  Alcotest.run "callback"
+    [ ( "retained"
+      , [ Alcotest.test_case "retained hit counted once per txn" `Quick test_retained_hit_counted
+        ; Alcotest.test_case "sanitizer catches poked retained page" `Quick
+            test_retained_hit_sanitizer_catches_poke ] )
+    ; ( "recall"
+      , [ Alcotest.test_case "invalidate before exclusive grant" `Quick
+            test_recall_invalidates_before_write
+        ; Alcotest.test_case "defer while dirty in active txn" `Quick
+            test_recall_deferred_while_dirty
+        ; Alcotest.test_case "dead recall to crashed client" `Quick
+            test_recall_to_crashed_client_is_dead ] )
+    ; ( "scheduler"
+      , [ Alcotest.test_case "deadlock wound-wait in callback mode" `Quick
+            test_callback_mode_deadlock_wound_wait
+        ; Alcotest.test_case "mc callback counters" `Quick test_mc_callback_mode_counters ] )
+    ; ( "recovery"
+      , [ Alcotest.test_case "restart discards the copy table" `Quick
+            test_restart_discards_copy_table ] )
+    ]

@@ -649,6 +649,34 @@ let test_sanitize_catches_prot_escalation () =
      Store.validate st);
   Store.commit st
 
+(* Callback locking at the store level: with [callback_locking] on the
+   store registers with the server's copy table and stops dropping
+   clean pages between transactions, so a re-walk in a later
+   transaction touches the server zero times — mappings, swizzled
+   state and buffer frames all survive — while QSan cross-checks every
+   retained page against the server's bytes (in disk format, via the
+   pre-ship canonicalization hook). *)
+let test_callback_locking_retains_pages () =
+  let config =
+    { Qs_config.default with Qs_config.callback_locking = true; Qs_config.sanitize = true }
+  in
+  let server, st = mk ~config () in
+  build_list st ~n:60 ~per_cluster:10;
+  Store.begin_txn st;
+  let count, ok = walk_list st in
+  Alcotest.(check int) "cold walk sees all nodes" 60 count;
+  Alcotest.(check bool) "cold walk intact" true ok;
+  Store.commit st;
+  let reads_before = (Server.counters server).Server.client_reads in
+  Store.begin_txn st;
+  let count, ok = walk_list st in
+  Alcotest.(check int) "retained walk sees all nodes" 60 count;
+  Alcotest.(check bool) "retained walk intact" true ok;
+  Store.validate st;
+  Store.commit st;
+  Alcotest.(check int) "re-walk fetched nothing from the server" reads_before
+    (Server.counters server).Server.client_reads
+
 (* The commit-time shadow check itself: a region list that misses a
    modified byte must be rejected, the honest diff accepted. *)
 let test_regions_cover_shadow () =
@@ -691,6 +719,8 @@ let () =
       , [ Alcotest.test_case "clean run validates" `Quick test_sanitize_clean_run
         ; Alcotest.test_case "clean under eviction" `Quick test_sanitize_under_eviction
         ; Alcotest.test_case "catches prot escalation" `Quick test_sanitize_catches_prot_escalation
+        ; Alcotest.test_case "callback locking retains pages" `Quick
+            test_callback_locking_retains_pages
         ; Alcotest.test_case "regions_cover shadow check" `Quick test_regions_cover_shadow ] )
     ; ( "properties"
       , List.map QCheck_alcotest.to_alcotest
