@@ -32,11 +32,14 @@ let make_system name params seed reloc sanitize =
    scheduler on one server (Harness.Mc). Everything printed derives
    from the seed — run it twice with the same seed and the output,
    including the trace digest, is byte-identical. *)
-let run_multi ~clients ~seed ~callbacks =
-  let s = Harness.Mc.run ~clients ~seed ~callbacks () in
-  Printf.printf "multi-user contention run: %d clients x %d txns, seed %d%s\n" s.Harness.Mc.clients
-    s.Harness.Mc.txns_per_client s.Harness.Mc.seed
-    (if callbacks then " (callback locking)" else "");
+let run_multi ~clients ~seed ~callbacks ~read_pct ~snapshot =
+  let s = Harness.Mc.run ~clients ~seed ~callbacks ~read_pct ~snapshot () in
+  Printf.printf "multi-user contention run: %d clients x %d txns, seed %d%s%s\n"
+    s.Harness.Mc.clients s.Harness.Mc.txns_per_client s.Harness.Mc.seed
+    (if callbacks then " (callback locking)" else "")
+    (if read_pct > 0 then
+       Printf.sprintf " (%d%% %s scans)" read_pct (if snapshot then "snapshot" else "locking")
+     else "");
   Printf.printf "  committed=%d deadlock_retries=%d lock_waits=%d\n" s.Harness.Mc.committed
     s.Harness.Mc.deadlock_retries s.Harness.Mc.lock_waits;
   Printf.printf "  lock_wait=%.3fms retry=%.3fms total=%.3fms\n" s.Harness.Mc.lock_wait_ms
@@ -51,6 +54,14 @@ let run_multi ~clients ~seed ~callbacks =
       "  retained_hits=%d callbacks_sent=%d deferred=%d gc_rides=%d gc_cross_rides=%d\n"
       s.Harness.Mc.retained_hits s.Harness.Mc.callbacks_sent s.Harness.Mc.callbacks_deferred
       s.Harness.Mc.gc_rides s.Harness.Mc.gc_cross_rides;
+  (* Likewise gated: the read-regime lines (and the world digest they
+     certify) appear only when a read mix was requested. *)
+  if read_pct > 0 then begin
+    Printf.printf "  read_txns=%d snapshot_reads=%d snapshot_deltas=%d snapshot_retries=%d\n"
+      s.Harness.Mc.read_txns s.Harness.Mc.snapshot_reads s.Harness.Mc.snapshot_deltas
+      s.Harness.Mc.snapshot_retries;
+    Printf.printf "  world digest: %s\n" s.Harness.Mc.world_digest
+  end;
   List.iter
     (fun (c : Harness.Mc.client_stats) ->
       Printf.printf "  %s: committed=%d retries=%d\n" c.Harness.Mc.cs_name
@@ -66,10 +77,13 @@ let print_measure label (m : Measure.t) =
 let print_breakdown (m : Measure.t) =
   Format.printf "  breakdown:@.%a@." Clock.pp_snapshot m.Measure.snapshot
 
-let run system size ops seed hot_reps reloc sanitize faults verbose save clients callbacks =
-  if clients > 1 then run_multi ~clients ~seed ~callbacks
+let run system size ops seed hot_reps reloc sanitize faults verbose save clients callbacks
+    read_pct snapshot =
+  if clients > 1 then run_multi ~clients ~seed ~callbacks ~read_pct ~snapshot
   else begin
   if callbacks then prerr_endline "note: --callbacks applies to multi-client mode only; ignored";
+  if read_pct > 0 || snapshot then
+    prerr_endline "note: --read-pct/--snapshot apply to multi-client mode only; ignored";
   let params = params_of_size size in
   Printf.printf "building %s database for %s...\n%!" params.Params.name system;
   if sanitize then Printf.printf "QSan on: validating the address space at every fault and commit\n%!";
@@ -176,12 +190,33 @@ let callbacks_arg =
            copies before exclusive grants, and group commit batches forces across clients. \
            Recall delivery is part of the deterministic interleaving digest.")
 
+let read_pct_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "read-pct" ] ~docv:"PCT"
+        ~doc:
+          "with --clients N: make PCT percent of each client's transactions read-only scans \
+           over everyone's partitions (0 = the legacy write mix, byte-identical to historical \
+           output). Scans run as ordinary locking transactions unless --snapshot is given.")
+
+let snapshot_arg =
+  Arg.(
+    value & flag
+    & info [ "snapshot" ]
+        ~doc:
+          "with --clients N --read-pct P: run the read-only scans as MVCC snapshot bodies — a \
+           snapshot LSN at begin, pages materialized as-of that LSN from the server's version \
+           chains, no page locks anywhere on the read path. QSan cross-checks every \
+           materialized page against WAL replay. The rng sequence matches the locking regime, \
+           so the printed world digest must be identical in both.")
+
 let cmd =
   let doc = "run OO7 benchmark operations on the QuickStore reproduction" in
   Cmd.v
     (Cmd.info "oo7_run" ~doc)
     Term.(
       const run $ system_arg $ size_arg $ ops_arg $ seed_arg $ hot_arg $ reloc_arg $ sanitize_arg
-      $ faults_arg $ verbose_arg $ save_arg $ clients_arg $ callbacks_arg)
+      $ faults_arg $ verbose_arg $ save_arg $ clients_arg $ callbacks_arg $ read_pct_arg
+      $ snapshot_arg)
 
 let () = exit (Cmd.eval cmd)

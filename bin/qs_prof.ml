@@ -182,6 +182,99 @@ let diff_ship_summary (sys : Sys_.t) (m : Qs_metrics.t) =
    | Some _ | None -> ());
   if !printed then print_newline ()
 
+(* --- --snapshot: decomposition of the MVCC snapshot-read path --- *)
+
+(* A scripted two-client scenario under the deterministic scheduler: a
+   writer commits updates while a reader runs snapshot scans, so the
+   trace contains real as-of-LSN materializations (deltas applied, not
+   just chain heads). The decomposition splits the reader's cost into
+   the snapshot category vs the lock time it no longer pays. *)
+let run_snapshot_profile ~seed =
+  let cm = Simclock.Cost_model.default in
+  let clock = Clock.create () in
+  let server = Esm.Server.create ~frames:64 ~clock ~cm () in
+  let writer = Esm.Client.create ~frames:12 server in
+  let reader = Esm.Client.create ~frames:32 server in
+  let pages = 6 and objs_per_page = 4 and obj_len = 96 in
+  let nobj = pages * objs_per_page in
+  let value ~idx ~version =
+    let tag = Printf.sprintf "prof%d-o%d-v%d." seed idx version in
+    Bytes.init obj_len (fun i -> tag.[i mod String.length tag])
+  in
+  let oids = Array.make nobj None in
+  Esm.Client.with_txn writer (fun () ->
+      for p = 0 to pages - 1 do
+        let page_id, frame = Esm.Client.new_page writer ~kind:Esm.Page.Small_obj in
+        Esm.Client.unfix_page writer ~frame;
+        for s = 0 to objs_per_page - 1 do
+          let idx = (p * objs_per_page) + s in
+          oids.(idx) <-
+            Some
+              (match Esm.Client.create_object writer ~page_id (value ~idx ~version:0) with
+               | Some oid -> oid
+               | None -> Esm.Client.create_object_new_page writer (value ~idx ~version:0))
+        done
+      done);
+  let oid idx = match oids.(idx) with Some o -> o | None -> die "snapshot profile: no oid" in
+  Esm.Client.reset_cache writer;
+  Esm.Server.set_versioning server true;
+  Esm.Server.reset_counters server;
+  (Clock.reset clock [@qs_lint.allow "QS004"]);
+  let trace = Qs_trace.create ~clock () in
+  Qs_trace.arm trace;
+  let sched = Sched.create ~seed ~clocks:[ clock ] () in
+  Sched.spawn sched ~name:"writer" (fun () ->
+      for i = 1 to 12 do
+        Esm.Client.with_txn_retrying ~max_attempts:8 writer (fun () ->
+            let a = (i * 5) mod nobj and b = ((i * 5) + 1) mod nobj in
+            Esm.Client.update_object writer (oid a) ~off:0 (value ~idx:a ~version:i);
+            Esm.Client.update_object writer (oid b) ~off:0 (value ~idx:b ~version:i))
+      done);
+  Sched.spawn sched ~name:"reader" (fun () ->
+      (* Each body scans the whole world, so writer commits landing
+         mid-body force later page reads to roll back through deltas. *)
+      for _ = 0 to 3 do
+        Esm.Client.with_snapshot_txn ~frames:32 ~sanitize:true ~max_attempts:8 reader
+          (fun () ->
+            for idx = 0 to nobj - 1 do
+              ignore (Esm.Client.snapshot_read_object reader (oid idx))
+            done)
+      done);
+  List.iter
+    (fun (name, e) ->
+      match e with
+      | None -> ()
+      | Some e -> die "snapshot profile: task %s died: %s" name (Printexc.to_string e))
+    (Sched.run sched);
+  Qs_trace.disarm trace;
+  Printf.printf "%d trace events\n\n" (Qs_trace.length trace);
+  let m = Qs_metrics.of_trace trace in
+  print_string (Qs_metrics.render m);
+  print_newline ();
+  let c = Esm.Server.counters server in
+  let ms cat = Clock.category_us clock cat /. 1000.0 in
+  let events cat = Clock.category_events clock cat in
+  print_endline
+    (Report.render
+       ~title:
+         "Snapshot-read decomposition (writer committing concurrently; reader pays the \
+          snapshot category instead of lock waits)"
+       ~header:[ "component"; "count"; "ms" ]
+       ~rows:
+         [ [ "pages materialized as-of-LSN"; string_of_int c.Esm.Server.snapshot_reads
+           ; Report.f1 (ms Cat.Snapshot_read) ]
+         ; [ "undo deltas applied"; string_of_int c.Esm.Server.snapshot_deltas_applied; "-" ]
+         ; [ "lock waits (writer only; reader takes no locks)"
+           ; string_of_int (events Cat.Lock_wait); Report.f1 (ms Cat.Lock_wait) ]
+         ; [ "deadlock retries"; string_of_int (events Cat.Retry); Report.f1 (ms Cat.Retry) ] ]);
+  match Qs_metrics.crosscheck m clock with
+  | Ok () ->
+    Printf.printf "crosscheck: trace totals == clock totals (bit-exact, %d categories)\n" Cat.count
+  | Error errs ->
+    prerr_endline "crosscheck FAILED: trace totals diverge from the clock:";
+    List.iter (fun e -> prerr_endline ("  " ^ e)) errs;
+    exit 1
+
 let () =
   let sysname = ref "qs"
   and db = ref "tiny"
@@ -193,7 +286,8 @@ let () =
   and diff_ship = ref false
   and out = ref ""
   and charges = ref false
-  and verify = ref false in
+  and verify = ref false
+  and snapshot = ref false in
   let spec =
     [ ("--sys", Arg.Set_string sysname, "SYS system: qs|e|qsb (default qs)")
     ; ("--db", Arg.Set_string db, "DB database: tiny|small|medium (default tiny)")
@@ -205,12 +299,22 @@ let () =
     ; ("--diff-ship", Arg.Set diff_ship, " commit ships modified byte regions, pipelined with the WAL force")
     ; ("--out", Arg.Set_string out, "FILE write Chrome trace_event JSON")
     ; ("--charges", Arg.Set charges, " include every clock charge in the Chrome export")
-    ; ("--verify", Arg.Set verify, " also run disarmed; clock readings must be bit-identical") ]
+    ; ("--verify", Arg.Set verify, " also run disarmed; clock readings must be bit-identical")
+    ; ( "--snapshot"
+      , Arg.Set snapshot
+      , " profile the MVCC snapshot-read path instead: a scripted writer/reader interleaving \
+         under the deterministic scheduler, decomposed into the snapshot category vs the lock \
+         time readers no longer pay" ) ]
   in
   Arg.parse spec
     (fun a -> die "unexpected argument %S" a)
     "qs_prof: §5.2 cost decomposition from the Qs_trace stream";
 
+  if !snapshot then begin
+    Printf.printf "qs_prof: snapshot-read decomposition, seed %d\n%!" !seed;
+    run_snapshot_profile ~seed:!seed;
+    exit 0
+  end;
   Printf.printf "qs_prof: %s %s on the %s database, seed %d, hot_reps %d%s\n%!" !sysname !op !db
     !seed !hot
     ((if !prefetch > 1 then Printf.sprintf ", prefetch %d" !prefetch else "")

@@ -1,4 +1,4 @@
-(* The whole-program analyzer driver (rules QS011–QS014 and the
+(* The whole-program analyzer driver (rules QS011–QS014, QS016 and the
    effects baseline): ties the three passes together.
 
      Pass 1  Callgraph.build    parse + extract + resolve
@@ -15,7 +15,7 @@ type result = {
   graph : Callgraph.t;
   summaries : Effects.summaries;
   edges : Lockorder.edge list;
-  findings : Lint.finding list;  (** QS011–QS014, sorted like Lint's *)
+  findings : Lint.finding list;  (** QS011–QS014 and QS016, sorted like Lint's *)
 }
 
 let analyze files =
@@ -27,6 +27,7 @@ let analyze files =
     @ Lockorder.qs012 graph summaries
     @ Coverage.qs013 graph summaries
     @ Coverage.qs014 graph summaries
+    @ Snapshot_path.qs016 graph summaries
   in
   let findings =
     List.sort

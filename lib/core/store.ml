@@ -41,6 +41,7 @@ type stats = {
   mutable region_bytes_shipped : int;
   mutable pages_ship_fallback : int;
   mutable pages_ship_skipped : int;
+  mutable snapshot_faults : int;
 }
 
 let fresh_stats () =
@@ -59,7 +60,8 @@ let fresh_stats () =
   ; pages_region_shipped = 0
   ; region_bytes_shipped = 0
   ; pages_ship_fallback = 0
-  ; pages_ship_skipped = 0 }
+  ; pages_ship_skipped = 0
+  ; snapshot_faults = 0 }
 
 type t = {
   config : Qs_config.t;
@@ -93,6 +95,8 @@ type t = {
          a ship. Patching diff regions onto the server's base would
          lose those earlier bytes, so these pages always ship whole.
          Cleared at end of transaction. *)
+  mutable snap_mode : bool;  (* faults bind as-of-LSN snapshot bytes *)
+  mutable snap_bound : (int * int) list;  (* (vframe, snapshot-pool frame) *)
   stats : stats;
 }
 
@@ -119,7 +123,8 @@ let reset_stats t =
   d.pages_region_shipped <- 0;
   d.region_bytes_shipped <- 0;
   d.pages_ship_fallback <- 0;
-  d.pages_ship_skipped <- 0
+  d.pages_ship_skipped <- 0;
+  d.snapshot_faults <- 0
 
 let system_name t =
   match (t.config.Qs_config.ptr_format, t.config.Qs_config.mode, t.config.Qs_config.reloc) with
@@ -697,6 +702,38 @@ let validate t =
            | None -> ())))
     t.table
 
+(* QSan inside a snapshot body: the regular checks above would
+   (rightly) reject snapshot bindings — a vframe bound to as-of-LSN
+   pool bytes instead of the resident buffer frame. The snapshot
+   invariant is different: every snapshot-bound vframe is frozen,
+   read-only and bound to its snapshot-pool frame's bytes, and {e no
+   other} mapped frame is accessible (a reachable current-state frame
+   would leak post-snapshot bytes into the read). *)
+let validate_snapshot t =
+  let bound = Hashtbl.create 16 in
+  List.iter (fun (vf, fr) -> Hashtbl.replace bound vf fr) t.snap_bound;
+  Vmsim.iter_mapped
+    (fun ~frame ~prot ->
+      let subject = Printf.sprintf "vframe %d" frame in
+      match Hashtbl.find_opt bound frame with
+      | Some sf ->
+        if prot <> Vmsim.Prot_read then
+          San.fail ~check:"snapshot-prot" ~subject
+            "snapshot-bound frame is not read-only";
+        if not (Vmsim.frozen t.vm ~frame) then
+          San.fail ~check:"snapshot-frozen" ~subject
+            "snapshot-bound frame is not frozen against write escalation";
+        (match Vmsim.buf_of_frame t.vm ~frame with
+         | Some b when b == Client.snapshot_page_bytes t.client ~frame:sf -> ()
+         | Some _ | None ->
+           San.fail ~check:"snapshot-binding" ~subject
+             "Vmsim binding is not the snapshot pool frame's buffer")
+      | None ->
+        if prot <> Vmsim.Prot_none then
+          San.fail ~check:"snapshot-leak" ~subject
+            "current-state frame accessible inside a snapshot body")
+    t.vm
+
 (* Prefetch runs only extend across pages this close together on disk:
    contiguously clustered segment neighbors share the faulting page's
    seek; anything further apart would need its own positioning and
@@ -892,6 +929,40 @@ let write_fault t d =
       d.MT.write_enabled <- true;
       enable_access t d)
 
+(* A write slipped into a snapshot-read body. *)
+exception Snapshot_write of { vframe : int }
+
+let () =
+  Printexc.register_printer (function
+    | Snapshot_write { vframe } ->
+      Some (Printf.sprintf "Store.Snapshot_write(vframe %d)" vframe)
+    | _ -> None)
+
+(* The snapshot analogue of [read_fault]: materialize the page as of
+   the snapshot LSN into the private snapshot pool
+   ({!Client.snapshot_fix_page} — no page lock anywhere on that path)
+   and bind the vframe to those bytes read-only and frozen, so no
+   later path can escalate them to writable. The recovery buffer is
+   never consulted (nothing to undo), [write_enabled] is never armed,
+   and the descriptor's main-cache state is left untouched — after the
+   snapshot the binding is dropped and the next access soft-faults
+   back through [read_fault]. *)
+let snapshot_fault t d ~access =
+  (match access with
+   | Vmsim.Write -> raise (Snapshot_write { vframe = d.MT.vframe })
+   | Vmsim.Read -> ());
+  charge t Category.Fault_misc t.cm.CM.fault_misc_us;
+  match d.MT.phys with
+  | MT.Large_range _ ->
+    invalid_arg "Store: large objects are not supported under snapshot reads"
+  | MT.Small_page page_id ->
+    let frame = Client.snapshot_fix_page t.client page_id in
+    t.snap_bound <- (d.MT.vframe, frame) :: t.snap_bound;
+    t.stats.snapshot_faults <- t.stats.snapshot_faults + 1;
+    Vmsim.map t.vm ~frame:d.MT.vframe ~buf:(Client.snapshot_page_bytes t.client ~frame);
+    Vmsim.set_prot t.vm ~frame:d.MT.vframe Vmsim.Prot_read;
+    Vmsim.freeze t.vm ~frame:d.MT.vframe
+
 let handle_fault t ~frame ~access =
   match MT.find_by_vframe t.table frame with
   | None ->
@@ -909,22 +980,25 @@ let handle_fault t ~frame ~access =
                 | MT.Small_page p -> p
                 | MT.Large_range { oid; _ } -> oid.Oid.page ) ]
         "mt.hit";
-    let d =
-      match d.MT.phys with
-      | MT.Small_page _ -> d
-      | MT.Large_range { first; npages; _ } ->
-        if npages = 1 then d
-        else begin
-          charge t Category.Fault_misc t.cm.CM.map_entry_us;
-          MT.split_large t.table d ~idx:(first + (frame - d.MT.vframe))
-        end
-    in
-    (match Vmsim.prot t.vm ~frame:d.MT.vframe with
-     | Vmsim.Prot_none -> read_fault t d
-     | Vmsim.Prot_read | Vmsim.Prot_write -> ());
-    (match access with
-     | Vmsim.Write -> if not d.MT.write_enabled then write_fault t d
-     | Vmsim.Read -> ())
+    if t.snap_mode then snapshot_fault t d ~access
+    else begin
+      let d =
+        match d.MT.phys with
+        | MT.Small_page _ -> d
+        | MT.Large_range { first; npages; _ } ->
+          if npages = 1 then d
+          else begin
+            charge t Category.Fault_misc t.cm.CM.map_entry_us;
+            MT.split_large t.table d ~idx:(first + (frame - d.MT.vframe))
+          end
+      in
+      (match Vmsim.prot t.vm ~frame:d.MT.vframe with
+       | Vmsim.Prot_none -> read_fault t d
+       | Vmsim.Prot_read | Vmsim.Prot_write -> ());
+      (match access with
+       | Vmsim.Write -> if not d.MT.write_enabled then write_fault t d
+       | Vmsim.Read -> ())
+    end
 
 (* Eviction hook: called by the client before a page leaves the buffer
    pool. Stolen dirty pages are diffed and logged first (WAL rule);
@@ -1118,13 +1192,16 @@ let mk ~config ~server ~meta_page ~schema ~frame_counter =
     ; indices = Hashtbl.create 8
     ; to_disk_format = (fun ~page_id b -> ignore page_id; b)
     ; diff_ship_unsafe = Hashtbl.create 64
+    ; snap_mode = false
+    ; snap_bound = []
     ; stats = fresh_stats () }
   in
   Vmsim.set_fault_handler vm (fun ~frame ~access -> handle_fault t ~frame ~access);
   if config.Qs_config.group_commit then Server.set_group_commit server true;
   if config.Qs_config.diff_ship then Server.set_commit_pipeline server true;
   if config.Qs_config.sanitize then begin
-    Vmsim.set_post_fault_hook vm (fun ~frame:_ -> validate t);
+    Vmsim.set_post_fault_hook vm (fun ~frame:_ ->
+        if t.snap_mode then validate_snapshot t else validate t);
     (* QSan also re-enables the bounds-checked access path. *)
     Vmsim.set_checked vm true
   end;
@@ -1276,6 +1353,51 @@ let abort t =
   (* Cached bitmaps may reflect aborted creations; drop them. *)
   Hashtbl.reset t.bitmaps;
   end_of_txn t
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot reads: the mapped store's read-only mode. The body's page
+   faults are served from the client's private snapshot pool
+   materialized as of one snapshot LSN, with no page locks anywhere on
+   the path — see [snapshot_fault]. The recovery buffer is never
+   touched (write faults raise {!Snapshot_write} instead of arming
+   write access), so a snapshot body can run concurrently with
+   writers without entering the lock manager's waits-for graph. *)
+
+let in_snapshot t = t.snap_mode
+let snapshot_lsn t = Client.snapshot_lsn t.client
+
+let with_snapshot_read ?frames ?max_attempts t f =
+  if in_txn t then invalid_arg "Store.with_snapshot_read: update transaction active";
+  if t.snap_mode then invalid_arg "Store.with_snapshot_read: snapshot already active";
+  (match t.config.Qs_config.reloc with
+   | Qs_config.No_reloc -> ()
+   | Qs_config.Continual _ | Qs_config.One_time _ ->
+     invalid_arg "Store.with_snapshot_read: relocation modes rebind pointers mid-read");
+  if offsets_mode t then
+    invalid_arg "Store.with_snapshot_read: page-offset format swizzles in place";
+  Client.with_snapshot_txn ?frames ?max_attempts ~sanitize:(sanitize_on t) t.client
+    (fun () ->
+      t.snap_mode <- true;
+      (* Arm the address space: any access served by a still-accessible
+         current-state mapping would leak post-snapshot bytes, so every
+         mapped frame loses access and the body faults its pages in as
+         of the snapshot LSN. Charged like the end-of-transaction sweep
+         it mirrors. *)
+      Vmsim.protect_all t.vm;
+      Fun.protect
+        ~finally:(fun () ->
+          t.snap_mode <- false;
+          (* Drop the snapshot bindings (unmap clears the frozen flag
+             with the mapping) and unpin their pool frames. Resident
+             pages whose vframes the snapshot borrowed soft-fault back
+             through [read_fault] on their next regular access. *)
+          List.iter
+            (fun (vframe, frame) ->
+              Vmsim.unmap t.vm ~frame:vframe;
+              Client.snapshot_unfix_page t.client ~frame)
+            t.snap_bound;
+          t.snap_bound <- [])
+        f)
 
 (* ------------------------------------------------------------------ *)
 (* OID conversion, roots, indices.                                     *)

@@ -70,6 +70,38 @@ val commit : t -> unit
 val abort : t -> unit
 val in_txn : t -> bool
 
+(** {2 Snapshot reads (read-only mode)}
+
+    [with_snapshot_read t f] runs the read-only body [f] against the
+    database as of one snapshot LSN, with {b no page locks anywhere on
+    the path}: faults inside the body materialize pages into the
+    client's private snapshot pool ({!Esm.Client.with_snapshot_txn})
+    and bind them read-only and {e frozen} ({!Vmsim.freeze}), so the
+    body never enters the lock manager, never wounds or gets wounded,
+    and never triggers callback recalls. Write-fault arming and the
+    recovery buffer are skipped entirely; a write access inside the
+    body raises {!Snapshot_write}. [f] must be a pure read: when
+    version reclamation outruns the snapshot the body re-runs at a
+    fresh LSN (up to [max_attempts] executions, backoff charged to
+    [Category.Retry]). [frames] sizes the private pool and bounds the
+    pages one body execution may touch.
+
+    Coverage: pages known to the mapping table (touched by an earlier
+    transaction of this store, or by {!ptr_of_oid}). Requires server
+    versioning ({!Esm.Server.set_versioning}), no active update
+    transaction, VM-address pointers and a no-relocation
+    configuration; large objects are not supported inside a body. *)
+val with_snapshot_read : ?frames:int -> ?max_attempts:int -> t -> (unit -> 'a) -> 'a
+
+(** A write access slipped into a snapshot-read body. *)
+exception Snapshot_write of { vframe : int }
+
+val in_snapshot : t -> bool
+
+(** The active snapshot's LSN (raises [Esm.Client.No_snapshot] when
+    no snapshot body is running). *)
+val snapshot_lsn : t -> int64
+
 (** {2 Roots} *)
 
 val set_root : t -> string -> ptr -> unit
@@ -149,6 +181,8 @@ type stats = {
   mutable pages_ship_skipped : int;
       (** write-faulted pages that ended the transaction byte-identical
           to their snapshot: nothing logged, nothing shipped *)
+  mutable snapshot_faults : int;
+      (** faults served as-of-LSN from the snapshot pool (lock-free) *)
 }
 
 val stats : t -> stats

@@ -27,9 +27,23 @@ type t = {
   mutable retained_hits : int;
   mutable recalls_dropped : int;
   mutable recalls_deferred : int;
+  (* --- snapshot-isolation reads --- *)
+  mutable snap : snap option;
+  mutable snapshot_retries : int;  (* Snapshot_too_old retries at a fresh LSN *)
 }
 
 and victim_policy = Traditional | External of (t -> int)
+
+(* A read-only snapshot transaction: its pages live in a private pool —
+   never registered in the copy table, never recalled, never diffed —
+   so the main cache's callback state and the snapshot's as-of-LSN
+   bytes cannot contaminate each other. *)
+and snap = {
+  snap_id : int;
+  snap_lsn : int64;
+  snap_pool : Buf_pool.t;
+  snap_sanitize : bool;  (* QSan: server verifies each page against WAL replay *)
+}
 
 exception No_transaction
 exception Dangling_reference of Oid.t
@@ -59,7 +73,9 @@ let create ?(frames = 1536) server =
   ; cache_epoch = 0
   ; retained_hits = 0
   ; recalls_dropped = 0
-  ; recalls_deferred = 0 }
+  ; recalls_deferred = 0
+  ; snap = None
+  ; snapshot_retries = 0 }
 
 let set_victim_policy t p = t.policy <- p
 let server t = t.server
@@ -466,8 +482,49 @@ let evict_page t ~frame =
   if Buf_pool.pin_count t.pool frame > 0 then invalid_arg "Client.evict_page: pinned";
   evict_frame t frame
 
+(* Lock-grant freshness check. A page fixed {e before} a blocking lock
+   request can go stale while the requester is parked: a concurrent
+   writer commits new bytes to the server, after which this client
+   would update (and at commit ship whole) its old copy — silently
+   reverting the other transaction's committed update. The server
+   piggybacks the page's current image on the grant reply (no extra
+   round trip is modeled, so the comparison is uncharged); a stale
+   copy is refetched at the normal page-read cost before the caller
+   touches it. Only a {e fresh} acquisition can be stale — a lock
+   already held blocked every conflicting writer (strict 2PL) — and
+   only under the multi-client scheduler can anyone have interleaved,
+   so single-client runs skip even the peek. Compared modulo the
+   page-LSN header bytes: an abort's compensation restamp changes the
+   LSN without changing committed content. *)
+let refresh_after_grant t page_id =
+  match Buf_pool.lookup t.pool page_id with
+  | None -> ()
+  | Some frame when Buf_pool.is_dirty t.pool frame -> ()
+  | Some frame ->
+    let cached = Buf_pool.frame_bytes t.pool frame in
+    let auth = Bytes.create Page.page_size in
+    Server.peek_page t.server page_id auth;
+    let differs = ref false in
+    for i = 0 to Page.page_size - 1 do
+      if (i < 8 || i > 15) && Bytes.get cached i <> Bytes.get auth i then
+        differs := true
+    done;
+    if !differs then begin
+      if Qs_trace.enabled (clock t) then
+        Qs_trace.instant (clock t) ~cat:"esm"
+          ~args:[ Qs_trace.A_int ("page", page_id) ]
+          "lock.refresh";
+      rpc t ~op:"read_page" ~page:page_id (fun () ->
+          net_request t ~op:"read_page" ~page:page_id (fun () ->
+              Server.read_page t.server ~txn:(txn_id t) ~kind:Server.Data page_id cached))
+    end
+
 let lock_page t page_id mode =
-  Server.lock ?client:t.cb_id t.server ~txn:(txn_id t) (Lock_mgr.Page_lock page_id) mode
+  let fresh =
+    Server.lock_held t.server ~txn:(txn_id t) (Lock_mgr.Page_lock page_id) = None
+  in
+  Server.lock ?client:t.cb_id t.server ~txn:(txn_id t) (Lock_mgr.Page_lock page_id) mode;
+  if fresh && Sched.active () then refresh_after_grant t page_id
 let lock_file t file_id mode =
   Server.lock ?client:t.cb_id t.server ~txn:(txn_id t) (Lock_mgr.File_lock file_id) mode
 
@@ -718,17 +775,131 @@ let discard_page t page_id =
 
 let reset_cache t =
   if in_txn t then invalid_arg "Client.reset_cache: transaction active";
-  (match t.cb_id with
-   | Some id ->
-     Server.drop_all_copies t.server ~client:id;
-     Hashtbl.reset t.pending_recall;
-     Hashtbl.reset t.installed_epoch
-   | None -> ());
-  Buf_pool.clear t.pool
+  (* A transaction that touched no pages left nothing behind: the pool
+     is empty and no copy-table entry or recall can name this client,
+     so the whole epilogue — including the server-side copy-table
+     sweep — is a no-op. Skipping it keeps page-free transactions from
+     paying (and tracing) a spurious drop round. *)
+  let empty =
+    Buf_pool.occupied t.pool = 0
+    && Hashtbl.length t.pending_recall = 0
+    && Hashtbl.length t.installed_epoch = 0
+  in
+  if not empty then begin
+    (match t.cb_id with
+     | Some id ->
+       Server.drop_all_copies t.server ~client:id;
+       Hashtbl.reset t.pending_recall;
+       Hashtbl.reset t.installed_epoch
+     | None -> ());
+    Buf_pool.clear t.pool
+  end
+
+(* --- snapshot-isolation read-only transactions --------------------
+
+   The reader's whole page path is lock-free: [Server.read_page_at]
+   materializes the page as of the snapshot LSN from the server's
+   version chains, and nothing here ever calls [lock_page] — a
+   snapshot reader cannot wait, cannot deadlock, and cannot trigger a
+   callback recall. Pages land in a private per-snapshot pool kept
+   apart from the main (callback-tracked) cache. *)
+
+exception No_snapshot
+
+let in_snapshot t = t.snap <> None
+let snapshot_retries t = t.snapshot_retries
+let snap_state t = match t.snap with Some s -> s | None -> raise No_snapshot
+let snapshot_lsn t = (snap_state t).snap_lsn
+
+let take_snap_frame pool =
+  match Buf_pool.free_frame pool with
+  | Some f -> f
+  | None ->
+    (* Snapshot frames are never dirty and never copy-table tracked:
+       eviction is a plain drop. *)
+    let f = Buf_pool.clock_victim pool in
+    Buf_pool.evict pool f;
+    f
+
+let snapshot_fix_page t page_id =
+  let s = snap_state t in
+  match Buf_pool.lookup s.snap_pool page_id with
+  | Some f ->
+    Buf_pool.pin s.snap_pool f;
+    Buf_pool.set_ref_bit s.snap_pool f true;
+    f
+  | None ->
+    let f = take_snap_frame s.snap_pool in
+    rpc t ~op:"read_page_at" ~page:page_id (fun () ->
+        net_request t ~op:"read_page_at" ~page:page_id (fun () ->
+            Server.read_page_at t.server ~snap:s.snap_id ~verify:s.snap_sanitize page_id
+              (Buf_pool.frame_bytes s.snap_pool f)));
+    Buf_pool.install s.snap_pool ~frame:f ~page_id;
+    Buf_pool.pin s.snap_pool f;
+    f
+
+let snapshot_page_bytes t ~frame = Buf_pool.frame_bytes (snap_state t).snap_pool frame
+let snapshot_unfix_page t ~frame = Buf_pool.unpin (snap_state t).snap_pool frame
+
+let snapshot_read_object t oid =
+  let s = snap_state t in
+  let frame = snapshot_fix_page t oid.Oid.page in
+  Fun.protect
+    ~finally:(fun () -> Buf_pool.unpin s.snap_pool frame)
+    (fun () ->
+      let b = Buf_pool.frame_bytes s.snap_pool frame in
+      let p = Page.attach b in
+      match Page.slot_span p oid.Oid.slot with
+      | exception Not_found -> raise (Dangling_reference oid)
+      | off, len ->
+        if Page.slot_unique p oid.Oid.slot <> oid.Oid.unique then raise (Dangling_reference oid)
+        else Bytes.sub b off len)
+
+let end_snapshot_txn t =
+  match t.snap with
+  | None -> ()
+  | Some s ->
+    t.snap <- None;
+    Server.end_snapshot t.server ~snap:s.snap_id
+
+(* Run a read-only body at one snapshot LSN. The body must be a pure
+   read (re-runnable): when reclamation has trimmed a chain past our
+   LSN the server answers [Version_store.Snapshot_too_old], and the
+   whole body re-runs at a fresh snapshot after a backoff charged to
+   Retry — the snapshot analogue of {!with_txn_retrying}'s
+   abort-backoff-rerun, except no lock was ever held and no server
+   state needs undoing. *)
+let with_snapshot_txn ?(frames = 256) ?(sanitize = false) ?(max_attempts = 8) t f =
+  if in_txn t then invalid_arg "Client.with_snapshot_txn: update transaction active";
+  if in_snapshot t then invalid_arg "Client.with_snapshot_txn: snapshot already active";
+  let rec go attempt =
+    let snap_id, snap_lsn = Server.begin_snapshot t.server in
+    t.snap <-
+      Some { snap_id; snap_lsn; snap_pool = Buf_pool.create ~frames; snap_sanitize = sanitize };
+    match f () with
+    | v ->
+      end_snapshot_txn t;
+      v
+    | exception e -> (
+      end_snapshot_txn t;
+      match e with
+      | Version_store.Snapshot_too_old _ when attempt + 1 < max_attempts ->
+        t.snapshot_retries <- t.snapshot_retries + 1;
+        charge_retry t
+          ((cost_model t).Simclock.Cost_model.retry_backoff_us *. float_of_int (1 lsl attempt));
+        if Qs_trace.enabled (Server.clock t.server) then
+          Qs_trace.instant (Server.clock t.server) ~cat:"esm"
+            ~args:[ Qs_trace.A_int ("attempt", attempt + 1) ]
+            "retry.snapshot";
+        go (attempt + 1)
+      | e -> raise e)
+  in
+  go 0
 
 let crash t =
   t.pool <- Buf_pool.create ~frames:t.frames;
   t.txn <- None;
+  t.snap <- None;
   (* The registration dies with the cache: a recall through the old
      endpoint answers [Recall_dead] (generation mismatch) and the
      server forgets this client's stale copy-table entries. Surviving

@@ -98,6 +98,53 @@ val with_txn : t -> (unit -> 'a) -> 'a
 val with_txn_retrying :
   ?max_attempts:int -> ?on_retry:(attempt:int -> unit) -> t -> (unit -> 'a) -> 'a
 
+(** {2 Snapshot-isolation read-only transactions}
+
+    A snapshot transaction reads every page materialized as of one
+    snapshot LSN ({!Server.read_page_at}) with {b no page locks
+    anywhere on the path}: it never enters the lock manager's
+    waits-for graph, is never wounded, and never triggers a callback
+    recall. Its pages live in a private per-snapshot pool, kept apart
+    from the main (copy-table-tracked) cache. Requires server
+    versioning ({!Server.set_versioning}). *)
+
+(** A snapshot operation was attempted with no snapshot active. *)
+exception No_snapshot
+
+(** [with_snapshot_txn t f] runs the read-only body [f] at one
+    snapshot LSN. [f] must be a pure read (re-runnable): when
+    reclamation has trimmed a version chain past the snapshot, the
+    server answers [Version_store.Snapshot_too_old] and the body
+    re-runs at a {e fresh} snapshot LSN after an exponential backoff
+    charged to [Category.Retry], up to [max_attempts] executions —
+    the lock-free analogue of {!with_txn_retrying}. [frames] sizes
+    the private pool; [sanitize] (QSan) makes the server verify every
+    materialized page byte-exact against a WAL replay at the snapshot
+    LSN. Must not be called with an update transaction active. *)
+val with_snapshot_txn :
+  ?frames:int -> ?sanitize:bool -> ?max_attempts:int -> t -> (unit -> 'a) -> 'a
+
+val in_snapshot : t -> bool
+
+(** The active snapshot's LSN. Raises {!No_snapshot} when none. *)
+val snapshot_lsn : t -> int64
+
+(** Bodies re-run by [Snapshot_too_old] reclamation so far. *)
+val snapshot_retries : t -> int
+
+(** Checked object read as of the snapshot LSN (no lock acquired).
+    Raises {!Dangling_reference} on stale OIDs, {!No_snapshot} outside
+    a snapshot body. *)
+val snapshot_read_object : t -> Oid.t -> bytes
+
+(** Low-level snapshot page access (the mapped store's integration
+    point): fix materializes the page into the snapshot pool and pins
+    it. *)
+val snapshot_fix_page : t -> int -> int
+
+val snapshot_page_bytes : t -> frame:int -> bytes
+val snapshot_unfix_page : t -> frame:int -> unit
+
 (** {2 Page access} *)
 
 (** [fix_page t ~kind page_id] ensures residency and pins; returns the

@@ -17,6 +17,8 @@ type counters = {
   mutable callbacks_deferred : int;  (* recalls answered Deferred (page busy at the holder) *)
   mutable gc_rides : int;  (* log forces that rode the in-flight group-commit write *)
   mutable gc_cross_rides : int;  (* rides whose committer differs from the force owner *)
+  mutable snapshot_reads : int;  (* pages materialized for snapshot transactions *)
+  mutable snapshot_deltas_applied : int;  (* undo deltas applied across those reads *)
 }
 
 exception Injected_crash
@@ -74,6 +76,18 @@ type t = {
   mutable gc_credit : (int, float ref) Hashtbl.t;
       (* client id -> disk-write microseconds saved by riding another
          force (each committer's share of the group-commit win) *)
+  (* --- snapshot-isolation reads (MVCC version chains) --- *)
+  mutable versions : Version_store.t option;
+      (* None = versioning off: every capture/push hook below is a
+         no-op, so the default configuration charges nothing and stays
+         bit-identical to the locking-only server *)
+  mutable txn_undo : (int, (int, bytes) Hashtbl.t) Hashtbl.t;
+      (* per-txn captured pre-images: the page's committed bytes before
+         the transaction's first ship touched it, diffed at commit into
+         an undo delta. X page locks guarantee at most one in-flight
+         writer holds a baseline per page. *)
+  mutable snapshots : (int, int64) Hashtbl.t;  (* snapshot id -> snapshot LSN *)
+  mutable next_snapshot : int;
 }
 
 let create_with_disk ?(frames = 4608) ?fault ~disk ~clock ~cm () =
@@ -98,7 +112,9 @@ let create_with_disk ?(frames = 4608) ?fault ~disk ~clock ~cm () =
       ; callbacks_sent = 0
       ; callbacks_deferred = 0
       ; gc_rides = 0
-      ; gc_cross_rides = 0 }
+      ; gc_cross_rides = 0
+      ; snapshot_reads = 0
+      ; snapshot_deltas_applied = 0 }
   ; next_txn = 1
   ; active = Hashtbl.create 8
   ; txn_updates = Hashtbl.create 8
@@ -116,7 +132,11 @@ let create_with_disk ?(frames = 4608) ?fault ~disk ~clock ~cm () =
   ; copies = Hashtbl.create 64
   ; txn_owner = Hashtbl.create 8
   ; last_force_by = None
-  ; gc_credit = Hashtbl.create 8 }
+  ; gc_credit = Hashtbl.create 8
+  ; versions = None
+  ; txn_undo = Hashtbl.create 8
+  ; snapshots = Hashtbl.create 8
+  ; next_snapshot = 1 }
 
 let create ?frames ?fault ~clock ~cm () =
   create_with_disk ?frames ?fault ~disk:(Disk.create ()) ~clock ~cm ()
@@ -144,7 +164,9 @@ let reset_counters t =
   c.callbacks_sent <- 0;
   c.callbacks_deferred <- 0;
   c.gc_rides <- 0;
-  c.gc_cross_rides <- 0
+  c.gc_cross_rides <- 0;
+  c.snapshot_reads <- 0;
+  c.snapshot_deltas_applied <- 0
 
 (* A server whose scheduled crash has fired is dead until [crash] takes
    the failure: further requests bounce, exactly as a real coordinator
@@ -461,6 +483,48 @@ let note_txn_dirty t txn page_id =
   | Some h -> Hashtbl.replace h page_id ()
   | None -> ()
 
+(* Versioning: capture the page's committed pre-image at a writing
+   transaction's first ship of it. The copy is server-internal (no
+   charge, no counter, no fault draw), so with versioning off — the
+   default — nothing here runs and every existing digest is
+   unchanged. Must run before the first byte of the ship lands. *)
+let capture_baseline t txn page_id =
+  match t.versions with
+  | None -> ()
+  | Some _ ->
+    let pages =
+      match Hashtbl.find_opt t.txn_undo txn with
+      | Some h -> h
+      | None ->
+        let h = Hashtbl.create 8 in
+        Hashtbl.replace t.txn_undo txn h;
+        h
+    in
+    if not (Hashtbl.mem pages page_id) then begin
+      let b = Bytes.create Page.page_size in
+      peek_page t page_id b;
+      Hashtbl.replace pages page_id b
+    end
+
+(* Commit-time version push: diff each captured baseline against the
+   page's committed bytes and retain the changed runs as an undo delta
+   stamped with the COMMIT record's LSN — the first point at which the
+   writes are visible, and therefore the version boundary a snapshot
+   begun mid-transaction must not cross. *)
+let push_versions t txn ~commit_lsn =
+  match t.versions with
+  | None -> ()
+  | Some vs ->
+    (match Hashtbl.find_opt t.txn_undo txn with
+     | None -> ()
+     | Some pages ->
+       Hashtbl.fold (fun p b acc -> (p, b) :: acc) pages []
+       |> List.sort compare
+       |> List.iter (fun (page_id, baseline) ->
+              let current = Bytes.create Page.page_size in
+              peek_page t page_id current;
+              Version_store.push vs ~page:page_id ~baseline ~current ~commit_lsn))
+
 (* Commit-ship time eligible for the pipeline credit (tracked only when
    pipelining is on, so the default path allocates nothing). *)
 let note_ship_us t txn us =
@@ -489,6 +553,7 @@ let write_page t ~txn ~at_commit page_id src =
     Qs_trace.instant t.clock ~cat:"esm"
       ~args:[ Qs_trace.A_int ("page", page_id) ]
       (if at_commit then "ship.commit" else "ship.steal");
+  capture_baseline t txn page_id;
   let f =
     match Buf_pool.lookup t.pool page_id with
     | Some f -> f
@@ -554,6 +619,7 @@ let apply_regions t ~txn ~seq ?check page_id regions =
   in
   let duplicate = Hashtbl.mem applied seq in
   if not duplicate then begin
+    capture_baseline t txn page_id;
     (* commit.region_torn: the apply dies partway — only a seeded
        prefix of the regions lands in the (volatile) server pool, and
        the sequence number is never recorded, so a restarted commit
@@ -667,6 +733,171 @@ let lock ?client t ~txn resource mode =
   else Lock_mgr.acquire t.locks ~txn resource mode
 
 let lock_held t ~txn resource = Lock_mgr.held t.locks ~txn resource
+
+(* --- snapshot-isolation reads ------------------------------------- *)
+
+let set_versioning ?max_deltas t on =
+  serve @@ fun () ->
+  check_up t;
+  if on then begin
+    if Hashtbl.length t.active > 0 then invalid_arg "Server.set_versioning: transactions active";
+    t.versions <- Some (Version_store.create ?max_deltas ~enable_lsn:(Wal.last_lsn t.wal) ())
+  end
+  else begin
+    t.versions <- None;
+    Hashtbl.reset t.txn_undo;
+    Hashtbl.reset t.snapshots
+  end
+
+let versioning t = t.versions <> None
+let version_stats t = Option.map Version_store.stats t.versions
+
+let version_chain t page_id =
+  match t.versions with None -> None | Some vs -> Version_store.chain vs page_id
+
+let version_bytes_retained t =
+  match t.versions with None -> 0 | Some vs -> Version_store.bytes_retained vs
+
+let active_snapshots t = Hashtbl.length t.snapshots
+
+(* Oldest LSN any active snapshot can still ask for; with none active,
+   every retained delta is reclaimable. *)
+let snapshot_watermark t =
+  Hashtbl.fold
+    (fun _ lsn acc -> match acc with None -> Some lsn | Some a -> Some (min a lsn))
+    t.snapshots None
+
+let trim_versions t =
+  match t.versions with
+  | None -> ()
+  | Some vs ->
+    let watermark =
+      match snapshot_watermark t with Some w -> w | None -> Wal.last_lsn t.wal
+    in
+    Version_store.trim vs ~watermark ~on_trim:(fun () ->
+        Qs_fault.hit t.fault Qs_fault.Point.snapshot_trim)
+
+let begin_snapshot t =
+  serve @@ fun () ->
+  check_up t;
+  (match t.versions with
+   | None -> invalid_arg "Server.begin_snapshot: versioning off"
+   | Some _ -> ());
+  let id = t.next_snapshot in
+  t.next_snapshot <- id + 1;
+  let lsn = Wal.last_lsn t.wal in
+  Hashtbl.replace t.snapshots id lsn;
+  if Qs_trace.enabled t.clock then
+    Qs_trace.instant t.clock ~cat:"esm"
+      ~args:[ Qs_trace.A_int ("snap", id); Qs_trace.A_int ("lsn", Int64.to_int lsn) ]
+      "snapshot.begin";
+  (id, lsn)
+
+(* Releasing a snapshot moves the watermark, so reclamation rides the
+   release: chains drop every delta no remaining reader can need. *)
+let end_snapshot t ~snap =
+  serve @@ fun () ->
+  check_up t;
+  if Hashtbl.mem t.snapshots snap then begin
+    Hashtbl.remove t.snapshots snap;
+    trim_versions t;
+    if Qs_trace.enabled t.clock then
+      Qs_trace.instant t.clock ~cat:"esm" ~args:[ Qs_trace.A_int ("snap", snap) ] "snapshot.end"
+  end
+
+(* QSan cross-check: the materialized image must equal a from-scratch
+   WAL replay — base image plus every Update of a transaction whose
+   COMMIT record falls in (base_lsn, snapshot] — modulo the page-LSN
+   header bytes (abort compensation restamps them without a commit).
+   Skipped when a checkpoint truncated records the replay would need. *)
+let verify_snapshot_page t ~snapshot page_id dst =
+  match t.versions with
+  | None -> ()
+  | Some vs ->
+    (match Version_store.chain vs page_id with
+     | None -> ()
+     | Some c ->
+       if Wal.base_lsn t.wal <= c.Version_store.base_lsn then begin
+         let img = Bytes.copy c.Version_store.base_image in
+         let commits = Hashtbl.create 32 in
+         Wal.iter_all
+           (fun lsn r -> match r with Wal.Commit txn -> Hashtbl.replace commits txn lsn | _ -> ())
+           t.wal;
+         Wal.iter_all
+           (fun _ r ->
+             match r with
+             | Wal.Update { txn; page; off; new_data; _ } when page = page_id -> (
+               match Hashtbl.find_opt commits txn with
+               | Some cl when cl > c.Version_store.base_lsn && cl <= snapshot ->
+                 Bytes.blit new_data 0 img off (Bytes.length new_data)
+               | Some _ | None -> ())
+             | _ -> ())
+           t.wal;
+         let mismatch = ref (-1) in
+         for i = Page.page_size - 1 downto 0 do
+           (* bytes 8..15 hold the page LSN the header stamp may differ on *)
+           if (i < 8 || i > 15) && Bytes.get img i <> Bytes.get dst i then mismatch := i
+         done;
+         if !mismatch >= 0 then
+           Qs_util.Sanitizer.fail ~check:"snapshot-replay"
+             ~subject:(Printf.sprintf "page %d" page_id)
+             "materialized snapshot at LSN %Ld differs from WAL replay at byte %d (chain base \
+              %Ld, %d deltas retained)"
+             snapshot !mismatch c.Version_store.base_lsn
+             (List.length c.Version_store.deltas)
+       end)
+
+(* The snapshot read itself: no lock-manager request anywhere on this
+   path — the reader never joins a waits-for graph, never gets
+   wounded, and never triggers a callback recall. The page is
+   materialized as of the snapshot LSN from the newest committed image
+   (an in-flight writer's captured baseline when one exists) by
+   applying undo deltas, all charged to [Category.Snapshot_read]. *)
+let read_page_at t ~snap ?(verify = false) page_id dst =
+  serve @@ fun () ->
+  check_up t;
+  let vs =
+    match t.versions with
+    | Some vs -> vs
+    | None -> invalid_arg "Server.read_page_at: versioning off"
+  in
+  let snapshot =
+    match Hashtbl.find_opt t.snapshots snap with
+    | Some lsn -> lsn
+    | None -> invalid_arg "Server.read_page_at: unknown snapshot"
+  in
+  Qs_fault.hit t.fault Qs_fault.Point.snapshot_materialize;
+  let cm = t.cm in
+  let cat = Simclock.Category.Snapshot_read in
+  (* In-flight writer's captured baseline, else the authoritative
+     server bytes (installed in the pool like any other read; the miss
+     is a real disk read, charged to the snapshot category). *)
+  let pending = ref [] in
+  Hashtbl.iter
+    (fun txn pages ->
+      if Hashtbl.mem pages page_id then pending := txn :: !pending)
+    t.txn_undo;
+  let stable =
+    match List.sort compare !pending with
+    | txn :: _ -> Hashtbl.find (Hashtbl.find t.txn_undo txn) page_id
+    | [] ->
+      let f, hit = resident_bytes t ~cat ~charge_miss:true page_id in
+      if hit then t.counters.server_pool_hits <- t.counters.server_pool_hits + 1;
+      Buf_pool.frame_bytes t.pool f
+  in
+  let applied = Version_store.materialize vs ~page:page_id ~snapshot ~stable dst in
+  t.counters.snapshot_reads <- t.counters.snapshot_reads + 1;
+  t.counters.snapshot_deltas_applied <- t.counters.snapshot_deltas_applied + applied;
+  Qs_trace.charge_n t.clock cat applied cm.Simclock.Cost_model.ship_region_us;
+  Qs_trace.charge t.clock cat cm.Simclock.Cost_model.net_ship_us;
+  if Qs_trace.enabled t.clock then
+    Qs_trace.instant t.clock ~cat:"esm"
+      ~args:
+        [ Qs_trace.A_int ("page", page_id)
+        ; Qs_trace.A_int ("snap", snap)
+        ; Qs_trace.A_int ("deltas", applied) ]
+      "snapshot.read";
+  if verify then verify_snapshot_page t ~snapshot page_id dst
 
 let log_update t ~txn ~page ~off ~old_data ~new_data =
   serve @@ fun () ->
@@ -790,13 +1021,14 @@ let finish_txn t txn =
   Hashtbl.remove t.txn_dirty txn;
   Hashtbl.remove t.txn_ships txn;
   Hashtbl.remove t.txn_ship_us txn;
-  Hashtbl.remove t.txn_owner txn
+  Hashtbl.remove t.txn_owner txn;
+  Hashtbl.remove t.txn_undo txn
 
 let commit t ~txn =
   serve @@ fun () ->
   check_active t txn "commit";
   Qs_fault.hit t.fault Qs_fault.Point.commit_pre_log;
-  ignore (Wal.append t.wal (Wal.Commit txn));
+  let commit_lsn = Wal.append t.wal (Wal.Commit txn) in
   Qs_fault.hit t.fault Qs_fault.Point.commit_pre_flush;
   let overlap_us =
     if t.pipeline_commit then
@@ -806,6 +1038,7 @@ let commit t ~txn =
   force_log ~overlap_us ?committer:(Hashtbl.find_opt t.txn_owner txn) t;
   flush_txn_pages ~point:Qs_fault.Point.commit_mid_flush t txn;
   Qs_fault.hit t.fault Qs_fault.Point.commit_post_flush;
+  push_versions t txn ~commit_lsn;
   finish_txn t txn
 
 (* Two-phase commit, participant side: make the transaction's effects
@@ -895,6 +1128,16 @@ let crash t =
   t.copies <- Hashtbl.create 64;
   t.txn_owner <- Hashtbl.create 8;
   t.gc_credit <- Hashtbl.create 8;
+  (* Version chains, captured baselines and snapshot registrations are
+     volatile: a crash drops them all, and versioning itself turns off
+     until the harness re-enables it after recovery (the chains must
+     anchor at the recovered server's log position, not the pre-crash
+     one). Snapshot clients discover the loss as an unknown-snapshot
+     error and retry at a fresh LSN. *)
+  t.versions <- None;
+  t.txn_undo <- Hashtbl.create 8;
+  t.snapshots <- Hashtbl.create 8;
+  t.next_snapshot <- 1;
   (* The failure is taken: the restarted server may serve again. *)
   Qs_fault.clear_halt t.fault
 

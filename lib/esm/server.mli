@@ -218,6 +218,67 @@ val peek_page : t -> int -> bytes -> unit
     cross-client batching win). *)
 val gc_credit_us : t -> client:int -> float
 
+(** {2 Snapshot-isolation reads (MVCC version chains)}
+
+    With versioning on, every commit retains the precise byte runs it
+    changed — the same regions the diff-ship path computes — as an
+    {e undo} delta on a bounded per-page chain ({!Version_store}).
+    A read-only transaction takes a snapshot LSN at begin and reads
+    pages materialized as of that LSN with {b no page locks anywhere on
+    the path}: snapshot readers never enter the lock manager's
+    waits-for graph, are never wounded, and never force a callback
+    recall. Off by default; every hook is then a no-op and the server
+    is bit-identical to the locking-only build. *)
+
+(** [set_versioning ?max_deltas t on] enables or disables version
+    retention. Enabling requires no active transactions (the chains
+    anchor at the current log position) and must be redone after a
+    {!crash}: chains are volatile and recovery moves the log position.
+    [max_deltas] bounds each page's chain (default 16); pushes past the
+    bound drop the oldest delta, which can make old snapshots
+    unservable ({!Version_store.Snapshot_too_old}). *)
+val set_versioning : ?max_deltas:int -> t -> bool -> unit
+
+val versioning : t -> bool
+
+(** [begin_snapshot t] registers a read-only snapshot and returns
+    [(snapshot id, snapshot LSN)] — the LSN of the last appended log
+    record, so every commit at or below it is visible and nothing
+    after it is. *)
+val begin_snapshot : t -> int * int64
+
+(** Deregister a snapshot. Moves the reclamation watermark and trims
+    every chain delta no remaining active snapshot can need (crash
+    point [snapshot.trim]). *)
+val end_snapshot : t -> snap:int -> unit
+
+(** [read_page_at t ~snap ?verify page_id dst] materializes the page
+    as of the snapshot's LSN: newest committed image (an in-flight
+    writer's captured pre-image when one exists), rolled back by undo
+    deltas. Charged to [Category.Snapshot_read]; acquires no locks.
+    Raises {!Version_store.Snapshot_too_old} when the chain has been
+    trimmed or bounded past the snapshot — the client retries at a
+    fresh LSN. [verify] (QSan) replays the WAL from the chain's base
+    image and requires the materialized page byte-identical modulo the
+    page-LSN header stamp. Crash point: [snapshot.materialize]. *)
+val read_page_at : t -> snap:int -> ?verify:bool -> int -> bytes -> unit
+
+val active_snapshots : t -> int
+
+(** Oldest LSN any active snapshot can still read ([None] when no
+    snapshot is active — everything is reclaimable). *)
+val snapshot_watermark : t -> int64 option
+
+(** Trim all chains against the current watermark (also done by
+    {!end_snapshot}). *)
+val trim_versions : t -> unit
+
+val version_stats : t -> Version_store.stats option
+val version_chain : t -> int -> Version_store.chain option
+
+(** Total bytes retained across all version chains. *)
+val version_bytes_retained : t -> int
+
 (** Append an update record on behalf of a client; returns its LSN.
     Charges log-record CPU. *)
 val log_update : t -> txn:int -> page:int -> off:int -> old_data:bytes -> new_data:bytes -> int64
@@ -302,6 +363,8 @@ type counters = {
   mutable gc_cross_rides : int;
       (** rides whose committer differs from the owner of the force
           they rode (cross-client group commit) *)
+  mutable snapshot_reads : int;  (** pages materialized for snapshot transactions *)
+  mutable snapshot_deltas_applied : int;  (** undo deltas applied across those reads *)
 }
 
 val counters : t -> counters

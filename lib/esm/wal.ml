@@ -84,6 +84,13 @@ let iter_forced f t =
     f (Int64.of_int (t.base + i + 1)) t.records.(i)
   done
 
+let iter_all f t =
+  for i = 0 to t.len - 1 do
+    f (Int64.of_int (t.base + i + 1)) t.records.(i)
+  done
+
+let base_lsn t = Int64.of_int t.base
+
 (* Checkpoint truncation: everything so far is durable on disk pages,
    so the records can be dropped. LSNs stay monotonic via [base]. *)
 let truncate t =

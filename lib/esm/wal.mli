@@ -52,6 +52,17 @@ val last_lsn : t -> int64
 (** All records with LSN <= the forced LSN, in order, with their LSNs. *)
 val iter_forced : (int64 -> record -> unit) -> t -> unit
 
+(** Every record still held, forced or not, in order, with LSNs. QSan's
+    snapshot-replay invariant needs the unforced tail too: a version
+    chain reflects appended-but-unforced updates the moment the buffer
+    pool does. *)
+val iter_all : (int64 -> record -> unit) -> t -> unit
+
+(** LSN of the last record dropped by {!truncate} (0 before any
+    truncation): records with LSN <= this are gone, so a replay check
+    anchored below it must be skipped, not failed. *)
+val base_lsn : t -> int64
+
 (** Simulate losing the unforced tail (client/server crash). *)
 val survive_crash : t -> t
 

@@ -19,13 +19,15 @@ module Point = struct
   let dist_pre_prepare = "dist.pre_prepare"
   let dist_pre_decision = "dist.pre_decision"
   let dist_mid_decision = "dist.mid_decision"
+  let snapshot_trim = "snapshot.trim"
+  let snapshot_materialize = "snapshot.materialize"
 
   let all =
     [ commit_pre_log; commit_pre_flush; commit_mid_flush; commit_post_flush; commit_ship_page
     ; commit_ship_region; commit_region_torn
     ; wal_force_partial; prepare_pre_log; prepare_post_log; prepare_mid_flush; abort_mid_undo
     ; evict_steal_write; checkpoint_mid_flush; disk_torn_write; dist_pre_prepare
-    ; dist_pre_decision; dist_mid_decision ]
+    ; dist_pre_decision; dist_mid_decision; snapshot_trim; snapshot_materialize ]
 
   let mem p = List.mem p all
 end

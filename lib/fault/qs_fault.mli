@@ -60,6 +60,10 @@ module Point : sig
 
   val dist_mid_decision : string  (** 2PC: decision delivered to some participants *)
 
+  val snapshot_trim : string  (** between two chain trims of a version-watermark sweep *)
+
+  val snapshot_materialize : string  (** before an as-of-LSN page version is assembled *)
+
   val all : string list
   val mem : string -> bool
 end

@@ -249,6 +249,76 @@ let callback_run_json (s : Mc.stats) =
       ; field "trace_digest" (json_string s.Mc.trace_digest) ]
   ^ "}"
 
+(* The snapshot-read baseline ([BENCH_oo7_snapshot.json]): the same
+   4-client hot-page workload at read_pct 80 under both read regimes —
+   locking scans first (S locks, waits-for graph, wound retries), then
+   MVCC snapshot bodies (no page locks anywhere on the read path) — so
+   the file quantifies exactly what version chains buy: reader lock
+   waits and deadlock retries collapse, while [world_digest] equality
+   proves the writers' committed effects are byte-identical in both
+   regimes (the rng draw sequences are identical and the write
+   partitions disjoint, so any divergence is a correctness bug, not
+   noise). Both trace digests are pinned. *)
+let snapshot_clients = 4
+let snapshot_read_pct = 80
+
+let snapshot_runs ?(progress = fun (_ : string) -> ()) ~seed () =
+  List.map
+    (fun snapshot ->
+      progress
+        (Printf.sprintf "running %d-client read-heavy contention (read_pct %d), %s scans..."
+           snapshot_clients snapshot_read_pct
+           (if snapshot then "snapshot" else "locking"));
+      Mc.run ~clients:snapshot_clients ~seed ~read_pct:snapshot_read_pct ~snapshot ())
+    [ false; true ]
+
+let snapshot_run_json (s : Mc.stats) =
+  let field k v = Printf.sprintf "\"%s\":%s" k v in
+  "{"
+  ^ String.concat ","
+      [ field "mode" (json_string (if s.Mc.snapshot then "snapshot" else "locking"))
+      ; field "clients" (string_of_int s.Mc.clients)
+      ; field "read_pct" (string_of_int s.Mc.read_pct)
+      ; field "committed" (string_of_int s.Mc.committed)
+      ; field "read_txns" (string_of_int s.Mc.read_txns)
+      ; field "deadlock_retries" (string_of_int s.Mc.deadlock_retries)
+      ; field "lock_waits" (string_of_int s.Mc.lock_waits)
+      ; field "lock_wait_ms" (json_float s.Mc.lock_wait_ms)
+      ; field "retry_ms" (json_float s.Mc.retry_ms)
+      ; field "reads" (string_of_int s.Mc.reads)
+      ; field "writes" (string_of_int s.Mc.writes)
+      ; field "snapshot_reads" (string_of_int s.Mc.snapshot_reads)
+      ; field "snapshot_deltas" (string_of_int s.Mc.snapshot_deltas)
+      ; field "snapshot_retries" (string_of_int s.Mc.snapshot_retries)
+      ; field "total_ms" (json_float s.Mc.total_ms)
+      ; field "world_digest" (json_string s.Mc.world_digest)
+      ; field "trace_digest" (json_string s.Mc.trace_digest) ]
+  ^ "}"
+
+let render_snapshot ~seed runs =
+  let find mode =
+    match List.find_opt (fun (s : Mc.stats) -> s.Mc.snapshot = mode) runs with
+    | Some s -> s
+    | None -> invalid_arg "Bench_json.render_snapshot: need one run per regime"
+  in
+  let locking = find false and snap = find true in
+  let summary =
+    String.concat ","
+      [ Printf.sprintf "\"lock_waits_locking\":%d" locking.Mc.lock_waits
+      ; Printf.sprintf "\"lock_waits_snapshot\":%d" snap.Mc.lock_waits
+      ; Printf.sprintf "\"lock_wait_reduction\":%s"
+          (json_float
+             (if snap.Mc.lock_waits = 0 then Float.of_int locking.Mc.lock_waits
+              else float_of_int locking.Mc.lock_waits /. float_of_int snap.Mc.lock_waits))
+      ; Printf.sprintf "\"deadlock_retries_locking\":%d" locking.Mc.deadlock_retries
+      ; Printf.sprintf "\"deadlock_retries_snapshot\":%d" snap.Mc.deadlock_retries
+      ; Printf.sprintf "\"world_digest_equal\":%b"
+          (String.equal locking.Mc.world_digest snap.Mc.world_digest) ]
+  in
+  Printf.sprintf "{\"benchmark\":%s,\"database\":%s,\"seed\":%d,%s,\"runs\":[%s]}\n"
+    (json_string "OO7-snapshot") (json_string "mc-hotskew") seed summary
+    (String.concat "," (List.map snapshot_run_json runs))
+
 let render_callback ~seed runs =
   let find mode =
     match List.find_opt (fun (s : Mc.stats) -> s.Mc.callbacks = mode) runs with

@@ -32,6 +32,8 @@
 module F = Qs_fault
 module Server = Esm.Server
 module Client = Esm.Client
+module Oid = Esm.Oid
+module Page = Esm.Page
 module Rng = Qs_util.Rng
 module Clock = Simclock.Clock
 module Category = Simclock.Category
@@ -63,6 +65,16 @@ type stats = {
   callbacks_deferred : int;  (* recalls deferred (page busy at the holder) *)
   gc_rides : int;  (* log forces riding the in-flight group-commit write *)
   gc_cross_rides : int;  (* rides committed by a different client than the force owner *)
+  read_pct : int;  (* % of transactions that are read-only scans (0 = legacy mix) *)
+  snapshot : bool;  (* read regime: MVCC snapshot bodies vs locking read txns *)
+  read_txns : int;  (* read-only scans committed (all clients) *)
+  snapshot_reads : int;  (* pages materialized as-of-LSN at the server *)
+  snapshot_deltas : int;  (* undo deltas applied across those reads *)
+  snapshot_retries : int;  (* scan bodies re-run by Snapshot_too_old reclamation *)
+  world_digest : string;
+      (* md5 of every object's final committed bytes (server-authoritative,
+         uncharged): writer partitions are disjoint, so the two read
+         regimes must leave byte-identical worlds *)
 }
 
 let obj_len = 96
@@ -87,8 +99,25 @@ let distinct_picks ~k ~pick =
   done;
   List.rev !picked
 
-let run ?(clients = 2) ?(txns_per_client = 18) ?(seed = 42) ?(callbacks = false) () =
+(* [read_pct] > 0 adds a read-heavy regime: that percentage of each
+   client's transactions become read-only scans of [scan_len] skewed
+   objects (crossing freely into other clients' write partitions — the
+   reader/writer contention the snapshot machinery exists to remove).
+   [snapshot] selects the scan mechanism: [false] runs scans as
+   ordinary locking transactions (S locks, waits-for graph, wound
+   retries); [true] runs them as MVCC snapshot bodies
+   ({!Client.with_snapshot_txn}) — no page locks, no recalls. The rng
+   draw sequence is identical in both regimes and writes stay in
+   disjoint per-client partitions, so both must end with byte-identical
+   worlds ([world_digest]). [read_pct = 0] (the default) is
+   byte-identical to the historical mix. *)
+let scan_len = 8
+
+let run ?(clients = 2) ?(txns_per_client = 18) ?(seed = 42) ?(callbacks = false)
+    ?(read_pct = 0) ?(snapshot = false) () =
   if clients < 1 then invalid_arg "Mc.run: clients must be >= 1";
+  if read_pct < 0 || read_pct > 100 then invalid_arg "Mc.run: read_pct must be in 0..100";
+  if snapshot && read_pct = 0 then invalid_arg "Mc.run: snapshot requires read_pct > 0";
   let cm = Simclock.Cost_model.default in
   let clock = Clock.create () in
   let server = Server.create ~frames:128 ~clock ~cm () in
@@ -124,6 +153,10 @@ let run ?(clients = 2) ?(txns_per_client = 18) ?(seed = 42) ?(callbacks = false)
      starts from an empty cache either way; the QSan retained-page
      crosscheck is armed on every client. *)
   if callbacks then Array.iter (fun cl -> Client.enable_callbacks ~sanitize:true cl) cls;
+  (* Snapshot regime: version chains start accumulating at the
+     contended phase's first commit. QSan's WAL-replay crosscheck rides
+     every materialized page (it observes, charging nothing). *)
+  if snapshot then Server.set_versioning server true;
   (* Contended phase: fresh counters, a trace sink armed for the
      digest, and one task per client. *)
   Server.reset_counters server;
@@ -132,6 +165,7 @@ let run ?(clients = 2) ?(txns_per_client = 18) ?(seed = 42) ?(callbacks = false)
   Qs_trace.arm sink;
   let committed = Array.make clients 0 in
   let retries = Array.make clients 0 in
+  let scans = Array.make clients 0 in
   let sched = Sched.create ~seed ~clocks:[ clock ] () in
   for c = 0 to clients - 1 do
     Sched.spawn sched ~name:(Printf.sprintf "client-%d" c) (fun () ->
@@ -142,27 +176,56 @@ let run ?(clients = 2) ?(txns_per_client = 18) ?(seed = 42) ?(callbacks = false)
              reads range over everyone's, skewed to the hot pages, so
              contention is read-write and deadlocks are S->X cycles. *)
           let own p = (p - (p mod clients) + c) mod nobj in
-          let wr =
-            distinct_picks ~k:2 ~pick:(fun () -> own (pick_skewed rng ~hot ~n:nobj ~hot_pct:50))
-          in
-          let rd = distinct_picks ~k:3 ~pick:(fun () -> pick_skewed rng ~hot ~n:nobj ~hot_pct:60) in
-          let rd = List.filter (fun idx -> not (List.mem idx wr)) rd in
-          (* Reset-per-txn regime only: under callback locking, clean
-             pages stay hot across transactions and across deadlock
-             retries (an abort already dropped the dirty ones). *)
-          if not callbacks then Client.reset_cache cl;
-          Client.with_txn_retrying ~max_attempts:8
-            ~on_retry:(fun ~attempt:_ ->
-              retries.(c) <- retries.(c) + 1;
-              if not callbacks then Client.reset_cache cl)
-            cl
-            (fun () ->
-              List.iter (fun idx -> ignore (Client.read_object cl (oid idx))) rd;
-              List.iter
-                (fun idx ->
-                  Client.update_object cl (oid idx) ~off:0
-                    (value ~seed ~idx ~version:((i * clients) + c)))
-                wr);
+          (* The scan draw short-circuits at read_pct = 0, so the legacy
+             mix consumes exactly the historical rng sequence. *)
+          let scan = read_pct > 0 && Rng.int rng 100 < read_pct in
+          if scan then begin
+            (* Read-only scan over everyone's partitions, hot-skewed:
+               under locking this queues behind (and wounds against)
+               the writers; under snapshot it touches no lock at all. *)
+            let rd =
+              distinct_picks ~k:scan_len ~pick:(fun () ->
+                  pick_skewed rng ~hot ~n:nobj ~hot_pct:60)
+            in
+            if snapshot then
+              Client.with_snapshot_txn ~frames:32 ~sanitize:true ~max_attempts:8 cl
+                (fun () ->
+                  List.iter (fun idx -> ignore (Client.snapshot_read_object cl (oid idx))) rd)
+            else begin
+              if not callbacks then Client.reset_cache cl;
+              Client.with_txn_retrying ~max_attempts:8
+                ~on_retry:(fun ~attempt:_ ->
+                  retries.(c) <- retries.(c) + 1;
+                  if not callbacks then Client.reset_cache cl)
+                cl
+                (fun () ->
+                  List.iter (fun idx -> ignore (Client.read_object cl (oid idx))) rd)
+            end;
+            scans.(c) <- scans.(c) + 1
+          end
+          else begin
+            let wr =
+              distinct_picks ~k:2 ~pick:(fun () -> own (pick_skewed rng ~hot ~n:nobj ~hot_pct:50))
+            in
+            let rd = distinct_picks ~k:3 ~pick:(fun () -> pick_skewed rng ~hot ~n:nobj ~hot_pct:60) in
+            let rd = List.filter (fun idx -> not (List.mem idx wr)) rd in
+            (* Reset-per-txn regime only: under callback locking, clean
+               pages stay hot across transactions and across deadlock
+               retries (an abort already dropped the dirty ones). *)
+            if not callbacks then Client.reset_cache cl;
+            Client.with_txn_retrying ~max_attempts:8
+              ~on_retry:(fun ~attempt:_ ->
+                retries.(c) <- retries.(c) + 1;
+                if not callbacks then Client.reset_cache cl)
+              cl
+              (fun () ->
+                List.iter (fun idx -> ignore (Client.read_object cl (oid idx))) rd;
+                List.iter
+                  (fun idx ->
+                    Client.update_object cl (oid idx) ~off:0
+                      (value ~seed ~idx ~version:((i * clients) + c)))
+                  wr)
+          end;
           committed.(c) <- committed.(c) + 1
         done)
   done;
@@ -175,6 +238,27 @@ let run ?(clients = 2) ?(txns_per_client = 18) ?(seed = 42) ?(callbacks = false)
     outcomes;
   let snap = Clock.since clock before in
   let counters = Server.counters server in
+  (* Server-authoritative world digest, read uncharged after the run:
+     peeked pages draw no counters, charges or injected faults, so the
+     digest can never perturb the schedule it certifies. *)
+  let world_digest =
+    let buf = Buffer.create (nobj * obj_len) in
+    let peeked = Hashtbl.create 16 in
+    for idx = 0 to nobj - 1 do
+      let o = oid idx in
+      let bytes =
+        match Hashtbl.find_opt peeked o.Oid.page with
+        | Some b -> b
+        | None ->
+          let b = Bytes.create Page.page_size in
+          Server.peek_page server o.Oid.page b;
+          Hashtbl.replace peeked o.Oid.page b;
+          b
+      in
+      Buffer.add_bytes buf (Page.read_slot (Page.attach bytes) o.Oid.slot)
+    done;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
   { clients
   ; seed
   ; txns_per_client
@@ -201,4 +285,11 @@ let run ?(clients = 2) ?(txns_per_client = 18) ?(seed = 42) ?(callbacks = false)
   ; callbacks_sent = counters.Server.callbacks_sent
   ; callbacks_deferred = counters.Server.callbacks_deferred
   ; gc_rides = counters.Server.gc_rides
-  ; gc_cross_rides = counters.Server.gc_cross_rides }
+  ; gc_cross_rides = counters.Server.gc_cross_rides
+  ; read_pct
+  ; snapshot
+  ; read_txns = Array.fold_left ( + ) 0 scans
+  ; snapshot_reads = counters.Server.snapshot_reads
+  ; snapshot_deltas = counters.Server.snapshot_deltas_applied
+  ; snapshot_retries = Array.fold_left (fun acc cl -> acc + Client.snapshot_retries cl) 0 cls
+  ; world_digest }

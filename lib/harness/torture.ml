@@ -120,7 +120,7 @@ let single_points =
   ; F.Point.commit_post_flush; F.Point.commit_ship_page; F.Point.commit_ship_region
   ; F.Point.commit_region_torn; F.Point.wal_force_partial
   ; F.Point.abort_mid_undo; F.Point.evict_steal_write; F.Point.checkpoint_mid_flush
-  ; F.Point.disk_torn_write ]
+  ; F.Point.disk_torn_write; F.Point.snapshot_trim; F.Point.snapshot_materialize ]
 
 let crash_exn = function
   | F.Injected_crash _ | F.Io_error _ | F.Net_error _ | Client.Degraded _ | Server.Server_down
@@ -137,6 +137,8 @@ let hit_bound ~rng point =
     else if point = F.Point.disk_torn_write then 25
     else if point = F.Point.evict_steal_write then 15
     else if point = F.Point.wal_force_partial then 12
+    else if point = F.Point.snapshot_materialize then 15 (* one hit per page in every scan *)
+    else if point = F.Point.snapshot_trim then 4 (* one hit per reclamation pass *)
     else if point = F.Point.abort_mid_undo || point = F.Point.checkpoint_mid_flush then 6
     else if List.mem point single_points then 12
     else 6 (* prepare.* / dist.*: one hit per 2PC round *)
@@ -339,6 +341,15 @@ let run_single_mc ~seed ~clients ~point =
      QSan retained-page crosschecks) so both regimes soak against the
      same fault schedule. *)
   let callbacks = seed mod 2 = 0 in
+  (* Snapshot-scan regime: every third seed (and always when the armed
+     point lives on the snapshot path, so those points actually fire)
+     turns on server versioning, makes every third per-client
+     transaction a lock-free MVCC snapshot scan, and has client 0 run
+     periodic reclamation passes — so the crash also lands
+     mid-materialization and mid-trim, on both cache regimes. *)
+  let snapshots =
+    seed mod 3 = 0 || point = F.Point.snapshot_trim || point = F.Point.snapshot_materialize
+  in
   let rng = Rng.create (seed * 2 + 1) in
   let cm = Simclock.Cost_model.default in
   let fault = F.create () in
@@ -353,6 +364,7 @@ let run_single_mc ~seed ~clients ~point =
   in
   Client.reset_cache cls.(0);
   if callbacks then Array.iter (fun cl -> Client.enable_callbacks ~sanitize:true cl) cls;
+  if snapshots then Server.set_versioning server true;
   F.arm fault { (transient_plan ~seed) with F.crash_point = Some (point, hit_bound ~rng point) };
   let txns = ref 0 in
   let crashed = ref false in
@@ -370,6 +382,32 @@ let run_single_mc ~seed ~clients ~point =
         while (not !crashed) && !i < 30 && died.(c) = None do
           incr i;
           incr txns;
+          if snapshots && !i mod 3 = 2 then begin
+            (* Lock-free snapshot scan: no page locks anywhere, so no
+               deadlock retry loop; [with_snapshot_txn] itself re-runs
+               the body when reclamation trimmed past the snapshot.
+               Every read must still be exactly one committed version
+               (torn or mixed bytes fail structurally), and QSan
+               replays each materialized page against the WAL. *)
+            in_flight.(c) <- [];
+            entered_abort.(c) <- false;
+            let n = 2 + Rng.int rng 2 in
+            let picked = ref [] in
+            for _ = 1 to n do
+              picked := Rng.int rng nobj :: !picked
+            done;
+            try
+              Client.with_snapshot_txn cl ~sanitize:true ~max_attempts:8 (fun () ->
+                  List.iter
+                    (fun idx ->
+                      check_cross_read ~seed ~client:c ~idx
+                        (Client.snapshot_read_object cl oids.(idx)))
+                    !picked)
+            with e when crash_exn e ->
+              crashed := true;
+              died.(c) <- Some e
+          end
+          else begin
           let k = 2 + Rng.int rng 2 in
           let wr = ref [] in
           while List.length !wr < k do
@@ -435,7 +473,10 @@ let run_single_mc ~seed ~clients ~point =
                  between. *)
               if c = 0 && !i mod 5 = 0 then
                 Sched.atomically (fun () ->
-                    if Server.active_txns server = 0 then Server.checkpoint server)
+                    if Server.active_txns server = 0 then Server.checkpoint server);
+              (* Reclamation pass: trims version deltas below the
+                 snapshot watermark (crash point snapshot.trim). *)
+              if snapshots && c = 0 && !i mod 4 = 1 then Server.trim_versions server
             with
             | () -> in_flight.(c) <- []
             | exception (Lock_mgr.Deadlock _ as e) ->
@@ -459,6 +500,7 @@ let run_single_mc ~seed ~clients ~point =
             (* retry exhaustion in the post-crash drain window: every
                attempt was rolled back, so the direction is pinned old *)
             died.(c) <- Some e
+          end
         done)
   done;
   (try

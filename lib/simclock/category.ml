@@ -31,11 +31,13 @@ type t =
   | Retry  (** client backoff and request timeouts under injected faults *)
   | Lock_wait  (** blocked in the lock manager waiting for a conflicting holder *)
   | Callback  (** callback-locking recall round trips (server asks a client to drop a cached page) *)
+  | Snapshot_read  (** materializing an as-of-LSN page version for a snapshot transaction *)
 
 let all =
   [ Data_io; Map_io; Page_fault; Min_fault; Mmap_call; Swizzle; Fault_misc; Write_fault_copy
   ; Lock_acquire; Diff; Log_write; Map_update; Commit_flush; Interp; Residency_check; Index_op
-  ; App_malloc; App_set; App_traverse; App_deref; App_work; Retry; Lock_wait; Callback ]
+  ; App_malloc; App_set; App_traverse; App_deref; App_work; Retry; Lock_wait; Callback
+  ; Snapshot_read ]
 
 let index = function
   | Data_io -> 0
@@ -62,8 +64,9 @@ let index = function
   | Retry -> 21
   | Lock_wait -> 22
   | Callback -> 23
+  | Snapshot_read -> 24
 
-let count = 24
+let count = 25
 
 let name = function
   | Data_io -> "data I/O"
@@ -90,3 +93,4 @@ let name = function
   | Retry -> "retry/timeout"
   | Lock_wait -> "lock wait"
   | Callback -> "callbacks"
+  | Snapshot_read -> "snapshot read"

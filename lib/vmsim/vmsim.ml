@@ -4,7 +4,14 @@ type access = Read | Write
 let frame_size = 8192
 let frame_count = 1 lsl 19
 
-type mapping = { mutable m_prot : prot; mutable m_buf : bytes }
+type mapping = { mutable m_prot : prot; mutable m_buf : bytes; mutable m_frozen : bool }
+
+exception Frozen_frame of { frame : int }
+
+let () =
+  Printexc.register_printer (function
+    | Frozen_frame { frame } -> Some (Printf.sprintf "Vmsim.Frozen_frame(frame %d)" frame)
+    | _ -> None)
 
 (* Software TLB: a direct-mapped frame -> mapping cache in front of the
    hashtable, so the protected no-fault access path (the store's hot
@@ -17,7 +24,7 @@ type mapping = { mutable m_prot : prot; mutable m_buf : bytes }
 let tlb_bits = 6
 let tlb_size = 1 lsl tlb_bits
 let tlb_mask = tlb_size - 1
-let dummy_mapping = { m_prot = Prot_none; m_buf = Bytes.empty }
+let dummy_mapping = { m_prot = Prot_none; m_buf = Bytes.empty; m_frozen = false }
 
 type t = {
   frames : (int, mapping) Hashtbl.t;
@@ -74,7 +81,7 @@ let map t ~frame ~buf =
     (* A fresh record: any TLB entry for this frame (from a mapping
        since removed) must not survive the rebind. *)
     tlb_invalidate t frame;
-    Hashtbl.replace t.frames frame { m_prot = Prot_none; m_buf = buf }
+    Hashtbl.replace t.frames frame { m_prot = Prot_none; m_buf = buf; m_frozen = false }
 
 let unmap t ~frame =
   tlb_invalidate t frame;
@@ -86,6 +93,7 @@ let buf_of_frame t ~frame =
 
 let set_prot_free t ~frame p =
   match Hashtbl.find_opt t.frames frame with
+  | Some m when m.m_frozen && p = Prot_write -> raise (Frozen_frame { frame })
   | Some m ->
     (* Belt and braces: the TLB shares this record so the new
        protection is visible either way, but dropping the entry keeps
@@ -106,6 +114,26 @@ let set_prot t ~frame p =
 
 let prot t ~frame =
   match Hashtbl.find_opt t.frames frame with Some m -> m.m_prot | None -> Prot_none
+
+(* Frozen frames: the snapshot-read guard. A frozen mapping can be read
+   (or downgraded) freely but rejects any escalation to [Prot_write]
+   with a typed error, so no code path — fault handler included — can
+   accidentally make as-of-LSN snapshot bytes writable. The flag dies
+   with the mapping ([unmap]/[clear]); it is deliberately not a
+   protection level, so the TLB fast path is untouched. *)
+
+let freeze t ~frame =
+  match Hashtbl.find_opt t.frames frame with
+  | Some m -> m.m_frozen <- true
+  | None -> invalid_arg "Vmsim.freeze: frame not mapped"
+
+let unfreeze t ~frame =
+  match Hashtbl.find_opt t.frames frame with
+  | Some m -> m.m_frozen <- false
+  | None -> invalid_arg "Vmsim.unfreeze: frame not mapped"
+
+let frozen t ~frame =
+  match Hashtbl.find_opt t.frames frame with Some m -> m.m_frozen | None -> false
 
 let protect_all t =
   let nframes = Hashtbl.length t.frames in

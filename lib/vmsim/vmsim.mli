@@ -69,6 +69,23 @@ val set_prot_free : t -> frame:int -> prot -> unit
 
 val prot : t -> frame:int -> prot
 
+(** {2 Frozen frames (snapshot-read protection)}
+
+    A frozen frame is a mapped frame whose protection can never be
+    escalated to [Prot_write]: {!set_prot}/{!set_prot_free} raise
+    {!Frozen_frame} instead. The mapped store freezes the read-only
+    bindings of snapshot-materialized pages so that no fault-handler
+    path can make as-of-LSN bytes writable. Downgrades (and
+    {!protect_all}) remain allowed; {!unmap} and {!clear} drop the
+    flag with the mapping. *)
+
+(** Raised by a [Prot_write] escalation attempt on a frozen frame. *)
+exception Frozen_frame of { frame : int }
+
+val freeze : t -> frame:int -> unit
+val unfreeze : t -> frame:int -> unit
+val frozen : t -> frame:int -> bool
+
 (** Revoke access on every mapped frame with a single call — the one
     big mmap of QuickStore's simplified clock (§3.5). Charges one mmap
     call ([mmap_us]) plus [mmap_frame_us] per mapped frame, so

@@ -254,7 +254,13 @@ let test_path_policy () =
   Alcotest.(check bool) "QS014 on in lib/core" true
     (Lint.rule_applies ~path:"lib/core/store.ml" "QS014");
   Alcotest.(check bool) "QS014 off in test" false
-    (Lint.rule_applies ~path:"test/test_foo.ml" "QS014")
+    (Lint.rule_applies ~path:"test/test_foo.ml" "QS014");
+  Alcotest.(check bool) "QS016 on in lib/esm" true
+    (Lint.rule_applies ~path:"lib/esm/client.ml" "QS016");
+  Alcotest.(check bool) "QS016 off in the analyzer" false
+    (Lint.rule_applies ~path:"lib/analysis/snapshot_path.ml" "QS016");
+  Alcotest.(check bool) "QS016 off in bin" false
+    (Lint.rule_applies ~path:"bin/qs_prof.ml" "QS016")
 
 let test_report_format () =
   match Lint.lint_source ~path:"lib/core/foo.ml" ~contents:"let f b =\n  Bytes.get b 0\n" with
@@ -273,7 +279,7 @@ let test_all_rules_listed () =
         (String.length r = 5 && String.sub r 0 2 = "QS"))
     Lint.all_rules;
   (* QS000 (parse error) is a pseudo-rule, not an enforceable one. *)
-  Alcotest.(check int) "fourteen enforceable rules" 14 (List.length Lint.all_rules);
+  Alcotest.(check int) "fifteen enforceable rules" 15 (List.length Lint.all_rules);
   Alcotest.(check bool) "QS000 not listed" false (List.mem "QS000" Lint.all_rules)
 
 (* ================================================================== *)
@@ -433,6 +439,42 @@ let test_qs014_leak () =
           \  risky ();\n\
           \  Client.unfix_page c ~frame\n" ) ]
 
+(* --- QS016: lock acquisition reachable from the snapshot-read path --- *)
+
+let test_qs016_snapshot () =
+  (* A function named like a snapshot-path entry point that takes a
+     page lock directly is flagged at the acquisition site. *)
+  check_deps "direct lock on the snapshot path" [ "QS016" ]
+    [ ( "lib/esm/fake_snap.ml"
+      , "let snapshot_fix_page t p =\n  lock_page t p Lock_mgr.Shared\n" ) ];
+  (* Reachability is transitive and crosses modules: the root calls a
+     clean-looking helper whose helper locks. Both non-root functions
+     are only flagged because the root reaches them. *)
+  check_deps "transitive lock through a helper" [ "QS016" ]
+    [ ("lib/esm/fake_snap_help.ml", "let deep t p = lock_page t p Lock_mgr.Shared\nlet step t p = deep t p\n")
+    ; ("lib/esm/fake_snap.ml", "let with_snapshot_txn t p = Fake_snap_help.step t p\n") ];
+  (* The same helper with no snapshot root anywhere is not QS016's
+     business (QS011 needs two orders for a cycle, so it stays quiet). *)
+  check_deps "lock off the snapshot path is clean" []
+    [ ("lib/esm/fake_snap_help.ml", "let step t p = lock_page t p Lock_mgr.Shared\n") ];
+  (* A realistic lock-free snapshot read: materialize + charge, no
+     acquisition anywhere. *)
+  check_deps "lock-free snapshot path is clean" []
+    [ ( "lib/esm/fake_snap.ml"
+      , "let read_page_at t ~snap page dst =\n\
+        \  Version_store.materialize t ~lsn:snap page dst;\n\
+        \  Qs_trace.charge t Simclock.Category.Snapshot_read 1.0\n" ) ];
+  (* An expression-level allow (with its rationale in real code)
+     silences the finding at that site only. *)
+  check_deps "allowlisted acquisition is silent" []
+    [ ( "lib/esm/fake_snap.ml"
+      , "let snapshot_fix_page t p =\n\
+        \  (lock_page t p Lock_mgr.Shared [@qs_lint.allow \"QS016\"])\n" ) ];
+  (* Path policy: the same source under lib/analysis is exempt. *)
+  check_deps "analyzer sources are exempt" []
+    [ ( "lib/analysis/fake_snap.ml"
+      , "let snapshot_fix_page t p =\n  lock_page t p Lock_mgr.Shared\n" ) ]
+
 (* --- fixpoint termination and effect propagation --- *)
 
 let mutual_src =
@@ -477,6 +519,7 @@ let () =
         ; Alcotest.test_case "QS012 lock across charge" `Quick test_qs012_window
         ; Alcotest.test_case "QS013 crash-point coverage" `Quick test_qs013_coverage
         ; Alcotest.test_case "QS014 exception-path leak" `Quick test_qs014_leak
+        ; Alcotest.test_case "QS016 snapshot-path lock freedom" `Quick test_qs016_snapshot
         ; Alcotest.test_case "fixpoint on mutual recursion" `Quick test_fixpoint_mutual
         ; Alcotest.test_case "effects json determinism" `Quick test_effects_json ] )
     ; ( "plumbing"

@@ -13,7 +13,11 @@
    the interleaving itself); BENCH_oo7_callback.json runs the 4-client
    workload under both cache-consistency regimes, pinning the retained
    hits and server reads saved by callback locking next to the reset
-   baseline. The simulation is deterministic, so times are
+   baseline; BENCH_oo7_snapshot.json runs the 4-client workload at 80%
+   read-only scans under both read regimes — locking scans vs MVCC
+   snapshot bodies — pinning the reader lock-wait collapse and the
+   world-digest equality that proves writer effects are byte-identical.
+   The simulation is deterministic, so times are
    compared exactly, not within a tolerance — any change to a committed
    file must be a deliberate, reviewed re-baseline
    (dune exec bench/main.exe -- quick no-bech --json).
@@ -83,4 +87,6 @@ let () =
   let multi_runs = Harness.Bench_json.multi_runs ~progress ~seed () in
   check ~name:"BENCH_oo7_multi.json" (Harness.Bench_json.render_multi ~seed multi_runs);
   let callback_runs = Harness.Bench_json.callback_runs ~progress ~seed () in
-  check ~name:"BENCH_oo7_callback.json" (Harness.Bench_json.render_callback ~seed callback_runs)
+  check ~name:"BENCH_oo7_callback.json" (Harness.Bench_json.render_callback ~seed callback_runs);
+  let snapshot_runs = Harness.Bench_json.snapshot_runs ~progress ~seed () in
+  check ~name:"BENCH_oo7_snapshot.json" (Harness.Bench_json.render_snapshot ~seed snapshot_runs)
