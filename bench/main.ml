@@ -124,6 +124,39 @@ let bechamel_suite () =
     (* keep the log bounded across iterations *)
     Esm.Server.checkpoint sys.Sys_.server
   in
+  (* Log-index kernels: a 10k-binding index built once, then raw
+     wall-clock per lookup (fan-out binary search + one page fix) and
+     per insert (log append; the periodic commit keeps the WAL
+     bounded and lets the automatic merge run inside the kernel). *)
+  let index_lookup_kernel, index_insert_kernel =
+    let server =
+      Esm.Server.create ~frames:512 ~clock:(Simclock.Clock.create ())
+        ~cm:Simclock.Cost_model.default ()
+    in
+    let client = Esm.Client.create ~frames:1536 server in
+    let key = Esm.Btree.key_of_int ~klen:8 in
+    let oid i = Esm.Oid.make ~page:(1 + (i / 8)) ~slot:(i mod 8) ~unique:i () in
+    Esm.Client.begin_txn client;
+    let idx = Esm.Log_index.create ~log_pages:64 client ~klen:8 in
+    for i = 0 to 9_999 do
+      Esm.Log_index.insert idx ~key:(key i) ~oid:(oid i)
+    done;
+    Esm.Client.commit client;
+    Esm.Server.checkpoint server;
+    Esm.Client.begin_txn client;
+    let l = ref 0 and j = ref 10_000 in
+    ( (fun () ->
+        ignore (Esm.Log_index.lookup idx ~key:(key (!l mod 10_000)));
+        incr l)
+    , fun () ->
+        Esm.Log_index.insert idx ~key:(key !j) ~oid:(oid !j);
+        incr j;
+        if !j land 4095 = 0 then begin
+          Esm.Client.commit client;
+          Esm.Server.checkpoint server;
+          Esm.Client.begin_txn client
+        end )
+  in
   let diff_kernel =
     let old_bytes = Bytes.make 8192 'a' in
     let new_bytes = Bytes.copy old_bytes in
@@ -150,6 +183,8 @@ let bechamel_suite () =
     ; Test.make ~name:"table9/e-Q1-cold" (Staged.stage (cold e "Q1"))
     ; Test.make ~name:"fig16/e-T2B-update" (Staged.stage (update e "T2B"))
     ; Test.make ~name:"fig17/qs-cr-T1" (Staged.stage (cold qs_cr "T1"))
+    ; Test.make ~name:"index_lookup" (Staged.stage index_lookup_kernel)
+    ; Test.make ~name:"index_insert" (Staged.stage index_insert_kernel)
     ; Test.make ~name:"vm/deref-protected-u32" (Staged.stage (deref_kernel ())) ]
   in
   run_bechamel tests
@@ -523,6 +558,52 @@ let () =
        Printf.printf "WARNING: lock waits only dropped %d -> %d (< 5x)\n"
          locking.Harness.Mc.lock_waits snap.Harness.Mc.lock_waits
    | _ -> ());
+
+  section "Log-structured index (flat lookup vs B-tree depth)";
+  let index_runs =
+    Harness.Bench_json.index_runs ~progress:(fun m -> Printf.printf "%s\n%!" m) ~seed ()
+  in
+  if emit_json then begin
+    let path = "BENCH_index.json" in
+    let oc = open_out_bin path in
+    output_string oc (Harness.Bench_json.render_index ~seed index_runs);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end;
+  print_newline ();
+  print_endline
+    (Harness.Report.render
+       ~title:
+         "200 cold lookups per scale (client cache dropped before each): the log index pays one \
+          data-page fix at any size while the small-fan-out B-tree pays its depth"
+       ~header:
+         [ "system"; "bindings"; "insert us"; "lookup us"; "reads/lookup"; "merges"; "log tail" ]
+       ~rows:
+         (List.map
+            (fun (r : Harness.Bench_json.index_run) ->
+              [ r.Harness.Bench_json.ir_system
+              ; string_of_int r.Harness.Bench_json.ir_n
+              ; Harness.Report.f1 r.Harness.Bench_json.ir_insert_us
+              ; Harness.Report.f1 r.Harness.Bench_json.ir_lookup_us
+              ; Harness.Report.f1 r.Harness.Bench_json.ir_lookup_reads
+              ; string_of_int r.Harness.Bench_json.ir_generation
+              ; string_of_int r.Harness.Bench_json.ir_log_len ])
+            index_runs));
+  (let log_runs =
+     List.filter (fun r -> r.Harness.Bench_json.ir_system = "log") index_runs
+   in
+   match log_runs with
+   | first :: _ ->
+     let us r = r.Harness.Bench_json.ir_lookup_us in
+     let lo = List.fold_left (fun a r -> Float.min a (us r)) (us first) log_runs in
+     let hi = List.fold_left (fun a r -> Float.max a (us r)) (us first) log_runs in
+     if hi < lo *. 2.0 then
+       Printf.printf "log-index lookup flat across two decades: %.1f..%.1f us (spread %.2fx)\n" lo
+         hi (hi /. lo)
+     else
+       Printf.printf "WARNING: log-index lookup spread %.2fx (>= 2x): %.1f..%.1f us\n" (hi /. lo)
+         lo hi
+   | [] -> ());
 
   if not quick then begin
     section "Medium database";

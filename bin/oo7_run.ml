@@ -14,8 +14,10 @@ let params_of_size = function
   | "medium" -> Params.medium
   | s -> invalid_arg (Printf.sprintf "unknown size %S (tiny|small|medium)" s)
 
-let make_system name params seed reloc sanitize =
-  let qs base = Sys_.make_qs ~config:{ base with Qs_config.sanitize } params ~seed in
+let make_system name params seed reloc sanitize log_index =
+  let qs base =
+    Sys_.make_qs ~config:{ base with Qs_config.sanitize; Qs_config.log_index } params ~seed
+  in
   match String.lowercase_ascii name with
   | "qs" when reloc = 0.0 -> qs Qs_config.default
   | "qs" -> qs { Qs_config.default with Qs_config.reloc = Qs_config.Continual reloc }
@@ -77,8 +79,8 @@ let print_measure label (m : Measure.t) =
 let print_breakdown (m : Measure.t) =
   Format.printf "  breakdown:@.%a@." Clock.pp_snapshot m.Measure.snapshot
 
-let run system size ops seed hot_reps reloc sanitize faults verbose save clients callbacks
-    read_pct snapshot =
+let run system size ops seed hot_reps reloc sanitize log_index faults verbose save clients
+    callbacks read_pct snapshot =
   if clients > 1 then run_multi ~clients ~seed ~callbacks ~read_pct ~snapshot
   else begin
   if callbacks then prerr_endline "note: --callbacks applies to multi-client mode only; ignored";
@@ -88,7 +90,7 @@ let run system size ops seed hot_reps reloc sanitize faults verbose save clients
   Printf.printf "building %s database for %s...\n%!" params.Params.name system;
   if sanitize then Printf.printf "QSan on: validating the address space at every fault and commit\n%!";
   let t0 = Unix.gettimeofday () in
-  let sys = make_system system params seed reloc sanitize in
+  let sys = make_system system params seed reloc sanitize log_index in
   Printf.printf "built in %.1fs (wall); database size %.1f MB\n%!" (Unix.gettimeofday () -. t0)
     (sys.Sys_.db_size_mb ());
   (match save with
@@ -155,6 +157,15 @@ let sanitize_arg =
           "run with QSan, the address-space sanitizer: validate mapping table, protection bits \
            and residency at every fault and commit (QuickStore systems only)")
 
+let log_index_arg =
+  Arg.(
+    value & flag
+    & info [ "log-index" ]
+        ~doc:
+          "build the database's OID indices as log-structured indices (append-only log + sorted \
+           run with an in-memory fan-out table) instead of B-trees. Same visible semantics; \
+           inspect the result with qs_dump --index.")
+
 let faults_arg =
   Arg.(
     value
@@ -216,7 +227,7 @@ let cmd =
     (Cmd.info "oo7_run" ~doc)
     Term.(
       const run $ system_arg $ size_arg $ ops_arg $ seed_arg $ hot_arg $ reloc_arg $ sanitize_arg
-      $ faults_arg $ verbose_arg $ save_arg $ clients_arg $ callbacks_arg $ read_pct_arg
+      $ log_index_arg $ faults_arg $ verbose_arg $ save_arg $ clients_arg $ callbacks_arg $ read_pct_arg
       $ snapshot_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -30,7 +30,8 @@ let page_census disk =
              else "small-object"
            | Page.Large_part -> "large-object"
            | Page.Btree_node -> "btree"
-           | Page.Meta -> "meta")
+           | Page.Meta -> "meta"
+           | Page.Log_index -> "log-index")
       | exception Invalid_argument _ -> bump "unformatted"
     end
   done;
@@ -189,9 +190,64 @@ let dump_versions server page =
       (Esm.Server.version_bytes_retained server)
   | None -> ()
 
+(* Index inspector (--index): every index registered in the root
+   directory (idx_root_* / idx_klen_* names written by Store), with the
+   root page's magic deciding what it is. A log-structured index gets
+   the full stats record — generation, log fill, data run size and the
+   fan-out table's per-page occupancy, the numbers that say how far the
+   run is from its next merge and how balanced the last one was. *)
+let dump_index client meta_page =
+  let names = Esm.Root_dir.names client ~meta_page in
+  let prefix = "idx_root_" in
+  let indices =
+    List.filter_map
+      (fun n ->
+        if String.length n > String.length prefix && String.sub n 0 (String.length prefix) = prefix
+        then Some (String.sub n (String.length prefix) (String.length n - String.length prefix))
+        else None)
+      names
+  in
+  if indices = [] then print_endline "no indices registered in the root directory"
+  else
+    List.iter
+      (fun name ->
+        let get k =
+          match Esm.Root_dir.get_int client ~meta_page (k ^ name) with
+          | Some v -> v
+          | None -> invalid_arg (Printf.sprintf "index %s: missing %s entry" name k)
+        in
+        let root = get "idx_root_" and klen = get "idx_klen_" in
+        if Esm.Log_index.is_log_index_root client ~root then begin
+          let li = Esm.Log_index.open_index client ~root ~klen in
+          let s = Esm.Log_index.stats li in
+          Printf.printf
+            "index %-16s log-structured  root=%d klen=%d\n\
+            \  generation %d, log %d/%d bindings, data run %d entries on %d pages (%d dir pages)\n"
+            name root klen s.Esm.Log_index.generation s.Esm.Log_index.log_len
+            s.Esm.Log_index.log_cap s.Esm.Log_index.data_entries s.Esm.Log_index.data_pages
+            s.Esm.Log_index.dir_pages;
+          let fan = s.Esm.Log_index.fanout in
+          if Array.length fan > 0 then begin
+            let lo = Array.fold_left min fan.(0) fan in
+            let hi = Array.fold_left max fan.(0) fan in
+            let sum = Array.fold_left ( + ) 0 fan in
+            Printf.printf "  fan-out: %d data pages, %d..%d entries/page (mean %.1f)\n"
+              (Array.length fan) lo hi
+              (float_of_int sum /. float_of_int (Array.length fan))
+          end
+          else print_endline "  fan-out: empty (no merged run yet)"
+        end
+        else begin
+          let bt = Esm.Btree.open_tree client ~root ~klen in
+          Printf.printf "index %-16s b-tree          root=%d klen=%d\n  %d entries\n" name root
+            klen (Esm.Btree.cardinal bt)
+        end)
+      (List.sort compare indices)
+
 open Cmdliner
 
-let run image what versions =
+let run image what index versions =
+  let what = if index then "index" else what in
   let disk = Disk.load_from_file image in
   (* Census and fsck read the disk image directly; the root directory
      and schema need object access, so attach a server and client. *)
@@ -208,11 +264,13 @@ let run image what versions =
    | "census" -> dump_census disk
    | "roots" -> dump_roots client 1
    | "schema" -> dump_schema client 1
+   | "index" -> dump_index client 1
    | "fsck" -> if not (fsck disk) then exit 1
    | "all" ->
      dump_census disk;
      dump_roots client 1;
      dump_schema client 1;
+     dump_index client 1;
      ignore (fsck disk)
    | s -> invalid_arg (Printf.sprintf "unknown section %S" s));
   Esm.Client.commit client
@@ -221,7 +279,17 @@ let image_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"IMAGE" ~doc:"volume image (oo7_run --save)")
 
 let what_arg =
-  Arg.(value & opt string "all" & info [ "w"; "what" ] ~doc:"census, roots, schema, fsck or all")
+  Arg.(
+    value & opt string "all" & info [ "w"; "what" ] ~doc:"census, roots, schema, index, fsck or all")
+
+let index_arg =
+  Arg.(
+    value & flag
+    & info [ "index" ]
+        ~doc:
+          "print per-index statistics (shorthand for --what index): kind, generation, log fill, \
+           data-run size and fan-out occupancy for log-structured indices; entry count for \
+           B-trees.")
 
 let versions_arg =
   Arg.(
@@ -237,6 +305,6 @@ let versions_arg =
 let cmd =
   Cmd.v
     (Cmd.info "qs_dump" ~doc:"inspect a QuickStore volume image")
-    Term.(const run $ image_arg $ what_arg $ versions_arg)
+    Term.(const run $ image_arg $ what_arg $ index_arg $ versions_arg)
 
 let () = exit (Cmd.eval cmd)

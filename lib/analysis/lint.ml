@@ -4,7 +4,7 @@ type finding = { file : string; line : int; col : int; rule : string; msg : stri
 
 let all_rules =
   [ "QS001"; "QS002"; "QS003"; "QS004"; "QS005"; "QS006"; "QS007"; "QS008"; "QS009"; "QS010"
-  ; "QS011"; "QS012"; "QS013"; "QS014"; "QS016" ]
+  ; "QS011"; "QS012"; "QS013"; "QS014"; "QS016"; "QS017" ]
 
 let to_string f = Printf.sprintf "%s:%d: %s %s" f.file f.line f.rule f.msg
 
@@ -57,9 +57,10 @@ let rule_applies ~path rule =
      whole job is holding crash machinery in unusual ways). *)
   | "QS011" | "QS014" ->
     has_prefix ~prefix:"lib/" path && not (has_prefix ~prefix:"lib/analysis/" path)
-  (* QS016 guards the snapshot-read path's lock freedom; like QS011 it
-     is enforced everywhere under lib/ except the analyzer itself. *)
-  | "QS016" ->
+  (* QS016 guards the snapshot-read path's lock freedom, QS017 the
+     index merge path's; like QS011 both are enforced everywhere under
+     lib/ except the analyzer itself. *)
+  | "QS016" | "QS017" ->
     has_prefix ~prefix:"lib/" path && not (has_prefix ~prefix:"lib/analysis/" path)
   | "QS012" ->
     has_prefix ~prefix:"lib/" path

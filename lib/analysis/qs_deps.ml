@@ -1,5 +1,5 @@
-(* The whole-program analyzer driver (rules QS011–QS014, QS016 and the
-   effects baseline): ties the three passes together.
+(* The whole-program analyzer driver (rules QS011–QS014, QS016, QS017
+   and the effects baseline): ties the three passes together.
 
      Pass 1  Callgraph.build    parse + extract + resolve
      Pass 2  Effects.compute    per-function summaries, to fixpoint
@@ -15,7 +15,7 @@ type result = {
   graph : Callgraph.t;
   summaries : Effects.summaries;
   edges : Lockorder.edge list;
-  findings : Lint.finding list;  (** QS011–QS014 and QS016, sorted like Lint's *)
+  findings : Lint.finding list;  (** QS011–QS014, QS016 and QS017, sorted like Lint's *)
 }
 
 let analyze files =
@@ -28,6 +28,7 @@ let analyze files =
     @ Coverage.qs013 graph summaries
     @ Coverage.qs014 graph summaries
     @ Snapshot_path.qs016 graph summaries
+    @ Merge_path.qs017 graph summaries
   in
   let findings =
     List.sort

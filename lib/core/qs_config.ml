@@ -81,6 +81,15 @@ type t = {
           LSN-exact against the server's copy. Off by default: the
           paper's measured configuration discards the client cache
           between cold runs, and single-client runs gain nothing. *)
+  log_index : bool;
+      (** Log-structured indexes ([Esm.Log_index]): [Store.index_create]
+          builds new indexes as an append-only log plus a fan-out-tabled
+          sorted run (O(1) amortized inserts, ~1 page read per cold
+          lookup, background merge) instead of a B-tree. Existing
+          indexes keep whatever structure their root page carries — the
+          knob only steers creation, so a database can mix both. Off by
+          default: the B-tree is the oracle the log index is checked
+          against. *)
 }
 
 let default =
@@ -96,6 +105,7 @@ let default =
   ; prefetch_run_max = 1
   ; group_commit = false
   ; diff_ship = false
-  ; callback_locking = false }
+  ; callback_locking = false
+  ; log_index = false }
 
 let reloc_fraction = function No_reloc -> 0.0 | Continual f | One_time f -> f

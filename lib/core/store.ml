@@ -3,6 +3,7 @@ module Server = Esm.Server
 module Page = Esm.Page
 module Oid = Esm.Oid
 module Btree = Esm.Btree
+module Log_index = Esm.Log_index
 module Root_dir = Esm.Root_dir
 module Large_obj = Esm.Large_obj
 module Buf_pool = Esm.Buf_pool
@@ -22,6 +23,11 @@ let is_null p = p = 0
 let ptr_equal (a : int) b = a = b
 
 type cluster = { mutable fill : int option  (* current data page id *) }
+
+(* A named index is either the B-tree oracle or the log-structured
+   index; [Qs_config.log_index] steers creation, the root page's magic
+   byte steers open (so a database can mix both). *)
+type index_handle = I_btree of Btree.t | I_log of Log_index.t
 type field = { fl_layout : Schema.layout; fl_off : int; fl_kind : Schema.field_kind }
 
 type stats = {
@@ -85,7 +91,7 @@ type t = {
   large_ids : (int, int array) Hashtbl.t;  (* large header page -> data page ids *)
   reloc_rng : Qs_util.Rng.t;
   reloc_choice : (int, bool) Hashtbl.t;
-  indices : (string, Btree.t) Hashtbl.t;
+  indices : (string, index_handle) Hashtbl.t;
   mutable to_disk_format : page_id:int -> bytes -> bytes;
   diff_ship_unsafe : (int, unit) Hashtbl.t;
       (* pages whose recovery-buffer baseline is NOT the server's
@@ -1527,7 +1533,7 @@ let root t name =
 
 let index_handle t name =
   match Hashtbl.find_opt t.indices name with
-  | Some bt -> bt
+  | Some h -> h
   | None -> (
     match Root_dir.get_int t.client ~meta_page:t.meta_page ("idx_root_" ^ name) with
     | None -> invalid_arg (Printf.sprintf "Store: unknown index %s" name)
@@ -1537,27 +1543,57 @@ let index_handle t name =
         | Some k -> k
         | None -> invalid_arg "Store: index missing klen"
       in
-      let bt = Btree.open_tree t.client ~root:root_page ~klen in
-      Hashtbl.replace t.indices name bt;
-      bt)
+      (* The root page's magic byte, not the [log_index] knob, decides
+         what this index is — the knob may have changed since creation. *)
+      let h =
+        if Log_index.is_log_index_root t.client ~root:root_page then
+          I_log (Log_index.open_index t.client ~root:root_page ~klen)
+        else I_btree (Btree.open_tree t.client ~root:root_page ~klen)
+      in
+      Hashtbl.replace t.indices name h;
+      h)
 
 let index_create t name ~klen =
-  let bt = Btree.create t.client ~klen in
-  Root_dir.set_int t.client ~meta_page:t.meta_page ("idx_root_" ^ name) (Btree.root bt);
+  let h, root, kind =
+    if t.config.Qs_config.log_index then
+      let li = Log_index.create t.client ~klen in
+      (I_log li, Log_index.root li, 1)
+    else
+      let bt = Btree.create t.client ~klen in
+      (I_btree bt, Btree.root bt, 0)
+  in
+  Root_dir.set_int t.client ~meta_page:t.meta_page ("idx_root_" ^ name) root;
   Root_dir.set_int t.client ~meta_page:t.meta_page ("idx_klen_" ^ name) klen;
-  Hashtbl.replace t.indices name bt
+  Root_dir.set_int t.client ~meta_page:t.meta_page ("idx_kind_" ^ name) kind;
+  Hashtbl.replace t.indices name h
 
-let index_insert t name ~key p = Btree.insert (index_handle t name) ~key ~oid:(oid_of_ptr t p)
-let index_delete t name ~key p = ignore (Btree.delete (index_handle t name) ~key ~oid:(oid_of_ptr t p))
+let index_insert t name ~key p =
+  let oid = oid_of_ptr t p in
+  match index_handle t name with
+  | I_btree bt -> Btree.insert bt ~key ~oid
+  | I_log li -> Log_index.insert li ~key ~oid
+
+let index_delete t name ~key p =
+  let oid = oid_of_ptr t p in
+  match index_handle t name with
+  | I_btree bt -> ignore (Btree.delete bt ~key ~oid)
+  | I_log li -> ignore (Log_index.delete li ~key ~oid)
 
 let index_lookup t name ~key =
-  Option.map (ptr_of_oid t) (Btree.lookup (index_handle t name) ~key)
+  let oid =
+    match index_handle t name with
+    | I_btree bt -> Btree.lookup bt ~key
+    | I_log li -> Log_index.lookup li ~key
+  in
+  Option.map (ptr_of_oid t) oid
 
 let index_range t name ~lo ~hi f =
   (* Collect first: the callback will fault pages in, which can evict
      B-tree nodes mid-scan. *)
   let oids = ref [] in
-  Btree.range (index_handle t name) ~lo ~hi (fun _ oid -> oids := oid :: !oids);
+  (match index_handle t name with
+  | I_btree bt -> Btree.range bt ~lo ~hi (fun _ oid -> oids := oid :: !oids)
+  | I_log li -> Log_index.range li ~lo ~hi (fun _ oid -> oids := oid :: !oids));
   List.iter (fun oid -> f (ptr_of_oid t oid)) (List.rev !oids)
 
 (* ------------------------------------------------------------------ *)

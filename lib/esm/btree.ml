@@ -128,6 +128,15 @@ let descend_child n key =
   let p = lower_bound n.keys key in
   if p = 0 then n.leftmost else n.children.(p - 1)
 
+(* Insertion descends to the right of separators EQUAL to the key
+   (reads descend left and chain through siblings): a new duplicate
+   must land after every existing equal pair, or a split whose
+   separator equals the key would put later inserts mid-run and break
+   within-key insertion order. *)
+let descend_child_ins n key =
+  let p = upper_bound n.keys key in
+  if p = 0 then n.leftmost else n.children.(p - 1)
+
 let array_insert a i x =
   let n = Array.length a in
   Array.init (n + 1) (fun j -> if j < i then a.(j) else if j = i then x else a.(j - 1))
@@ -195,7 +204,7 @@ let rec ins t page_id key oid =
     end
   end
   else begin
-    match ins t (descend_child n key) key oid with
+    match ins t (descend_child_ins n key) key oid with
     | None -> None
     | Some (sep, right_id) ->
       let i = upper_bound n.keys sep in
@@ -250,15 +259,20 @@ let rec contains_pair t page_id key oid =
 
 let insert_nolog t ~key ~oid =
   if Bytes.length key <> t.klen then invalid_arg "Btree.insert: wrong key length";
-  if not (contains_pair t t.root key oid) then begin
-    match ins t t.root key oid with None -> () | Some promo -> grow_root t promo
+  if contains_pair t t.root key oid then false
+  else begin
+    (match ins t t.root key oid with None -> () | Some promo -> grow_root t promo);
+    true
   end
 
 let insert t ~key ~oid =
-  insert_nolog t ~key ~oid;
-  ignore
-    (Server.log_index (Client.server t.client) ~txn:(Client.txn_id t.client)
-       (Wal.Index_insert { txn = Client.txn_id t.client; root = t.root; key = Bytes.copy key; oid }))
+  (* Log only when something was inserted: the logical record's abort
+     inversion is a real delete, so logging an idempotent no-op
+     re-insert would let an abort destroy a committed binding. *)
+  if insert_nolog t ~key ~oid then
+    ignore
+      (Server.log_index (Client.server t.client) ~txn:(Client.txn_id t.client)
+         (Wal.Index_insert { txn = Client.txn_id t.client; root = t.root; key = Bytes.copy key; oid }))
 
 (* Leftmost leaf that can contain [key]. *)
 let rec find_leaf t page_id key =
@@ -401,7 +415,7 @@ let apply_logical client record =
   match record with
   | Wal.Index_insert { root; key; oid; _ } ->
     let t = open_tree client ~root ~klen:(Bytes.length key) in
-    insert_nolog t ~key ~oid
+    ignore (insert_nolog t ~key ~oid)
   | Wal.Index_delete { root; key; oid; _ } ->
     let t = open_tree client ~root ~klen:(Bytes.length key) in
     ignore (delete_nolog t ~key ~oid)

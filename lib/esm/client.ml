@@ -20,6 +20,10 @@ type t = {
   pending_recall : (int, unit) Hashtbl.t;
       (* pages recalled while dirty/pinned in the active transaction:
          deferred, then dropped before the server releases our locks *)
+  stolen : (int, unit) Hashtbl.t;
+      (* pages shipped mid-transaction (steal): if re-read afterwards
+         the cached copy holds uncommitted bytes while *clean*, so an
+         abort must drop it even though it is not in [dirty_pages] *)
   installed_epoch : (int, int) Hashtbl.t;
       (* page -> cache_epoch at install; a clean hit from an earlier
          epoch is a retained inter-transaction hit *)
@@ -69,6 +73,7 @@ let create ?(frames = 1536) server =
   ; cb_gen = 0
   ; cb_sanitize = false
   ; pending_recall = Hashtbl.create 8
+  ; stolen = Hashtbl.create 8
   ; installed_epoch = Hashtbl.create 64
   ; cache_epoch = 0
   ; retained_hits = 0
@@ -273,7 +278,8 @@ let write_back t ~at_commit frame =
   | Some page_id ->
     if Buf_pool.is_dirty t.pool frame then begin
       ship_page t ~txn:(txn_id t) ~at_commit page_id (Buf_pool.frame_bytes t.pool frame);
-      Buf_pool.clear_dirty t.pool frame
+      Buf_pool.clear_dirty t.pool frame;
+      if not at_commit then Hashtbl.replace t.stolen page_id ()
     end
 
 let evict_frame t frame =
@@ -363,12 +369,56 @@ let cb_drop_pending t =
    count as retained on their next hit. *)
 let cb_end_txn t = if t.cb_id <> None then t.cache_epoch <- t.cache_epoch + 1
 
+(* Steal-averse victim selection for logically-logged pages: a B-tree
+   node's mutations are covered by logical WAL records only, so
+   stealing an uncommitted node (say, half of an in-flight split whose
+   sibling never ships) puts bytes on the volume that no before-image
+   can undo — a crash in that window leans entirely on logical replay
+   over a structurally torn tree. Dirty index nodes are therefore
+   passed over while any other victim exists; everything physically
+   logged remains stealable under the ordinary WAL rule. When a
+   transaction dirties more index nodes than the pool holds, stealing
+   one is the only way forward and the historical behavior resumes
+   (abort stays exact via [t.stolen]). *)
+let steal_averse t frame =
+  Buf_pool.is_dirty t.pool frame
+  && Page.kind (Page.attach (Buf_pool.frame_bytes t.pool frame)) = Page.Btree_node
+
 let take_frame t =
   match Buf_pool.free_frame t.pool with
   | Some f -> f
   | None ->
     let f =
-      match t.policy with Traditional -> Buf_pool.clock_victim t.pool | External pick -> pick t
+      match t.policy with
+      | External pick -> pick t
+      | Traditional ->
+        (* Skipped candidates are pinned so the clock hand makes
+           progress past them, then unpinned once a victim is found.
+           When the sweep exhausts the pool with parked frames in hand,
+           every evictable frame is a dirty index node: unpark them and
+           steal whichever the clock lands on, as the pre-aversion code
+           always did. Only a pool of genuinely pinned frames lets
+           Buffer_full propagate. *)
+        let parked = ref [] in
+        let unpark () =
+          List.iter (Buf_pool.unpin t.pool) !parked;
+          parked := []
+        in
+        Fun.protect ~finally:unpark (fun () ->
+            let rec pick () =
+              match Buf_pool.clock_victim t.pool with
+              | f ->
+                if steal_averse t f then begin
+                  Buf_pool.pin t.pool f;
+                  parked := f :: !parked;
+                  pick ()
+                end
+                else f
+              | exception Buf_pool.Buffer_full when !parked <> [] ->
+                unpark ();
+                Buf_pool.clock_victim t.pool
+            in
+            pick ())
     in
     if Buf_pool.pin_count t.pool f > 0 then invalid_arg "Client: victim policy returned pinned frame";
     evict_frame t f;
@@ -547,6 +597,7 @@ let prepare ?(before_flush = fun () -> ()) t =
 
 let commit_prepared t =
   let txn = txn_id t in
+  Hashtbl.reset t.stolen;
   cb_drop_pending t;
   Server.commit t.server ~txn;
   t.txn <- None;
@@ -560,6 +611,7 @@ let commit ?(before_flush = fun () -> ()) t =
       ship_page t ~txn ~at_commit:true page_id (Buf_pool.frame_bytes t.pool frame);
       Buf_pool.clear_dirty t.pool frame)
     (Buf_pool.dirty_pages t.pool);
+  Hashtbl.reset t.stolen;
   (* Deferred recalls drop here — the frames are clean now, and the
      server has not yet released this transaction's locks, so a parked
      writer cannot see the copy after its exclusive grant. *)
@@ -584,6 +636,19 @@ let abort t =
       end
       else invalid_arg "Client.abort: dirty page still pinned")
     (Buf_pool.dirty_pages t.pool);
+  (* Pages stolen earlier in this transaction and then re-read are
+     cached *clean* with uncommitted bytes; drop those copies too. *)
+  Hashtbl.iter
+    (fun page_id () ->
+      match Buf_pool.lookup t.pool page_id with
+      | Some frame when Buf_pool.pin_count t.pool frame = 0 ->
+        (match t.pre_evict with Some hook -> hook ~frame ~page_id | None -> ());
+        Buf_pool.evict t.pool frame;
+        cb_note_dropped t page_id
+      | Some _ -> invalid_arg "Client.abort: stolen page still pinned"
+      | None -> ())
+    t.stolen;
+  Hashtbl.reset t.stolen;
   cb_drop_pending t;
   Server.abort t.server ~txn;
   t.txn <- None;
@@ -908,6 +973,7 @@ let crash t =
   t.cb_gen <- t.cb_gen + 1;
   t.cb_id <- None;
   Hashtbl.reset t.pending_recall;
-  Hashtbl.reset t.installed_epoch
+  Hashtbl.reset t.installed_epoch;
+  Hashtbl.reset t.stolen
 
 let attempt f = match f () with v -> Ok v | exception Degraded d -> Error d

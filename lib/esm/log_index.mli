@@ -1,0 +1,88 @@
+(** Log-structured index over client pages (the irmin-index design).
+
+    An index is a root page naming three page sets: an append-only
+    {e log} of fixed-size [(op, key, oid)] bindings, a sorted {e data}
+    run holding the result of the last merge, and the run's {e
+    directory} (first key, page id, entry count per data page) — the
+    durable image of the in-memory fan-out table. Writes append one
+    binding to the log tail: O(1) pages touched, no tree descent, no
+    splits. A lookup binary-searches the in-memory fan-out and fixes
+    one data page, overlaying the (memory-resident) log — ~1 page read
+    cold, at any scale. When the log fills, {!merge} folds it into a
+    fresh sorted run written to the {e other} of two ping-pong page
+    areas and atomically swings the root: the committed run is never
+    overwritten, so a crash at any point recovers to exactly the old
+    or the new generation.
+
+    Unlike {!Btree} (logical WAL records, replayed at restart), every
+    mutation here is physically logged through {!Client.log_update},
+    so ordinary redo/undo recovery covers crashes and aborts with no
+    index-specific recovery code. Handles revalidate their mirrors
+    against the root page's (generation, log length) on every
+    operation, so a handle that survives an abort or a restart heals
+    itself. Mutations take no page locks (the paper's non-2PL index
+    protocol: short latches, charged not held); concurrent writers
+    must be serialized by the enclosing workload's data locks.
+
+    Visible semantics match {!Btree} exactly — duplicate keys allowed,
+    the exact (key, oid) pair stored at most once, per-key insertion
+    order preserved — which is what the differential fuzz test pins.
+
+    Crash points: [index.log_append] before a binding lands,
+    [index.merge_write] between data-run page writes of a merge,
+    [index.merge_swing] after the run is written but before the root
+    swings. *)
+
+type t
+
+(** Allocate an empty index; the root page id is stable forever.
+    [log_pages] bounds the log area (default 256 pages); the log's
+    binding capacity triggers the automatic merge. *)
+val create : ?log_pages:int -> Client.t -> klen:int -> t
+
+val open_index : Client.t -> root:int -> klen:int -> t
+val root : t -> int
+val klen : t -> int
+
+(** True if [root] carries the log-index magic (vs a B-tree root). *)
+val is_log_index_root : Client.t -> root:int -> bool
+
+(** [insert t ~key ~oid] appends the binding; duplicate keys are
+    allowed, the exact (key, oid) pair is stored at most once
+    (idempotent). Merges automatically when the log is full. *)
+val insert : t -> key:bytes -> oid:Oid.t -> unit
+
+(** [delete t ~key ~oid] removes the exact pair if visibly present
+    (idempotent); returns whether it was. *)
+val delete : t -> key:bytes -> oid:Oid.t -> bool
+
+(** First OID stored under [key], in insertion order. *)
+val lookup : t -> key:bytes -> Oid.t option
+
+(** All OIDs under [key], in insertion order. *)
+val lookup_all : t -> key:bytes -> Oid.t list
+
+(** [range t ~lo ~hi f] applies [f] to every (key, oid) with
+    [lo <= key <= hi], ascending (per-key insertion order). *)
+val range : t -> lo:bytes -> hi:bytes -> (bytes -> Oid.t -> unit) -> unit
+
+(** Number of visibly stored pairs (full scan; for tests). *)
+val cardinal : t -> int
+
+(** Fold the log into a fresh sorted run and swing the root. A no-op
+    on an empty log unless [force] (which rewrites the run anyway —
+    used by tests to exercise the swing). Runs in the caller's
+    transaction; crash-safe at every point. *)
+val merge : ?force:bool -> t -> unit
+
+type stats = {
+  generation : int;  (** merges committed since creation *)
+  log_len : int;  (** bindings currently in the log *)
+  log_cap : int;  (** bindings the log area can hold *)
+  data_entries : int;  (** bindings in the sorted run *)
+  data_pages : int;  (** pages of the sorted run *)
+  dir_pages : int;  (** directory pages of the current area *)
+  fanout : int array;  (** entries per data page, in run order *)
+}
+
+val stats : t -> stats

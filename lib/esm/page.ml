@@ -1,4 +1,4 @@
-type kind = Small_obj | Large_part | Btree_node | Meta
+type kind = Small_obj | Large_part | Btree_node | Meta | Log_index
 
 let page_size = 8192
 let header_size = 32
@@ -23,13 +23,19 @@ type t = bytes
 
 exception Page_full
 
-let kind_to_int = function Small_obj -> 0 | Large_part -> 1 | Btree_node -> 2 | Meta -> 3
+let kind_to_int = function
+  | Small_obj -> 0
+  | Large_part -> 1
+  | Btree_node -> 2
+  | Meta -> 3
+  | Log_index -> 4
 
 let kind_of_int = function
   | 0 -> Small_obj
   | 1 -> Large_part
   | 2 -> Btree_node
   | 3 -> Meta
+  | 4 -> Log_index
   | n -> invalid_arg (Printf.sprintf "Page.kind_of_int: %d" n)
 
 let attach b =

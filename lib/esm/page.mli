@@ -11,6 +11,7 @@ type kind =
   | Large_part  (** one page of a multi-page object *)
   | Btree_node
   | Meta  (** volume header, schema, persistent counters *)
+  | Log_index  (** log-structured index pages: root, log run, data run *)
 
 val page_size : int
 val header_size : int

@@ -6,6 +6,8 @@
 
 let body = 32
 
+exception Directory_full
+
 let format_db client =
   let page_id, frame = Client.new_page client ~kind:Page.Meta in
   Fun.protect
@@ -43,7 +45,7 @@ let encoded_size entries =
 
 let write_entries client meta_page frame b entries =
   let size = encoded_size entries in
-  if body + size > Page.page_size then invalid_arg "Root_dir: directory full";
+  if body + size > Page.page_size then raise Directory_full;
   let old_len = max size (encoded_size (read_entries b)) in
   let old_data = Bytes.sub b body old_len in
   Qs_util.Codec.set_u16 b body (List.length entries);

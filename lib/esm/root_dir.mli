@@ -7,6 +7,11 @@
     convention). Values are small byte strings; callers encode OIDs or
     integers with {!Codec}/{!Oid}. *)
 
+(** The encoded directory would no longer fit its single meta page.
+    Raised before any bytes are written or logged, so the transaction
+    can recover (drop an entry, or abort) like any other typed error. *)
+exception Directory_full
+
 (** Create the meta page inside the current transaction; returns its
     page id. *)
 val format_db : Client.t -> int

@@ -1072,7 +1072,10 @@ let abort t ~txn =
         let f, _hit = resident_bytes t ~cat:Simclock.Category.Data_io ~charge_miss:true page in
         let b = Buf_pool.frame_bytes t.pool f in
         Bytes.blit old_data 0 b off (Bytes.length old_data);
-        Page.set_lsn (Page.attach b) clr_lsn;
+        (* Restamp the CLR LSN raw, as restart redo does: undoing a
+           fresh page's header init legitimately restores an all-zero
+           header, which [Page.attach] would reject. *)
+        Qs_util.Codec.set_i64 b 8 clr_lsn;
         Buf_pool.mark_dirty t.pool f;
         note_txn_dirty t txn page
       | Wal.Index_insert { root; key; oid; _ } ->

@@ -21,13 +21,17 @@ module Point = struct
   let dist_mid_decision = "dist.mid_decision"
   let snapshot_trim = "snapshot.trim"
   let snapshot_materialize = "snapshot.materialize"
+  let index_log_append = "index.log_append"
+  let index_merge_write = "index.merge_write"
+  let index_merge_swing = "index.merge_swing"
 
   let all =
     [ commit_pre_log; commit_pre_flush; commit_mid_flush; commit_post_flush; commit_ship_page
     ; commit_ship_region; commit_region_torn
     ; wal_force_partial; prepare_pre_log; prepare_post_log; prepare_mid_flush; abort_mid_undo
     ; evict_steal_write; checkpoint_mid_flush; disk_torn_write; dist_pre_prepare
-    ; dist_pre_decision; dist_mid_decision; snapshot_trim; snapshot_materialize ]
+    ; dist_pre_decision; dist_mid_decision; snapshot_trim; snapshot_materialize
+    ; index_log_append; index_merge_write; index_merge_swing ]
 
   let mem p = List.mem p all
 end

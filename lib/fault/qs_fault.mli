@@ -64,6 +64,12 @@ module Point : sig
 
   val snapshot_materialize : string  (** before an as-of-LSN page version is assembled *)
 
+  val index_log_append : string  (** before a binding is appended to a log-index tail page *)
+
+  val index_merge_write : string  (** between two data-run page writes of a log-index merge *)
+
+  val index_merge_swing : string  (** merged run written, root entry not yet swung *)
+
   val all : string list
   val mem : string -> bool
 end

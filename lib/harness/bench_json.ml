@@ -339,3 +339,185 @@ let render_callback ~seed runs =
   Printf.sprintf "{\"benchmark\":%s,\"database\":%s,\"seed\":%d,%s,\"runs\":[%s]}\n"
     (json_string "OO7-callback") (json_string "mc-hotskew") seed summary
     (String.concat "," (List.map callback_run_json runs))
+
+(* ------------------------------------------------------------------ *)
+(* The log-index baseline ([BENCH_index.json]): lookup cost must stay
+   flat as the index grows.
+
+   For each scale the run builds a fresh index — the log-structured
+   [Esm.Log_index] at 10^4..10^6 bindings, the B-tree oracle (with a
+   small fan-out, so depth growth is visible at bench scale) at
+   10^4..10^5 — and then measures a fixed number of cold lookups:
+   client cache dropped before every probe, so each one pays the full
+   root-to-binding path. Everything recorded is simulated and
+   deterministic (Simclock microseconds and server read counters, no
+   wall clock), so the file is byte-stable and sits behind the same
+   CI shape gate as the OO7 baselines. The summary pins the tentpole
+   claim directly: the ratio of the slowest to the fastest log-index
+   lookup across two decades of growth ([log_lookup_spread]) must
+   stay under 2, while the B-tree's per-lookup reads grow with
+   depth. *)
+
+let index_klen = 8
+let index_log_pages = 256
+let index_btree_cap = 16
+let index_lookup_count = 200
+
+type index_run = {
+  ir_system : string;  (* "log" | "btree" *)
+  ir_n : int;  (* bindings in the index *)
+  ir_insert_us : float;  (* amortized simulated µs per insert, merges included *)
+  ir_lookup_us : float;  (* simulated µs per cold lookup *)
+  ir_lookup_reads : float;  (* server page reads per cold lookup *)
+  ir_generation : int;  (* merges folded (0 for the B-tree) *)
+  ir_log_len : int;  (* unmerged log tail (0 for the B-tree) *)
+}
+
+let index_scales_log = [ 10_000; 100_000; 1_000_000 ]
+let index_scales_btree = [ 10_000; 100_000 ]
+
+(* One measured build+probe: [insert] and [lookup] close over whichever
+   index is under test. Inserts run in committed batches with a
+   checkpoint after each, so the in-memory WAL stays bounded at the
+   10^6 scale. [settle] runs once between the insert and lookup
+   phases, in its own committed transaction and outside both timed
+   windows — the log index uses it to fold its tail so every scale
+   probes the steady state the background merge maintains. *)
+let index_measure ?settle ~server ~client ~n ~insert ~lookup () =
+  let clock = Esm.Server.clock server in
+  let rng = Qs_util.Rng.create (0x1dc5 + n) in
+  let order = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Qs_util.Rng.int rng (i + 1) in
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  done;
+  let batch = 500 in
+  let t0 = Simclock.Clock.total_us clock in
+  let i = ref 0 in
+  while !i < n do
+    let stop = min n (!i + batch) in
+    Esm.Client.begin_txn client;
+    while !i < stop do
+      insert order.(!i);
+      incr i
+    done;
+    Esm.Client.commit client;
+    Esm.Server.checkpoint server
+  done;
+  let insert_us = (Simclock.Clock.total_us clock -. t0) /. float_of_int n in
+  (match settle with
+   | None -> ()
+   | Some f ->
+     Esm.Client.begin_txn client;
+     f ();
+     Esm.Client.commit client;
+     Esm.Server.checkpoint server);
+  let c0 = (Esm.Server.counters server).Esm.Server.client_reads in
+  let t1 = Simclock.Clock.total_us clock in
+  for k = 0 to index_lookup_count - 1 do
+    Esm.Client.reset_cache client;
+    Esm.Client.begin_txn client;
+    let key = Qs_util.Rng.int rng n in
+    let got = lookup key in
+    if not got then invalid_arg (Printf.sprintf "index bench: binding %d of %d missing" key n);
+    ignore k;
+    Esm.Client.commit client
+  done;
+  let lookup_us = (Simclock.Clock.total_us clock -. t1) /. float_of_int index_lookup_count in
+  let reads = (Esm.Server.counters server).Esm.Server.client_reads - c0 in
+  (insert_us, lookup_us, float_of_int reads /. float_of_int index_lookup_count)
+
+let index_oid i = Esm.Oid.make ~page:(1 + (i / 8)) ~slot:(i mod 8) ~unique:i ()
+
+let index_runs ?(progress = fun (_ : string) -> ()) ~seed () =
+  let ikey = Esm.Btree.key_of_int ~klen:index_klen in
+  let log_run n =
+    progress (Printf.sprintf "building log index with %d bindings..." n);
+    let server =
+      Esm.Server.create ~frames:512 ~clock:(Simclock.Clock.create ())
+        ~cm:Simclock.Cost_model.default ()
+    in
+    let client = Esm.Client.create ~frames:1536 server in
+    Esm.Client.begin_txn client;
+    let idx = Esm.Log_index.create ~log_pages:index_log_pages client ~klen:index_klen in
+    Esm.Client.commit client;
+    let insert i = Esm.Log_index.insert idx ~key:(ikey i) ~oid:(index_oid i) in
+    let lookup i = Esm.Log_index.lookup idx ~key:(ikey i) <> None in
+    let insert_us, lookup_us, lookup_reads =
+      index_measure ~server ~client ~n ~insert ~lookup
+        ~settle:(fun () -> Esm.Log_index.merge ~force:true idx) ()
+    in
+    Esm.Client.begin_txn client;
+    let st = Esm.Log_index.stats idx in
+    Esm.Client.commit client;
+    { ir_system = "log"
+    ; ir_n = n
+    ; ir_insert_us = insert_us
+    ; ir_lookup_us = lookup_us
+    ; ir_lookup_reads = lookup_reads
+    ; ir_generation = st.Esm.Log_index.generation
+    ; ir_log_len = st.Esm.Log_index.log_len }
+  in
+  let btree_run n =
+    progress (Printf.sprintf "building b-tree with %d bindings..." n);
+    let server =
+      Esm.Server.create ~frames:512 ~clock:(Simclock.Clock.create ())
+        ~cm:Simclock.Cost_model.default ()
+    in
+    let client = Esm.Client.create ~frames:1536 server in
+    Esm.Btree.install_undo_handler client;
+    Esm.Client.begin_txn client;
+    let bt = Esm.Btree.create ~cap:index_btree_cap client ~klen:index_klen in
+    Esm.Client.commit client;
+    let insert i = Esm.Btree.insert bt ~key:(ikey i) ~oid:(index_oid i) in
+    let lookup i = Esm.Btree.lookup_all bt ~key:(ikey i) <> [] in
+    let insert_us, lookup_us, lookup_reads =
+      index_measure ~server ~client ~n ~insert ~lookup ()
+    in
+    { ir_system = "btree"
+    ; ir_n = n
+    ; ir_insert_us = insert_us
+    ; ir_lookup_us = lookup_us
+    ; ir_lookup_reads = lookup_reads
+    ; ir_generation = 0
+    ; ir_log_len = 0 }
+  in
+  ignore seed;
+  let logs = List.map log_run index_scales_log in
+  let btrees = List.map btree_run index_scales_btree in
+  logs @ btrees
+
+let index_run_json r =
+  "{"
+  ^ String.concat ","
+      [ Printf.sprintf "\"system\":%s" (json_string r.ir_system)
+      ; Printf.sprintf "\"n\":%d" r.ir_n
+      ; Printf.sprintf "\"insert_us\":%s" (json_float r.ir_insert_us)
+      ; Printf.sprintf "\"lookup_us\":%s" (json_float r.ir_lookup_us)
+      ; Printf.sprintf "\"lookup_reads\":%s" (json_float r.ir_lookup_reads)
+      ; Printf.sprintf "\"generation\":%d" r.ir_generation
+      ; Printf.sprintf "\"log_len\":%d" r.ir_log_len ]
+  ^ "}"
+
+let render_index ~seed runs =
+  let log_runs = List.filter (fun r -> r.ir_system = "log") runs in
+  let spread sel =
+    let vs = List.map sel log_runs in
+    match vs with
+    | [] -> 0.0
+    | v :: _ -> List.fold_left Float.max v vs /. List.fold_left Float.min v vs
+  in
+  let summary =
+    String.concat ","
+      [ Printf.sprintf "\"log_lookup_spread\":%s" (json_float (spread (fun r -> r.ir_lookup_us)))
+      ; Printf.sprintf "\"log_lookup_reads_spread\":%s"
+          (json_float (spread (fun r -> r.ir_lookup_reads)))
+      ; Printf.sprintf "\"log_lookup_flat_2x\":%b" (spread (fun r -> r.ir_lookup_us) < 2.0) ]
+  in
+  Printf.sprintf
+    "{\"benchmark\":%s,\"seed\":%d,\"klen\":%d,\"log_pages\":%d,\"btree_cap\":%d,\"lookups\":%d,%s,\"runs\":[%s]}\n"
+    (json_string "index") seed index_klen index_log_pages index_btree_cap index_lookup_count
+    summary
+    (String.concat "," (List.map index_run_json runs))

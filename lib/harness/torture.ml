@@ -140,6 +140,9 @@ let hit_bound ~rng point =
     else if point = F.Point.snapshot_materialize then 15 (* one hit per page in every scan *)
     else if point = F.Point.snapshot_trim then 4 (* one hit per reclamation pass *)
     else if point = F.Point.abort_mid_undo || point = F.Point.checkpoint_mid_flush then 6
+    else if point = F.Point.index_log_append then 60 (* one hit per insert/tombstone *)
+    else if point = F.Point.index_merge_write then 12 (* one hit per merged-run page *)
+    else if point = F.Point.index_merge_swing then 6 (* one hit per merge *)
     else if List.mem point single_points then 12
     else 6 (* prepare.* / dist.*: one hit per 2PC round *)
   in
@@ -580,6 +583,136 @@ let run_single_mc ~seed ~clients ~point =
   ; failure = !failure }
 
 (* ------------------------------------------------------------------ *)
+(* Log-index schedule.                                                 *)
+
+(* Crash points inside the log-structured index ([Esm.Log_index]): a
+   stream of insert/delete transactions with forced merges, the crash
+   landing before an append, between two merged-run page writes, or
+   after the merged run is written but before the root swings. All
+   three points precede the commit record, so the in-flight
+   transaction is always a loser: after restart the index must show
+   exactly the committed pairs — a half-appended log tail, a
+   half-written merge run or an unswung root must leave no trace. *)
+
+let index_points =
+  [ F.Point.index_log_append; F.Point.index_merge_write; F.Point.index_merge_swing ]
+
+let run_index ~seed ~point =
+  let module Log_index = Esm.Log_index in
+  let rng = Rng.create (seed * 2 + 1) in
+  let cm = Simclock.Cost_model.default in
+  let fault = F.create () in
+  let server = Server.create ~frames:256 ~fault ~clock:(Clock.create ()) ~cm () in
+  let client = ref (Client.create ~frames:64 server) in
+  let ikey = Esm.Btree.key_of_int ~klen:8 in
+  let oid_of k v = Esm.Oid.make ~page:k ~slot:v ~unique:((k * 8) + v) () in
+  Client.begin_txn !client;
+  let idx = ref (Log_index.create ~log_pages:1 !client ~klen:8) in
+  let root = Log_index.root !idx in
+  Client.commit !client;
+  (* committed visible pairs; the index's visible state is a set of
+     exact (key, oid) pairs regardless of how often each was inserted *)
+  let model = ref [] in
+  let dump () =
+    let acc = ref [] in
+    Log_index.range !idx ~lo:(Bytes.make 8 '\000') ~hi:(Bytes.make 8 '\xff') (fun k oid ->
+        acc := (Bytes.to_string k, oid) :: !acc);
+    List.sort compare !acc
+  in
+  let check_model ~what () =
+    let got = dump () in
+    let want = List.sort compare !model in
+    if got <> want then
+      failf "seed %d: %s: index shows %d pairs, committed state has %d" seed what
+        (List.length got) (List.length want);
+    if Log_index.cardinal !idx <> List.length want then
+      failf "seed %d: %s: cardinal disagrees with range scan" seed what
+  in
+  F.arm fault { (transient_plan ~seed) with F.crash_point = Some (point, hit_bound ~rng point) };
+  let txns = ref 0 in
+  let crashed = ref false in
+  let failure = ref None in
+  (try
+     let i = ref 0 in
+     while (not !crashed) && !i < 60 do
+       incr i;
+       txns := !i;
+       let pending = ref [] in
+       (try
+          Client.begin_txn !client;
+          let nops = 3 + Rng.int rng 4 in
+          for _ = 1 to nops do
+            let k = Rng.int rng 120 and v = Rng.int rng 3 in
+            let key = Bytes.to_string (ikey k) and oid = oid_of k v in
+            if Rng.int rng 100 < 70 then begin
+              Log_index.insert !idx ~key:(ikey k) ~oid;
+              pending := `Ins (key, oid) :: !pending
+            end
+            else if Log_index.delete !idx ~key:(ikey k) ~oid then
+              pending := `Del (key, oid) :: !pending
+          done;
+          (* Forced merges keep merge.write / merge.swing firing even
+             while the log is far from full. *)
+          if !i mod 3 = 0 then Log_index.merge ~force:true !idx;
+          Client.commit !client;
+          List.iter
+            (fun op ->
+              match op with
+              | `Ins p -> if not (List.mem p !model) then model := p :: !model
+              | `Del p -> model := List.filter (fun q -> q <> p) !model)
+            (List.rev !pending)
+        with e when crash_exn e ->
+          crashed := true;
+          Client.crash !client;
+          let fired = F.fired fault in
+          F.disarm fault;
+          Server.crash server;
+          let stats = Recovery.restart ~sanitize:true server in
+          if stats.Recovery.in_doubt <> [] then
+            failf "seed %d: unexpected in-doubt transactions on a single server" seed;
+          client := Client.create ~frames:64 server;
+          Client.begin_txn !client;
+          idx := Log_index.open_index !client ~root ~klen:8;
+          (* Every index point precedes the commit record, so the
+             in-flight transaction must be all-old. *)
+          ignore fired;
+          check_model ~what:"post-restart" ();
+          Client.commit !client)
+     done;
+     (* Epilogue: the index must still take writes and merge cleanly. *)
+     F.disarm fault;
+     Client.begin_txn !client;
+     for v = 0 to 2 do
+       let key = Bytes.to_string (ikey 999) and oid = oid_of 200 v in
+       Log_index.insert !idx ~key:(ikey 999) ~oid;
+       if not (List.mem (key, oid) !model) then model := (key, oid) :: !model
+     done;
+     Log_index.merge ~force:true !idx;
+     Client.commit !client;
+     Client.begin_txn !client;
+     check_model ~what:"epilogue" ();
+     Client.commit !client;
+     (* Restart idempotency: a second clean crash/restart changes nothing. *)
+     Client.crash !client;
+     Server.crash server;
+     ignore (Recovery.restart ~sanitize:true server);
+     client := Client.create ~frames:64 server;
+     Client.begin_txn !client;
+     idx := Log_index.open_index !client ~root ~klen:8;
+     check_model ~what:"second restart" ();
+     Client.commit !client
+   with
+  | Check_failed msg -> failure := Some msg
+  | e -> failure := Some (Printf.sprintf "seed %d: unexpected %s" seed (Printexc.to_string e)));
+  { seed
+  ; point
+  ; clients = 1
+  ; fired = F.fired fault <> None
+  ; txns = !txns
+  ; transients = F.transients_injected fault
+  ; failure = !failure }
+
+(* ------------------------------------------------------------------ *)
 (* Two-server (2PC) schedule.                                          *)
 
 (* What each participant knows about the transaction after restart. *)
@@ -772,6 +905,7 @@ let run_seed ?clients ~seed () =
     let n = match clients with Some n -> n | None -> clients_of_seed seed in
     if n <= 1 then run_single ~seed ~point else run_single_mc ~seed ~clients:n ~point
   end
+  else if List.mem point index_points then run_index ~seed ~point
   else run_dist ~seed ~point
 
 type summary = {

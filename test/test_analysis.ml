@@ -260,7 +260,13 @@ let test_path_policy () =
   Alcotest.(check bool) "QS016 off in the analyzer" false
     (Lint.rule_applies ~path:"lib/analysis/snapshot_path.ml" "QS016");
   Alcotest.(check bool) "QS016 off in bin" false
-    (Lint.rule_applies ~path:"bin/qs_prof.ml" "QS016")
+    (Lint.rule_applies ~path:"bin/qs_prof.ml" "QS016");
+  Alcotest.(check bool) "QS017 on in lib/esm" true
+    (Lint.rule_applies ~path:"lib/esm/log_index.ml" "QS017");
+  Alcotest.(check bool) "QS017 off in the analyzer" false
+    (Lint.rule_applies ~path:"lib/analysis/merge_path.ml" "QS017");
+  Alcotest.(check bool) "QS017 off in test" false
+    (Lint.rule_applies ~path:"test/test_log_index.ml" "QS017")
 
 let test_report_format () =
   match Lint.lint_source ~path:"lib/core/foo.ml" ~contents:"let f b =\n  Bytes.get b 0\n" with
@@ -279,7 +285,7 @@ let test_all_rules_listed () =
         (String.length r = 5 && String.sub r 0 2 = "QS"))
     Lint.all_rules;
   (* QS000 (parse error) is a pseudo-rule, not an enforceable one. *)
-  Alcotest.(check int) "fifteen enforceable rules" 15 (List.length Lint.all_rules);
+  Alcotest.(check int) "sixteen enforceable rules" 16 (List.length Lint.all_rules);
   Alcotest.(check bool) "QS000 not listed" false (List.mem "QS000" Lint.all_rules)
 
 (* ================================================================== *)
@@ -475,6 +481,61 @@ let test_qs016_snapshot () =
     [ ( "lib/analysis/fake_snap.ml"
       , "let snapshot_fix_page t p =\n  lock_page t p Lock_mgr.Shared\n" ) ]
 
+(* --- QS017: page lock held across a charge on the merge path --- *)
+
+let mg_help_src = "let grab t p = lock_page t p Lock_mgr.Shared\n"
+
+let test_qs017_merge () =
+  (* A transitive acquisition (through a helper, so QS012's
+     direct-only scan stays quiet) held across a charge inside a
+     merge-named root: flagged at the arming call site. *)
+  check_deps "transitive lock across a charge in a merge" [ "QS017" ]
+    [ ("lib/esm/fake_mg_help.ml", mg_help_src)
+    ; ( "lib/esm/fake_mg.ml"
+      , "let do_merge t c p =\n\
+        \  Fake_mg_help.grab t p;\n\
+        \  Qs_trace.charge c Simclock.Category.Diff 1.0\n" ) ];
+  (* A direct acquisition in the merge root trips both the general
+     window rule and the merge-path rule, at the same site. *)
+  check_deps "direct lock is both QS012 and QS017" [ "QS012"; "QS017" ]
+    [ ( "lib/esm/fake_mg.ml"
+      , "let merge t c p =\n\
+        \  lock_page t p Lock_mgr.Shared;\n\
+        \  Qs_trace.charge c Simclock.Category.Diff 1.0\n" ) ];
+  (* The identical shape under a non-merge name is not QS017's
+     business. *)
+  check_deps "lock off the merge path is clean" []
+    [ ("lib/esm/fake_mg_help.ml", mg_help_src)
+    ; ( "lib/esm/fake_mg.ml"
+      , "let rebuild t c p =\n\
+        \  Fake_mg_help.grab t p;\n\
+        \  Qs_trace.charge c Simclock.Category.Diff 1.0\n" ) ];
+  (* The real merge's discipline — fix, charge, unfix, no lock
+     manager anywhere — is clean. *)
+  check_deps "lock-free merge is clean" []
+    [ ( "lib/esm/fake_mg.ml"
+      , "let do_merge t c p =\n\
+        \  let frame = Client.fix_page c ~kind:Server.Index p in\n\
+        \  Qs_trace.charge c Simclock.Category.Diff 1.0;\n\
+        \  Client.unfix_page c ~frame\n" ) ];
+  (* An expression-level allow (with its rationale in real code)
+     silences the finding at that site only. *)
+  check_deps "allowlisted merge window is silent" []
+    [ ("lib/esm/fake_mg_help.ml", mg_help_src)
+    ; ( "lib/esm/fake_mg.ml"
+      , "let do_merge t c p =\n\
+        \  (Fake_mg_help.grab t p [@qs_lint.allow \"QS017\"]);\n\
+        \  Qs_trace.charge c Simclock.Category.Diff 1.0\n" ) ];
+  (* A release between the acquisition and the charge closes the
+     window, exactly as in QS012. *)
+  check_deps "release closes the merge window" []
+    [ ("lib/esm/fake_mg_help.ml", mg_help_src)
+    ; ( "lib/esm/fake_mg.ml"
+      , "let do_merge t c p =\n\
+        \  Fake_mg_help.grab t p;\n\
+        \  Lock_mgr.release_all t;\n\
+        \  Qs_trace.charge c Simclock.Category.Diff 1.0\n" ) ]
+
 (* --- fixpoint termination and effect propagation --- *)
 
 let mutual_src =
@@ -520,6 +581,7 @@ let () =
         ; Alcotest.test_case "QS013 crash-point coverage" `Quick test_qs013_coverage
         ; Alcotest.test_case "QS014 exception-path leak" `Quick test_qs014_leak
         ; Alcotest.test_case "QS016 snapshot-path lock freedom" `Quick test_qs016_snapshot
+        ; Alcotest.test_case "QS017 merge-path lock discipline" `Quick test_qs017_merge
         ; Alcotest.test_case "fixpoint on mutual recursion" `Quick test_fixpoint_mutual
         ; Alcotest.test_case "effects json determinism" `Quick test_effects_json ] )
     ; ( "plumbing"

@@ -16,7 +16,11 @@
    baseline; BENCH_oo7_snapshot.json runs the 4-client workload at 80%
    read-only scans under both read regimes — locking scans vs MVCC
    snapshot bodies — pinning the reader lock-wait collapse and the
-   world-digest equality that proves writer effects are byte-identical.
+   world-digest equality that proves writer effects are byte-identical;
+   BENCH_index.json builds the log-structured index and the small-fan-out
+   B-tree oracle at growing scales and probes cold lookups, pinning the
+   flat per-lookup cost (and the under-2x spread summary) next to the
+   B-tree's depth growth.
    The simulation is deterministic, so times are
    compared exactly, not within a tolerance — any change to a committed
    file must be a deliberate, reviewed re-baseline
@@ -89,4 +93,21 @@ let () =
   let callback_runs = Harness.Bench_json.callback_runs ~progress ~seed () in
   check ~name:"BENCH_oo7_callback.json" (Harness.Bench_json.render_callback ~seed callback_runs);
   let snapshot_runs = Harness.Bench_json.snapshot_runs ~progress ~seed () in
-  check ~name:"BENCH_oo7_snapshot.json" (Harness.Bench_json.render_snapshot ~seed snapshot_runs)
+  check ~name:"BENCH_oo7_snapshot.json" (Harness.Bench_json.render_snapshot ~seed snapshot_runs);
+  let index_runs = Harness.Bench_json.index_runs ~progress ~seed () in
+  check ~name:"BENCH_index.json" (Harness.Bench_json.render_index ~seed index_runs);
+  (* The committed baseline must itself carry the tentpole claim: the
+     summary field is data, so a re-baseline that loses flatness fails
+     here even though the bytes match. *)
+  let flat =
+    List.exists
+      (fun line -> line = "\"log_lookup_flat_2x\":true")
+      (String.split_on_char ',' (read_file (List.find Sys.file_exists (candidates "BENCH_index.json"))))
+  in
+  if not flat then begin
+    Printf.eprintf
+      "test_bench_json: BENCH_index.json lost the flat-lookup property \
+       (log_lookup_flat_2x is not true)\n";
+    exit 1
+  end;
+  Printf.printf "test_bench_json: BENCH_index.json log-index lookup is flat (spread < 2x)\n"

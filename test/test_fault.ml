@@ -55,7 +55,7 @@ let test_plan_of_spec () =
   invalid "crash=commit.mid_flush"
 
 let test_point_registry () =
-  Alcotest.(check int) "twenty points" 20 (List.length F.Point.all);
+  Alcotest.(check int) "twenty-three points" 23 (List.length F.Point.all);
   List.iter (fun p -> Alcotest.(check bool) p true (F.Point.mem p)) F.Point.all;
   let t = F.create () in
   (match F.hit t "not.registered" with

@@ -1,0 +1,140 @@
+(* Differential fuzz: the log-structured index against the B-tree
+   oracle. Both live on the SAME server and run inside the SAME
+   transactions, so every commit, abort, merge, crash and restart hits
+   both symmetrically — their visible states must stay identical, op
+   for op, with no model in between.
+
+   Each seeded run drives thousands of random insert/delete/lookup/
+   range operations with merges interleaved, aborts some transactions,
+   and kills the server mid-transaction (and right after commits) with
+   full Recovery.restart in between. *)
+
+module Btree = Esm.Btree
+module Log_index = Esm.Log_index
+module Client = Esm.Client
+module Server = Esm.Server
+module Recovery = Esm.Recovery
+module Oid = Esm.Oid
+module Clock = Simclock.Clock
+module Rng = Qs_util.Rng
+
+let ikey = Btree.key_of_int ~klen:8
+let lo_key = Bytes.make 8 '\000'
+let hi_key = Bytes.make 8 '\xff'
+
+(* a small oid space per key so duplicate-key and exact-pair cases
+   both occur often *)
+let oid_of k v = Oid.make ~page:k ~slot:v ~unique:((k * 8) + v) ()
+
+(* Within-key order is normalized away: the B-tree's logical undo of
+   an aborted delete re-inserts the pair at the END of its equal run
+   (a logical record cannot remember the position), while the log
+   index's physical undo restores the original bytes — so after an
+   aborted delete of a duplicate the two legitimately disagree on
+   within-key order, though never on the visible multiset. *)
+let dump_range range_fn =
+  let acc = ref [] in
+  range_fn ~lo:lo_key ~hi:hi_key (fun k oid -> acc := (Bytes.to_string k, oid) :: !acc);
+  List.sort compare !acc
+
+let check_equal ~seed ~step bt li =
+  let a = dump_range (fun ~lo ~hi f -> Btree.range bt ~lo ~hi f) in
+  let b = dump_range (fun ~lo ~hi f -> Log_index.range li ~lo ~hi f) in
+  if a <> b then
+    Alcotest.fail
+      (Printf.sprintf "seed %d step %d: states diverge (btree %d pairs, log index %d pairs)" seed
+         step (List.length a) (List.length b));
+  if Btree.cardinal bt <> Log_index.cardinal li then
+    Alcotest.fail (Printf.sprintf "seed %d step %d: cardinals diverge" seed step)
+
+let run_seed ~ops seed =
+  let rng = Rng.create (0x1d0 + seed) in
+  let s = Server.create ~frames:256 ~clock:(Clock.create ()) ~cm:Simclock.Cost_model.default () in
+  let connect () =
+    let c = Client.create ~frames:64 s in
+    Btree.install_undo_handler c;
+    c
+  in
+  let c = ref (connect ()) in
+  Client.begin_txn !c;
+  let bt = ref (Btree.create ~cap:6 !c ~klen:8) in
+  let li = ref (Log_index.create ~log_pages:1 !c ~klen:8) in
+  let bt_root = Btree.root !bt and li_root = Log_index.root !li in
+  Client.commit !c;
+  let reopen () =
+    bt := Btree.open_tree !c ~root:bt_root ~klen:8;
+    li := Log_index.open_index !c ~root:li_root ~klen:8
+  in
+  let in_txn = ref false in
+  let step = ref 0 in
+  while !step < ops do
+    if not !in_txn then begin
+      Client.begin_txn !c;
+      in_txn := true
+    end;
+    incr step;
+    let k = Rng.int rng 200 and v = Rng.int rng 3 in
+    (match Rng.int rng 100 with
+    | r when r < 45 ->
+      Btree.insert !bt ~key:(ikey k) ~oid:(oid_of k v);
+      Log_index.insert !li ~key:(ikey k) ~oid:(oid_of k v)
+    | r when r < 65 ->
+      let db = Btree.delete !bt ~key:(ikey k) ~oid:(oid_of k v) in
+      let dl = Log_index.delete !li ~key:(ikey k) ~oid:(oid_of k v) in
+      if db <> dl then Alcotest.fail (Printf.sprintf "seed %d step %d: delete verdicts diverge" seed !step)
+    | r when r < 85 ->
+      let a = List.sort compare (Btree.lookup_all !bt ~key:(ikey k)) in
+      let b = List.sort compare (Log_index.lookup_all !li ~key:(ikey k)) in
+      if a <> b then Alcotest.fail (Printf.sprintf "seed %d step %d: lookups diverge" seed !step)
+    | r when r < 95 ->
+      let k2 = Rng.int rng 200 in
+      let lo = ikey (min k k2) and hi = ikey (max k k2) in
+      let a = ref [] and b = ref [] in
+      Btree.range !bt ~lo ~hi (fun key oid -> a := (Bytes.to_string key, oid) :: !a);
+      Log_index.range !li ~lo ~hi (fun key oid -> b := (Bytes.to_string key, oid) :: !b);
+      if List.sort compare !a <> List.sort compare !b then
+        Alcotest.fail (Printf.sprintf "seed %d step %d: ranges diverge" seed !step)
+    | _ -> Log_index.merge ~force:(Rng.int rng 10 = 0) !li);
+    (* transaction boundary: mostly commit, sometimes abort, sometimes
+       die mid-transaction *)
+    if Rng.int rng 20 = 0 then begin
+      match Rng.int rng 10 with
+      | r when r < 6 ->
+        Client.commit !c;
+        in_txn := false;
+        Client.begin_txn !c;
+        check_equal ~seed ~step:!step !bt !li;
+        Client.commit !c
+      | r when r < 8 ->
+        Client.abort !c;
+        in_txn := false;
+        (* surviving handles must heal through mirror revalidation *)
+        Client.begin_txn !c;
+        check_equal ~seed ~step:!step !bt !li;
+        Client.commit !c
+      | _ ->
+        Client.crash !c;
+        Server.crash s;
+        ignore (Recovery.restart s);
+        in_txn := false;
+        c := connect ();
+        Client.begin_txn !c;
+        reopen ();
+        check_equal ~seed ~step:!step !bt !li;
+        Client.commit !c
+    end
+  done;
+  if !in_txn then Client.commit !c;
+  Client.begin_txn !c;
+  check_equal ~seed ~step:!step !bt !li;
+  Client.commit !c
+
+let test_seed seed () = run_seed ~ops:1500 seed
+
+let () =
+  Alcotest.run "index_fuzz"
+    [ ( "differential"
+      , List.map
+          (fun seed ->
+            Alcotest.test_case (Printf.sprintf "seed %d" seed) `Quick (test_seed seed))
+          [ 1; 2; 3; 4; 5; 6; 7; 8 ] ) ]

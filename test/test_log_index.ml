@@ -1,0 +1,366 @@
+(* Log-structured index unit tests: append/lookup/range semantics
+   (pinned to the B-tree oracle's), forced and automatic merges with a
+   tiny log area, persistence, abort rollback via mirror revalidation,
+   crash recovery, the Root_dir.Directory_full typed error, and Store
+   routing under the [log_index] knob. *)
+
+module Log_index = Esm.Log_index
+module Btree = Esm.Btree
+module Client = Esm.Client
+module Server = Esm.Server
+module Recovery = Esm.Recovery
+module Root_dir = Esm.Root_dir
+module Oid = Esm.Oid
+module Clock = Simclock.Clock
+module Store = Quickstore.Store
+module Qs_config = Quickstore.Qs_config
+
+let mk () =
+  let s = Server.create ~frames:256 ~clock:(Clock.create ()) ~cm:Simclock.Cost_model.default () in
+  (s, Client.create ~frames:64 s)
+
+let mk_client () = snd (mk ())
+let reconnect s = Client.create ~frames:64 s
+let oid_of_int i = Oid.make ~page:i ~slot:(i mod 100) ~unique:i ()
+let ikey = Btree.key_of_int ~klen:8
+let int_of_key k = Int64.to_int (Bytes.get_int64_be k 0)
+
+let test_empty () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Log_index.create c ~klen:8 in
+  Alcotest.(check bool) "empty lookup" true (Log_index.lookup t ~key:(ikey 5) = None);
+  Alcotest.(check int) "cardinal" 0 (Log_index.cardinal t);
+  let st = Log_index.stats t in
+  Alcotest.(check int) "generation 0" 0 st.Log_index.generation;
+  Alcotest.(check int) "log empty" 0 st.Log_index.log_len;
+  Client.commit c
+
+let test_insert_lookup () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Log_index.create c ~klen:8 in
+  List.iter (fun i -> Log_index.insert t ~key:(ikey i) ~oid:(oid_of_int i)) [ 5; 3; 8; 1; 9 ];
+  List.iter
+    (fun i ->
+      match Log_index.lookup t ~key:(ikey i) with
+      | Some o ->
+        Alcotest.(check bool) (Printf.sprintf "found %d" i) true (Oid.equal o (oid_of_int i))
+      | None -> Alcotest.fail (Printf.sprintf "missing %d" i))
+    [ 1; 3; 5; 8; 9 ];
+  Alcotest.(check bool) "absent" true (Log_index.lookup t ~key:(ikey 4) = None);
+  Client.commit c
+
+let test_duplicates () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Log_index.create c ~klen:8 in
+  for i = 1 to 20 do
+    Log_index.insert t ~key:(ikey 7) ~oid:(oid_of_int i)
+  done;
+  (* exact-pair re-insert is idempotent, also across a merge *)
+  Log_index.insert t ~key:(ikey 7) ~oid:(oid_of_int 5);
+  Alcotest.(check int) "20 distinct pairs" 20 (List.length (Log_index.lookup_all t ~key:(ikey 7)));
+  Log_index.merge t;
+  Log_index.insert t ~key:(ikey 7) ~oid:(oid_of_int 5);
+  Alcotest.(check int) "still 20 after merge" 20
+    (List.length (Log_index.lookup_all t ~key:(ikey 7)));
+  (* insertion order preserved, like the B-tree *)
+  let first = Option.get (Log_index.lookup t ~key:(ikey 7)) in
+  Alcotest.(check bool) "first pair wins" true (Oid.equal first (oid_of_int 1));
+  Client.commit c
+
+let test_delete () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Log_index.create c ~klen:8 in
+  for i = 1 to 50 do
+    Log_index.insert t ~key:(ikey i) ~oid:(oid_of_int i)
+  done;
+  (* delete an entry that lives in the sorted run (tombstone overlay) *)
+  Log_index.merge t;
+  Alcotest.(check bool) "delete present" true
+    (Log_index.delete t ~key:(ikey 25) ~oid:(oid_of_int 25));
+  Alcotest.(check bool) "delete absent" false
+    (Log_index.delete t ~key:(ikey 25) ~oid:(oid_of_int 25));
+  Alcotest.(check bool) "gone" true (Log_index.lookup t ~key:(ikey 25) = None);
+  Alcotest.(check int) "cardinal" 49 (Log_index.cardinal t);
+  (* the tombstone survives the next merge *)
+  Log_index.merge t;
+  Alcotest.(check bool) "gone after merge" true (Log_index.lookup t ~key:(ikey 25) = None);
+  Alcotest.(check int) "cardinal after merge" 49 (Log_index.cardinal t);
+  Client.commit c
+
+let test_update_indexed_field_pattern () =
+  (* T3's pattern: delete old key, insert new key for the same OID. *)
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Log_index.create c ~klen:8 in
+  let o = oid_of_int 1 in
+  Log_index.insert t ~key:(ikey 1000) ~oid:o;
+  ignore (Log_index.delete t ~key:(ikey 1000) ~oid:o);
+  Log_index.insert t ~key:(ikey 1001) ~oid:o;
+  Alcotest.(check bool) "old gone" true (Log_index.lookup t ~key:(ikey 1000) = None);
+  Alcotest.(check bool) "new present" true (Log_index.lookup t ~key:(ikey 1001) <> None);
+  Client.commit c
+
+let test_range_scan () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Log_index.create c ~klen:8 in
+  (* evens land in the sorted run, odds stay in the log: the scan must
+     merge-join both sides in key order *)
+  for i = 0 to 99 do
+    Log_index.insert t ~key:(ikey (i * 2)) ~oid:(oid_of_int i)
+  done;
+  Log_index.merge t;
+  for i = 0 to 99 do
+    Log_index.insert t ~key:(ikey ((i * 2) + 1)) ~oid:(oid_of_int (1000 + i))
+  done;
+  let seen = ref [] in
+  Log_index.range t ~lo:(ikey 10) ~hi:(ikey 21) (fun k _ -> seen := int_of_key k :: !seen);
+  Alcotest.(check (list int)) "inclusive range" [ 10; 11; 12; 13; 14; 15; 16; 17; 18; 19; 20; 21 ]
+    (List.rev !seen);
+  Client.commit c
+
+let test_auto_merge () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  (* one log page holds (8192-32)/25 = 326 bindings: 1000 inserts force
+     several automatic merges *)
+  let t = Log_index.create ~log_pages:1 c ~klen:8 in
+  Alcotest.(check int) "tiny log cap" 326 (Log_index.stats t).Log_index.log_cap;
+  for i = 1 to 1000 do
+    Log_index.insert t ~key:(ikey i) ~oid:(oid_of_int i)
+  done;
+  let st = Log_index.stats t in
+  Alcotest.(check bool) "merged at least twice" true (st.Log_index.generation >= 2);
+  Alcotest.(check int) "nothing lost" 1000 (st.Log_index.data_entries + st.Log_index.log_len);
+  Alcotest.(check int) "cardinal" 1000 (Log_index.cardinal t);
+  for i = 1 to 1000 do
+    if Log_index.lookup t ~key:(ikey i) = None then
+      Alcotest.fail (Printf.sprintf "missing %d after auto-merges" i)
+  done;
+  (* run order: the full scan comes back sorted *)
+  let prev = ref (-1) in
+  Log_index.range t ~lo:(ikey 0) ~hi:(ikey 2000) (fun k _ ->
+      let i = int_of_key k in
+      if i <= !prev then Alcotest.fail "range out of order";
+      prev := i);
+  (* fan-out bookkeeping agrees with itself *)
+  let st = Log_index.stats t in
+  Alcotest.(check int) "fanout sums to run" st.Log_index.data_entries
+    (Array.fold_left ( + ) 0 st.Log_index.fanout);
+  Client.commit c
+
+let test_force_merge_empty_log () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Log_index.create c ~klen:8 in
+  for i = 1 to 10 do
+    Log_index.insert t ~key:(ikey i) ~oid:(oid_of_int i)
+  done;
+  Log_index.merge t;
+  let g = (Log_index.stats t).Log_index.generation in
+  Log_index.merge t;
+  Alcotest.(check int) "no-op on empty log" g (Log_index.stats t).Log_index.generation;
+  Log_index.merge ~force:true t;
+  let st = Log_index.stats t in
+  Alcotest.(check int) "forced swing" (g + 1) st.Log_index.generation;
+  Alcotest.(check int) "run intact" 10 st.Log_index.data_entries;
+  Client.commit c
+
+let test_string_keys () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Log_index.create c ~klen:20 in
+  let key = Btree.key_of_string ~klen:20 in
+  List.iteri
+    (fun i s -> Log_index.insert t ~key:(key s) ~oid:(oid_of_int i))
+    [ "delta"; "alpha"; "charlie"; "bravo" ];
+  Log_index.merge t;
+  let seen = ref [] in
+  Log_index.range t ~lo:(key "") ~hi:(key "zzzz") (fun k _ ->
+      seen := Qs_util.Codec.get_cstring k 0 20 :: !seen);
+  Alcotest.(check (list string)) "sorted" [ "alpha"; "bravo"; "charlie"; "delta" ] (List.rev !seen);
+  Client.commit c
+
+let test_persistence_across_cache_reset () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Log_index.create ~log_pages:1 c ~klen:8 in
+  for i = 1 to 500 do
+    Log_index.insert t ~key:(ikey i) ~oid:(oid_of_int i)
+  done;
+  let root = Log_index.root t in
+  Client.commit c;
+  Client.reset_cache c;
+  Server.reset_cache (Client.server c);
+  Client.begin_txn c;
+  Alcotest.(check bool) "magic recognized" true (Log_index.is_log_index_root c ~root);
+  let t' = Log_index.open_index c ~root ~klen:8 in
+  Alcotest.(check int) "all found from disk" 500 (Log_index.cardinal t');
+  Alcotest.(check bool) "not a btree root" false
+    (let s2 = mk_client () in
+     Client.begin_txn s2;
+     let bt = Btree.create s2 ~klen:8 in
+     let r = Log_index.is_log_index_root s2 ~root:(Btree.root bt) in
+     Client.commit s2;
+     r);
+  Client.commit c
+
+let test_abort_rolls_back () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let t = Log_index.create ~log_pages:1 c ~klen:8 in
+  for i = 1 to 10 do
+    Log_index.insert t ~key:(ikey i) ~oid:(oid_of_int i)
+  done;
+  let root = Log_index.root t in
+  Client.commit c;
+  (* abort a transaction that appended AND merged: physical undo must
+     restore the old generation, and the surviving handle must heal
+     itself through mirror revalidation *)
+  Client.begin_txn c;
+  Log_index.insert t ~key:(ikey 11) ~oid:(oid_of_int 11);
+  ignore (Log_index.delete t ~key:(ikey 1) ~oid:(oid_of_int 1));
+  Log_index.merge t;
+  Alcotest.(check int) "merged state visible pre-abort" 10 (Log_index.cardinal t);
+  Client.abort c;
+  Client.begin_txn c;
+  Alcotest.(check bool) "aborted insert gone (same handle)" true
+    (Log_index.lookup t ~key:(ikey 11) = None);
+  Alcotest.(check bool) "aborted delete restored" true (Log_index.lookup t ~key:(ikey 1) <> None);
+  Alcotest.(check int) "cardinal back" 10 (Log_index.cardinal t);
+  let t' = Log_index.open_index c ~root ~klen:8 in
+  Alcotest.(check int) "fresh handle agrees" 10 (Log_index.cardinal t');
+  Client.commit c
+
+let test_crash_recovery () =
+  let s, c = mk () in
+  Client.begin_txn c;
+  let t = Log_index.create ~log_pages:1 c ~klen:8 in
+  for i = 1 to 400 do
+    Log_index.insert t ~key:(ikey i) ~oid:(oid_of_int i)
+  done;
+  let root = Log_index.root t in
+  Client.commit c;
+  (* a loser transaction appends and merges, then the server dies *)
+  Client.begin_txn c;
+  for i = 401 to 450 do
+    Log_index.insert t ~key:(ikey i) ~oid:(oid_of_int i)
+  done;
+  Log_index.merge t;
+  Client.crash c;
+  Server.crash s;
+  ignore (Recovery.restart s);
+  let c = reconnect s in
+  Client.begin_txn c;
+  let t' = Log_index.open_index c ~root ~klen:8 in
+  Alcotest.(check int) "committed bindings survive" 400 (Log_index.cardinal t');
+  Alcotest.(check bool) "loser's append undone" true (Log_index.lookup t' ~key:(ikey 425) = None);
+  Alcotest.(check bool) "committed key present" true (Log_index.lookup t' ~key:(ikey 17) <> None);
+  Client.commit c
+
+let test_root_dir_full () =
+  let c = mk_client () in
+  Client.begin_txn c;
+  let meta_page = Root_dir.format_db c in
+  let big = Bytes.make 900 'x' in
+  Alcotest.check_raises "typed overflow" Root_dir.Directory_full (fun () ->
+      for i = 0 to 20 do
+        Root_dir.set c ~meta_page (Printf.sprintf "entry_%02d" i) big
+      done);
+  (* the page is still a consistent directory: earlier entries intact *)
+  Alcotest.(check bool) "prior entries readable" true
+    (Root_dir.get c ~meta_page "entry_00" = Some big);
+  Client.commit c
+
+(* Store routing: the same workload through Store.index_* under both
+   knob settings must agree, and the chosen structure must be the one
+   the knob asked for. *)
+let node_def = Schema.class_def "Node" [ ("id", Schema.F_int) ]
+
+let store_workload config =
+  let server =
+    Server.create ~frames:512 ~clock:(Clock.create ()) ~cm:Simclock.Cost_model.default ()
+  in
+  let st = Store.create_db ~config server in
+  Store.register_class st node_def;
+  Store.begin_txn st;
+  let f_id = Store.field st ~cls:"Node" ~name:"id" in
+  let cluster = Store.new_cluster st in
+  Store.index_create st "by_id" ~klen:8;
+  for i = 0 to 99 do
+    let p = Store.create st ~cls:"Node" ~cluster in
+    Store.set_int st p f_id i;
+    Store.index_insert st "by_id" ~key:(ikey ((i * 7) mod 101)) p
+  done;
+  let lookups =
+    List.map
+      (fun k ->
+        match Store.index_lookup st "by_id" ~key:(ikey k) with
+        | Some p -> Some (Store.get_int st p f_id)
+        | None -> None)
+      [ 0; 7; 14; 50; 100; 33 ]
+  in
+  let scanned = ref [] in
+  Store.index_range st "by_id" ~lo:(ikey 10) ~hi:(ikey 40) (fun p ->
+      scanned := Store.get_int st p f_id :: !scanned);
+  Store.commit st;
+  (lookups, List.rev !scanned)
+
+let test_store_routing () =
+  let base = { Qs_config.default with Qs_config.sanitize = true } in
+  let r_bt = store_workload base in
+  let r_li = store_workload { base with Qs_config.log_index = true } in
+  Alcotest.(check bool) "btree and log-index stores agree" true (r_bt = r_li)
+
+(* Model-based property, shared shape with the B-tree's: random
+   inserts/deletes with interleaved merges against a hashtable model. *)
+let prop_log_index_model =
+  QCheck.Test.make ~name:"log index agrees with model (with merges)" ~count:40
+    QCheck.(list (pair (int_bound 100) bool))
+    (fun ops ->
+      let c = mk_client () in
+      Client.begin_txn c;
+      let t = Log_index.create ~log_pages:1 c ~klen:8 in
+      let model = Hashtbl.create 16 in
+      List.iteri
+        (fun n (k, add) ->
+          let key = ikey k and oid = oid_of_int k in
+          if add then begin
+            Log_index.insert t ~key ~oid;
+            Hashtbl.replace model k ()
+          end
+          else begin
+            ignore (Log_index.delete t ~key ~oid);
+            Hashtbl.remove model k
+          end;
+          if n mod 17 = 0 then Log_index.merge t)
+        ops;
+      let ok =
+        Log_index.cardinal t = Hashtbl.length model
+        && Hashtbl.fold (fun k () acc -> acc && Log_index.lookup t ~key:(ikey k) <> None) model true
+      in
+      Client.commit c;
+      ok)
+
+let () =
+  Alcotest.run "log_index"
+    [ ( "log_index"
+      , [ Alcotest.test_case "empty" `Quick test_empty
+        ; Alcotest.test_case "insert/lookup" `Quick test_insert_lookup
+        ; Alcotest.test_case "duplicates" `Quick test_duplicates
+        ; Alcotest.test_case "delete" `Quick test_delete
+        ; Alcotest.test_case "indexed-field update" `Quick test_update_indexed_field_pattern
+        ; Alcotest.test_case "range scan" `Quick test_range_scan
+        ; Alcotest.test_case "automatic merges" `Quick test_auto_merge
+        ; Alcotest.test_case "forced/empty merge" `Quick test_force_merge_empty_log
+        ; Alcotest.test_case "string keys" `Quick test_string_keys
+        ; Alcotest.test_case "persistent across reset" `Quick test_persistence_across_cache_reset
+        ; Alcotest.test_case "abort rollback" `Quick test_abort_rolls_back
+        ; Alcotest.test_case "crash recovery" `Quick test_crash_recovery
+        ; Alcotest.test_case "root dir full" `Quick test_root_dir_full
+        ; Alcotest.test_case "store routing" `Quick test_store_routing ] )
+    ; ("properties", List.map QCheck_alcotest.to_alcotest [ prop_log_index_model ]) ]
