@@ -1554,17 +1554,18 @@ let index_handle t name =
       h)
 
 let index_create t name ~klen =
-  let h, root, kind =
+  (* No kind entry: index_handle dispatches on the root page's magic
+     byte, so the root-dir only needs the root and klen. *)
+  let h, root =
     if t.config.Qs_config.log_index then
       let li = Log_index.create t.client ~klen in
-      (I_log li, Log_index.root li, 1)
+      (I_log li, Log_index.root li)
     else
       let bt = Btree.create t.client ~klen in
-      (I_btree bt, Btree.root bt, 0)
+      (I_btree bt, Btree.root bt)
   in
   Root_dir.set_int t.client ~meta_page:t.meta_page ("idx_root_" ^ name) root;
   Root_dir.set_int t.client ~meta_page:t.meta_page ("idx_klen_" ^ name) klen;
-  Root_dir.set_int t.client ~meta_page:t.meta_page ("idx_kind_" ^ name) kind;
   Hashtbl.replace t.indices name h
 
 let index_insert t name ~key p =

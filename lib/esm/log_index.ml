@@ -34,9 +34,10 @@
    its pages, growing the pool with fresh allocations as needed) and
    then swings the root in a single physically-logged update. The
    committed run's pages are never touched, so undo of a crashed or
-   aborted merge restores exactly the old generation; pages allocated
-   by an undone merge leak (bounded by one run) and are reused by the
-   next successful merge into that area. *)
+   aborted merge restores exactly the old generation. Page allocation
+   is not transactional, and the undone root swing forgets the grown
+   pool, so pages allocated by an undone merge leak permanently
+   (bounded by that one merge's pool growth). *)
 
 let hdr = 32
 let magic = 0xA7
@@ -214,7 +215,14 @@ let sync t =
         truncate_log t 0;
         read_log_entries t ~from:0 ~upto:log_count
       end
-      else if log_count < t.log_len then truncate_log t log_count
+      else if log_count < t.log_len then begin
+        (* The shrink may have undone a log-area growth too (root nlog
+           and page-id slots rolled back with it): refresh the page
+           list so the next append re-registers any dropped page. *)
+        t.nlog <- Qs_util.Codec.get_u16 b 48;
+        t.log_pages <- Array.init t.nlog (fun i -> Qs_util.Codec.get_u32 b (off_log + (4 * i)));
+        truncate_log t log_count
+      end
       else if log_count > t.log_len then begin
         t.nlog <- Qs_util.Codec.get_u16 b 48;
         t.log_pages <- Array.init t.nlog (fun i -> Qs_util.Codec.get_u32 b (off_log + (4 * i)));

@@ -47,7 +47,11 @@ let check_equal ~seed ~step bt li =
   if Btree.cardinal bt <> Log_index.cardinal li then
     Alcotest.fail (Printf.sprintf "seed %d step %d: cardinals diverge" seed step)
 
-let run_seed ~ops seed =
+(* [log_pages] sizes the log area; [churn] makes transaction
+   boundaries frequent and abort-heavy so log-area growth gets undone
+   mid-generation (the sync shrink path must then re-read the page
+   list from the root). *)
+let run_seed ?(log_pages = 1) ?(churn = false) ~ops seed =
   let rng = Rng.create (0x1d0 + seed) in
   let s = Server.create ~frames:256 ~clock:(Clock.create ()) ~cm:Simclock.Cost_model.default () in
   let connect () =
@@ -58,7 +62,7 @@ let run_seed ~ops seed =
   let c = ref (connect ()) in
   Client.begin_txn !c;
   let bt = ref (Btree.create ~cap:6 !c ~klen:8) in
-  let li = ref (Log_index.create ~log_pages:1 !c ~klen:8) in
+  let li = ref (Log_index.create ~log_pages !c ~klen:8) in
   let bt_root = Btree.root !bt and li_root = Log_index.root !li in
   Client.commit !c;
   let reopen () =
@@ -97,9 +101,9 @@ let run_seed ~ops seed =
     | _ -> Log_index.merge ~force:(Rng.int rng 10 = 0) !li);
     (* transaction boundary: mostly commit, sometimes abort, sometimes
        die mid-transaction *)
-    if Rng.int rng 20 = 0 then begin
+    if Rng.int rng (if churn then 6 else 20) = 0 then begin
       match Rng.int rng 10 with
-      | r when r < 6 ->
+      | r when r < if churn then 3 else 6 ->
         Client.commit !c;
         in_txn := false;
         Client.begin_txn !c;
@@ -131,10 +135,20 @@ let run_seed ~ops seed =
 
 let test_seed seed () = run_seed ~ops:1500 seed
 
+(* Multi-page log + abort-heavy churn: log-area growth happens often
+   and is regularly undone by aborts, covering the stale-page-list
+   hazard in Log_index.sync's shrink path. *)
+let test_seed_multilog seed () = run_seed ~log_pages:4 ~churn:true ~ops:1500 seed
+
 let () =
   Alcotest.run "index_fuzz"
     [ ( "differential"
       , List.map
           (fun seed ->
             Alcotest.test_case (Printf.sprintf "seed %d" seed) `Quick (test_seed seed))
-          [ 1; 2; 3; 4; 5; 6; 7; 8 ] ) ]
+          [ 1; 2; 3; 4; 5; 6; 7; 8 ] )
+    ; ( "multi-page log"
+      , List.map
+          (fun seed ->
+            Alcotest.test_case (Printf.sprintf "seed %d" seed) `Quick (test_seed_multilog seed))
+          [ 11; 12; 13; 14; 15; 16 ] ) ]
